@@ -1,0 +1,69 @@
+//! Shared presentation helpers for the runnable examples and the
+//! integration suites of the `clocksync` workspace.
+//!
+//! The examples print quantities that are exact rationals of nanoseconds;
+//! these helpers render them in engineer-friendly microseconds without
+//! losing the story (infinities stay infinities).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use clocksync_time::{Ext, ExtRatio, Ratio};
+
+/// Renders an exact rational nanosecond quantity as microseconds with
+/// three decimals, e.g. `1234.500us`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_apps::fmt_us;
+/// use clocksync_time::Ratio;
+///
+/// assert_eq!(fmt_us(Ratio::from_int(2_500)), "2.500us");
+/// assert_eq!(fmt_us(Ratio::from_int(-750)), "-0.750us");
+/// ```
+pub fn fmt_us(value: Ratio) -> String {
+    format!("{:.3}us", value.to_f64() / 1_000.0)
+}
+
+/// Renders an extended rational the same way, with `unbounded` for `+∞`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_apps::fmt_ext_us;
+/// use clocksync_time::{Ext, Ratio};
+///
+/// assert_eq!(fmt_ext_us(Ext::Finite(Ratio::from_int(1_000))), "1.000us");
+/// assert_eq!(fmt_ext_us(Ext::PosInf), "unbounded");
+/// ```
+pub fn fmt_ext_us(value: ExtRatio) -> String {
+    match value {
+        Ext::Finite(v) => fmt_us(v),
+        Ext::PosInf => "unbounded".to_string(),
+        Ext::NegInf => "-unbounded".to_string(),
+    }
+}
+
+/// Prints a two-column table row with a fixed-width label.
+pub fn row(label: &str, value: impl AsRef<str>) {
+    println!("  {label:<34} {}", value.as_ref());
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_signs_and_infinities() {
+        assert_eq!(fmt_us(Ratio::ZERO), "0.000us");
+        assert_eq!(fmt_us(Ratio::new(1, 2)), "0.001us");
+        assert_eq!(fmt_ext_us(Ext::NegInf), "-unbounded");
+    }
+}

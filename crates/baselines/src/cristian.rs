@@ -1,0 +1,123 @@
+//! Cristian's probabilistic clock reading, unfiltered.
+
+use clocksync::Network;
+use clocksync_model::{ProcessorId, ViewSet};
+use clocksync_time::{Nanos, Ratio};
+
+use crate::{spanning_tree, Baseline, BaselineError};
+
+/// Cristian's algorithm (Dist. Comp. 1989) composed over a spanning tree.
+///
+/// Uses only the **most recent** round trip per link: with the latest
+/// forward sample `d̃_f` and latest backward sample `d̃_b`,
+/// `θ(q vs p) = (d̃_b − d̃_f)/2` — the same midpoint rule as NTP but
+/// without the minimum filter, so a single slow sample degrades it. This
+/// is the natural "no history" comparator for experiment E8 (more probes
+/// should help the optimal algorithm monotonically; Cristian gets no such
+/// benefit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CristianLast;
+
+impl CristianLast {
+    /// Creates the estimator.
+    pub fn new() -> CristianLast {
+        CristianLast
+    }
+}
+
+impl Baseline for CristianLast {
+    fn name(&self) -> &'static str {
+        "cristian-last"
+    }
+
+    fn corrections(
+        &self,
+        network: &Network,
+        views: &ViewSet,
+    ) -> Result<Vec<Ratio>, BaselineError> {
+        if views.len() != network.n() {
+            return Err(BaselineError::WrongProcessorCount {
+                expected: network.n(),
+                actual: views.len(),
+            });
+        }
+        let messages = views.message_observations();
+        // Latest estimated delay per directed pair (by sender clock).
+        let latest = |src: ProcessorId, dst: ProcessorId| -> Option<Nanos> {
+            messages
+                .iter()
+                .filter(|m| m.src == src && m.dst == dst)
+                .max_by_key(|m| (m.send_clock, m.id))
+                .map(|m| m.recv_clock - m.send_clock)
+        };
+        let tree = spanning_tree(network)?;
+        let mut x = vec![Ratio::ZERO; network.n()];
+        for (parent, child) in tree {
+            let (Some(fwd), Some(bwd)) = (latest(parent, child), latest(child, parent)) else {
+                let (a, b) = if parent < child {
+                    (parent, child)
+                } else {
+                    (child, parent)
+                };
+                return Err(BaselineError::MissingTraffic { a, b });
+            };
+            let theta = (Ratio::from(bwd) - Ratio::from(fwd)) * Ratio::new(1, 2);
+            x[child.index()] = x[parent.index()] + theta;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync::LinkAssumption;
+    use clocksync_model::ExecutionBuilder;
+    use clocksync_time::RealTime;
+
+    const P: ProcessorId = ProcessorId(0);
+    const Q: ProcessorId = ProcessorId(1);
+
+    fn net() -> Network {
+        Network::builder(2)
+            .link(P, Q, LinkAssumption::no_bounds())
+            .build()
+    }
+
+    #[test]
+    fn uses_only_the_latest_round_trip() {
+        // First round trip is clean, second is skewed: Cristian follows
+        // the second while NTP's filter would have kept the first.
+        let exec = ExecutionBuilder::new(2)
+            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(500), Nanos::new(500))
+            .round_trips(P, Q, 1, RealTime::from_nanos(50_000), Nanos::new(10), Nanos::new(500), Nanos::new(2_500))
+            .build()
+            .unwrap();
+        let x = CristianLast::new().corrections(&net(), exec.views()).unwrap();
+        // Latest samples: fwd 500, bwd 2500 ⇒ θ = 1000; truth is 0.
+        assert_eq!(exec.discrepancy(&x), Ratio::from_int(1_000));
+    }
+
+    #[test]
+    fn clean_symmetric_round_trip_is_exact() {
+        let exec = ExecutionBuilder::new(2)
+            .start(Q, RealTime::from_nanos(777))
+            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(300), Nanos::new(300))
+            .build()
+            .unwrap();
+        let x = CristianLast::new().corrections(&net(), exec.views()).unwrap();
+        assert_eq!(exec.discrepancy(&x), Ratio::ZERO);
+    }
+
+    #[test]
+    fn missing_direction_is_an_error() {
+        let exec = ExecutionBuilder::new(2)
+            .message(P, Q, RealTime::from_nanos(1_000), Nanos::new(10))
+            .build()
+            .unwrap();
+        let err = CristianLast::new()
+            .corrections(&net(), exec.views())
+            .unwrap_err();
+        assert_eq!(err, BaselineError::MissingTraffic { a: P, b: Q });
+    }
+}

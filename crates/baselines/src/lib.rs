@@ -1,0 +1,102 @@
+//! Baseline clock-synchronization algorithms.
+//!
+//! The paper's introduction positions its optimal algorithm against the
+//! estimators practitioners actually deploy. This crate implements those
+//! comparators over the *same* view/observation interface as the optimal
+//! synchronizer, so experiments can race them head-to-head on identical
+//! executions:
+//!
+//! * [`NtpMinFilter`] — the NTP offset estimator: per link, take the
+//!   round-trip sample(s) with minimal delay and estimate the peer offset
+//!   as half the difference of the two directions' estimated delays
+//!   (Mills 1991). Implicitly assumes symmetric delays.
+//! * [`CristianLast`] — Cristian's algorithm (1989): estimate from the most
+//!   recent round trip only, no filtering.
+//! * [`TreeMidpoint`] — per-link *optimal* midpoint corrections (each link
+//!   solved exactly as a two-processor instance of the paper, which for a
+//!   single exchange with known bounds is Halpern–Megiddo–Munshi),
+//!   composed naively along a spanning tree. Optimal on trees; ignores the
+//!   cross-link information a cyclic topology provides.
+//!
+//! Every baseline returns corrections in the same convention as
+//! [`clocksync::SyncOutcome::corrections`], so
+//! [`clocksync::SyncOutcome::rho_bar`] and
+//! [`clocksync_model::Execution::discrepancy`] evaluate them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cristian;
+mod ntp;
+mod spanning;
+mod tree_midpoint;
+
+pub use cristian::CristianLast;
+pub use ntp::NtpMinFilter;
+pub use spanning::spanning_tree;
+pub use tree_midpoint::TreeMidpoint;
+
+use std::error::Error;
+use std::fmt;
+
+use clocksync::Network;
+use clocksync_model::{ProcessorId, ViewSet};
+use clocksync_time::Ratio;
+
+/// Failure modes shared by the baseline estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The declared links do not connect all processors.
+    Disconnected {
+        /// A processor unreachable from processor 0.
+        processor: ProcessorId,
+    },
+    /// A spanning-tree link carried no round trip, so the estimator has no
+    /// sample to work with.
+    MissingTraffic {
+        /// Lower endpoint of the silent link.
+        a: ProcessorId,
+        /// Higher endpoint of the silent link.
+        b: ProcessorId,
+    },
+    /// The view set size does not match the network.
+    WrongProcessorCount {
+        /// Expected processor count.
+        expected: usize,
+        /// Actual processor count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Disconnected { processor } => {
+                write!(f, "{processor} is unreachable over declared links")
+            }
+            BaselineError::MissingTraffic { a, b } => {
+                write!(f, "no usable samples on link {a}-{b}")
+            }
+            BaselineError::WrongProcessorCount { expected, actual } => {
+                write!(f, "expected {expected} processors, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+/// A clock-synchronization algorithm producing corrections from views.
+pub trait Baseline {
+    /// Human-readable algorithm name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Computes one correction per processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] when the estimator cannot produce
+    /// corrections (disconnected network, missing samples).
+    fn corrections(&self, network: &Network, views: &ViewSet)
+        -> Result<Vec<Ratio>, BaselineError>;
+}

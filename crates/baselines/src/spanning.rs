@@ -1,0 +1,95 @@
+//! Spanning-tree extraction shared by the tree-propagating baselines.
+
+use clocksync::Network;
+use clocksync_model::ProcessorId;
+
+use crate::BaselineError;
+
+/// Computes a BFS spanning tree of the declared links, rooted at processor
+/// 0, returned as `(parent, child)` pairs in visit order.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Disconnected`] if some processor is not
+/// reachable from processor 0 over declared links.
+pub fn spanning_tree(network: &Network) -> Result<Vec<(ProcessorId, ProcessorId)>, BaselineError> {
+    let n = network.n();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut adjacency = vec![Vec::new(); n];
+    for (p, q, _) in network.links() {
+        adjacency[p.index()].push(q);
+        adjacency[q.index()].push(p);
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([ProcessorId(0)]);
+    seen[0] = true;
+    let mut tree = Vec::with_capacity(n - 1);
+    while let Some(v) = queue.pop_front() {
+        let mut nbs = adjacency[v.index()].clone();
+        nbs.sort_unstable();
+        for nb in nbs {
+            if !seen[nb.index()] {
+                seen[nb.index()] = true;
+                tree.push((v, nb));
+                queue.push_back(nb);
+            }
+        }
+    }
+    if let Some(i) = seen.iter().position(|&s| !s) {
+        return Err(BaselineError::Disconnected {
+            processor: ProcessorId(i),
+        });
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync::LinkAssumption;
+
+    fn net(n: usize, edges: &[(usize, usize)]) -> Network {
+        let mut b = Network::builder(n);
+        for &(x, y) in edges {
+            b = b.link(ProcessorId(x), ProcessorId(y), LinkAssumption::no_bounds());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tree_of_a_path() {
+        let t = spanning_tree(&net(3, &[(0, 1), (1, 2)])).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                (ProcessorId(0), ProcessorId(1)),
+                (ProcessorId(1), ProcessorId(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn tree_of_a_cycle_has_n_minus_one_edges() {
+        let t = spanning_tree(&net(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_network_is_reported() {
+        let err = spanning_tree(&net(4, &[(0, 1), (2, 3)])).unwrap_err();
+        assert_eq!(
+            err,
+            BaselineError::Disconnected {
+                processor: ProcessorId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn trivial_networks() {
+        assert!(spanning_tree(&net(0, &[])).unwrap().is_empty());
+        assert!(spanning_tree(&net(1, &[])).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion bench: per-call cost of the optimal synchronizer vs the
+//! practical baselines on identical views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksync::Synchronizer;
+use clocksync_baselines::{Baseline, CristianLast, NtpMinFilter, TreeMidpoint};
+use clocksync_sim::{Simulation, Topology};
+use clocksync_time::Nanos;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let sim = Simulation::builder(16)
+        .uniform_links(
+            Topology::RandomConnected {
+                n: 16,
+                extra_per_mille: 300,
+            },
+            Nanos::from_micros(20),
+            Nanos::from_micros(400),
+            1,
+        )
+        .probes(3)
+        .build();
+    let run = sim.run(9);
+    let views = run.execution.views().clone();
+    let net = run.network.clone();
+
+    let mut group = c.benchmark_group("algorithm_cost_n16");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("optimal"),
+        &views,
+        |b, views| {
+            let sync = Synchronizer::new(net.clone());
+            b.iter(|| sync.synchronize(black_box(views)).expect("consistent"))
+        },
+    );
+    let baselines: Vec<(&str, Box<dyn Baseline>)> = vec![
+        ("ntp", Box::new(NtpMinFilter::new())),
+        ("cristian", Box::new(CristianLast::new())),
+        ("tree-midpoint", Box::new(TreeMidpoint::new())),
+    ];
+    for (label, algo) in baselines {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &views, |b, views| {
+            b.iter(|| {
+                algo.corrections(&net, black_box(views))
+                    .expect("connected")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the complete views → corrections pipeline on rings and
+//! complete graphs (E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksync::Synchronizer;
+use clocksync_sim::{Simulation, Topology};
+use clocksync_time::Nanos;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synchronize_end_to_end");
+    for (label, topo) in [
+        ("ring16", Topology::Ring(16)),
+        ("ring64", Topology::Ring(64)),
+        ("complete16", Topology::Complete(16)),
+        ("complete32", Topology::Complete(32)),
+    ] {
+        let sim = Simulation::builder(topo.n())
+            .uniform_links(topo, Nanos::from_micros(20), Nanos::from_micros(400), 1)
+            .probes(2)
+            .build();
+        let run = sim.run(5);
+        let sync = Synchronizer::new(run.network.clone());
+        let views = run.execution.views().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &views, |b, views| {
+            b.iter(|| sync.synchronize(black_box(views)).expect("consistent"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: discrete-event engine throughput (probe protocol over
+//! complete graphs) — the substrate cost of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksync_sim::{Simulation, Topology};
+use clocksync_time::Nanos;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_probe_protocol");
+    for (label, topo, probes) in [
+        ("ring32x2", Topology::Ring(32), 2usize),
+        ("complete16x2", Topology::Complete(16), 2),
+        ("complete16x8", Topology::Complete(16), 8),
+    ] {
+        let sim = Simulation::builder(topo.n())
+            .uniform_links(topo, Nanos::from_micros(20), Nanos::from_micros(400), 1)
+            .probes(probes)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sim, |b, sim| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.run(seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! Usage:
+//!   tables              # run all experiments
+//!   tables --exp e4     # run one experiment
+//!   tables --list       # list experiment ids
+
+use std::process::ExitCode;
+
+use clocksync_bench::registry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+
+    match args.as_slice() {
+        [] => {
+            for (id, desc, run) in &experiments {
+                eprintln!("running {id}: {desc}");
+                println!("{}", run());
+            }
+            ExitCode::SUCCESS
+        }
+        [flag] if flag == "--list" => {
+            for (id, desc, _) in &experiments {
+                println!("{id:<5} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        [flag, id] if flag == "--exp" => match experiments.iter().find(|(eid, _, _)| eid == id) {
+            Some((_, desc, run)) => {
+                eprintln!("running {id}: {desc}");
+                println!("{}", run());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; try --list");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: tables [--list | --exp <id>]");
+            ExitCode::FAILURE
+        }
+    }
+}

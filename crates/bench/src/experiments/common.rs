@@ -1,0 +1,54 @@
+//! Shared helpers for the experiment implementations.
+
+use clocksync_time::{Ext, ExtRatio, Ratio};
+
+/// Renders an exact rational-nanosecond value as microseconds.
+pub fn us(v: Ratio) -> String {
+    format!("{:.2}", v.to_f64() / 1_000.0)
+}
+
+/// Renders an extended value (`inf` for unbounded).
+pub fn ext_us(v: ExtRatio) -> String {
+    match v {
+        Ext::Finite(v) => us(v),
+        Ext::PosInf => "inf".to_string(),
+        Ext::NegInf => "-inf".to_string(),
+    }
+}
+
+/// The median of a list of exact rationals (lower median for even sizes).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(values: &mut [Ratio]) -> Ratio {
+    assert!(!values.is_empty(), "median of empty slice");
+    values.sort();
+    values[(values.len() - 1) / 2]
+}
+
+/// A compact pass/fail marker for invariant columns.
+pub fn mark(ok: bool) -> String {
+    if ok { "yes".into() } else { "NO".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(Ratio::from_int(1_500)), "1.50");
+        assert_eq!(ext_us(Ext::PosInf), "inf");
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "NO");
+    }
+
+    #[test]
+    fn median_of_small_sets() {
+        let mut v = vec![Ratio::from_int(3), Ratio::from_int(1), Ratio::from_int(2)];
+        assert_eq!(median(&mut v), Ratio::from_int(2));
+        let mut w = vec![Ratio::from_int(4), Ratio::from_int(1)];
+        assert_eq!(median(&mut w), Ratio::from_int(1));
+    }
+}

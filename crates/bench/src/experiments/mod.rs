@@ -1,0 +1,16 @@
+//! One module per experiment (see `DESIGN.md` §5 for the index).
+
+pub mod common;
+pub mod e10_lower_bound;
+pub mod e11_distributed;
+pub mod e12_windowed_bias;
+pub mod e13_drift;
+pub mod e1_optimality;
+pub mod e2_hmm;
+pub mod e3_uncertainty;
+pub mod e4_bias_vs_ntp;
+pub mod e5_no_bounds;
+pub mod e6_decomposition;
+pub mod e7_scaling;
+pub mod e8_favorable;
+pub mod e9_mixtures;

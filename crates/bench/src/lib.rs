@@ -1,0 +1,91 @@
+//! The experiment harness of the `clocksync` reproduction.
+//!
+//! The PODC'93 paper has no empirical tables or figures — it is a theory
+//! paper — so the reproduction defines one experiment per theorem/headline
+//! claim (see `DESIGN.md` §5 and `EXPERIMENTS.md`). This crate implements
+//! each experiment as a function returning a printable [`Table`]; the
+//! `tables` binary renders all of them, and the Criterion benches under
+//! `benches/` cover the performance claims (E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod float_ablation;
+mod table;
+
+pub use table::Table;
+
+/// One registered experiment: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> Table);
+
+/// All experiments in id order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        (
+            "e1",
+            "Theorem 4.6: achieved precision equals A_max exactly on random graphs",
+            experiments::e1_optimality::run,
+        ),
+        (
+            "e2",
+            "§6.1: single-exchange bounds instances reproduce Halpern-Megiddo-Munshi",
+            experiments::e2_hmm::run,
+        ),
+        (
+            "e3",
+            "Lemma 6.2: precision vs delay uncertainty; global vs per-link composition",
+            experiments::e3_uncertainty::run,
+        ),
+        (
+            "e4",
+            "Lemma 6.5: rtt-bias model vs NTP on asymmetric links",
+            experiments::e4_bias_vs_ntp::run,
+        ),
+        (
+            "e5",
+            "Corollary 6.4: no upper bounds - finite per-instance precision",
+            experiments::e5_no_bounds::run,
+        ),
+        (
+            "e6",
+            "Theorem 5.6: decomposition - conjunction at least as tight as parts",
+            experiments::e6_decomposition::run,
+        ),
+        (
+            "e7",
+            "§4.4: pipeline runtime scaling (closure + Karp, O(n^3))",
+            experiments::e7_scaling::run,
+        ),
+        (
+            "e8",
+            "§3: per-instance optimality exploits favorable executions",
+            experiments::e8_favorable::run,
+        ),
+        (
+            "e9",
+            "§5-6: heterogeneous mixtures of assumptions across links",
+            experiments::e9_mixtures::run,
+        ),
+        (
+            "e10",
+            "Theorem 4.4: the lower bound is realized by explicit shifted executions",
+            experiments::e10_lower_bound::run,
+        ),
+        (
+            "e11",
+            "§7: the distributed leader protocol and the measured cost of distribution",
+            experiments::e11_distributed::run,
+        ),
+        (
+            "e12",
+            "§6.2 extension: windowed bias under drifting congestion",
+            experiments::e12_windowed_bias::run,
+        ),
+        (
+            "e13",
+            "footnote 1: drifting clocks, widened declarations, resync cadence",
+            experiments::e13_drift::run,
+        ),
+    ]
+}

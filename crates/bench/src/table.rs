@@ -1,0 +1,99 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt;
+
+/// A printable experiment result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption (includes the experiment id).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form takeaway lines printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a takeaway note.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n### {}", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<w$} |", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(&self.headers, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.push_row(vec!["4".into(), "long-cell".into()]);
+        t.note("takeaway");
+        let s = t.to_string();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| n | value     |"));
+        assert!(s.contains("| 4 | long-cell |"));
+        assert!(s.contains("note: takeaway"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

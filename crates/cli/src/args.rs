@@ -1,0 +1,167 @@
+//! A minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: one subcommand plus `--key value` flags.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_cli::Args;
+///
+/// let args = Args::parse(["simulate", "--n", "6", "--seed", "7"]
+///     .iter().map(|s| s.to_string())).unwrap();
+/// assert_eq!(args.command(), "simulate");
+/// assert_eq!(args.get_usize("n", 4).unwrap(), 6);
+/// assert_eq!(args.get_u64("seed", 0).unwrap(), 7);
+/// assert_eq!(args.get_usize("probes", 2).unwrap(), 2); // default
+/// ```
+#[derive(Debug, Clone)]
+pub struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no subcommand is given, a flag is missing
+    /// its value, a positional argument appears after the subcommand, or a
+    /// flag is repeated.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut it = args.into_iter();
+        let command = match it.next() {
+            Some(c) if !c.starts_with("--") => c,
+            Some(c) => return Err(format!("expected a subcommand, got flag `{c}`")),
+            None => return Err("expected a subcommand".to_string()),
+        };
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{key}`"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A raw string flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_str<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.parse_flag(name, default)
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        self.parse_flag(name, default)
+    }
+
+    /// An `i64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_i64(&self, name: &str, default: i64) -> Result<i64, String> {
+        self.parse_flag(name, default)
+    }
+
+    /// An `f64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        self.parse_flag(name, default)
+    }
+
+    /// Whether a boolean flag (`--json true`/`--json 1`) is set truthy.
+    pub fn get_bool(&self, name: &str) -> bool {
+        matches!(self.get(name), Some("true") | Some("1") | Some("yes"))
+    }
+
+    fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, String> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["sync", "--in", "run.json", "--json", "true"]).unwrap();
+        assert_eq!(a.command(), "sync");
+        assert_eq!(a.get("in"), Some("run.json"));
+        assert!(a.get_bool("json"));
+        assert!(!a.get_bool("quiet"));
+    }
+
+    #[test]
+    fn typed_flags_with_defaults() {
+        let a = parse(&["simulate", "--n", "8", "--alpha", "1.5"]).unwrap();
+        assert_eq!(a.get_usize("n", 4).unwrap(), 8);
+        assert_eq!(a.get_usize("probes", 2).unwrap(), 2);
+        assert_eq!(a.get_f64("alpha", 1.0).unwrap(), 1.5);
+        assert_eq!(a.get_i64("lo-us", 50).unwrap(), 50);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--n", "4"]).is_err());
+        assert!(parse(&["simulate", "--n"]).is_err());
+        assert!(parse(&["simulate", "stray"]).is_err());
+        assert!(parse(&["simulate", "--n", "4", "--n", "5"]).is_err());
+        let a = parse(&["simulate", "--n", "abc"]).unwrap();
+        assert!(a.get_usize("n", 1).is_err());
+        assert!(a.require("out").is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The `simulate`, `sync` and `explain` operations.
+
+use clocksync::{SyncOutcome, Synchronizer};
+use clocksync_model::{Execution, ProcessorId};
+use clocksync_sim::{DelayDistribution, LinkModel, Simulation, Topology};
+use clocksync_time::{Ext, ExtRatio, Nanos, Ratio, RealTime};
+
+use crate::runfile::{LinkEntry, RunFile};
+use crate::Args;
+
+fn fmt_us(v: Ratio) -> String {
+    format!("{:.3}us", v.to_f64() / 1_000.0)
+}
+
+fn fmt_ext(v: ExtRatio) -> String {
+    match v {
+        Ext::Finite(v) => fmt_us(v),
+        Ext::PosInf => "unbounded".into(),
+        Ext::NegInf => "-unbounded".into(),
+    }
+}
+
+/// Builds the topology selected by `--topology` (and `--n`, `--rows`,
+/// `--cols`, `--extra-per-mille`).
+fn topology(args: &Args) -> Result<Topology, String> {
+    let n = args.get_usize("n", 4)?;
+    Ok(match args.get_str("topology", "ring") {
+        "path" => Topology::Path(n),
+        "ring" => Topology::Ring(n),
+        "star" => Topology::Star(n),
+        "complete" => Topology::Complete(n),
+        "grid" => Topology::Grid {
+            rows: args.get_usize("rows", 2)?,
+            cols: args.get_usize("cols", 3)?,
+        },
+        "random" => Topology::RandomConnected {
+            n,
+            extra_per_mille: args.get_usize("extra-per-mille", 200)? as u32,
+        },
+        other => return Err(format!("unknown topology `{other}`")),
+    })
+}
+
+/// Builds the per-link delay model from `--model` and its parameters.
+fn link_model(args: &Args) -> Result<LinkModel, String> {
+    let lo = Nanos::from_micros(args.get_i64("lo-us", 50)?);
+    let hi = Nanos::from_micros(args.get_i64("hi-us", 400)?);
+    Ok(match args.get_str("model", "uniform") {
+        "uniform" => LinkModel::symmetric(DelayDistribution::uniform(lo, hi)),
+        "heavy-tail" => LinkModel::symmetric(DelayDistribution::heavy_tail(
+            lo,
+            Nanos::from_micros(args.get_i64("scale-us", 100)?),
+            args.get_f64("alpha", 1.3)?,
+        )),
+        "bias" => LinkModel::Correlated {
+            base: DelayDistribution::uniform(lo, hi),
+            spread: Nanos::from_micros(args.get_i64("bias-us", 200)?),
+        },
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+/// `clocksync simulate`: generate and run a scenario, returning the run
+/// file content (the binary writes it to `--out`, or stdout).
+///
+/// # Errors
+///
+/// Returns a message for invalid flags or impossible scenarios.
+pub fn simulate(args: &Args) -> Result<RunFile, String> {
+    let topo = topology(args)?;
+    let model = link_model(args)?;
+    let seed = args.get_u64("seed", 0)?;
+
+    let mut builder = Simulation::builder(topo.n());
+    {
+        use rand::SeedableRng;
+        let mut topo_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7090);
+        for (a, b) in topo.edges(&mut topo_rng) {
+            builder = builder.truthful_link(a, b, model.clone());
+        }
+    }
+    let sim = builder
+        .probes(args.get_usize("probes", 3)?)
+        .spacing(Nanos::from_micros(args.get_i64("spacing-us", 10_000)?))
+        .start_spread(Nanos::from_micros(args.get_i64("spread-us", 5_000)?))
+        .build();
+    let run = sim.run(seed);
+
+    let links = sim
+        .links()
+        .iter()
+        .map(|l| LinkEntry {
+            a: l.a,
+            b: l.b,
+            assumption: l.assumption.clone(),
+        })
+        .collect();
+    Ok(RunFile {
+        processors: sim.n(),
+        links,
+        views: run.execution.views().clone(),
+        true_starts_ns: Some(
+            run.execution
+                .starts()
+                .iter()
+                .map(|&s| (s - RealTime::ZERO).as_nanos())
+                .collect(),
+        ),
+    })
+}
+
+/// The text report of a synchronization, shared by `sync` and `explain`.
+pub struct SyncReport {
+    /// The computed outcome.
+    pub outcome: SyncOutcome,
+    /// True discrepancy, when the run file carried ground truth.
+    pub true_error: Option<Ratio>,
+}
+
+/// `clocksync sync`: synchronize a run file.
+///
+/// # Errors
+///
+/// Returns a message for invalid views or inconsistent observations.
+pub fn sync(run: &RunFile) -> Result<SyncReport, String> {
+    let outcome = Synchronizer::new(run.network())
+        .synchronize(&run.views)
+        .map_err(|e| e.to_string())?;
+    let true_error = run.true_starts_ns.as_ref().map(|starts| {
+        let exec = Execution::new(
+            starts.iter().map(|&ns| RealTime::from_nanos(ns)).collect(),
+            run.views.clone(),
+        )
+        .expect("run file consistent");
+        exec.discrepancy(outcome.corrections())
+    });
+    Ok(SyncReport {
+        outcome,
+        true_error,
+    })
+}
+
+/// Renders the `sync` result as human-readable lines.
+pub fn render_sync(report: &SyncReport) -> Vec<String> {
+    let mut out = Vec::new();
+    out.push(format!(
+        "precision: {}",
+        fmt_ext(report.outcome.precision())
+    ));
+    for (i, &x) in report.outcome.corrections().iter().enumerate() {
+        out.push(format!("correction p{i}: {}", fmt_us(x)));
+    }
+    if let Some(err) = report.true_error {
+        out.push(format!("true discrepancy (ground truth): {}", fmt_us(err)));
+        let ok = Ext::Finite(err) <= report.outcome.precision();
+        out.push(format!("guarantee honored: {ok}"));
+    }
+    out
+}
+
+/// Renders the full diagnosis for `clocksync explain`.
+pub fn render_explain(report: &SyncReport, run: &RunFile) -> Vec<String> {
+    let mut out = render_sync(report);
+    let outcome = &report.outcome;
+    for (k, comp) in outcome.components().iter().enumerate() {
+        out.push(format!(
+            "component {k}: members {:?}, precision {}, critical cycle {}",
+            comp.members.iter().map(|p| p.index()).collect::<Vec<_>>(),
+            fmt_us(comp.precision),
+            comp.critical_cycle
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> "),
+        ));
+    }
+    for i in 0..run.processors {
+        for j in (i + 1)..run.processors {
+            let chain = outcome
+                .constraint_chain(ProcessorId(i), ProcessorId(j))
+                .map(|c| {
+                    c.iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                })
+                .unwrap_or_else(|| "(unbounded)".into());
+            out.push(format!(
+                "pair p{i} vs p{j}: {}  via {chain}",
+                fmt_ext(outcome.pair_bound(ProcessorId(i), ProcessorId(j)))
+            ));
+        }
+    }
+    if let Some((p, q)) = outcome.bottleneck_pair() {
+        out.push(format!("bottleneck: {p} vs {q}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn simulate_sync_round_trip() {
+        let a = args(&["simulate", "--topology", "ring", "--n", "5", "--seed", "9"]);
+        let run = simulate(&a).unwrap();
+        assert_eq!(run.processors, 5);
+        assert_eq!(run.links.len(), 5);
+        let report = sync(&run).unwrap();
+        assert!(report.outcome.precision().is_finite());
+        let err = report.true_error.expect("truth recorded");
+        assert!(Ext::Finite(err) <= report.outcome.precision());
+        // Round trip through JSON changes nothing.
+        let back = RunFile::from_json(&run.to_json().unwrap()).unwrap();
+        let report2 = sync(&back).unwrap();
+        assert_eq!(report2.outcome, report.outcome);
+    }
+
+    #[test]
+    fn all_models_and_topologies_parse() {
+        for topo in ["path", "ring", "star", "complete", "grid", "random"] {
+            for model in ["uniform", "heavy-tail", "bias"] {
+                let a = args(&[
+                    "simulate", "--topology", topo, "--n", "4", "--model", model,
+                ]);
+                let run = simulate(&a).expect("valid combination");
+                assert!(sync(&run).is_ok(), "{topo}/{model}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        assert!(simulate(&args(&["simulate", "--topology", "möbius"])).is_err());
+        assert!(simulate(&args(&["simulate", "--model", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn render_produces_expected_lines() {
+        let run = simulate(&args(&["simulate", "--n", "3", "--topology", "path"])).unwrap();
+        let report = sync(&run).unwrap();
+        let lines = render_sync(&report);
+        assert!(lines[0].starts_with("precision:"));
+        assert!(lines.iter().any(|l| l.contains("guarantee honored: true")));
+        let explained = render_explain(&report, &run);
+        assert!(explained.iter().any(|l| l.starts_with("component 0")));
+        assert!(explained.iter().any(|l| l.contains("pair p0 vs p2")));
+    }
+}

@@ -1,0 +1,26 @@
+//! Library backing the `clocksync` command-line tool.
+//!
+//! The binary is a thin wrapper over three operations, all reusable as a
+//! library (and unit-tested here):
+//!
+//! * [`commands::simulate`] — generate a scenario from flags, run the
+//!   discrete-event simulator and write a JSON [`RunFile`] (views +
+//!   declared network + optional ground truth);
+//! * [`commands::sync`] — load a run file and compute optimal corrections;
+//! * [`commands::render_explain`] — the same, plus the full diagnosis (component
+//!   reports, critical cycle, per-pair bounds).
+//!
+//! The JSON schema is the workspace's own serde representation of views
+//! and assumptions, so recorded runs are stable artifacts that can be
+//! re-synchronized offline, attached to bug reports, or produced by other
+//! tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod runfile;
+
+pub use args::Args;
+pub use runfile::RunFile;

@@ -1,0 +1,94 @@
+//! The `clocksync` command-line tool.
+//!
+//! ```text
+//! clocksync simulate [--topology ring|path|star|complete|grid|random]
+//!                    [--n N] [--model uniform|heavy-tail|bias] [--lo-us L]
+//!                    [--hi-us H] [--bias-us B] [--probes K] [--seed S]
+//!                    [--out FILE]
+//! clocksync sync     --in FILE [--json true]
+//! clocksync explain  --in FILE
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use clocksync_cli::{commands, Args, RunFile};
+
+const USAGE: &str = "usage:
+  clocksync simulate [--topology T] [--n N] [--model M] [--probes K] [--seed S] [--out FILE]
+  clocksync sync     --in FILE [--json true]
+  clocksync explain  --in FILE
+
+topologies: path ring star complete grid random
+models:     uniform (--lo-us --hi-us)
+            heavy-tail (--lo-us --scale-us --alpha)
+            bias (--lo-us --hi-us --bias-us)";
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1)).map_err(|e| format!("{e}\n{USAGE}"))?;
+    match args.command() {
+        "simulate" => {
+            let runfile = commands::simulate(&args)?;
+            let json = runfile.to_json().map_err(|e| e.to_string())?;
+            match args.get("out") {
+                Some(path) => {
+                    fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+                    eprintln!(
+                        "wrote {path}: {} processors, {} links, {} messages",
+                        runfile.processors,
+                        runfile.links.len(),
+                        runfile.views.message_observations().len()
+                    );
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        "sync" | "explain" => {
+            let path = args.require("in")?;
+            let content =
+                fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let runfile = RunFile::from_json(&content).map_err(|e| e.to_string())?;
+            let report = commands::sync(&runfile)?;
+            if args.command() == "sync" && args.get_bool("json") {
+                let corrections: Vec<f64> = report
+                    .outcome
+                    .corrections()
+                    .iter()
+                    .map(|r| r.to_f64())
+                    .collect();
+                let body = serde_json::json!({
+                    "precision_ns": report.outcome.precision().finite().map(|r| r.to_f64()),
+                    "corrections_ns": corrections,
+                    "true_error_ns": report.true_error.map(|r| r.to_f64()),
+                });
+                println!("{}", serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?);
+            } else {
+                let lines = if args.command() == "sync" {
+                    commands::render_sync(&report)
+                } else {
+                    commands::render_explain(&report, &runfile)
+                };
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The JSON artifact connecting `simulate` and `sync`/`explain`.
+
+use clocksync::{LinkAssumption, Network};
+use clocksync_model::{ProcessorId, ViewSet};
+use serde::{Deserialize, Serialize};
+
+/// One declared link in a run file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkEntry {
+    /// Lower endpoint index.
+    pub a: usize,
+    /// Higher endpoint index.
+    pub b: usize,
+    /// The assumption, oriented `a → b`.
+    pub assumption: LinkAssumption,
+}
+
+/// A self-contained synchronization problem (plus optional ground truth),
+/// as written by `clocksync simulate` and read by `clocksync sync`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_cli::RunFile;
+/// use clocksync_model::{ExecutionBuilder, ProcessorId};
+/// use clocksync_time::{Nanos, RealTime};
+///
+/// let exec = ExecutionBuilder::new(2)
+///     .message(ProcessorId(0), ProcessorId(1), RealTime::from_nanos(10), Nanos::new(5))
+///     .build()?;
+/// let rf = RunFile {
+///     processors: 2,
+///     links: vec![],
+///     views: exec.views().clone(),
+///     true_starts_ns: Some(vec![0, 0]),
+/// };
+/// let json = rf.to_json()?;
+/// let back = RunFile::from_json(&json)?;
+/// assert_eq!(back.processors, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunFile {
+    /// Number of processors.
+    pub processors: usize,
+    /// Declared links and assumptions.
+    pub links: Vec<LinkEntry>,
+    /// The recorded views.
+    pub views: ViewSet,
+    /// Observer-only ground truth (real start times in ns), if recorded.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub true_starts_ns: Option<Vec<i64>>,
+}
+
+impl RunFile {
+    /// Rebuilds the [`Network`] from the stored link entries.
+    pub fn network(&self) -> Network {
+        let mut b = Network::builder(self.processors);
+        for l in &self.links {
+            b = b.link(ProcessorId(l.a), ProcessorId(l.b), l.assumption.clone());
+        }
+        b.build()
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (practically unreachable for
+    /// these types).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<RunFile, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync::DelayRange;
+    use clocksync_model::ExecutionBuilder;
+    use clocksync_time::{Nanos, RealTime};
+
+    fn sample_runfile() -> RunFile {
+        let exec = ExecutionBuilder::new(2)
+            .start(ProcessorId(1), RealTime::from_nanos(40))
+            .round_trips(
+                ProcessorId(0),
+                ProcessorId(1),
+                2,
+                RealTime::from_micros(10),
+                Nanos::from_micros(5),
+                Nanos::new(300),
+                Nanos::new(400),
+            )
+            .build()
+            .unwrap();
+        RunFile {
+            processors: 2,
+            links: vec![LinkEntry {
+                a: 0,
+                b: 1,
+                assumption: LinkAssumption::all(vec![
+                    LinkAssumption::symmetric_bounds(DelayRange::new(
+                        Nanos::new(0),
+                        Nanos::new(1_000),
+                    )),
+                    LinkAssumption::rtt_bias(Nanos::new(150)),
+                ]),
+            }],
+            views: exec.views().clone(),
+            true_starts_ns: Some(vec![0, 40]),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let rf = sample_runfile();
+        let json = rf.to_json().unwrap();
+        let back = RunFile::from_json(&json).unwrap();
+        assert_eq!(back.processors, rf.processors);
+        assert_eq!(back.views, rf.views);
+        assert_eq!(back.true_starts_ns, rf.true_starts_ns);
+        assert_eq!(back.links.len(), 1);
+        assert_eq!(back.network(), rf.network());
+    }
+
+    #[test]
+    fn round_tripped_runfile_synchronizes_identically() {
+        let rf = sample_runfile();
+        let back = RunFile::from_json(&rf.to_json().unwrap()).unwrap();
+        let o1 = clocksync::Synchronizer::new(rf.network())
+            .synchronize(&rf.views)
+            .unwrap();
+        let o2 = clocksync::Synchronizer::new(back.network())
+            .synchronize(&back.views)
+            .unwrap();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(RunFile::from_json("{").is_err());
+        assert!(RunFile::from_json("{\"processors\": 1}").is_err());
+    }
+}

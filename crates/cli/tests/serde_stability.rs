@@ -1,0 +1,122 @@
+//! Property tests: run files survive JSON round trips bit-for-bit, for
+//! arbitrary assumption trees and arbitrary valid view sets.
+
+use clocksync::{DelayRange, LinkAssumption};
+use clocksync_cli::runfile::LinkEntry;
+use clocksync_cli::RunFile;
+use clocksync_model::{ExecutionBuilder, ProcessorId};
+use clocksync_time::{Nanos, RealTime};
+use proptest::prelude::*;
+
+fn assumption() -> impl Strategy<Value = LinkAssumption> {
+    let range = (0i64..1_000_000, 0i64..1_000_000)
+        .prop_map(|(lo, w)| DelayRange::new(Nanos::new(lo), Nanos::new(lo + w)));
+    let leaf = prop_oneof![
+        (range.clone(), range).prop_map(|(f, b)| LinkAssumption::bounds(f, b)),
+        (0i64..1_000_000)
+            .prop_map(|lo| LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(lo)))),
+        Just(LinkAssumption::no_bounds()),
+        (1i64..1_000_000).prop_map(|b| LinkAssumption::rtt_bias(Nanos::new(b))),
+        (1i64..1_000_000, 1i64..1_000_000)
+            .prop_map(|(b, w)| LinkAssumption::paired_rtt_bias(Nanos::new(b), Nanos::new(w))),
+    ];
+    leaf.clone().prop_recursive(2, 8, 3, |inner| {
+        proptest::collection::vec(inner, 1..4).prop_map(LinkAssumption::all)
+    })
+}
+
+#[derive(Debug, Clone)]
+struct FileSpec {
+    n: usize,
+    starts: Vec<i64>,
+    messages: Vec<(usize, usize, i64, i64)>,
+    assumptions: Vec<LinkAssumption>,
+    with_truth: bool,
+}
+
+fn file_spec() -> impl Strategy<Value = FileSpec> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0i64..1_000_000, n),
+            proptest::collection::vec((0..n, 0..n, 0i64..1_000_000, 0i64..100_000), 0..10),
+            proptest::collection::vec(assumption(), 1..4),
+            any::<bool>(),
+        )
+            .prop_map(move |(starts, messages, assumptions, with_truth)| FileSpec {
+                n,
+                starts,
+                messages: messages.into_iter().filter(|&(a, b, _, _)| a != b).collect(),
+                assumptions,
+                with_truth,
+            })
+    })
+}
+
+fn build_runfile(spec: &FileSpec) -> Option<RunFile> {
+    let mut eb = ExecutionBuilder::new(spec.n);
+    for (i, &s) in spec.starts.iter().enumerate() {
+        eb = eb.start(ProcessorId(i), RealTime::from_nanos(s));
+    }
+    for &(src, dst, at, d) in &spec.messages {
+        eb = eb.message(
+            ProcessorId(src),
+            ProcessorId(dst),
+            RealTime::from_nanos(2_000_000 + at),
+            Nanos::new(d),
+        );
+    }
+    let exec = eb.build().ok()?;
+    let links = spec
+        .assumptions
+        .iter()
+        .enumerate()
+        .map(|(k, a)| LinkEntry {
+            a: k % spec.n,
+            b: (k + 1) % spec.n,
+            assumption: a.clone(),
+        })
+        .filter(|l| l.a != l.b)
+        .map(|l| LinkEntry {
+            a: l.a.min(l.b),
+            b: l.a.max(l.b),
+            assumption: l.assumption,
+        })
+        .collect();
+    Some(RunFile {
+        processors: spec.n,
+        links,
+        views: exec.views().clone(),
+        true_starts_ns: spec.with_truth.then(|| spec.starts.clone()),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JSON round trips are lossless for views, links and ground truth.
+    #[test]
+    fn runfile_json_round_trip(spec in file_spec()) {
+        let Some(rf) = build_runfile(&spec) else { return Ok(()); };
+        let json = rf.to_json().expect("serializable");
+        let back = RunFile::from_json(&json).expect("parseable");
+        prop_assert_eq!(back.processors, rf.processors);
+        prop_assert_eq!(&back.views, &rf.views);
+        prop_assert_eq!(&back.true_starts_ns, &rf.true_starts_ns);
+        prop_assert_eq!(back.links.len(), rf.links.len());
+        for (a, b) in back.links.iter().zip(&rf.links) {
+            prop_assert_eq!(a.a, b.a);
+            prop_assert_eq!(a.b, b.b);
+            prop_assert_eq!(&a.assumption, &b.assumption);
+        }
+        // And the rebuilt network behaves identically.
+        prop_assert_eq!(back.network(), rf.network());
+    }
+
+    /// Assumptions alone round trip through JSON exactly.
+    #[test]
+    fn assumption_json_round_trip(a in assumption()) {
+        let json = serde_json::to_string(&a).expect("serializable");
+        let back: LinkAssumption = serde_json::from_str(&json).expect("parseable");
+        prop_assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,658 @@
+//! Delay assumptions and their local-shift estimators (paper §6).
+//!
+//! Each [`LinkAssumption`] attaches to one bidirectional link `{p, q}` and
+//! knows how to turn the link's observed evidence into the *estimated
+//! maximal local shift* `m̃ls` of each endpoint with respect to the other.
+//! The estimators are the closed forms of Lemmas 6.2 and 6.5 (plus the
+//! windowed generalization the paper sketches at the end of §6.2), and
+//! conjunction ([`LinkAssumption::all`]) is the decomposition theorem
+//! (Theorem 5.6): the `m̃ls` of an intersection of assumption sets is the
+//! minimum of the individual `m̃ls` values.
+
+use clocksync_model::{LinkEvidence, MessageRecord, MsgSample};
+use clocksync_time::{Ext, ExtNanos, ExtRatio, Nanos, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// An interval of admissible delays for one direction of a link.
+///
+/// `0 ≤ lower ≤ upper ≤ +∞` (paper §6.1). `upper = +∞` models a link with
+/// no upper bound; `lower = 0, upper = +∞` is a fully asynchronous
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelayRange {
+    lower: Nanos,
+    upper: ExtNanos,
+}
+
+impl DelayRange {
+    /// Creates a bounded range `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lower ≤ upper`.
+    pub fn new(lower: Nanos, upper: Nanos) -> DelayRange {
+        assert!(
+            Nanos::ZERO <= lower && lower <= upper,
+            "delay range requires 0 <= lower <= upper"
+        );
+        DelayRange {
+            lower,
+            upper: Ext::Finite(upper),
+        }
+    }
+
+    /// A range with a lower bound only: `[lower, +∞)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` is negative.
+    pub fn at_least(lower: Nanos) -> DelayRange {
+        assert!(Nanos::ZERO <= lower, "delay lower bound must be >= 0");
+        DelayRange {
+            lower,
+            upper: Ext::PosInf,
+        }
+    }
+
+    /// The fully unconstrained range `[0, +∞)` (delays are still
+    /// nonnegative, the paper's standing assumption).
+    pub fn unbounded() -> DelayRange {
+        DelayRange {
+            lower: Nanos::ZERO,
+            upper: Ext::PosInf,
+        }
+    }
+
+    /// The lower bound.
+    pub fn lower(&self) -> Nanos {
+        self.lower
+    }
+
+    /// The upper bound (possibly `+∞`).
+    pub fn upper(&self) -> ExtNanos {
+        self.upper
+    }
+
+    /// Whether `delay` lies in the range.
+    pub fn contains(&self, delay: Nanos) -> bool {
+        delay >= self.lower && Ext::Finite(delay) <= self.upper
+    }
+}
+
+impl Default for DelayRange {
+    /// The default range is [`DelayRange::unbounded`].
+    fn default() -> Self {
+        DelayRange::unbounded()
+    }
+}
+
+/// Whether a forward message and a backward message count as "sent around
+/// the same time" for the windowed bias model: their clock readings at a
+/// *common endpoint* are within `window`. Both criteria are phrased in one
+/// processor's own clock, so the pairing is invariant under shifting (and
+/// thus well-defined on equivalence classes of executions).
+fn within_window(
+    fwd_send: clocksync_time::ClockTime,
+    fwd_recv: clocksync_time::ClockTime,
+    bwd_send: clocksync_time::ClockTime,
+    bwd_recv: clocksync_time::ClockTime,
+    window: Nanos,
+) -> bool {
+    // At the forward sender (= backward receiver): send vs receive clocks.
+    (fwd_send - bwd_recv).abs() <= window
+        // At the forward receiver (= backward sender).
+        || (fwd_recv - bwd_send).abs() <= window
+}
+
+fn samples_paired(mf: &MsgSample, mb: &MsgSample, window: Nanos) -> bool {
+    within_window(mf.send_clock, mf.recv_clock, mb.send_clock, mb.recv_clock, window)
+}
+
+fn records_paired(mf: &MessageRecord, mb: &MessageRecord, window: Nanos) -> bool {
+    within_window(mf.send_clock, mf.recv_clock, mb.send_clock, mb.recv_clock, window)
+}
+
+/// A delay assumption for one bidirectional link `{p, q}`.
+///
+/// The *forward* direction is `p → q` in the orientation the link was
+/// declared with (see [`crate::NetworkBuilder::link`]); `backward` is
+/// `q → p`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync::{LinkAssumption, DelayRange};
+/// use clocksync_time::Nanos;
+///
+/// // A link with known bounds forward and only a lower bound backward,
+/// // additionally promising the round-trip bias is at most 2ms:
+/// let a = LinkAssumption::all(vec![
+///     LinkAssumption::bounds(
+///         DelayRange::new(Nanos::from_micros(100), Nanos::from_micros(900)),
+///         DelayRange::at_least(Nanos::from_micros(100)),
+///     ),
+///     LinkAssumption::rtt_bias(Nanos::from_millis(2)),
+/// ]);
+/// assert!(format!("{a:?}").contains("RttBias"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkAssumption {
+    /// Per-direction delay bounds (paper §6.1, Lemma 6.2), covering the
+    /// paper's models 1–3: both bounds known, lower bounds only, or no
+    /// bounds at all.
+    Bounds {
+        /// Admissible delays `p → q`.
+        forward: DelayRange,
+        /// Admissible delays `q → p`.
+        backward: DelayRange,
+    },
+    /// A bound on the *bias* between delays in opposite directions (paper
+    /// §6.2, Lemma 6.5): for every forward message `m_f` and backward
+    /// message `m_b`, `|d(m_f) − d(m_b)| ≤ bound`; delays are nonnegative.
+    RttBias {
+        /// The bias bound `b(p,q) = b(q,p) > 0`.
+        bound: Nanos,
+    },
+    /// The windowed generalization the paper sketches at the end of §6.2:
+    /// the bias bound applies only to messages sent *around the same
+    /// time* — here, pairs whose clock readings at a common endpoint are
+    /// within `window`. Delays are nonnegative. With `window = ∞` this is
+    /// exactly [`LinkAssumption::RttBias`].
+    PairedRttBias {
+        /// The bias bound for messages within the window.
+        bound: Nanos,
+        /// The pairing window, measured on a common endpoint's clock.
+        window: Nanos,
+    },
+    /// Conjunction of several assumptions on the same link (Theorem 5.6).
+    All(Vec<LinkAssumption>),
+}
+
+impl LinkAssumption {
+    /// Per-direction delay bounds.
+    pub fn bounds(forward: DelayRange, backward: DelayRange) -> LinkAssumption {
+        LinkAssumption::Bounds { forward, backward }
+    }
+
+    /// The same delay bounds in both directions.
+    pub fn symmetric_bounds(range: DelayRange) -> LinkAssumption {
+        LinkAssumption::Bounds {
+            forward: range,
+            backward: range,
+        }
+    }
+
+    /// No bounds at all (model 3): only nonnegativity of delays.
+    pub fn no_bounds() -> LinkAssumption {
+        LinkAssumption::symmetric_bounds(DelayRange::unbounded())
+    }
+
+    /// A round-trip bias bound (model 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bound > 0` (the paper requires a positive bias
+    /// bound).
+    pub fn rtt_bias(bound: Nanos) -> LinkAssumption {
+        assert!(bound > Nanos::ZERO, "rtt bias bound must be positive");
+        LinkAssumption::RttBias { bound }
+    }
+
+    /// A windowed round-trip bias bound (the §6.2 generalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bound > 0` and `window > 0`.
+    pub fn paired_rtt_bias(bound: Nanos, window: Nanos) -> LinkAssumption {
+        assert!(bound > Nanos::ZERO, "rtt bias bound must be positive");
+        assert!(window > Nanos::ZERO, "pairing window must be positive");
+        LinkAssumption::PairedRttBias { bound, window }
+    }
+
+    /// The conjunction of `parts` (each must hold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn all(parts: Vec<LinkAssumption>) -> LinkAssumption {
+        assert!(!parts.is_empty(), "conjunction of zero assumptions");
+        LinkAssumption::All(parts)
+    }
+
+    /// The assumption for the same link with the orientation reversed.
+    pub fn reversed(&self) -> LinkAssumption {
+        match self {
+            LinkAssumption::Bounds { forward, backward } => LinkAssumption::Bounds {
+                forward: *backward,
+                backward: *forward,
+            },
+            LinkAssumption::RttBias { bound } => LinkAssumption::RttBias { bound: *bound },
+            LinkAssumption::PairedRttBias { bound, window } => LinkAssumption::PairedRttBias {
+                bound: *bound,
+                window: *window,
+            },
+            LinkAssumption::All(parts) => {
+                LinkAssumption::All(parts.iter().map(|a| a.reversed()).collect())
+            }
+        }
+    }
+
+    /// The estimated maximal local shift `m̃ls(p, q)` of the link's far
+    /// endpoint `q` with respect to `p`, computed from the link's observed
+    /// evidence (`evidence.forward` = `p → q` direction).
+    ///
+    /// Implements Lemma 6.2 / Corollary 6.3 for [`LinkAssumption::Bounds`]:
+    ///
+    /// `m̃ls(p,q) = min( ub(q,p) − d̃max(q,p), d̃min(p,q) − lb(p,q) )`
+    ///
+    /// Lemma 6.5 / Corollary 6.6 for [`LinkAssumption::RttBias`]:
+    ///
+    /// `m̃ls(p,q) = min( d̃min(p,q), (b + d̃min(p,q) − d̃max(q,p)) / 2 )`
+    ///
+    /// the same with the pair minimum restricted to in-window pairs for
+    /// [`LinkAssumption::PairedRttBias`], and the Theorem 5.6 minimum for
+    /// [`LinkAssumption::All`]. The result is `+∞` exactly when the
+    /// observations place no constraint on how far `q` may be shifted away
+    /// from `p`.
+    pub fn estimated_mls(&self, evidence: &LinkEvidence<'_>) -> ExtRatio {
+        match self {
+            LinkAssumption::Bounds {
+                forward: f_range,
+                backward: b_range,
+            } => {
+                // How much later can q's history slide before a backward
+                // (q → p) message would exceed its upper bound…
+                let slack_up: ExtRatio = (b_range.upper() - evidence.backward.est_max).into();
+                // …or a forward (p → q) message would dip below its lower
+                // bound.
+                let slack_down: ExtRatio =
+                    (evidence.forward.est_min - Ext::Finite(f_range.lower())).into();
+                slack_up.min(slack_down)
+            }
+            LinkAssumption::RttBias { bound } => {
+                let nonneg: ExtRatio = evidence.forward.est_min.into();
+                let bias_term: ExtRatio = (Ext::Finite(*bound) + evidence.forward.est_min
+                    - evidence.backward.est_max)
+                    .into();
+                let halved = bias_term.map(|r| r * Ratio::new(1, 2));
+                nonneg.min(halved)
+            }
+            LinkAssumption::PairedRttBias { bound, window } => {
+                let nonneg: ExtRatio = evidence.forward.est_min.into();
+                let mut tightest: ExtRatio = Ext::PosInf;
+                for mf in evidence.forward_samples {
+                    for mb in evidence.backward_samples {
+                        if samples_paired(mf, mb, *window) {
+                            let term = (Ratio::from(*bound)
+                                + Ratio::from(mf.estimated_delay())
+                                - Ratio::from(mb.estimated_delay()))
+                                * Ratio::new(1, 2);
+                            tightest = tightest.min(Ext::Finite(term));
+                        }
+                    }
+                }
+                nonneg.min(tightest)
+            }
+            LinkAssumption::All(parts) => parts
+                .iter()
+                .map(|a| a.estimated_mls(evidence))
+                .min()
+                .expect("All() is never empty"),
+        }
+    }
+
+    /// Whether the given true message records satisfy this assumption
+    /// (`forward` = `p → q` messages, `backward` = `q → p` messages).
+    ///
+    /// This is the link-local admissibility predicate `A_{p,q}` of the
+    /// paper (§5.1); the shift-based lower-bound experiments use it to
+    /// check that shifted executions remain admissible.
+    pub fn admits(&self, forward: &[MessageRecord], backward: &[MessageRecord]) -> bool {
+        match self {
+            LinkAssumption::Bounds {
+                forward: f_range,
+                backward: b_range,
+            } => {
+                forward.iter().all(|m| f_range.contains(m.delay))
+                    && backward.iter().all(|m| b_range.contains(m.delay))
+            }
+            LinkAssumption::RttBias { bound } => {
+                let nonneg = forward
+                    .iter()
+                    .chain(backward)
+                    .all(|m| m.delay >= Nanos::ZERO);
+                let within_bias = forward.iter().all(|mf| {
+                    backward
+                        .iter()
+                        .all(|mb| (mf.delay - mb.delay).abs() <= *bound)
+                });
+                nonneg && within_bias
+            }
+            LinkAssumption::PairedRttBias { bound, window } => {
+                let nonneg = forward
+                    .iter()
+                    .chain(backward)
+                    .all(|m| m.delay >= Nanos::ZERO);
+                let within_bias = forward.iter().all(|mf| {
+                    backward.iter().all(|mb| {
+                        !records_paired(mf, mb, *window)
+                            || (mf.delay - mb.delay).abs() <= *bound
+                    })
+                });
+                nonneg && within_bias
+            }
+            LinkAssumption::All(parts) => parts.iter().all(|a| a.admits(forward, backward)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_model::ProcessorId;
+    use clocksync_time::{ClockTime, RealTime};
+
+    fn ct(ns: i64) -> ClockTime {
+        ClockTime::from_nanos(ns)
+    }
+
+    /// Samples whose estimated delays are exactly `ests`, spread out in
+    /// clock time (1ms apart, far outside any test window).
+    fn far_samples(ests: &[i64]) -> Vec<MsgSample> {
+        ests.iter()
+            .enumerate()
+            .map(|(i, &e)| MsgSample {
+                send_clock: ct(i as i64 * 1_000_000),
+                recv_clock: ct(i as i64 * 1_000_000 + e),
+            })
+            .collect()
+    }
+
+    fn rec(delay: i64, send_clock: i64, recv_clock: i64) -> MessageRecord {
+        MessageRecord {
+            src: ProcessorId(0),
+            dst: ProcessorId(1),
+            send_clock: ct(send_clock),
+            recv_clock: ct(recv_clock),
+            sent_at: RealTime::ZERO,
+            received_at: RealTime::ZERO + Nanos::new(delay),
+            delay: Nanos::new(delay),
+            estimated_delay: Nanos::new(recv_clock - send_clock),
+        }
+    }
+
+    fn fin(x: i128) -> ExtRatio {
+        Ext::Finite(Ratio::from_int(x))
+    }
+
+    fn half(x: i128) -> ExtRatio {
+        Ext::Finite(Ratio::new(x, 2))
+    }
+
+    #[test]
+    fn delay_range_validation() {
+        let r = DelayRange::new(Nanos::new(5), Nanos::new(10));
+        assert!(r.contains(Nanos::new(5)));
+        assert!(r.contains(Nanos::new(10)));
+        assert!(!r.contains(Nanos::new(11)));
+        assert!(!r.contains(Nanos::new(4)));
+        assert!(DelayRange::at_least(Nanos::new(3)).contains(Nanos::new(1_000_000)));
+        assert!(DelayRange::unbounded().contains(Nanos::ZERO));
+        assert!(!DelayRange::unbounded().contains(Nanos::new(-1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lower <= upper")]
+    fn inverted_range_panics() {
+        let _ = DelayRange::new(Nanos::new(10), Nanos::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_lower_bound_panics() {
+        let _ = DelayRange::at_least(Nanos::new(-1));
+    }
+
+    #[test]
+    fn bounds_mls_closed_form() {
+        // lb = 2, ub = 10 both ways; forward d̃min = 6, backward d̃max = 7.
+        let a = LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(2), Nanos::new(10)));
+        let fwd = far_samples(&[6, 9, 8]);
+        let bwd = far_samples(&[4, 7, 5]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        // min(ub − d̃max(q,p), d̃min(p,q) − lb) = min(10−7, 6−2) = 3.
+        assert_eq!(a.estimated_mls(&ev), fin(3));
+        // Reversed direction: min(10−9, 4−2) = 1.
+        assert_eq!(a.estimated_mls(&ev.reversed()), fin(1));
+    }
+
+    #[test]
+    fn bounds_mls_with_no_upper_bound_uses_only_lower_slack() {
+        let a = LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(2)));
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        // ub = ∞ makes the first term +∞; result is d̃min − lb = 4.
+        assert_eq!(a.estimated_mls(&ev), fin(4));
+    }
+
+    #[test]
+    fn no_bounds_mls_is_estimated_min_delay() {
+        // Corollary 6.4: with lb = 0, ub = ∞, m̃ls = d̃min(p,q).
+        let a = LinkAssumption::no_bounds();
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        assert_eq!(
+            a.estimated_mls(&LinkEvidence::from_samples(&fwd, &bwd)),
+            fin(6)
+        );
+    }
+
+    #[test]
+    fn silent_link_is_unconstrained() {
+        let empty = LinkEvidence::from_samples(&[], &[]);
+        assert_eq!(
+            LinkAssumption::no_bounds().estimated_mls(&empty),
+            Ext::PosInf
+        );
+        // Even with a finite upper bound: no traffic, no constraint.
+        let bounded =
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10)));
+        assert_eq!(bounded.estimated_mls(&empty), Ext::PosInf);
+    }
+
+    #[test]
+    fn one_way_traffic_with_bounds_constrains_one_side() {
+        let a = LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(2), Nanos::new(10)));
+        let fwd = far_samples(&[6, 9]);
+        let ev = LinkEvidence::from_samples(&fwd, &[]);
+        // Forward only: m̃ls(p,q) = min(+∞, 6−2) = 4.
+        assert_eq!(a.estimated_mls(&ev), fin(4));
+        // Reverse: m̃ls(q,p) = min(10−9, +∞) = 1.
+        assert_eq!(a.estimated_mls(&ev.reversed()), fin(1));
+    }
+
+    #[test]
+    fn rtt_bias_mls_closed_form() {
+        // b = 4, d̃min(p,q) = 6, d̃max(q,p) = 7:
+        // min(6, (4 + 6 − 7)/2) = min(6, 3/2) = 3/2.
+        let a = LinkAssumption::rtt_bias(Nanos::new(4));
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        assert_eq!(
+            a.estimated_mls(&LinkEvidence::from_samples(&fwd, &bwd)),
+            half(3)
+        );
+    }
+
+    #[test]
+    fn rtt_bias_mls_can_be_negative() {
+        // Asymmetric clock estimates can make the bias term negative; the
+        // estimator must pass that through (estimates, unlike true mls,
+        // may be negative because they absorb S_p − S_q).
+        let a = LinkAssumption::rtt_bias(Nanos::new(1));
+        let fwd = far_samples(&[-10]);
+        let bwd = far_samples(&[5]);
+        // min(−10, (1 − 10 − 5)/2) = min(−10, −7) = −10.
+        assert_eq!(
+            a.estimated_mls(&LinkEvidence::from_samples(&fwd, &bwd)),
+            fin(-10)
+        );
+    }
+
+    #[test]
+    fn rtt_bias_without_reverse_traffic_degenerates_to_no_bounds() {
+        let a = LinkAssumption::rtt_bias(Nanos::new(4));
+        let fwd = far_samples(&[6, 9]);
+        assert_eq!(
+            a.estimated_mls(&LinkEvidence::from_samples(&fwd, &[])),
+            fin(6)
+        );
+    }
+
+    #[test]
+    fn paired_bias_ignores_out_of_window_pairs() {
+        // Two round trips 1ms apart; window 10ns pairs each probe only
+        // with its own echo.
+        let fwd = vec![
+            MsgSample { send_clock: ct(0), recv_clock: ct(100) },
+            MsgSample { send_clock: ct(1_000_000), recv_clock: ct(1_000_900) },
+        ];
+        let bwd = vec![
+            MsgSample { send_clock: ct(105), recv_clock: ct(210) },
+            MsgSample { send_clock: ct(1_000_905), recv_clock: ct(1_001_000) },
+        ];
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let b = Nanos::new(50);
+        // Estimated delays: fwd 100, 900; bwd 105, 95.
+        // Windowed pairs: (fwd0, bwd0) via q clocks |100−105|≤10 and
+        // (fwd1, bwd1) via q clocks |1_000_900−1_000_905|≤10.
+        // Terms: (50+100−105)/2 = 45/2; (50+900−95)/2 = 855/2.
+        // m̃ls = min(d̃min=100, 45/2) = 45/2.
+        let windowed = LinkAssumption::paired_rtt_bias(b, Nanos::new(10));
+        assert_eq!(windowed.estimated_mls(&ev), half(45));
+        // The unwindowed model also sees (fwd0, bwd1): (50+100−95)/2 and
+        // (fwd1, bwd0): (50+900−105)/2 — tightest is still 45/2 here, but
+        // with a *large* window pairing everything the result matches the
+        // plain RttBias closed form: min(100, (50+100−105)/2) = 45/2.
+        let plain = LinkAssumption::rtt_bias(b);
+        assert_eq!(plain.estimated_mls(&ev), windowed.estimated_mls(&ev));
+        // A window pairing nothing leaves only nonnegativity: d̃min = 100.
+        // (Use disjoint clock ranges: shift bwd far away.)
+        let bwd_far = vec![MsgSample {
+            send_clock: ct(50_000_000),
+            recv_clock: ct(50_000_095),
+        }];
+        let ev_far = LinkEvidence::from_samples(&fwd, &bwd_far);
+        assert_eq!(
+            LinkAssumption::paired_rtt_bias(b, Nanos::new(10)).estimated_mls(&ev_far),
+            fin(100)
+        );
+    }
+
+    #[test]
+    fn paired_bias_with_huge_window_equals_plain_bias() {
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let plain = LinkAssumption::rtt_bias(Nanos::new(4));
+        let windowed = LinkAssumption::paired_rtt_bias(Nanos::new(4), Nanos::from_secs(1));
+        assert_eq!(plain.estimated_mls(&ev), windowed.estimated_mls(&ev));
+    }
+
+    #[test]
+    fn conjunction_takes_the_minimum() {
+        // Theorem 5.6: mls under A' ∩ A'' is min(mls', mls'').
+        let bounds =
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(2), Nanos::new(10)));
+        let bias = LinkAssumption::rtt_bias(Nanos::new(4));
+        let both = LinkAssumption::all(vec![bounds.clone(), bias.clone()]);
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let expected = bounds.estimated_mls(&ev).min(bias.estimated_mls(&ev));
+        assert_eq!(both.estimated_mls(&ev), expected);
+        assert_eq!(both.estimated_mls(&ev), half(3));
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let a = LinkAssumption::bounds(
+            DelayRange::new(Nanos::new(1), Nanos::new(5)),
+            DelayRange::new(Nanos::new(2), Nanos::new(9)),
+        );
+        let r = a.reversed();
+        let fwd = far_samples(&[6, 9]);
+        let bwd = far_samples(&[4, 7]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        // m̃ls(q,p) under `a` == m̃ls(forward) under the reversed assumption
+        // with the evidence reversed: min(ub(p→q) − d̃max(p→q), d̃min(q→p)
+        // − lb(q→p)) = min(5 − 9, 4 − 2) = −4.
+        assert_eq!(r.estimated_mls(&ev.reversed()), fin(-4));
+        // Double reversal is the identity.
+        assert_eq!(r.reversed(), a);
+    }
+
+    #[test]
+    fn admits_bounds() {
+        let a = LinkAssumption::bounds(
+            DelayRange::new(Nanos::new(1), Nanos::new(5)),
+            DelayRange::at_least(Nanos::new(2)),
+        );
+        assert!(a.admits(&[rec(3, 0, 3)], &[rec(100, 10, 110)]));
+        assert!(!a.admits(&[rec(6, 0, 6)], &[rec(100, 10, 110)]));
+        assert!(!a.admits(&[rec(3, 0, 3)], &[rec(1, 10, 11)]));
+        assert!(a.admits(&[], &[]));
+    }
+
+    #[test]
+    fn admits_rtt_bias() {
+        let a = LinkAssumption::rtt_bias(Nanos::new(4));
+        assert!(a.admits(&[rec(10, 0, 10)], &[rec(7, 20, 27)]));
+        assert!(!a.admits(&[rec(10, 0, 10)], &[rec(3, 20, 23)]));
+        assert!(!a.admits(&[rec(-1, 0, -1)], &[]));
+        // Same-direction spread is unconstrained by the bias model.
+        assert!(a.admits(&[rec(0, 0, 0), rec(100, 5, 105)], &[]));
+    }
+
+    #[test]
+    fn admits_paired_bias_only_checks_in_window_pairs() {
+        let a = LinkAssumption::paired_rtt_bias(Nanos::new(4), Nanos::new(50));
+        // In-window pair violating the bias (clocks at the common endpoint
+        // within 50ns): rejected.
+        assert!(!a.admits(&[rec(10, 0, 10)], &[rec(3, 20, 23)]));
+        // The same delays far apart in time: accepted.
+        assert!(a.admits(&[rec(10, 0, 10)], &[rec(3, 9_000_000, 9_000_003)]));
+        // Negative delays rejected regardless of pairing.
+        assert!(!a.admits(&[rec(-1, 0, -1)], &[]));
+    }
+
+    #[test]
+    fn admits_conjunction() {
+        let a = LinkAssumption::all(vec![
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            LinkAssumption::rtt_bias(Nanos::new(2)),
+        ]);
+        assert!(a.admits(&[rec(5, 0, 5)], &[rec(6, 10, 16)]));
+        assert!(!a.admits(&[rec(5, 0, 5)], &[rec(9, 10, 19)])); // bias violated
+        assert!(!a.admits(&[rec(11, 0, 11)], &[rec(10, 10, 20)])); // bound violated
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_bias_panics() {
+        let _ = LinkAssumption::rtt_bias(Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn nonpositive_window_panics() {
+        let _ = LinkAssumption::paired_rtt_bias(Nanos::new(1), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero assumptions")]
+    fn empty_conjunction_panics() {
+        let _ = LinkAssumption::all(vec![]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Incremental synchronization from a stream of observations.
+//!
+//! Practical deployments (the Kopetz–Ochsenreiter style periodic
+//! resynchronization the paper cites) do not hand over complete views in
+//! one batch: timestamped messages trickle in and the corrections are
+//! recomputed on demand. [`OnlineSynchronizer`] maintains the per-link
+//! evidence incrementally and reruns the (cheap, `O(n³)`) correction
+//! computation whenever asked.
+//!
+//! Because the estimators depend on the views only through per-link
+//! evidence (Lemmas 6.2/6.5), feeding observations incrementally is
+//! *exactly* as good as batch synchronization over the same messages — a
+//! property the test below checks — and each additional observation can
+//! only tighten the certificate.
+
+use clocksync_model::{LinkObservations, MsgSample, ProcessorId, ViewSet};
+use clocksync_time::{ClockTime, Nanos};
+
+use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
+
+/// An incrementally-fed synchronizer.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync::{Network, LinkAssumption, DelayRange, OnlineSynchronizer};
+/// use clocksync_model::ProcessorId;
+/// use clocksync_time::{ClockTime, Nanos};
+///
+/// let p = ProcessorId(0);
+/// let q = ProcessorId(1);
+/// let net = Network::builder(2)
+///     .link(p, q, LinkAssumption::symmetric_bounds(
+///         DelayRange::new(Nanos::new(0), Nanos::new(100))))
+///     .build();
+/// let mut online = OnlineSynchronizer::new(net);
+///
+/// // A probe and its echo, reported as (sender clock, receiver clock).
+/// online.observe_message(p, q, ClockTime::from_nanos(1_000), ClockTime::from_nanos(1_010));
+/// online.observe_message(q, p, ClockTime::from_nanos(1_020), ClockTime::from_nanos(1_090));
+/// let outcome = online.outcome()?;
+/// assert!(outcome.precision().is_finite());
+/// # Ok::<(), clocksync::SyncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineSynchronizer {
+    network: Network,
+    observations: LinkObservations,
+}
+
+impl OnlineSynchronizer {
+    /// Creates an online synchronizer with no observations yet.
+    pub fn new(network: Network) -> OnlineSynchronizer {
+        let n = network.n();
+        OnlineSynchronizer {
+            network,
+            observations: LinkObservations::empty(n),
+        }
+    }
+
+    /// The network specification.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The accumulated observations.
+    pub fn observations(&self) -> &LinkObservations {
+        &self.observations
+    }
+
+    /// Records one delivered message by its two endpoint clock readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn observe_message(
+        &mut self,
+        src: ProcessorId,
+        dst: ProcessorId,
+        send_clock: ClockTime,
+        recv_clock: ClockTime,
+    ) {
+        self.observations.record_sample(
+            src,
+            dst,
+            MsgSample {
+                send_clock,
+                recv_clock,
+            },
+        );
+    }
+
+    /// Records one delivered message by its estimated delay only (clock
+    /// readings synthesized; sufficient for every assumption except the
+    /// windowed bias model, which needs real clock readings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn observe_estimated_delay(
+        &mut self,
+        src: ProcessorId,
+        dst: ProcessorId,
+        estimated_delay: Nanos,
+    ) {
+        self.observations.record(src, dst, estimated_delay);
+    }
+
+    /// Merges every message of a complete view set into the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::WrongProcessorCount`] on size mismatch.
+    pub fn ingest_views(&mut self, views: &ViewSet) -> Result<(), SyncError> {
+        if views.len() != self.network.n() {
+            return Err(SyncError::WrongProcessorCount {
+                expected: self.network.n(),
+                actual: views.len(),
+            });
+        }
+        for m in views.message_observations() {
+            self.observe_message(m.src, m.dst, m.send_clock, m.recv_clock);
+        }
+        Ok(())
+    }
+
+    /// Computes the optimal corrections for everything observed so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::InconsistentObservations`] if the accumulated
+    /// observations contradict the declared assumptions.
+    pub fn outcome(&self) -> Result<SyncOutcome, SyncError> {
+        let local = estimated_local_shifts(&self.network, &self.observations);
+        let (closure, chains) = crate::global_estimates_with_chains(&local)?;
+        let mut outcome = SyncOutcome::from_global_estimates(closure);
+        outcome.set_constraint_chains(chains);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayRange, LinkAssumption, Synchronizer};
+    use clocksync_model::ExecutionBuilder;
+    use clocksync_time::{Ext, Ratio, RealTime};
+
+    const P: ProcessorId = ProcessorId(0);
+    const Q: ProcessorId = ProcessorId(1);
+
+    fn net() -> Network {
+        Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .build()
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let exec = ExecutionBuilder::new(2)
+            .start(Q, RealTime::from_nanos(123))
+            .round_trips(P, Q, 3, RealTime::from_nanos(5_000), Nanos::new(997), Nanos::new(400), Nanos::new(350))
+            .build()
+            .unwrap();
+        let batch = Synchronizer::new(net()).synchronize(exec.views()).unwrap();
+        let mut online = OnlineSynchronizer::new(net());
+        online.ingest_views(exec.views()).unwrap();
+        let streamed = online.outcome().unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn observations_monotonically_tighten() {
+        let mut online = OnlineSynchronizer::new(net());
+        online.observe_estimated_delay(P, Q, Nanos::new(600));
+        online.observe_estimated_delay(Q, P, Nanos::new(500));
+        let first = online.outcome().unwrap().precision();
+        assert_eq!(first, Ext::Finite(Ratio::from_int(450)));
+        // A tighter round trip arrives.
+        online.observe_estimated_delay(P, Q, Nanos::new(520));
+        online.observe_estimated_delay(Q, P, Nanos::new(480));
+        let second = online.outcome().unwrap().precision();
+        assert!(second <= first);
+        // Even a SLOW extra message informs in the bounds model: it raises
+        // d̃max, shrinking the other direction's upper-bound slack.
+        online.observe_estimated_delay(P, Q, Nanos::new(900));
+        let third = online.outcome().unwrap().precision();
+        assert!(third <= second);
+        assert_eq!(third, Ext::Finite(Ratio::from_int(300)));
+    }
+
+    #[test]
+    fn starts_unbounded_and_becomes_finite() {
+        let mut online = OnlineSynchronizer::new(net());
+        assert_eq!(online.outcome().unwrap().precision(), Ext::PosInf);
+        // One message already bounds BOTH directions when ub is finite:
+        // m̃ls(P,Q) = d̃min = 100, m̃ls(Q,P) = ub − d̃max = 900.
+        online.observe_estimated_delay(P, Q, Nanos::new(100));
+        assert_eq!(
+            online.outcome().unwrap().precision(),
+            Ext::Finite(Ratio::from_int(500))
+        );
+        // The echo tightens it to min-RTT/2 territory.
+        online.observe_estimated_delay(Q, P, Nanos::new(100));
+        assert_eq!(
+            online.outcome().unwrap().precision(),
+            Ext::Finite(Ratio::from_int(100))
+        );
+    }
+
+    #[test]
+    fn inconsistent_stream_is_reported() {
+        let net = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(
+                    Nanos::new(400),
+                    Nanos::new(500),
+                )),
+            )
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        // Round trip estimate sums to 100 < 2·lb = 800: impossible.
+        online.observe_estimated_delay(P, Q, Nanos::new(60));
+        online.observe_estimated_delay(Q, P, Nanos::new(40));
+        assert!(matches!(
+            online.outcome(),
+            Err(SyncError::InconsistentObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn size_mismatch_on_ingest() {
+        let mut online = OnlineSynchronizer::new(net());
+        let exec = ExecutionBuilder::new(3).build().unwrap();
+        assert!(matches!(
+            online.ingest_views(exec.views()),
+            Err(SyncError::WrongProcessorCount { .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! The SHIFTS function (paper §4.4): optimal corrections from global shift
+//! estimates.
+
+use clocksync_graph::{bellman_ford, karp_max_cycle_mean, DiGraph, SquareMatrix};
+use clocksync_model::ProcessorId;
+use clocksync_time::{Ext, ExtRatio, Ratio};
+
+/// The output of [`shifts`] on one synchronizable component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftsResult {
+    /// Optimal correction for each member, in `members` order.
+    pub corrections: Vec<Ratio>,
+    /// The optimal precision `A_max` of the component.
+    pub precision: Ratio,
+    /// A cyclic processor sequence achieving the maximum average shift —
+    /// the bottleneck that *forces* the precision (Theorem 4.4). Indices
+    /// are into `members`.
+    pub critical_cycle: Vec<usize>,
+}
+
+/// Runs the SHIFTS function on a *finite* closure of global shift
+/// estimates (all entries of `closure` must be finite):
+///
+/// 1. `A_max = max_θ m̃s(θ)/|θ|` over cyclic sequences — Karp's algorithm
+///    on the complete graph of estimates (by Lemma 4.5 this equals the
+///    true `A_max` over actual maximal shifts);
+/// 2. corrections are shortest-path distances from `root` under
+///    `w(p,q) = A_max − m̃s(p,q)` (no negative cycles by construction).
+///
+/// The caller (the synchronizer) is responsible for splitting the system
+/// into components with finite mutual estimates first.
+///
+/// # Panics
+///
+/// Panics if any closure entry is infinite, or if the closure admits a
+/// negative cycle under the derived weights (impossible for a closure that
+/// passed [`crate::global_estimates`]).
+pub fn shifts(closure: &SquareMatrix<ExtRatio>, root: usize) -> ShiftsResult {
+    let n = closure.n();
+    assert!(root < n, "root out of range");
+    if n == 1 {
+        return ShiftsResult {
+            corrections: vec![Ratio::ZERO],
+            precision: Ratio::ZERO,
+            critical_cycle: vec![0],
+        };
+    }
+
+    // Step 1: A_max. All entries are finite and the diagonal is 0, so a
+    // cycle always exists and A_max ≥ 0.
+    let cm = karp_max_cycle_mean(closure).expect("closure always contains cycles");
+    let a_max = cm.mean;
+
+    // Step 2: distances from `root` under w(p,q) = A_max − m̃s(p,q).
+    let mut g = DiGraph::new(n);
+    for (i, j, &w) in closure.iter_off_diagonal() {
+        let w = w.expect_finite("shifts requires a finite closure");
+        g.add_edge(i, j, Ext::Finite(a_max - w));
+    }
+    let dist = bellman_ford(&g, root)
+        .expect("A_max-shifted closure has no negative cycles by Theorem 4.4");
+    let corrections = dist
+        .into_iter()
+        .map(|d| d.expect_finite("complete graph distances are finite"))
+        .collect();
+
+    ShiftsResult {
+        corrections,
+        precision: a_max,
+        critical_cycle: cm.cycle,
+    }
+}
+
+/// Groups processors into *synchronizable components*: `p` and `q` belong
+/// together iff both `m̃s(p,q)` and `m̃s(q,p)` are finite, i.e. a two-sided
+/// bound between their clocks exists. The relation is transitive by the
+/// triangle inequality of the closure, so this is a partition.
+///
+/// Components are returned sorted by smallest member, members sorted
+/// ascending.
+pub fn synchronizable_components(closure: &SquareMatrix<ExtRatio>) -> Vec<Vec<ProcessorId>> {
+    let n = closure.n();
+    let mut assigned = vec![false; n];
+    let mut components = Vec::new();
+    for i in 0..n {
+        if assigned[i] {
+            continue;
+        }
+        let mut members = vec![ProcessorId(i)];
+        assigned[i] = true;
+        for j in (i + 1)..n {
+            if !assigned[j] && closure[(i, j)].is_finite() && closure[(j, i)].is_finite() {
+                members.push(ProcessorId(j));
+                assigned[j] = true;
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_graph::Weight;
+
+    fn fin(x: i128) -> ExtRatio {
+        Ext::Finite(Ratio::from_int(x))
+    }
+
+    /// Closure of a two-node system with m̃s(0,1)=a, m̃s(1,0)=b.
+    fn two_node(a: i128, b: i128) -> SquareMatrix<ExtRatio> {
+        let mut m = SquareMatrix::filled(2, <ExtRatio as Weight>::zero());
+        m[(0, 1)] = fin(a);
+        m[(1, 0)] = fin(b);
+        m
+    }
+
+    #[test]
+    fn two_node_precision_is_half_the_uncertainty() {
+        // A_max = (a + b)/2; the classic ±uncertainty/2 bound.
+        let r = shifts(&two_node(6, 2), 0);
+        assert_eq!(r.precision, Ratio::from_int(4));
+        // Correction of root is 0; the other gets w(0,1) = A_max − m̃s(0,1).
+        assert_eq!(r.corrections[0], Ratio::ZERO);
+        assert_eq!(r.corrections[1], Ratio::from_int(-2));
+        assert_eq!(r.critical_cycle.len(), 2);
+    }
+
+    #[test]
+    fn guarantee_inequality_holds_for_all_pairs() {
+        // For every p, q: m̃s(p,q) − x_p + x_q ≤ A_max (proof of Thm 4.6).
+        let closures = [two_node(6, 2), two_node(0, 0), two_node(100, 1)];
+        for c in closures {
+            let r = shifts(&c, 0);
+            for (i, j, &w) in c.iter_off_diagonal() {
+                let w = w.finite().unwrap();
+                assert!(
+                    w - r.corrections[i] + r.corrections[j] <= r.precision,
+                    "violated at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_choice_shifts_corrections_by_a_constant_effect() {
+        // Different roots may change the corrections, but the guarantee
+        // (and hence optimality) is root-independent.
+        let c = two_node(6, 2);
+        let r0 = shifts(&c, 0);
+        let r1 = shifts(&c, 1);
+        assert_eq!(r0.precision, r1.precision);
+        for (i, j, &w) in c.iter_off_diagonal() {
+            let w = w.finite().unwrap();
+            assert!(w - r1.corrections[i] + r1.corrections[j] <= r1.precision);
+        }
+    }
+
+    #[test]
+    fn single_node_component() {
+        let m = SquareMatrix::filled(1, <ExtRatio as Weight>::zero());
+        let r = shifts(&m, 0);
+        assert_eq!(r.precision, Ratio::ZERO);
+        assert_eq!(r.corrections, vec![Ratio::ZERO]);
+    }
+
+    #[test]
+    fn triangle_closure_with_asymmetric_estimates() {
+        // 3 nodes; dominant 3-cycle mean.
+        let mut m = SquareMatrix::filled(3, <ExtRatio as Weight>::zero());
+        m[(0, 1)] = fin(10);
+        m[(1, 2)] = fin(10);
+        m[(2, 0)] = fin(10);
+        m[(1, 0)] = fin(1);
+        m[(2, 1)] = fin(1);
+        m[(0, 2)] = fin(11); // keep triangle inequality: 0→2 ≤ 0→1→2 = 20
+        let r = shifts(&m, 0);
+        // Cycle 0→1→2→0 has mean 10; all 2-cycles have mean ≤ (11+10)/2=10.5
+        // via (0,2),(2,0): (11+10)/2 = 10.5. So A_max = 21/2.
+        assert_eq!(r.precision, Ratio::new(21, 2));
+        for (i, j, &w) in m.iter_off_diagonal() {
+            let w = w.finite().unwrap();
+            assert!(w - r.corrections[i] + r.corrections[j] <= r.precision);
+        }
+    }
+
+    #[test]
+    fn components_partition_by_mutual_finiteness() {
+        let mut m = SquareMatrix::filled(4, Ext::PosInf);
+        for i in 0..4 {
+            m[(i, i)] = fin(0);
+        }
+        // {0,1} mutually bounded, {2,3} mutually bounded, one-way 1→2 only.
+        m[(0, 1)] = fin(5);
+        m[(1, 0)] = fin(5);
+        m[(2, 3)] = fin(5);
+        m[(3, 2)] = fin(5);
+        m[(1, 2)] = fin(5);
+        let comps = synchronizable_components(&m);
+        assert_eq!(
+            comps,
+            vec![
+                vec![ProcessorId(0), ProcessorId(1)],
+                vec![ProcessorId(2), ProcessorId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_finite_closure_is_one_component() {
+        let comps = synchronizable_components(&two_node(1, 1));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 2);
+    }
+}

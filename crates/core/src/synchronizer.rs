@@ -1,0 +1,499 @@
+//! The end-to-end synchronizer: views in, optimal corrections out.
+
+use clocksync_graph::SquareMatrix;
+use clocksync_model::{ProcessorId, ViewSet};
+use clocksync_time::{ClockTime, Ext, ExtRatio, Ratio};
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{rho_bar, worst_pair};
+use crate::shifts::{shifts, synchronizable_components};
+use crate::{estimated_local_shifts, global_estimates_with_chains, Network, SyncError};
+
+/// The optimal clock synchronization algorithm of the paper, specialized
+/// to a [`Network`] of delay assumptions.
+///
+/// `synchronize` composes the paper's pipeline: §6 local estimators →
+/// GLOBAL ESTIMATES (§5.3) → SHIFTS (§4.4). By Theorems 4.4/4.6 the result
+/// is optimal *per instance*: no correction function computed from the same
+/// views can guarantee a smaller worst-case discrepancy over the executions
+/// indistinguishable from the observed one.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync::{Network, LinkAssumption, DelayRange, Synchronizer};
+/// use clocksync_model::{ExecutionBuilder, ProcessorId};
+/// use clocksync_time::{Nanos, RealTime};
+///
+/// let p = ProcessorId(0);
+/// let q = ProcessorId(1);
+/// let net = Network::builder(2)
+///     .link(p, q, LinkAssumption::symmetric_bounds(
+///         DelayRange::new(Nanos::new(0), Nanos::new(100))))
+///     .build();
+/// // q actually started 30ns after p; one message each way, delay 40ns.
+/// let exec = ExecutionBuilder::new(2)
+///     .start(q, RealTime::from_nanos(30))
+///     .message(p, q, RealTime::from_nanos(1_000), Nanos::new(40))
+///     .message(q, p, RealTime::from_nanos(2_000), Nanos::new(40))
+///     .build()?;
+/// let outcome = Synchronizer::new(net).synchronize(exec.views())?;
+/// // The corrected clocks agree to within the guaranteed precision.
+/// let err = exec.discrepancy(outcome.corrections());
+/// assert!(clocksync_time::Ext::Finite(err) <= outcome.precision());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synchronizer {
+    network: Network,
+}
+
+impl Synchronizer {
+    /// Creates a synchronizer for the given network specification.
+    pub fn new(network: Network) -> Synchronizer {
+        Synchronizer { network }
+    }
+
+    /// The network specification.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Computes optimal corrections for the given views.
+    ///
+    /// When some pair of processors has no two-sided bound at all (e.g. a
+    /// one-directional or silent unbounded link), the instance's optimal
+    /// precision is `+∞`; the outcome then reports `precision() == +∞`
+    /// but still carries per-[component](SyncOutcome::components)
+    /// corrections that are optimal *within* each synchronizable component
+    /// — a strictly stronger answer than the paper requires (with
+    /// `A_max = ∞` every vector is vacuously optimal).
+    ///
+    /// # Errors
+    ///
+    /// * [`SyncError::WrongProcessorCount`] if `views` does not match the
+    ///   network size;
+    /// * [`SyncError::InconsistentObservations`] if the observed delays
+    ///   contradict the declared assumptions.
+    pub fn synchronize(&self, views: &ViewSet) -> Result<SyncOutcome, SyncError> {
+        if views.len() != self.network.n() {
+            return Err(SyncError::WrongProcessorCount {
+                expected: self.network.n(),
+                actual: views.len(),
+            });
+        }
+        let observations = views.link_observations();
+        let local = estimated_local_shifts(&self.network, &observations);
+        let (closure, chains) = global_estimates_with_chains(&local)?;
+        let mut outcome = SyncOutcome::from_global_estimates(closure);
+        outcome.set_constraint_chains(chains);
+        Ok(outcome)
+    }
+}
+
+/// Everything known about one synchronizable component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentReport {
+    /// Members in ascending order.
+    pub members: Vec<ProcessorId>,
+    /// The component's optimal precision (its `A_max`).
+    pub precision: Ratio,
+    /// A cyclic processor sequence whose average maximal shift *forces*
+    /// `precision` — the bottleneck certified by the lower bound
+    /// (Theorem 4.4).
+    pub critical_cycle: Vec<ProcessorId>,
+}
+
+/// The result of a synchronization: corrections, guaranteed precision, and
+/// the analysis data needed to audit optimality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncOutcome {
+    corrections: Vec<Ratio>,
+    closure: SquareMatrix<ExtRatio>,
+    components: Vec<ComponentReport>,
+    chains: Option<SquareMatrix<usize>>,
+}
+
+impl SyncOutcome {
+    /// Builds an outcome directly from a closure of estimated maximal
+    /// global shifts (as produced by [`crate::global_estimates`]). This is
+    /// the entry point for callers that obtained the estimates by some
+    /// other route than complete views — e.g. the distributed protocol's
+    /// leader, which receives per-link estimates in messages.
+    pub fn from_global_estimates(closure: SquareMatrix<ExtRatio>) -> SyncOutcome {
+        let n = closure.n();
+        let components = synchronizable_components(&closure);
+        let mut corrections = vec![Ratio::ZERO; n];
+        let mut reports = Vec::with_capacity(components.len());
+        for members in components {
+            let k = members.len();
+            let sub = SquareMatrix::from_fn(k, |a, b| {
+                closure[(members[a].index(), members[b].index())]
+            });
+            let result = shifts(&sub, 0);
+            for (local_idx, p) in members.iter().enumerate() {
+                corrections[p.index()] = result.corrections[local_idx];
+            }
+            reports.push(ComponentReport {
+                critical_cycle: result
+                    .critical_cycle
+                    .iter()
+                    .map(|&local| members[local])
+                    .collect(),
+                members,
+                precision: result.precision,
+            });
+        }
+        SyncOutcome {
+            corrections,
+            closure,
+            components: reports,
+            chains: None,
+        }
+    }
+
+    /// Attaches the shortest-path successor matrix so
+    /// [`SyncOutcome::constraint_chain`] can explain pair bounds. The
+    /// matrix must come from the same local-shift computation as the
+    /// closure (see [`crate::global_estimates_with_chains`]).
+    pub fn set_constraint_chains(&mut self, chains: SquareMatrix<usize>) {
+        self.chains = Some(chains);
+    }
+
+    /// The chain of processors whose consecutive link constraints compose
+    /// into the bound `m̃s(p, q)` — the *explanation* of why `q` cannot be
+    /// shifted further from `p`. Returns `None` when the pair is
+    /// unbounded, `p == q` yields `[p]`, and outcomes built directly from
+    /// a closure (without the shortest-path bookkeeping, e.g. the
+    /// distributed leader's) report `None` for non-adjacent reconstructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn constraint_chain(&self, p: ProcessorId, q: ProcessorId) -> Option<Vec<ProcessorId>> {
+        let chains = self.chains.as_ref()?;
+        clocksync_graph::reconstruct_path(chains, p.index(), q.index())
+            .map(|path| path.into_iter().map(ProcessorId).collect())
+    }
+
+    /// The optimal correction `offset_p` for each processor. Adding
+    /// `offset_p` to `p`'s clock yields the synchronized logical clock.
+    pub fn corrections(&self) -> &[Ratio] {
+        &self.corrections
+    }
+
+    /// The correction of one processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn correction(&self, p: ProcessorId) -> Ratio {
+        self.corrections[p.index()]
+    }
+
+    /// The synchronized logical clock value corresponding to a raw clock
+    /// `reading` at processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn corrected_clock(&self, p: ProcessorId, reading: ClockTime) -> Ratio {
+        Ratio::from(reading.offset()) + self.correction(p)
+    }
+
+    /// Corrections re-based so that processor `anchor`'s correction equals
+    /// `anchor_offset` — e.g. when `anchor` has access to a perfect real
+    /// time source, pass its known offset from real time and every logical
+    /// clock tracks real time within the same (still optimal) precision.
+    /// Corrections are translation-invariant, so this changes no guarantee
+    /// (the paper's §1 remark that synchronization *to real time* follows
+    /// immediately when one perfect clock is available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is out of range.
+    pub fn anchored_corrections(&self, anchor: ProcessorId, anchor_offset: Ratio) -> Vec<Ratio> {
+        let delta = anchor_offset - self.correction(anchor);
+        self.corrections.iter().map(|&x| x + delta).collect()
+    }
+
+    /// The guaranteed (and optimal) precision `ε(α)`: for *every* admissible
+    /// execution indistinguishable from the observed one, all pairs of
+    /// corrected clocks agree to within this bound. `+∞` when some pair
+    /// has no two-sided bound.
+    pub fn precision(&self) -> ExtRatio {
+        if self.components.len() > 1 {
+            return Ext::PosInf;
+        }
+        match self.components.first() {
+            Some(c) => Ext::Finite(c.precision),
+            None => Ext::Finite(Ratio::ZERO),
+        }
+    }
+
+    /// Per-component reports (one component = maximal set of processors
+    /// with pairwise two-sided bounds).
+    pub fn components(&self) -> &[ComponentReport] {
+        &self.components
+    }
+
+    /// The matrix of estimated maximal global shifts `m̃s(p,q)` the outcome
+    /// was computed from.
+    pub fn global_shift_estimates(&self) -> &SquareMatrix<ExtRatio> {
+        &self.closure
+    }
+
+    /// The tight worst-case bound on the corrected clock difference of the
+    /// specific ordered pair `(p, q)`:
+    /// `sup (S'_p − x_p) − (S'_q − x_q) = m̃s(p,q) − x_p + x_q` over
+    /// indistinguishable admissible executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn pair_bound(&self, p: ProcessorId, q: ProcessorId) -> ExtRatio {
+        let one = self.closure[(p.index(), q.index())]
+            + Ext::Finite(self.corrections[q.index()] - self.corrections[p.index()]);
+        let other = self.closure[(q.index(), p.index())]
+            + Ext::Finite(self.corrections[p.index()] - self.corrections[q.index()]);
+        one.max(other)
+    }
+
+    /// Evaluates `ρ̄(x̄)` — the worst discrepancy over indistinguishable
+    /// admissible executions — for an *arbitrary* correction vector. By
+    /// optimality, `rho_bar(x̄) ≥ precision()` for every `x̄`, with
+    /// equality for [`SyncOutcome::corrections`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the processor count.
+    pub fn rho_bar(&self, x: &[Ratio]) -> ExtRatio {
+        rho_bar(&self.closure, x)
+    }
+
+    /// The ordered pair whose bound is tightest against the precision
+    /// under our corrections (the synchronization bottleneck), or `None`
+    /// for single-processor systems.
+    pub fn bottleneck_pair(&self) -> Option<(ProcessorId, ProcessorId)> {
+        worst_pair(&self.closure, &self.corrections)
+    }
+}
+
+impl std::fmt::Display for SyncOutcome {
+    /// A one-paragraph human summary: precision, corrections, components.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "precision {} | corrections [", self.precision())?;
+        for (i, x) in self.corrections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "p{i}: {x}")?;
+        }
+        write!(f, "]")?;
+        if self.components.len() > 1 {
+            write!(f, " | {} components", self.components.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayRange, LinkAssumption};
+    use clocksync_model::ExecutionBuilder;
+    use clocksync_time::{Nanos, RealTime};
+
+    const P: ProcessorId = ProcessorId(0);
+    const Q: ProcessorId = ProcessorId(1);
+    const R: ProcessorId = ProcessorId(2);
+
+    fn fin(x: i128) -> ExtRatio {
+        Ext::Finite(Ratio::from_int(x))
+    }
+
+    /// The classic two-processor instance: bounds [0, U], one message each
+    /// way with equal true delay d, true offset σ.
+    fn two_node_outcome(u: i64, d: i64, sigma: i64) -> (SyncOutcome, clocksync_model::Execution) {
+        let net = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(u))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(2)
+            .start(Q, RealTime::from_nanos(sigma))
+            .message(P, Q, RealTime::from_nanos(1_000 + sigma.abs()), Nanos::new(d))
+            .message(Q, P, RealTime::from_nanos(2_000 + sigma.abs()), Nanos::new(d))
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        (outcome, exec)
+    }
+
+    #[test]
+    fn two_node_bounds_model_matches_hand_computation() {
+        // U = 100, d = 40 both ways, σ = 30.
+        // d̃(P→Q) = 40 − 30 = 10; d̃(Q→P) = 40 + 30 = 70.
+        // m̃ls(P,Q) = min(100 − 70, 10 − 0) = 10.
+        // m̃ls(Q,P) = min(100 − 10, 70 − 0) = 70.
+        // A_max = (10 + 70)/2 = 40.
+        let (outcome, exec) = two_node_outcome(100, 40, 30);
+        assert_eq!(outcome.precision(), fin(40));
+        // Achieved true discrepancy is within the guarantee.
+        let achieved = exec.discrepancy(outcome.corrections());
+        assert!(Ext::Finite(achieved) <= outcome.precision());
+        // ρ̄ of our corrections equals the precision (tightness).
+        assert_eq!(outcome.rho_bar(outcome.corrections()), fin(40));
+    }
+
+    #[test]
+    fn tighter_bounds_give_better_precision() {
+        let (loose, _) = two_node_outcome(1_000, 400, 0);
+        let (tight, _) = two_node_outcome(500, 400, 0);
+        assert!(tight.precision() < loose.precision());
+    }
+
+    #[test]
+    fn alternative_corrections_never_beat_ours() {
+        let (outcome, _) = two_node_outcome(100, 40, 30);
+        let ours = outcome.rho_bar(outcome.corrections());
+        for delta in [-50i128, -10, -1, 1, 10, 50] {
+            let alt = vec![Ratio::ZERO, outcome.correction(Q) + Ratio::from_int(delta)];
+            assert!(outcome.rho_bar(&alt) >= ours, "beaten by delta={delta}");
+        }
+    }
+
+    #[test]
+    fn unlinked_processor_makes_precision_infinite_but_components_fine() {
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(3)
+            .message(P, Q, RealTime::from_nanos(100), Nanos::new(5))
+            .message(Q, P, RealTime::from_nanos(200), Nanos::new(5))
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        assert_eq!(outcome.precision(), Ext::PosInf);
+        assert_eq!(outcome.components().len(), 2);
+        let comp = &outcome.components()[0];
+        assert_eq!(comp.members, vec![P, Q]);
+        assert_eq!(comp.precision, Ratio::from_int(5));
+        // R alone is a perfect singleton component.
+        assert_eq!(outcome.components()[1].precision, Ratio::ZERO);
+    }
+
+    #[test]
+    fn wrong_view_count_is_rejected() {
+        let net = Network::builder(3).build();
+        let exec = ExecutionBuilder::new(2).build().unwrap();
+        let err = Synchronizer::new(net)
+            .synchronize(exec.views())
+            .unwrap_err();
+        assert!(matches!(err, SyncError::WrongProcessorCount { .. }));
+    }
+
+    #[test]
+    fn corrected_clock_applies_offset() {
+        let (outcome, _) = two_node_outcome(100, 40, 30);
+        let base = outcome.corrected_clock(P, ClockTime::from_nanos(1_000));
+        assert_eq!(base, Ratio::from_int(1_000) + outcome.correction(P));
+    }
+
+    #[test]
+    fn pair_bound_is_symmetric_and_ge_precision_for_bottleneck() {
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .link(
+                Q,
+                R,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(50))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(3)
+            .round_trips(P, Q, 1, RealTime::from_nanos(0), Nanos::ZERO, Nanos::new(5), Nanos::new(5))
+            .round_trips(Q, R, 1, RealTime::from_nanos(1_000), Nanos::ZERO, Nanos::new(25), Nanos::new(25))
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        assert_eq!(outcome.pair_bound(P, Q), outcome.pair_bound(Q, P));
+        // The nearby pair is better synchronized than the far pair.
+        assert!(outcome.pair_bound(P, Q) < outcome.pair_bound(Q, R));
+        let (bp, bq) = outcome.bottleneck_pair().unwrap();
+        assert!(outcome.pair_bound(bp, bq) >= outcome.pair_bound(P, Q));
+    }
+
+    #[test]
+    fn constraint_chains_explain_pair_bounds() {
+        // Path P—Q—R: the P–R bound composes through Q.
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .link(
+                Q,
+                R,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(3)
+            .round_trips(P, Q, 1, RealTime::from_nanos(100), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+            .round_trips(Q, R, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        assert_eq!(outcome.constraint_chain(P, R), Some(vec![P, Q, R]));
+        assert_eq!(outcome.constraint_chain(P, Q), Some(vec![P, Q]));
+        assert_eq!(outcome.constraint_chain(P, P), Some(vec![P]));
+        // The chain's link weights sum to the closure entry.
+        let closure = outcome.global_shift_estimates();
+        let chain = outcome.constraint_chain(R, P).unwrap();
+        assert_eq!(chain, vec![R, Q, P]);
+        let total = closure[(2, 1)] + closure[(1, 0)];
+        assert_eq!(closure[(2, 0)], total);
+    }
+
+    #[test]
+    fn anchoring_preserves_guarantees_and_pins_the_anchor() {
+        let (outcome, exec) = two_node_outcome(100, 40, 30);
+        let known = Ratio::from_int(12_345);
+        let anchored = outcome.anchored_corrections(P, known);
+        assert_eq!(anchored[P.index()], known);
+        // Translation-invariance: same ρ̄, same true discrepancy.
+        assert_eq!(outcome.rho_bar(&anchored), outcome.precision());
+        assert_eq!(
+            exec.discrepancy(&anchored),
+            exec.discrepancy(outcome.corrections())
+        );
+    }
+
+    #[test]
+    fn display_summarizes_the_outcome() {
+        let (outcome, _) = two_node_outcome(100, 40, 30);
+        let text = outcome.to_string();
+        assert!(text.starts_with("precision 40"));
+        assert!(text.contains("p0: 0"));
+        assert!(!text.contains("components"), "single component omitted");
+    }
+
+    #[test]
+    fn empty_system_synchronizes_trivially() {
+        let net = Network::builder(0).build();
+        let views = ViewSet::new(vec![]).unwrap();
+        let outcome = Synchronizer::new(net).synchronize(&views).unwrap();
+        assert_eq!(outcome.precision(), fin(0));
+        assert!(outcome.corrections().is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the round-trip-bias models (Lemma 6.5 and the
+//! windowed §6.2 generalization) on randomly generated correlated
+//! workloads.
+
+use clocksync::{LinkAssumption, Network, Synchronizer};
+use clocksync_model::{Execution, ExecutionBuilder, ProcessorId};
+use clocksync_time::{Ext, Nanos, RealTime};
+use proptest::prelude::*;
+
+/// A random two-node correlated workload: every message's delay is a
+/// *shared* base plus a per-message jitter in `[0, spread]`, so any two
+/// messages (in any directions, any round trips) differ by at most
+/// `spread` — the exact admissibility condition of the plain bias model.
+#[derive(Debug, Clone)]
+struct BiasInstance {
+    sigma: i64,
+    spread: i64,
+    base: i64,
+    /// (fwd_jitter, bwd_jitter) per round trip, each ∈ [0, spread].
+    trips: Vec<(i64, i64)>,
+}
+
+fn bias_instance() -> impl Strategy<Value = BiasInstance> {
+    (
+        -2_000_000i64..2_000_000,
+        2i64..200_000,
+        0i64..5_000_000,
+        proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..6),
+    )
+        .prop_map(|(sigma, spread, base, raw)| BiasInstance {
+            sigma,
+            spread,
+            base,
+            trips: raw
+                .into_iter()
+                .map(|(jf, jb)| ((jf * spread as f64) as i64, (jb * spread as f64) as i64))
+                .collect(),
+        })
+}
+
+const P: ProcessorId = ProcessorId(0);
+const Q: ProcessorId = ProcessorId(1);
+
+fn build(inst: &BiasInstance) -> Execution {
+    let mut eb = ExecutionBuilder::new(2).start(Q, RealTime::from_nanos(inst.sigma));
+    let mut t = 10_000_000i64; // all sends far after both starts
+    for &(jf, jb) in &inst.trips {
+        eb = eb.round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(t),
+            Nanos::new(1),
+            Nanos::new(inst.base + jf),
+            Nanos::new(inst.base + jb),
+        );
+        t += 50_000_000;
+    }
+    eb.build().expect("valid instance")
+}
+
+fn bias_net(bound: i64) -> Network {
+    Network::builder(2)
+        .link(P, Q, LinkAssumption::rtt_bias(Nanos::new(bound)))
+        .build()
+}
+
+proptest! {
+    /// Soundness and tightness of the plain bias model on random
+    /// admissible workloads.
+    #[test]
+    fn bias_model_is_sound_and_tight(inst in bias_instance()) {
+        let exec = build(&inst);
+        let net = bias_net(inst.spread);
+        prop_assert!(net.admits(&exec));
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        prop_assert!(outcome.precision().is_finite());
+        let err = exec.discrepancy(outcome.corrections());
+        prop_assert!(Ext::Finite(err) <= outcome.precision());
+        prop_assert_eq!(outcome.rho_bar(outcome.corrections()), outcome.precision());
+    }
+
+    /// A paired (windowed) bias assumption with a window covering the
+    /// whole run coincides exactly with the plain bias model.
+    #[test]
+    fn huge_window_equals_plain_bias(inst in bias_instance()) {
+        let exec = build(&inst);
+        let plain = Synchronizer::new(bias_net(inst.spread))
+            .synchronize(exec.views())
+            .unwrap();
+        let windowed_net = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::paired_rtt_bias(
+                    Nanos::new(inst.spread),
+                    Nanos::from_secs(3_600),
+                ),
+            )
+            .build();
+        let windowed = Synchronizer::new(windowed_net)
+            .synchronize(exec.views())
+            .unwrap();
+        prop_assert_eq!(plain.precision(), windowed.precision());
+        prop_assert_eq!(plain.corrections(), windowed.corrections());
+    }
+
+    /// Widening the pairing window only adds constraints: precision is
+    /// monotone nonincreasing in the window size.
+    #[test]
+    fn window_monotonicity(inst in bias_instance(), w1 in 1i64..100_000_000, w2 in 1i64..100_000_000) {
+        let (small, large) = (w1.min(w2), w1.max(w2));
+        let exec = build(&inst);
+        let precision_for = |w: i64| {
+            let net = Network::builder(2)
+                .link(
+                    P,
+                    Q,
+                    LinkAssumption::paired_rtt_bias(Nanos::new(inst.spread), Nanos::new(w)),
+                )
+                .build();
+            Synchronizer::new(net).synchronize(exec.views()).unwrap().precision()
+        };
+        prop_assert!(precision_for(large) <= precision_for(small));
+    }
+
+    /// Drifting workloads: the base delay grows so much across round
+    /// trips that the plain bias bound is violated, while the windowed
+    /// assumption (which only pairs each probe with its own echo) remains
+    /// admissible and sound.
+    #[test]
+    fn windowed_bias_survives_drift(sigma in -1_000_000i64..1_000_000, seedjit in 0i64..500) {
+        let bound = 2_000i64;
+        // Round trips 50ms apart with bases 1ms, 11ms, 21ms: cross-trip
+        // deltas (10ms) >> bound, within-trip deltas ≤ 1000 + jitter.
+        let mut eb = ExecutionBuilder::new(2).start(Q, RealTime::from_nanos(sigma));
+        let mut t = 10_000_000i64;
+        for i in 0..3i64 {
+            let base = 1_000_000 + i * 10_000_000;
+            eb = eb.round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(t),
+                Nanos::new(1),
+                Nanos::new(base + seedjit),
+                Nanos::new(base + 1_000 - seedjit),
+            );
+            t += 50_000_000;
+        }
+        let exec = eb.build().unwrap();
+
+        let plain = bias_net(bound);
+        prop_assert!(!plain.admits(&exec), "drift should violate the plain bias");
+
+        // Window of 5ms pairs only messages of the same round trip.
+        let windowed = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::paired_rtt_bias(Nanos::new(bound), Nanos::from_millis(5)),
+            )
+            .build();
+        prop_assert!(windowed.admits(&exec));
+        let outcome = Synchronizer::new(windowed).synchronize(exec.views()).unwrap();
+        prop_assert!(outcome.precision().is_finite());
+        let err = exec.discrepancy(outcome.corrections());
+        prop_assert!(Ext::Finite(err) <= outcome.precision());
+        // The windowed certificate still beats plain no-bounds (it uses
+        // the bias information within each round trip).
+        let no_bounds = Network::builder(2)
+            .link(P, Q, LinkAssumption::no_bounds())
+            .build();
+        let nb = Synchronizer::new(no_bounds).synchronize(exec.views()).unwrap();
+        prop_assert!(outcome.precision() <= nb.precision());
+    }
+}

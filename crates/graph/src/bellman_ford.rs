@@ -1,0 +1,164 @@
+//! Single-source shortest paths with negative weights (Bellman–Ford).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{DiGraph, Weight};
+
+/// Error returned when a negative-weight cycle is reachable from the source.
+///
+/// In the synchronization pipeline this can only happen when the caller's
+/// delay observations contradict the promised bounds (the paper proves the
+/// weights `A_max − m̃s` have no negative cycle for consistent inputs), so
+/// the core crate surfaces it as an inconsistency diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegativeCycleError {
+    /// A node on (or reachable from) the offending cycle.
+    pub witness: usize,
+}
+
+impl fmt::Display for NegativeCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "negative-weight cycle reachable from source (witness node {})",
+            self.witness
+        )
+    }
+}
+
+impl Error for NegativeCycleError {}
+
+/// Computes shortest-path distances from `source` to every node.
+///
+/// Unreachable nodes get `W::infinity()`. Runs in `O(n · m)`.
+///
+/// # Errors
+///
+/// Returns [`NegativeCycleError`] if a negative cycle is reachable from
+/// `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_graph::{DiGraph, bellman_ford};
+/// use clocksync_time::Ext;
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, Ext::Finite(4i64));
+/// g.add_edge(0, 2, Ext::Finite(10));
+/// g.add_edge(1, 2, Ext::Finite(-3));
+/// let d = bellman_ford(&g, 0)?;
+/// assert_eq!(d[2], Ext::Finite(1));
+/// # Ok::<(), clocksync_graph::NegativeCycleError>(())
+/// ```
+pub fn bellman_ford<W: Weight>(
+    g: &DiGraph<W>,
+    source: usize,
+) -> Result<Vec<W>, NegativeCycleError> {
+    let n = g.node_count();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![W::infinity(); n];
+    dist[source] = W::zero();
+
+    for round in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            if !dist[e.from].is_reachable() || !e.weight.is_reachable() {
+                continue;
+            }
+            let candidate = dist[e.from] + e.weight;
+            if candidate < dist[e.to] {
+                if round == n - 1 {
+                    return Err(NegativeCycleError { witness: e.to });
+                }
+                dist[e.to] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_time::Ext;
+
+    fn w(x: i64) -> Ext<i64> {
+        Ext::Finite(x)
+    }
+
+    #[test]
+    fn simple_shortest_paths() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, w(1));
+        g.add_edge(1, 2, w(2));
+        g.add_edge(0, 2, w(10));
+        g.add_edge(2, 3, w(3));
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d, vec![w(0), w(1), w(3), w(6)]);
+    }
+
+    #[test]
+    fn negative_edges_without_cycle() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, w(5));
+        g.add_edge(1, 2, w(-4));
+        g.add_edge(0, 2, w(2));
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d[2], w(1));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, w(1));
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d[2], Ext::PosInf);
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, w(1));
+        g.add_edge(1, 2, w(-2));
+        g.add_edge(2, 1, w(1));
+        let err = bellman_ford(&g, 0).unwrap_err();
+        assert!(err.to_string().contains("negative-weight cycle"));
+    }
+
+    #[test]
+    fn unreachable_negative_cycle_is_ignored() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, w(1));
+        // Cycle 2 <-> 3 is negative but not reachable from 0.
+        g.add_edge(2, 3, w(-2));
+        g.add_edge(3, 2, w(1));
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d[1], w(1));
+        assert_eq!(d[2], Ext::PosInf);
+    }
+
+    #[test]
+    fn zero_weight_self_loop_is_harmless() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0, w(0));
+        g.add_edge(0, 1, w(7));
+        let d = bellman_ford(&g, 0).unwrap();
+        assert_eq!(d, vec![w(0), w(7)]);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g: DiGraph<Ext<i64>> = DiGraph::new(1);
+        assert_eq!(bellman_ford(&g, 0).unwrap(), vec![w(0)]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Brute-force reference implementations.
+//!
+//! These are exponential-time oracles used by the property-test suites (and
+//! a few benches) to validate the production algorithms on small instances.
+//! They are exported so integration tests and benches outside this crate
+//! can reuse them; they are not part of the synchronization pipeline.
+
+use clocksync_time::{Ext, Ratio};
+
+use crate::SquareMatrix;
+
+/// Enumerates every simple directed cycle of the dense graph `m`
+/// (`Ext::NegInf` = absent edge), invoking `visit` with each cycle as a node
+/// sequence `c_0, …, c_{k-1}` starting from its minimal node.
+///
+/// Complexity is exponential; intended for `n ≤ 8`.
+pub fn for_each_simple_cycle(m: &SquareMatrix<Ext<Ratio>>, mut visit: impl FnMut(&[usize])) {
+    let n = m.n();
+    let mut path = Vec::new();
+    let mut on_path = vec![false; n];
+    for start in 0..n {
+        // Self-loop cycles.
+        if m[(start, start)] != Ext::NegInf {
+            visit(&[start]);
+        }
+        path.push(start);
+        on_path[start] = true;
+        dfs(m, start, start, &mut path, &mut on_path, &mut visit);
+        on_path[start] = false;
+        path.pop();
+    }
+}
+
+fn dfs(
+    m: &SquareMatrix<Ext<Ratio>>,
+    start: usize,
+    current: usize,
+    path: &mut Vec<usize>,
+    on_path: &mut Vec<bool>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    for next in 0..m.n() {
+        if m[(current, next)] == Ext::NegInf || next == current {
+            continue;
+        }
+        if next == start && path.len() >= 2 {
+            visit(path);
+        } else if next > start && !on_path[next] {
+            // Restricting to nodes > start enumerates each cycle exactly
+            // once, rooted at its minimal node.
+            path.push(next);
+            on_path[next] = true;
+            dfs(m, start, next, path, on_path, visit);
+            on_path[next] = false;
+            path.pop();
+        }
+    }
+}
+
+/// Returns the exact mean weight of `cycle` in `m`.
+///
+/// # Panics
+///
+/// Panics if the cycle is empty or traverses an absent edge.
+pub fn cycle_mean(m: &SquareMatrix<Ext<Ratio>>, cycle: &[usize]) -> Ratio {
+    assert!(!cycle.is_empty(), "cycle must be nonempty");
+    let mut total = Ratio::ZERO;
+    for t in 0..cycle.len() {
+        let from = cycle[t];
+        let to = cycle[(t + 1) % cycle.len()];
+        total += m[(from, to)]
+            .finite()
+            .expect("cycle traverses an absent edge");
+    }
+    total * Ratio::new(1, cycle.len() as i128)
+}
+
+/// Brute-force maximum cycle mean by enumerating all simple cycles.
+///
+/// The maximum cycle mean is always attained by a simple cycle, so this is
+/// a sound oracle for [`crate::karp_max_cycle_mean`]. Returns `None` when
+/// the graph is acyclic.
+pub fn max_cycle_mean_brute(m: &SquareMatrix<Ext<Ratio>>) -> Option<Ratio> {
+    let mut best: Option<Ratio> = None;
+    for_each_simple_cycle(m, |cycle| {
+        let mean = cycle_mean(m, cycle);
+        best = Some(match best {
+            Some(b) => b.max(mean),
+            None => mean,
+        });
+    });
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, edges: &[(usize, usize, i128)]) -> SquareMatrix<Ext<Ratio>> {
+        let mut m = SquareMatrix::filled(n, Ext::NegInf);
+        for &(a, b, w) in edges {
+            m[(a, b)] = Ext::Finite(Ratio::from_int(w));
+        }
+        m
+    }
+
+    #[test]
+    fn enumerates_each_cycle_once() {
+        // Triangle plus an embedded 2-cycle: exactly 2 simple cycles.
+        let m = matrix(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 0, 1)]);
+        let mut cycles = Vec::new();
+        for_each_simple_cycle(&m, |c| cycles.push(c.to_vec()));
+        cycles.sort();
+        assert_eq!(cycles, vec![vec![0, 1], vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_loops_are_cycles() {
+        let m = matrix(2, &[(1, 1, 5)]);
+        let mut cycles = Vec::new();
+        for_each_simple_cycle(&m, |c| cycles.push(c.to_vec()));
+        assert_eq!(cycles, vec![vec![1]]);
+    }
+
+    #[test]
+    fn brute_max_mean_matches_hand_computation() {
+        let m = matrix(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 4), (1, 0, 5)]);
+        // Cycles: (0,1,2) mean 7/3; (0,1) mean 3.
+        assert_eq!(max_cycle_mean_brute(&m), Some(Ratio::from_int(3)));
+    }
+
+    #[test]
+    fn acyclic_graph_yields_none() {
+        let m = matrix(3, &[(0, 1, 1), (0, 2, 1), (1, 2, 1)]);
+        assert_eq!(max_cycle_mean_brute(&m), None);
+    }
+}

@@ -1,0 +1,298 @@
+//! Karp's maximum cycle mean algorithm.
+//!
+//! The optimal precision of the PODC'93 synchronizer is
+//! `A_max = max_θ m̃s(θ)/|θ|` over cyclic sequences of processors (paper
+//! §4.3). The paper points to Karp's characterization of the minimum cycle
+//! mean (Karp, *Discrete Math.* 23, 1978); we implement the maximization
+//! variant directly:
+//!
+//! `λ* = max_v min_{0≤k<n} ( D_n(v) − D_k(v) ) / (n − k)`
+//!
+//! where `D_k(v)` is the maximum weight of any walk of exactly `k` edges
+//! ending at `v` (starting anywhere; this is the usual super-source
+//! formulation). All arithmetic is exact [`Ratio`] arithmetic.
+
+use clocksync_time::{Ext, Ratio};
+
+use crate::SquareMatrix;
+
+/// The result of a maximum-cycle-mean computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleMean {
+    /// The maximum mean weight over all directed cycles.
+    pub mean: Ratio,
+    /// A witness cycle achieving the mean, as a node sequence
+    /// `c_0, c_1, …, c_{k-1}` (the closing edge `c_{k-1} → c_0` is
+    /// implicit). Never empty.
+    pub cycle: Vec<usize>,
+}
+
+impl CycleMean {
+    /// The number of edges on the witness cycle.
+    pub fn len(&self) -> usize {
+        self.cycle.len()
+    }
+
+    /// Witness cycles are never empty; provided for clippy-completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Computes the maximum cycle mean of a dense weighted digraph.
+///
+/// Matrix conventions: `m[(i,j)]` is the weight of edge `i → j`;
+/// `Ext::NegInf` means the edge is absent. Diagonal entries are honored as
+/// self-loops (a self-loop of weight `w` is a length-1 cycle of mean `w`).
+/// Returns `None` when the graph has no cycle at all.
+///
+/// Runs in `O(n·m)` time and `O(n²)` space (the full `D_k` table is kept to
+/// extract a witness cycle).
+///
+/// # Panics
+///
+/// Panics if any entry is `Ext::PosInf`; callers must resolve infinities
+/// before asking for a cycle mean (an infinite entry means the answer is
+/// `+∞` and no finite witness exists).
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_graph::{SquareMatrix, karp_max_cycle_mean};
+/// use clocksync_time::{Ext, Ratio};
+///
+/// // Two-node cycle with weights 3 and 1: mean (3+1)/2 = 2.
+/// let mut m = SquareMatrix::filled(2, Ext::<Ratio>::NegInf);
+/// m[(0, 1)] = Ext::Finite(Ratio::from_int(3));
+/// m[(1, 0)] = Ext::Finite(Ratio::from_int(1));
+/// let result = karp_max_cycle_mean(&m).expect("graph has a cycle");
+/// assert_eq!(result.mean, Ratio::from_int(2));
+/// assert_eq!(result.len(), 2);
+/// ```
+pub fn karp_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<CycleMean> {
+    let n = m.n();
+    if n == 0 {
+        return None;
+    }
+    for (i, j, &w) in m.iter() {
+        assert!(
+            w != Ext::PosInf,
+            "karp_max_cycle_mean: infinite edge {i}->{j}; resolve infinities first"
+        );
+    }
+
+    // Dense edge list (absent edges skipped once, not per round).
+    let edges: Vec<(usize, usize, Ratio)> = m
+        .iter()
+        .filter_map(|(i, j, &w)| w.finite().map(|w| (i, j, w)))
+        .collect();
+    if edges.is_empty() {
+        return None;
+    }
+
+    // d[k][v] = max weight of a k-edge walk ending at v; parent[k][v] is the
+    // predecessor realizing it.
+    let mut d: Vec<Vec<Ext<Ratio>>> = Vec::with_capacity(n + 1);
+    let mut parent: Vec<Vec<usize>> = Vec::with_capacity(n + 1);
+    d.push(vec![Ext::Finite(Ratio::ZERO); n]);
+    parent.push(vec![usize::MAX; n]);
+    for k in 1..=n {
+        let mut row = vec![Ext::<Ratio>::NegInf; n];
+        let mut par = vec![usize::MAX; n];
+        for &(u, v, w) in &edges {
+            if let Ext::Finite(du) = d[k - 1][u] {
+                let cand = Ext::Finite(du + w);
+                if cand > row[v] {
+                    row[v] = cand;
+                    par[v] = u;
+                }
+            }
+        }
+        d.push(row);
+        parent.push(par);
+    }
+
+    // λ* = max_v min_k (D_n(v) − D_k(v)) / (n − k).
+    let mut best: Option<(Ratio, usize)> = None;
+    for v in 0..n {
+        let dn = match d[n][v] {
+            Ext::Finite(x) => x,
+            _ => continue,
+        };
+        let mut v_min: Option<Ratio> = None;
+        for (k, dk_row) in d.iter().enumerate().take(n) {
+            if let Ext::Finite(dk) = dk_row[v] {
+                let mean = (dn - dk) * Ratio::new(1, (n - k) as i128);
+                v_min = Some(match v_min {
+                    Some(cur) => cur.min(mean),
+                    None => mean,
+                });
+            }
+        }
+        if let Some(vm) = v_min {
+            match best {
+                Some((b, _)) if b >= vm => {}
+                _ => best = Some((vm, v)),
+            }
+        }
+    }
+    let (lambda, v_star) = best?;
+
+    // Witness extraction: walk n parent steps back from v*; every cycle on a
+    // maximal n-walk has mean ≤ λ*, and at least one achieves it.
+    let mut walk = Vec::with_capacity(n + 1);
+    let mut v = v_star;
+    for k in (0..=n).rev() {
+        walk.push(v);
+        if k > 0 {
+            v = parent[k][v];
+        }
+    }
+    walk.reverse(); // now walk[0] -> walk[1] -> ... -> walk[n] = v*
+
+    let cycle = extract_best_cycle(&walk, m, lambda);
+    Some(CycleMean {
+        mean: lambda,
+        cycle,
+    })
+}
+
+/// Scans every repeated-vertex segment of `walk` and returns the segment
+/// (as a cycle) whose mean equals `lambda`.
+fn extract_best_cycle(
+    walk: &[usize],
+    m: &SquareMatrix<Ext<Ratio>>,
+    lambda: Ratio,
+) -> Vec<usize> {
+    let mut best_cycle: Option<(Ratio, Vec<usize>)> = None;
+    for i in 0..walk.len() {
+        for j in (i + 1)..walk.len() {
+            if walk[i] != walk[j] {
+                continue;
+            }
+            let seg = &walk[i..j];
+            let mut total = Ratio::ZERO;
+            for t in 0..seg.len() {
+                let from = seg[t];
+                let to = if t + 1 < seg.len() { seg[t + 1] } else { seg[0] };
+                total += m[(from, to)]
+                    .finite()
+                    .expect("walk follows existing edges");
+            }
+            let mean = total * Ratio::new(1, seg.len() as i128);
+            match &best_cycle {
+                Some((b, _)) if *b >= mean => {}
+                _ => best_cycle = Some((mean, seg.to_vec())),
+            }
+            if mean == lambda {
+                return seg.to_vec();
+            }
+        }
+    }
+    // Fall back to the best cycle found; by Karp's theorem it has mean λ*.
+    best_cycle
+        .expect("an n-edge walk over n nodes must repeat a vertex")
+        .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, edges: &[(usize, usize, i128)]) -> SquareMatrix<Ext<Ratio>> {
+        let mut m = SquareMatrix::filled(n, Ext::NegInf);
+        for &(a, b, w) in edges {
+            m[(a, b)] = Ext::Finite(Ratio::from_int(w));
+        }
+        m
+    }
+
+    fn cycle_mean_of(m: &SquareMatrix<Ext<Ratio>>, cycle: &[usize]) -> Ratio {
+        let mut total = Ratio::ZERO;
+        for t in 0..cycle.len() {
+            let from = cycle[t];
+            let to = cycle[(t + 1) % cycle.len()];
+            total += m[(from, to)].finite().unwrap();
+        }
+        total * Ratio::new(1, cycle.len() as i128)
+    }
+
+    #[test]
+    fn two_cycle() {
+        let m = matrix(2, &[(0, 1, 3), (1, 0, 1)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(2));
+        assert_eq!(cycle_mean_of(&m, &r.cycle), r.mean);
+    }
+
+    #[test]
+    fn picks_heavier_of_two_cycles() {
+        // Cycle A: 0-1 mean 2; cycle B: 2-3 mean 5.
+        let m = matrix(4, &[(0, 1, 2), (1, 0, 2), (2, 3, 4), (3, 2, 6)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(5));
+        assert_eq!(cycle_mean_of(&m, &r.cycle), r.mean);
+    }
+
+    #[test]
+    fn fractional_mean() {
+        // Triangle with weights 1, 2, 4: mean 7/3.
+        let m = matrix(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 4)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::new(7, 3));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn short_heavy_cycle_beats_long_light_one() {
+        // Triangle mean 1; embedded 2-cycle mean 3.
+        let m = matrix(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 0, 5)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(3));
+        assert_eq!(cycle_mean_of(&m, &r.cycle), r.mean);
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let m = matrix(2, &[(0, 0, 7), (0, 1, 100)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(7));
+        assert_eq!(r.cycle, vec![0]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle_mean() {
+        let m = matrix(3, &[(0, 1, 5), (1, 2, 5), (0, 2, 9)]);
+        assert!(karp_max_cycle_mean(&m).is_none());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert!(karp_max_cycle_mean(&matrix(0, &[])).is_none());
+        assert!(karp_max_cycle_mean(&matrix(3, &[])).is_none());
+    }
+
+    #[test]
+    fn negative_cycle_means_are_found() {
+        let m = matrix(2, &[(0, 1, -3), (1, 0, -1)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite edge")]
+    fn infinite_edge_panics() {
+        let mut m = matrix(2, &[(0, 1, 1), (1, 0, 1)]);
+        m[(0, 1)] = Ext::PosInf;
+        let _ = karp_max_cycle_mean(&m);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        // One component acyclic, the other with a cycle.
+        let m = matrix(5, &[(0, 1, 9), (2, 3, 1), (3, 4, 1), (4, 2, 4)]);
+        let r = karp_max_cycle_mean(&m).unwrap();
+        assert_eq!(r.mean, Ratio::from_int(2));
+        assert_eq!(r.len(), 3);
+    }
+}

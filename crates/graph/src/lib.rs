@@ -1,0 +1,50 @@
+//! Graph algorithms for the `clocksync` workspace.
+//!
+//! The synchronization pipeline of Attiya–Herzberg–Rajsbaum (PODC 1993) is,
+//! computationally, three graph problems:
+//!
+//! 1. **GLOBAL ESTIMATES** (paper §5.3): all-pairs shortest paths over the
+//!    per-link local-shift estimates — [`floyd_warshall`].
+//! 2. **`A_max`** (paper §4.3–4.4): the maximum cycle mean of the resulting
+//!    metric closure — [`karp_max_cycle_mean`] (Karp 1978, `O(n·m)`).
+//! 3. **SHIFTS** (paper §4.4): single-source shortest paths under weights
+//!    `w(p,q) = A_max − m̃s(p,q)`, which may be negative but contain no
+//!    negative cycle — [`bellman_ford`].
+//!
+//! Weights are generic over the [`Weight`] trait; the workspace instantiates
+//! it with [`clocksync_time::ExtRatio`] so every computation is exact.
+//! Brute-force oracles used by the test suites and benches live in
+//! [`brute`].
+//!
+//! # Examples
+//!
+//! ```
+//! use clocksync_graph::{DiGraph, bellman_ford};
+//! use clocksync_time::{Ext, Ratio};
+//!
+//! let mut g = DiGraph::new(3);
+//! g.add_edge(0, 1, Ext::Finite(Ratio::from_int(2)));
+//! g.add_edge(1, 2, Ext::Finite(Ratio::from_int(-1)));
+//! let dist = bellman_ford(&g, 0).expect("no negative cycle");
+//! assert_eq!(dist[2], Ext::Finite(Ratio::from_int(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bellman_ford;
+pub mod brute;
+mod digraph;
+mod floyd_warshall;
+mod howard;
+mod karp;
+mod matrix;
+mod weight;
+
+pub use bellman_ford::{bellman_ford, NegativeCycleError};
+pub use digraph::{DiGraph, Edge};
+pub use floyd_warshall::{floyd_warshall, floyd_warshall_with_paths, reconstruct_path};
+pub use howard::howard_max_cycle_mean;
+pub use karp::{karp_max_cycle_mean, CycleMean};
+pub use matrix::SquareMatrix;
+pub use weight::Weight;

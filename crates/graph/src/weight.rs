@@ -1,0 +1,73 @@
+//! The weight abstraction shared by all graph algorithms.
+
+use std::fmt::Debug;
+use std::ops::Add;
+
+use clocksync_time::{Ext, Nanos, Ratio};
+
+/// An edge-weight domain: a totally ordered additive monoid with a greatest
+/// element acting as "unreachable".
+///
+/// The workspace instantiates this with [`Ext<Ratio>`] (exact extended
+/// rationals) and, in tests, with [`Ext<i64>`]. `infinity()` must be
+/// absorbing for addition on the values the algorithms combine — the
+/// implementations here inherit that from [`Ext`]'s extended arithmetic.
+pub trait Weight: Copy + Eq + Ord + Add<Output = Self> + Debug {
+    /// The additive identity (weight of the empty path).
+    fn zero() -> Self;
+
+    /// The "unreachable" distance: strictly greater than every finite value.
+    fn infinity() -> Self;
+
+    /// Returns `true` for values strictly below `infinity()`.
+    fn is_reachable(self) -> bool {
+        self < Self::infinity()
+    }
+}
+
+impl Weight for Ext<Ratio> {
+    fn zero() -> Self {
+        Ext::Finite(Ratio::ZERO)
+    }
+    fn infinity() -> Self {
+        Ext::PosInf
+    }
+}
+
+impl Weight for Ext<Nanos> {
+    fn zero() -> Self {
+        Ext::Finite(Nanos::ZERO)
+    }
+    fn infinity() -> Self {
+        Ext::PosInf
+    }
+}
+
+impl Weight for Ext<i64> {
+    fn zero() -> Self {
+        Ext::Finite(0)
+    }
+    fn infinity() -> Self {
+        Ext::PosInf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity() {
+        let w = Ext::Finite(Ratio::new(3, 2));
+        assert_eq!(w + Weight::zero(), w);
+    }
+
+    #[test]
+    fn infinity_dominates_and_absorbs() {
+        let inf = <Ext<i64> as Weight>::infinity();
+        assert!(Ext::Finite(i64::MAX) < inf);
+        assert_eq!(inf + Ext::Finite(5), inf);
+        assert!(!inf.is_reachable());
+        assert!(Ext::Finite(0i64).is_reachable());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based cross-validation of the graph algorithms.
+
+use clocksync_graph::brute::{cycle_mean, max_cycle_mean_brute};
+use clocksync_graph::{
+    bellman_ford, floyd_warshall, karp_max_cycle_mean, DiGraph, SquareMatrix, Weight,
+};
+use clocksync_time::{Ext, Ratio};
+use proptest::prelude::*;
+
+type W = Ext<Ratio>;
+
+/// A random dense graph on `n ≤ 6` nodes: each ordered pair independently
+/// gets an integer weight in `[-20, 20]` or no edge.
+fn small_graph() -> impl Strategy<Value = SquareMatrix<W>> {
+    (1usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(
+            prop_oneof![
+                2 => Just(Ext::NegInf),
+                5 => (-20i128..=20).prop_map(|w| Ext::Finite(Ratio::from_int(w))),
+            ],
+            n * n,
+        )
+        .prop_map(move |cells| {
+            let mut k = 0;
+            SquareMatrix::from_fn(n, |_, _| {
+                let v = cells[k];
+                k += 1;
+                v
+            })
+        })
+    })
+}
+
+/// The same distribution restricted to nonnegative weights (guaranteed free
+/// of negative cycles), mapped into shortest-path convention
+/// (absent = `PosInf`).
+fn nonneg_sp_matrix() -> impl Strategy<Value = SquareMatrix<W>> {
+    (1usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(
+            prop_oneof![
+                2 => Just(Ext::PosInf),
+                5 => (0i128..=20).prop_map(|w| Ext::Finite(Ratio::from_int(w))),
+            ],
+            n * n,
+        )
+        .prop_map(move |cells| {
+            let mut k = 0;
+            SquareMatrix::from_fn(n, |i, j| {
+                let v = cells[k];
+                k += 1;
+                if i == j {
+                    <W as Weight>::zero()
+                } else {
+                    v
+                }
+            })
+        })
+    })
+}
+
+proptest! {
+    /// Karp's algorithm agrees with exhaustive simple-cycle enumeration.
+    #[test]
+    fn karp_matches_brute_force(m in small_graph()) {
+        let brute = max_cycle_mean_brute(&m);
+        let karp = karp_max_cycle_mean(&m);
+        match (brute, karp) {
+            (None, None) => {}
+            (Some(b), Some(k)) => {
+                prop_assert_eq!(b, k.mean);
+                // The witness cycle truly achieves the reported mean.
+                prop_assert_eq!(cycle_mean(&m, &k.cycle), k.mean);
+            }
+            (b, k) => prop_assert!(false, "brute={b:?} karp={k:?}"),
+        }
+    }
+
+    /// Howard's policy iteration agrees exactly with Karp (and hence with
+    /// brute force) on every random instance.
+    #[test]
+    fn howard_matches_karp(m in small_graph()) {
+        prop_assert_eq!(
+            clocksync_graph::howard_max_cycle_mean(&m),
+            karp_max_cycle_mean(&m).map(|r| r.mean)
+        );
+    }
+
+    /// Floyd–Warshall distances agree with per-source Bellman–Ford.
+    #[test]
+    fn closure_matches_bellman_ford(m in nonneg_sp_matrix()) {
+        let closure = floyd_warshall(&m).expect("nonnegative weights");
+        let g = DiGraph::from_matrix(&m);
+        for src in 0..m.n() {
+            let bf = bellman_ford(&g, src).expect("nonnegative weights");
+            for dst in 0..m.n() {
+                prop_assert_eq!(closure[(src, dst)], bf[dst],
+                    "src={} dst={}", src, dst);
+            }
+        }
+    }
+
+    /// The closure satisfies the triangle inequality and has a zero diagonal
+    /// for nonnegative inputs.
+    #[test]
+    fn closure_is_a_premetric(m in nonneg_sp_matrix()) {
+        let d = floyd_warshall(&m).expect("nonnegative weights");
+        let n = d.n();
+        for i in 0..n {
+            prop_assert_eq!(d[(i, i)], <W as Weight>::zero());
+            for j in 0..n {
+                for k in 0..n {
+                    if d[(i, k)].is_reachable() && d[(k, j)].is_reachable() {
+                        prop_assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closing a closure is a no-op (idempotence).
+    #[test]
+    fn closure_is_idempotent(m in nonneg_sp_matrix()) {
+        let once = floyd_warshall(&m).expect("nonnegative weights");
+        let twice = floyd_warshall(&once).expect("closure stays consistent");
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Bellman–Ford distances are never improvable by one more relaxation.
+    #[test]
+    fn bellman_ford_is_a_fixpoint(m in nonneg_sp_matrix()) {
+        let g = DiGraph::from_matrix(&m);
+        let d = bellman_ford(&g, 0).expect("nonnegative weights");
+        for e in g.edges() {
+            if d[e.from].is_reachable() {
+                prop_assert!(d[e.to] <= d[e.from] + e.weight);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Validation errors for views, view sets and executions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{MessageId, ProcessorId};
+
+/// A violation of the execution axioms of the model (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A view's first event is not a start event, or a start event appears
+    /// later than first, or its clock is not zero.
+    BadStartEvent {
+        /// The offending processor.
+        processor: ProcessorId,
+    },
+    /// A view's events are not ordered by nondecreasing clock time.
+    UnorderedView {
+        /// The offending processor.
+        processor: ProcessorId,
+    },
+    /// A message id appears in more than one send or more than one receive.
+    DuplicateMessage {
+        /// The duplicated id.
+        id: MessageId,
+    },
+    /// A receive event has no matching send (the system would have invented
+    /// a message).
+    OrphanReceive {
+        /// The unmatched id.
+        id: MessageId,
+        /// The processor that recorded the receive.
+        receiver: ProcessorId,
+    },
+    /// A send event has no matching receive (the system would have lost a
+    /// message).
+    LostMessage {
+        /// The unmatched id.
+        id: MessageId,
+        /// The processor that recorded the send.
+        sender: ProcessorId,
+    },
+    /// The endpoints recorded by sender and receiver disagree.
+    EndpointMismatch {
+        /// The inconsistent id.
+        id: MessageId,
+    },
+    /// A view refers to a processor outside `0..n`.
+    UnknownProcessor {
+        /// The out-of-range processor.
+        processor: ProcessorId,
+    },
+    /// The number of views (or start times) differs from `n`.
+    WrongProcessorCount {
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadStartEvent { processor } => {
+                write!(f, "view of {processor} lacks a unique initial start event at clock 0")
+            }
+            ModelError::UnorderedView { processor } => {
+                write!(f, "view of {processor} is not ordered by clock time")
+            }
+            ModelError::DuplicateMessage { id } => {
+                write!(f, "message {id} appears more than once")
+            }
+            ModelError::OrphanReceive { id, receiver } => {
+                write!(f, "{receiver} received message {id} that nobody sent")
+            }
+            ModelError::LostMessage { id, sender } => {
+                write!(f, "message {id} sent by {sender} was never received")
+            }
+            ModelError::EndpointMismatch { id } => {
+                write!(f, "sender and receiver disagree about endpoints of message {id}")
+            }
+            ModelError::UnknownProcessor { processor } => {
+                write!(f, "{processor} is not a processor of this system")
+            }
+            ModelError::WrongProcessorCount { expected, actual } => {
+                write!(f, "expected {expected} processors, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ModelError::OrphanReceive {
+            id: MessageId(3),
+            receiver: ProcessorId(1),
+        };
+        assert!(e.to_string().contains("m3"));
+        assert!(e.to_string().contains("p1"));
+        let e = ModelError::WrongProcessorCount {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,163 @@
+//! Identifiers and the events a processor records in its view.
+
+use std::fmt;
+
+use clocksync_time::ClockTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a processor (a node of the communication graph `G`).
+///
+/// Processors are numbered `0..n`; the inner index is public because it is
+/// the natural array index everywhere in the workspace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessorId(pub usize);
+
+impl ProcessorId {
+    /// The array index of this processor.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Globally unique message identifier.
+///
+/// The paper assumes messages are unique so that the send/receive
+/// correspondence of an execution is uniquely defined (§2.1); the id makes
+/// that assumption concrete.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One entry of a processor's view: a step together with the local clock
+/// time at which it was taken.
+///
+/// Views deliberately contain *no real times* — only clock times — matching
+/// the paper's definition that "the real times of occurrence are not
+/// represented in the view".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewEvent {
+    /// The processor starts; by the model's normalization its clock reads 0.
+    Start {
+        /// Clock time of the start event (always [`ClockTime::ZERO`] in a
+        /// valid view; kept explicit so malformed views can be represented
+        /// and rejected by validation).
+        clock: ClockTime,
+    },
+    /// The processor sends message `id` to `to`.
+    Send {
+        /// Destination processor.
+        to: ProcessorId,
+        /// The unique message id.
+        id: MessageId,
+        /// Local clock time of the send step.
+        clock: ClockTime,
+    },
+    /// The processor receives message `id` from `from`.
+    Recv {
+        /// Originating processor.
+        from: ProcessorId,
+        /// The unique message id.
+        id: MessageId,
+        /// Local clock time of the receive step.
+        clock: ClockTime,
+    },
+    /// A timer set for clock time `clock` fires.
+    Timer {
+        /// Local clock time for which the timer was set.
+        clock: ClockTime,
+    },
+}
+
+impl ViewEvent {
+    /// The local clock time at which the event occurred.
+    pub fn clock(&self) -> ClockTime {
+        match *self {
+            ViewEvent::Start { clock }
+            | ViewEvent::Send { clock, .. }
+            | ViewEvent::Recv { clock, .. }
+            | ViewEvent::Timer { clock } => clock,
+        }
+    }
+
+    /// Returns `true` for a start event.
+    pub fn is_start(&self) -> bool {
+        matches!(self, ViewEvent::Start { .. })
+    }
+}
+
+impl fmt::Display for ViewEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewEvent::Start { clock } => write!(f, "start@{clock}"),
+            ViewEvent::Send { to, id, clock } => write!(f, "send({id}->{to})@{clock}"),
+            ViewEvent::Recv { from, id, clock } => write!(f, "recv({id}<-{from})@{clock}"),
+            ViewEvent::Timer { clock } => write!(f, "timer@{clock}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_time::Nanos;
+
+    #[test]
+    fn clock_accessor_covers_all_variants() {
+        let t = ClockTime::ZERO + Nanos::new(5);
+        let events = [
+            ViewEvent::Start { clock: t },
+            ViewEvent::Send {
+                to: ProcessorId(1),
+                id: MessageId(9),
+                clock: t,
+            },
+            ViewEvent::Recv {
+                from: ProcessorId(2),
+                id: MessageId(9),
+                clock: t,
+            },
+            ViewEvent::Timer { clock: t },
+        ];
+        for e in events {
+            assert_eq!(e.clock(), t);
+        }
+    }
+
+    #[test]
+    fn start_predicate() {
+        assert!(ViewEvent::Start {
+            clock: ClockTime::ZERO
+        }
+        .is_start());
+        assert!(!ViewEvent::Timer {
+            clock: ClockTime::ZERO
+        }
+        .is_start());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = ViewEvent::Send {
+            to: ProcessorId(3),
+            id: MessageId(7),
+            clock: ClockTime::from_nanos(10),
+        };
+        assert_eq!(e.to_string(), "send(m7->p3)@10ns");
+        assert_eq!(ProcessorId(4).to_string(), "p4");
+    }
+}

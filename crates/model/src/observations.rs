@@ -1,0 +1,307 @@
+//! Per-directed-link estimated-delay statistics and evidence.
+
+use clocksync_time::{ClockTime, Ext, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::view::MessageObservation;
+use crate::ProcessorId;
+
+/// One message on a directed link, as the two endpoint clocks saw it.
+///
+/// This is the complete per-message evidence a local estimator may use:
+/// the sender's clock at the send step, the receiver's clock at the
+/// receive step, and (derived) the estimated delay
+/// `d̃ = recv_clock − send_clock`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgSample {
+    /// Sender's clock at the send step.
+    pub send_clock: ClockTime,
+    /// Receiver's clock at the receive step.
+    pub recv_clock: ClockTime,
+}
+
+impl MsgSample {
+    /// The estimated delay `d̃(m) = recv_clock − send_clock` (Lemma 6.1).
+    pub fn estimated_delay(&self) -> Nanos {
+        self.recv_clock - self.send_clock
+    }
+}
+
+/// Everything a link-local estimator may know about one bidirectional
+/// link, oriented: `forward` is the `p → q` direction of the estimator
+/// call.
+///
+/// The extrema-only statistics suffice for the paper's four base models
+/// (Lemmas 6.2 and 6.5 show `mls` depends on the views only through
+/// `d̃min`/`d̃max`); the per-message samples enable the generalized
+/// windowed-bias model (§6.2's "messages sent around the same time").
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEvidence<'a> {
+    /// Extrema of the `p → q` direction.
+    pub forward: DirectedStats,
+    /// Extrema of the `q → p` direction.
+    pub backward: DirectedStats,
+    /// All `p → q` messages.
+    pub forward_samples: &'a [MsgSample],
+    /// All `q → p` messages.
+    pub backward_samples: &'a [MsgSample],
+}
+
+impl<'a> LinkEvidence<'a> {
+    /// The same evidence with the orientation flipped.
+    pub fn reversed(self) -> LinkEvidence<'a> {
+        LinkEvidence {
+            forward: self.backward,
+            backward: self.forward,
+            forward_samples: self.backward_samples,
+            backward_samples: self.forward_samples,
+        }
+    }
+
+    /// Builds evidence from explicit sample lists (stats are derived).
+    pub fn from_samples(
+        forward_samples: &'a [MsgSample],
+        backward_samples: &'a [MsgSample],
+    ) -> LinkEvidence<'a> {
+        let stats = |samples: &[MsgSample]| {
+            let mut s = DirectedStats::EMPTY;
+            for m in samples {
+                s.absorb(m.estimated_delay());
+            }
+            s
+        };
+        LinkEvidence {
+            forward: stats(forward_samples),
+            backward: stats(backward_samples),
+            forward_samples,
+            backward_samples,
+        }
+    }
+}
+
+/// Estimated-delay statistics for one *directed* link `p → q`.
+///
+/// The estimated delay of a message `m` from `p` to `q` is
+/// `d̃(m) = d(m) + S_p − S_q`, which equals the receiver's clock at receipt
+/// minus the sender's clock at sending (paper Lemma 6.1). When the link
+/// carried no message the extrema take the paper's conventions
+/// `d̃max = −∞`, `d̃min = +∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedStats {
+    /// Minimum estimated delay over the link's messages (`+∞` if none).
+    pub est_min: Ext<Nanos>,
+    /// Maximum estimated delay over the link's messages (`−∞` if none).
+    pub est_max: Ext<Nanos>,
+    /// Number of messages observed on the link.
+    pub count: usize,
+}
+
+impl DirectedStats {
+    /// Statistics of a link that carried no message.
+    pub const EMPTY: DirectedStats = DirectedStats {
+        est_min: Ext::PosInf,
+        est_max: Ext::NegInf,
+        count: 0,
+    };
+
+    fn absorb(&mut self, est: Nanos) {
+        self.est_min = self.est_min.min(Ext::Finite(est));
+        self.est_max = self.est_max.max(Ext::Finite(est));
+        self.count += 1;
+    }
+}
+
+impl Default for DirectedStats {
+    fn default() -> Self {
+        DirectedStats::EMPTY
+    }
+}
+
+/// Estimated-delay statistics for every directed processor pair.
+///
+/// This is the complete interface between the raw views and the §6 local
+/// shift estimators: each estimator needs only `d̃min`/`d̃max` per direction
+/// (paper Lemmas 6.2 and 6.5 show `mls` depends on the views only through
+/// these extrema).
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_model::{LinkObservations, ProcessorId};
+/// let obs = LinkObservations::empty(2);
+/// assert_eq!(obs.stats(ProcessorId(0), ProcessorId(1)).count, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkObservations {
+    n: usize,
+    stats: Vec<DirectedStats>,   // row-major n×n, diagonal unused
+    samples: Vec<Vec<MsgSample>>, // row-major n×n, diagonal unused
+}
+
+impl LinkObservations {
+    /// Observations for `n` processors with no messages at all.
+    pub fn empty(n: usize) -> LinkObservations {
+        LinkObservations {
+            n,
+            stats: vec![DirectedStats::EMPTY; n * n],
+            samples: vec![Vec::new(); n * n],
+        }
+    }
+
+    /// Builds statistics from a list of jointly-observed messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message references a processor `≥ n`.
+    pub fn from_messages(n: usize, messages: &[MessageObservation]) -> LinkObservations {
+        let mut obs = LinkObservations::empty(n);
+        for m in messages {
+            obs.record_sample(
+                m.src,
+                m.dst,
+                MsgSample {
+                    send_clock: m.send_clock,
+                    recv_clock: m.recv_clock,
+                },
+            );
+        }
+        obs
+    }
+
+    /// The number of processors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records one estimated delay on the directed link `src → dst`,
+    /// synthesizing clock readings at `send_clock = 0`. Prefer
+    /// [`LinkObservations::record_sample`] when real clock readings are
+    /// available (the windowed-bias estimator needs them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn record(&mut self, src: ProcessorId, dst: ProcessorId, estimated_delay: Nanos) {
+        self.record_sample(
+            src,
+            dst,
+            MsgSample {
+                send_clock: ClockTime::ZERO,
+                recv_clock: ClockTime::ZERO + estimated_delay,
+            },
+        );
+    }
+
+    /// Records one message with both endpoint clock readings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn record_sample(&mut self, src: ProcessorId, dst: ProcessorId, sample: MsgSample) {
+        let idx = self.index(src, dst);
+        self.stats[idx].absorb(sample.estimated_delay());
+        self.samples[idx].push(sample);
+    }
+
+    /// All recorded samples on the directed link `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn samples(&self, src: ProcessorId, dst: ProcessorId) -> &[MsgSample] {
+        &self.samples[self.index(src, dst)]
+    }
+
+    /// The complete evidence about the link `{p, q}`, oriented `p → q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn evidence(&self, p: ProcessorId, q: ProcessorId) -> LinkEvidence<'_> {
+        LinkEvidence {
+            forward: self.stats(p, q),
+            backward: self.stats(q, p),
+            forward_samples: self.samples(p, q),
+            backward_samples: self.samples(q, p),
+        }
+    }
+
+    /// The statistics of the directed link `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn stats(&self, src: ProcessorId, dst: ProcessorId) -> DirectedStats {
+        self.stats[self.index(src, dst)]
+    }
+
+    /// `d̃min(src, dst)`: minimum estimated delay (`+∞` when unobserved).
+    pub fn estimated_min(&self, src: ProcessorId, dst: ProcessorId) -> Ext<Nanos> {
+        self.stats(src, dst).est_min
+    }
+
+    /// `d̃max(src, dst)`: maximum estimated delay (`−∞` when unobserved).
+    pub fn estimated_max(&self, src: ProcessorId, dst: ProcessorId) -> Ext<Nanos> {
+        self.stats(src, dst).est_max
+    }
+
+    /// Total messages recorded across all links.
+    pub fn total_messages(&self) -> usize {
+        self.stats.iter().map(|s| s.count).sum()
+    }
+
+    fn index(&self, src: ProcessorId, dst: ProcessorId) -> usize {
+        assert!(
+            src.index() < self.n && dst.index() < self.n,
+            "processor out of range"
+        );
+        src.index() * self.n + dst.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ProcessorId = ProcessorId(0);
+    const Q: ProcessorId = ProcessorId(1);
+
+    #[test]
+    fn empty_links_have_infinite_extrema() {
+        let obs = LinkObservations::empty(3);
+        assert_eq!(obs.estimated_min(P, Q), Ext::PosInf);
+        assert_eq!(obs.estimated_max(P, Q), Ext::NegInf);
+        assert_eq!(obs.total_messages(), 0);
+    }
+
+    #[test]
+    fn extrema_track_min_and_max() {
+        let mut obs = LinkObservations::empty(2);
+        obs.record(P, Q, Nanos::new(30));
+        obs.record(P, Q, Nanos::new(-10));
+        obs.record(P, Q, Nanos::new(20));
+        let s = obs.stats(P, Q);
+        assert_eq!(s.est_min, Ext::Finite(Nanos::new(-10)));
+        assert_eq!(s.est_max, Ext::Finite(Nanos::new(30)));
+        assert_eq!(s.count, 3);
+        // The reverse direction is untouched.
+        assert_eq!(obs.stats(Q, P), DirectedStats::EMPTY);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut obs = LinkObservations::empty(2);
+        obs.record(P, Q, Nanos::new(5));
+        obs.record(Q, P, Nanos::new(-7));
+        assert_eq!(obs.estimated_min(P, Q), Ext::Finite(Nanos::new(5)));
+        assert_eq!(obs.estimated_min(Q, P), Ext::Finite(Nanos::new(-7)));
+        assert_eq!(obs.total_messages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_processor_panics() {
+        let obs = LinkObservations::empty(1);
+        let _ = obs.stats(P, Q);
+    }
+}

@@ -1,0 +1,488 @@
+//! Views and validated view sets.
+
+use std::collections::HashMap;
+
+use clocksync_time::ClockTime;
+use serde::{Deserialize, Serialize};
+
+use crate::observations::LinkObservations;
+use crate::{MessageId, ModelError, ProcessorId, ViewEvent};
+
+/// The view of one processor: its steps with local clock times, in order.
+///
+/// Per the paper (§2.1), a view is the concatenation of a processor's steps
+/// in real-time order, with the real times erased. Because clocks are
+/// drift-free, clock order coincides with real-time order, so a view is
+/// simply a clock-ordered event sequence beginning with a start event at
+/// clock 0.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_model::{View, ProcessorId, MessageId};
+/// use clocksync_time::ClockTime;
+///
+/// let mut v = View::new(ProcessorId(0));
+/// v.record_send(ProcessorId(1), MessageId(1), ClockTime::from_nanos(100));
+/// assert_eq!(v.events().len(), 2); // start + send
+/// assert!(v.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    processor: ProcessorId,
+    events: Vec<ViewEvent>,
+}
+
+impl View {
+    /// Creates a view for `processor` containing only the start event.
+    pub fn new(processor: ProcessorId) -> View {
+        View {
+            processor,
+            events: vec![ViewEvent::Start {
+                clock: ClockTime::ZERO,
+            }],
+        }
+    }
+
+    /// Creates a view from raw events without validation; use
+    /// [`View::validate`] (or [`ViewSet::new`]) to check it.
+    pub fn from_events(processor: ProcessorId, events: Vec<ViewEvent>) -> View {
+        View { processor, events }
+    }
+
+    /// The processor whose view this is.
+    pub fn processor(&self) -> ProcessorId {
+        self.processor
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[ViewEvent] {
+        &self.events
+    }
+
+    /// Appends a send event.
+    pub fn record_send(&mut self, to: ProcessorId, id: MessageId, clock: ClockTime) {
+        self.events.push(ViewEvent::Send { to, id, clock });
+    }
+
+    /// Appends a receive event.
+    pub fn record_recv(&mut self, from: ProcessorId, id: MessageId, clock: ClockTime) {
+        self.events.push(ViewEvent::Recv { from, id, clock });
+    }
+
+    /// Appends a timer event.
+    pub fn record_timer(&mut self, clock: ClockTime) {
+        self.events.push(ViewEvent::Timer { clock });
+    }
+
+    /// Checks the per-view axioms: a unique start event first, at clock 0,
+    /// and nondecreasing clock times.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match self.events.first() {
+            Some(ViewEvent::Start { clock }) if *clock == ClockTime::ZERO => {}
+            _ => {
+                return Err(ModelError::BadStartEvent {
+                    processor: self.processor,
+                })
+            }
+        }
+        if self.events.iter().skip(1).any(|e| e.is_start()) {
+            return Err(ModelError::BadStartEvent {
+                processor: self.processor,
+            });
+        }
+        let ordered = self
+            .events
+            .windows(2)
+            .all(|w| w[0].clock() <= w[1].clock());
+        if !ordered {
+            return Err(ModelError::UnorderedView {
+                processor: self.processor,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One message as observed jointly by its two endpoint views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageObservation {
+    /// Sender.
+    pub src: ProcessorId,
+    /// Receiver.
+    pub dst: ProcessorId,
+    /// Unique id.
+    pub id: MessageId,
+    /// Sender's clock at the send step.
+    pub send_clock: ClockTime,
+    /// Receiver's clock at the receive step.
+    pub recv_clock: ClockTime,
+}
+
+/// A complete, validated set of views — the input to the synchronization
+/// algorithm.
+///
+/// Construction checks every per-view axiom plus the cross-view message
+/// correspondence: each id is sent exactly once and received exactly once,
+/// with matching endpoints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewSet {
+    views: Vec<View>,
+}
+
+impl ViewSet {
+    /// Validates and assembles a view set. `views[i]` must belong to
+    /// processor `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated execution axiom.
+    pub fn new(views: Vec<View>) -> Result<ViewSet, ModelError> {
+        let n = views.len();
+        for (i, v) in views.iter().enumerate() {
+            if v.processor().index() != i {
+                return Err(ModelError::UnknownProcessor {
+                    processor: v.processor(),
+                });
+            }
+            v.validate()?;
+        }
+
+        // Message correspondence.
+        let mut sends: HashMap<MessageId, (ProcessorId, ProcessorId, ClockTime)> = HashMap::new();
+        let mut recvs: HashMap<MessageId, (ProcessorId, ProcessorId, ClockTime)> = HashMap::new();
+        for v in &views {
+            for e in v.events() {
+                match *e {
+                    ViewEvent::Send { to, id, clock } => {
+                        if to.index() >= n {
+                            return Err(ModelError::UnknownProcessor { processor: to });
+                        }
+                        if sends.insert(id, (v.processor(), to, clock)).is_some() {
+                            return Err(ModelError::DuplicateMessage { id });
+                        }
+                    }
+                    ViewEvent::Recv { from, id, clock } => {
+                        if from.index() >= n {
+                            return Err(ModelError::UnknownProcessor { processor: from });
+                        }
+                        if recvs.insert(id, (from, v.processor(), clock)).is_some() {
+                            return Err(ModelError::DuplicateMessage { id });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (id, (src, dst, _)) in &sends {
+            match recvs.get(id) {
+                None => {
+                    return Err(ModelError::LostMessage {
+                        id: *id,
+                        sender: *src,
+                    })
+                }
+                Some((rsrc, rdst, _)) if rsrc != src || rdst != dst => {
+                    return Err(ModelError::EndpointMismatch { id: *id })
+                }
+                Some(_) => {}
+            }
+        }
+        for (id, (_, dst, _)) in &recvs {
+            if !sends.contains_key(id) {
+                return Err(ModelError::OrphanReceive {
+                    id: *id,
+                    receiver: *dst,
+                });
+            }
+        }
+
+        Ok(ViewSet { views })
+    }
+
+    /// The number of processors.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Returns `true` if there are no processors.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The view of processor `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn view(&self, p: ProcessorId) -> &View {
+        &self.views[p.index()]
+    }
+
+    /// Iterates over the views in processor order.
+    pub fn iter(&self) -> impl Iterator<Item = &View> {
+        self.views.iter()
+    }
+
+    /// Collects every message with both endpoint clock readings.
+    pub fn message_observations(&self) -> Vec<MessageObservation> {
+        let mut sends: HashMap<MessageId, (ProcessorId, ProcessorId, ClockTime)> = HashMap::new();
+        for v in &self.views {
+            for e in v.events() {
+                if let ViewEvent::Send { to, id, clock } = *e {
+                    sends.insert(id, (v.processor(), to, clock));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for v in &self.views {
+            for e in v.events() {
+                if let ViewEvent::Recv { from: _, id, clock } = *e {
+                    let (src, dst, send_clock) =
+                        sends[&id]; // correspondence validated at construction
+                    out.push(MessageObservation {
+                        src,
+                        dst,
+                        id,
+                        send_clock,
+                        recv_clock: clock,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|m| m.id);
+        out
+    }
+
+    /// Extracts the per-directed-link estimated-delay statistics
+    /// (`d̃min`, `d̃max`, message count) used by the §6 estimators.
+    pub fn link_observations(&self) -> LinkObservations {
+        LinkObservations::from_messages(self.len(), &self.message_observations())
+    }
+
+    /// Returns a view set with only the messages satisfying `keep`,
+    /// dropping the matching send *and* receive events together so the
+    /// message correspondence stays intact (start and timer events are
+    /// always retained).
+    ///
+    /// This models giving the synchronizer a *prefix* of the traffic and
+    /// underlies the monotonicity experiments: nested message sets yield
+    /// nested constraint sets.
+    pub fn retain_messages(&self, mut keep: impl FnMut(MessageId) -> bool) -> ViewSet {
+        let views = self
+            .views
+            .iter()
+            .map(|v| {
+                View::from_events(
+                    v.processor(),
+                    v.events()
+                        .iter()
+                        .filter(|e| match e {
+                            ViewEvent::Send { id, .. } | ViewEvent::Recv { id, .. } => keep(*id),
+                            _ => true,
+                        })
+                        .copied()
+                        .collect(),
+                )
+            })
+            .collect();
+        ViewSet::new(views).expect("filtering whole messages preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_time::Nanos;
+
+    fn ct(ns: i64) -> ClockTime {
+        ClockTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn fresh_view_is_valid() {
+        let v = View::new(ProcessorId(0));
+        assert!(v.validate().is_ok());
+        assert_eq!(v.processor(), ProcessorId(0));
+    }
+
+    #[test]
+    fn missing_start_is_rejected() {
+        let v = View::from_events(ProcessorId(0), vec![]);
+        assert_eq!(
+            v.validate(),
+            Err(ModelError::BadStartEvent {
+                processor: ProcessorId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn nonzero_start_clock_is_rejected() {
+        let v = View::from_events(
+            ProcessorId(0),
+            vec![ViewEvent::Start { clock: ct(5) }],
+        );
+        assert!(v.validate().is_err());
+    }
+
+    #[test]
+    fn second_start_is_rejected() {
+        let v = View::from_events(
+            ProcessorId(0),
+            vec![
+                ViewEvent::Start { clock: ct(0) },
+                ViewEvent::Start { clock: ct(0) },
+            ],
+        );
+        assert!(v.validate().is_err());
+    }
+
+    #[test]
+    fn decreasing_clocks_are_rejected() {
+        let mut v = View::new(ProcessorId(0));
+        v.record_timer(ct(10));
+        v.record_timer(ct(5));
+        assert_eq!(
+            v.validate(),
+            Err(ModelError::UnorderedView {
+                processor: ProcessorId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn equal_clocks_are_fine() {
+        let mut v = View::new(ProcessorId(0));
+        v.record_timer(ct(0));
+        v.record_timer(ct(0));
+        assert!(v.validate().is_ok());
+    }
+
+    fn paired_views() -> Vec<View> {
+        let mut v0 = View::new(ProcessorId(0));
+        let mut v1 = View::new(ProcessorId(1));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(100));
+        v1.record_recv(ProcessorId(0), MessageId(1), ct(150));
+        vec![v0, v1]
+    }
+
+    #[test]
+    fn valid_view_set_assembles() {
+        let vs = ViewSet::new(paired_views()).unwrap();
+        assert_eq!(vs.len(), 2);
+        let obs = vs.message_observations();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].send_clock, ct(100));
+        assert_eq!(obs[0].recv_clock, ct(150));
+        assert_eq!(obs[0].src, ProcessorId(0));
+        assert_eq!(obs[0].dst, ProcessorId(1));
+    }
+
+    #[test]
+    fn lost_message_is_rejected() {
+        let mut v0 = View::new(ProcessorId(0));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(100));
+        let v1 = View::new(ProcessorId(1));
+        assert_eq!(
+            ViewSet::new(vec![v0, v1]),
+            Err(ModelError::LostMessage {
+                id: MessageId(1),
+                sender: ProcessorId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn orphan_receive_is_rejected() {
+        let v0 = View::new(ProcessorId(0));
+        let mut v1 = View::new(ProcessorId(1));
+        v1.record_recv(ProcessorId(0), MessageId(1), ct(10));
+        assert_eq!(
+            ViewSet::new(vec![v0, v1]),
+            Err(ModelError::OrphanReceive {
+                id: MessageId(1),
+                receiver: ProcessorId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_send_is_rejected() {
+        let mut v0 = View::new(ProcessorId(0));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(1));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(2));
+        let mut v1 = View::new(ProcessorId(1));
+        v1.record_recv(ProcessorId(0), MessageId(1), ct(3));
+        assert_eq!(
+            ViewSet::new(vec![v0, v1]),
+            Err(ModelError::DuplicateMessage { id: MessageId(1) })
+        );
+    }
+
+    #[test]
+    fn endpoint_mismatch_is_rejected() {
+        let mut v0 = View::new(ProcessorId(0));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(1));
+        let v1 = View::new(ProcessorId(1));
+        let mut v2 = View::new(ProcessorId(2));
+        v2.record_recv(ProcessorId(0), MessageId(1), ct(2));
+        assert_eq!(
+            ViewSet::new(vec![v0, v1, v2]),
+            Err(ModelError::EndpointMismatch { id: MessageId(1) })
+        );
+    }
+
+    #[test]
+    fn unknown_destination_is_rejected() {
+        let mut v0 = View::new(ProcessorId(0));
+        v0.record_send(ProcessorId(7), MessageId(1), ct(1));
+        assert_eq!(
+            ViewSet::new(vec![v0]),
+            Err(ModelError::UnknownProcessor {
+                processor: ProcessorId(7)
+            })
+        );
+    }
+
+    #[test]
+    fn views_must_be_in_processor_order() {
+        let v0 = View::new(ProcessorId(1));
+        assert!(matches!(
+            ViewSet::new(vec![v0]),
+            Err(ModelError::UnknownProcessor { .. })
+        ));
+    }
+
+    #[test]
+    fn retain_messages_drops_whole_messages() {
+        let mut v0 = View::new(ProcessorId(0));
+        let mut v1 = View::new(ProcessorId(1));
+        v0.record_send(ProcessorId(1), MessageId(1), ct(100));
+        v0.record_send(ProcessorId(1), MessageId(2), ct(200));
+        v1.record_recv(ProcessorId(0), MessageId(1), ct(150));
+        v1.record_recv(ProcessorId(0), MessageId(2), ct(250));
+        let vs = ViewSet::new(vec![v0, v1]).unwrap();
+        let kept = vs.retain_messages(|id| id == MessageId(1));
+        assert_eq!(kept.message_observations().len(), 1);
+        assert_eq!(kept.message_observations()[0].id, MessageId(1));
+        // Start events survive.
+        assert_eq!(kept.view(ProcessorId(0)).events().len(), 2);
+    }
+
+    #[test]
+    fn estimated_delay_is_clock_difference() {
+        // Lemma 6.1: d̃(m) = recv_clock − send_clock, whatever the real
+        // start times are (they are not even represented here).
+        let vs = ViewSet::new(paired_views()).unwrap();
+        let obs = vs.link_observations();
+        assert_eq!(
+            obs.estimated_min(ProcessorId(0), ProcessorId(1)),
+            clocksync_time::Ext::Finite(Nanos::new(50))
+        );
+    }
+}

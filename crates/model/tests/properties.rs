@@ -1,0 +1,131 @@
+//! Property tests for the execution model: the shift operation behaves like
+//! the paper's §4.1 group action and views are shift-invariant.
+
+use clocksync_model::{ExecutionBuilder, Execution, ProcessorId};
+use clocksync_time::{Nanos, Ratio, RealTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    starts: Vec<i64>,
+    /// (src, dst, send offset after src start, delay)
+    messages: Vec<(usize, usize, i64, i64)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=5).prop_flat_map(|n| {
+        let starts = proptest::collection::vec(0i64..1_000_000, n);
+        let messages = proptest::collection::vec(
+            (0..n, 0..n, 0i64..1_000_000, 0i64..100_000),
+            1..12,
+        );
+        (starts, messages).prop_map(move |(starts, messages)| Scenario {
+            n,
+            starts,
+            messages: messages
+                .into_iter()
+                .filter(|&(s, d, _, _)| s != d)
+                .collect(),
+        })
+    })
+}
+
+fn build(s: &Scenario) -> Option<Execution> {
+    let mut b = ExecutionBuilder::new(s.n);
+    for (i, &st) in s.starts.iter().enumerate() {
+        b = b.start(ProcessorId(i), RealTime::from_nanos(st));
+    }
+    let latest = *s.starts.iter().max().unwrap_or(&0);
+    for &(src, dst, off, delay) in &s.messages {
+        // Send well after every start so delays keep clocks nonnegative.
+        let sent = RealTime::from_nanos(latest + off);
+        b = b.message(
+            ProcessorId(src),
+            ProcessorId(dst),
+            sent,
+            Nanos::new(delay),
+        );
+    }
+    b.build().ok()
+}
+
+proptest! {
+    /// Shifting preserves views (equivalence) and moves starts by −s.
+    #[test]
+    fn shift_is_equivalence_preserving(s in scenario(), seed in 0u64..1000) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        let shifts: Vec<Nanos> = (0..s.n)
+            .map(|i| Nanos::new(((seed as i64).wrapping_mul(i as i64 + 7) % 10_000) - 5_000))
+            .collect();
+        let shifted = exec.shift(&shifts);
+        prop_assert!(exec.is_equivalent_to(&shifted));
+        for (i, &sh) in shifts.iter().enumerate() {
+            let p = ProcessorId(i);
+            prop_assert_eq!(shifted.start(p), exec.start(p) - sh);
+        }
+    }
+
+    /// shift(α, S1 + S2) = shift(shift(α, S1), S2) and shift(α, 0) = α.
+    #[test]
+    fn shift_is_a_group_action(s in scenario()) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        let s1: Vec<Nanos> = (0..s.n).map(|i| Nanos::new(i as i64 * 13 - 20)).collect();
+        let s2: Vec<Nanos> = (0..s.n).map(|i| Nanos::new(31 - i as i64 * 7)).collect();
+        let sum: Vec<Nanos> = s1.iter().zip(&s2).map(|(&a, &b)| a + b).collect();
+        prop_assert_eq!(exec.shift(&sum), exec.shift(&s1).shift(&s2));
+        let zero = vec![Nanos::ZERO; s.n];
+        prop_assert_eq!(exec.shift(&zero), exec.clone());
+    }
+
+    /// Estimated delays are invariant under shifting; true delays move by
+    /// exactly s_src − s_dst (the identity behind Claim 4.2).
+    #[test]
+    fn estimated_delays_are_shift_invariant(s in scenario()) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        let shifts: Vec<Nanos> = (0..s.n).map(|i| Nanos::new(997 * i as i64 - 300)).collect();
+        let shifted = exec.shift(&shifts);
+        let before = exec.messages();
+        let after = shifted.messages();
+        prop_assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert_eq!(b.estimated_delay, a.estimated_delay);
+            let expected = b.delay + shifts[b.src.index()] - shifts[b.dst.index()];
+            prop_assert_eq!(a.delay, expected);
+        }
+    }
+
+    /// d̃(m) = d(m) + S_src − S_dst for every message (Lemma 6.1).
+    #[test]
+    fn estimated_delay_identity(s in scenario()) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        for m in exec.messages() {
+            let expected = m.delay
+                + (exec.start(m.src) - RealTime::ZERO)
+                - (exec.start(m.dst) - RealTime::ZERO);
+            prop_assert_eq!(m.estimated_delay, expected);
+        }
+    }
+
+    /// Discrepancy is translation-invariant: adding a constant to every
+    /// correction changes nothing (only differences matter).
+    #[test]
+    fn discrepancy_is_translation_invariant(s in scenario(), c in -1_000i128..1_000) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        let x: Vec<Ratio> = (0..s.n).map(|i| Ratio::from_int(i as i128 * 11)).collect();
+        let xc: Vec<Ratio> = x.iter().map(|&v| v + Ratio::from_int(c)).collect();
+        prop_assert_eq!(exec.discrepancy(&x), exec.discrepancy(&xc));
+    }
+
+    /// Perfect corrections (x_p = S_p) achieve zero discrepancy.
+    #[test]
+    fn perfect_corrections_have_zero_discrepancy(s in scenario()) {
+        let Some(exec) = build(&s) else { return Ok(()); };
+        let x: Vec<Ratio> = exec
+            .starts()
+            .iter()
+            .map(|&st| Ratio::from(st - RealTime::ZERO))
+            .collect();
+        prop_assert_eq!(exec.discrepancy(&x), Ratio::ZERO);
+    }
+}

@@ -1,0 +1,462 @@
+//! The processor-thread cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use clocksync::{DelayRange, LinkAssumption, Network, SyncError, SyncOutcome, Synchronizer};
+use clocksync_model::{Execution, MessageId, ProcessorId, View, ViewEvent, ViewSet};
+use clocksync_time::{ClockTime, Nanos, RealTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay configuration of one bidirectional link. The *forward* direction
+/// is low-id → high-id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    fwd_lo: Nanos,
+    fwd_hi: Nanos,
+    bwd_lo: Nanos,
+    bwd_hi: Nanos,
+}
+
+impl LinkConfig {
+    /// Injected per-message delays uniform in `[lo, hi]` (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo ≤ hi`.
+    pub fn uniform(lo: Nanos, hi: Nanos) -> LinkConfig {
+        LinkConfig::asymmetric(lo, hi, lo, hi)
+    }
+
+    /// Different uniform ranges per direction (forward = low-id → high-id),
+    /// modelling DSL-like links directly in the threaded runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo ≤ hi` in each direction.
+    pub fn asymmetric(fwd_lo: Nanos, fwd_hi: Nanos, bwd_lo: Nanos, bwd_hi: Nanos) -> LinkConfig {
+        assert!(
+            Nanos::ZERO < fwd_lo && fwd_lo <= fwd_hi,
+            "link delays require 0 < lo <= hi (forward)"
+        );
+        assert!(
+            Nanos::ZERO < bwd_lo && bwd_lo <= bwd_hi,
+            "link delays require 0 < lo <= hi (backward)"
+        );
+        LinkConfig {
+            fwd_lo,
+            fwd_hi,
+            bwd_lo,
+            bwd_hi,
+        }
+    }
+
+    /// The sampling range for one direction.
+    fn range(&self, forward: bool) -> (Nanos, Nanos) {
+        if forward {
+            (self.fwd_lo, self.fwd_hi)
+        } else {
+            (self.bwd_lo, self.bwd_hi)
+        }
+    }
+
+    /// The truthful assumption for this link: the injected delay is a hard
+    /// lower bound; scheduling jitter can only add, so the declared upper
+    /// bound is `hi + margin`.
+    fn assumption(&self, margin: Nanos) -> LinkAssumption {
+        LinkAssumption::bounds(
+            DelayRange::new(self.fwd_lo, self.fwd_hi + margin),
+            DelayRange::new(self.bwd_lo, self.bwd_hi + margin),
+        )
+    }
+}
+
+/// One probe in flight.
+struct Wire {
+    id: MessageId,
+    from: ProcessorId,
+    payload: u64,
+    sent_at: Instant,
+    deliver_after: Duration,
+}
+
+/// Per-thread recorded view plus measured ground truth.
+struct ThreadLog {
+    start_offset: Nanos,
+    events: Vec<ViewEvent>,
+}
+
+/// Configuration and entry point of a cluster run.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    n: usize,
+    links: Vec<(usize, usize, LinkConfig)>,
+    probes: usize,
+    spacing: Nanos,
+    start_spread: Nanos,
+    margin: Nanos,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` processor threads with no links yet.
+    pub fn new(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            n,
+            links: Vec::new(),
+            probes: 2,
+            spacing: Nanos::from_millis(2),
+            start_spread: Nanos::from_millis(2),
+            margin: Nanos::from_millis(200),
+        }
+    }
+
+    /// Adds a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or are out of range.
+    pub fn link(mut self, a: usize, b: usize, config: LinkConfig) -> Self {
+        assert!(a != b, "link endpoints must differ");
+        assert!(a < self.n && b < self.n, "endpoint out of range");
+        self.links.push((a.min(b), a.max(b), config));
+        self
+    }
+
+    /// Number of probe round trips per link (default 2).
+    pub fn probes(mut self, probes: usize) -> Self {
+        assert!(probes > 0, "at least one probe required");
+        self.probes = probes;
+        self
+    }
+
+    /// Spacing between probe rounds (default 2 ms).
+    pub fn spacing(mut self, spacing: Nanos) -> Self {
+        self.spacing = spacing;
+        self
+    }
+
+    /// Maximum secret start offset (default 2 ms).
+    pub fn start_spread(mut self, spread: Nanos) -> Self {
+        self.start_spread = spread;
+        self
+    }
+
+    /// Scheduling-jitter allowance added to declared upper bounds
+    /// (default 200 ms; generous on purpose — a violated declaration would
+    /// make the views inconsistent with the assumptions).
+    pub fn margin(mut self, margin: Nanos) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// The network the synchronizer will be told about.
+    pub fn network(&self) -> Network {
+        let mut b = Network::builder(self.n);
+        for &(a, c, cfg) in &self.links {
+            b = b.link(ProcessorId(a), ProcessorId(c), cfg.assumption(self.margin));
+        }
+        b.build()
+    }
+
+    /// Launches the threads, runs the probe protocol to completion and
+    /// harvests views and measured start times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread fails or the recorded run violates the model
+    /// axioms (a bug, not an input condition).
+    pub fn run(&self, seed: u64) -> NetRun {
+        let n = self.n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let offsets: Vec<Nanos> = (0..n)
+            .map(|_| {
+                if self.start_spread == Nanos::ZERO {
+                    Nanos::ZERO
+                } else {
+                    Nanos::new(rng.gen_range(0..=self.start_spread.as_nanos()))
+                }
+            })
+            .collect();
+
+        // One inbound channel per processor.
+        let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Wire>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+
+        // Per-processor wiring: initiated links (to higher ids) and the
+        // number of messages expected.
+        let mut initiate: Vec<Vec<(usize, LinkConfig)>> = vec![Vec::new(); n];
+        let mut expected: Vec<usize> = vec![0; n];
+        for &(a, b, cfg) in &self.links {
+            initiate[a].push((b, cfg));
+            expected[a] += self.probes; // echoes back to the initiator
+            expected[b] += self.probes; // probes arriving at the responder
+        }
+
+        let msg_ids = Arc::new(AtomicU64::new(0));
+        let logs: Arc<Vec<Mutex<Option<ThreadLog>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let epoch = Instant::now();
+
+        thread::scope(|scope| {
+            for i in 0..n {
+                let rx = receivers[i].take().expect("receiver taken once");
+                let senders = senders.clone();
+                let initiate = initiate[i].clone();
+                let expected = expected[i];
+                let offset = offsets[i];
+                let msg_ids = Arc::clone(&msg_ids);
+                let logs = Arc::clone(&logs);
+                let probes = self.probes;
+                let spacing = self.spacing;
+                let first_probe_after = self.start_spread + Nanos::from_millis(1);
+                let mut link_rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
+
+                scope.spawn(move || {
+                    // Secret start offset, then the processor "starts".
+                    thread::sleep(Duration::from_nanos(offset.as_nanos() as u64));
+                    let start = Instant::now();
+                    let start_offset = Nanos::new(
+                        i64::try_from((start - epoch).as_nanos()).expect("run fits in i64 ns"),
+                    );
+                    let clock_now =
+                        |start: Instant| -> ClockTime {
+                            ClockTime::from_nanos(
+                                i64::try_from(start.elapsed().as_nanos())
+                                    .expect("run fits in i64 ns"),
+                            )
+                        };
+                    let mut events = vec![ViewEvent::Start {
+                        clock: ClockTime::ZERO,
+                    }];
+
+                    // Probe send schedule (initiators only).
+                    let mut schedule: Vec<(Duration, usize, LinkConfig)> = Vec::new();
+                    for round in 0..probes {
+                        let at = Duration::from_nanos(
+                            (first_probe_after + spacing * round as i64).as_nanos() as u64,
+                        );
+                        for &(peer, cfg) in &initiate {
+                            schedule.push((at, peer, cfg));
+                        }
+                    }
+                    schedule.sort_by_key(|&(at, peer, _)| (at, peer));
+                    let mut next_send = 0usize;
+                    let mut received = 0usize;
+
+                    let send_to = |peer: usize,
+                                       payload: u64,
+                                       cfg: &LinkConfig,
+                                       events: &mut Vec<ViewEvent>,
+                                       link_rng: &mut StdRng| {
+                        let id = MessageId(msg_ids.fetch_add(1, Ordering::Relaxed));
+                        let (lo, hi) = cfg.range(i < peer);
+                        let delay = if lo == hi {
+                            lo
+                        } else {
+                            Nanos::new(link_rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
+                        };
+                        events.push(ViewEvent::Send {
+                            to: ProcessorId(peer),
+                            id,
+                            clock: clock_now(start),
+                        });
+                        senders[peer]
+                            .send(Wire {
+                                id,
+                                from: ProcessorId(i),
+                                payload,
+                                sent_at: Instant::now(),
+                                deliver_after: Duration::from_nanos(delay.as_nanos() as u64),
+                            })
+                            .expect("peer inbox open");
+                    };
+
+                    let deadline = start + Duration::from_secs(30);
+                    while received < expected || next_send < schedule.len() {
+                        assert!(Instant::now() < deadline, "cluster run timed out");
+                        // Send everything due.
+                        while next_send < schedule.len() && start.elapsed() >= schedule[next_send].0
+                        {
+                            let (_, peer, cfg) = schedule[next_send];
+                            send_to(peer, 0, &cfg, &mut events, &mut link_rng);
+                            next_send += 1;
+                        }
+                        let wait = if next_send < schedule.len() {
+                            schedule[next_send].0.saturating_sub(start.elapsed())
+                        } else {
+                            Duration::from_millis(5)
+                        }
+                        .min(Duration::from_millis(5));
+                        match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+                            Ok(wire) => {
+                                // Hold the message until its injected delay
+                                // has fully elapsed.
+                                let due = wire.sent_at + wire.deliver_after;
+                                let now = Instant::now();
+                                if due > now {
+                                    thread::sleep(due - now);
+                                }
+                                events.push(ViewEvent::Recv {
+                                    from: wire.from,
+                                    id: wire.id,
+                                    clock: clock_now(start),
+                                });
+                                received += 1;
+                                if wire.payload == 0 {
+                                    // Echo immediately over the same link.
+                                    let cfg = self
+                                        .links
+                                        .iter()
+                                        .find(|&&(a, b, _)| {
+                                            (a, b)
+                                                == (
+                                                    i.min(wire.from.index()),
+                                                    i.max(wire.from.index()),
+                                                )
+                                        })
+                                        .map(|&(_, _, c)| c)
+                                        .expect("echo goes back over a known link");
+                                    send_to(
+                                        wire.from.index(),
+                                        1,
+                                        &cfg,
+                                        &mut events,
+                                        &mut link_rng,
+                                    );
+                                }
+                            }
+                            Err(_) => { /* timeout: loop re-checks schedule */ }
+                        }
+                    }
+
+                    *logs[i].lock() = Some(ThreadLog {
+                        start_offset,
+                        events,
+                    });
+                });
+            }
+        });
+
+        let mut starts = Vec::with_capacity(n);
+        let mut views = Vec::with_capacity(n);
+        for (i, cell) in logs.iter().enumerate() {
+            let log = cell.lock().take().expect("thread completed");
+            starts.push(RealTime::ZERO + log.start_offset);
+            views.push(View::from_events(ProcessorId(i), log.events));
+        }
+        let views = ViewSet::new(views).expect("cluster produces valid views");
+        let execution = Execution::new(starts, views).expect("counts match");
+        NetRun {
+            network: self.network(),
+            execution,
+        }
+    }
+}
+
+/// A completed cluster run: measured ground truth plus harvested views.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// The truthful assumption network for the run.
+    pub network: Network,
+    /// Measured execution (views + true thread start times).
+    pub execution: Execution,
+}
+
+impl NetRun {
+    /// Runs the optimal synchronizer on the harvested views.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`]; inconsistent observations would indicate
+    /// the jitter margin was exceeded.
+    pub fn synchronize(&self) -> Result<SyncOutcome, SyncError> {
+        Synchronizer::new(self.network.clone()).synchronize(self.execution.views())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_time::Ext;
+
+    #[test]
+    fn two_thread_cluster_synchronizes_within_guarantee() {
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_millis(1), Nanos::from_millis(2)),
+            )
+            .probes(2)
+            .run(1);
+        assert!(run.network.admits(&run.execution));
+        let outcome = run.synchronize().unwrap();
+        assert!(outcome.precision().is_finite());
+        let err = run.execution.discrepancy(outcome.corrections());
+        assert!(Ext::Finite(err) <= outcome.precision());
+    }
+
+    #[test]
+    fn delays_respect_the_configured_floor() {
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_millis(2), Nanos::from_millis(2)),
+            )
+            .probes(1)
+            .run(3);
+        for m in run.execution.messages() {
+            assert!(m.delay >= Nanos::from_millis(2), "delay {} too small", m.delay);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo <= hi")]
+    fn zero_floor_is_rejected() {
+        let _ = LinkConfig::uniform(Nanos::ZERO, Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn asymmetric_links_sample_per_direction() {
+        // Forward (0→1) exactly 1ms, backward exactly 4ms: the delays must
+        // reflect the orientation, and so must the declared assumption.
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::asymmetric(
+                    Nanos::from_millis(1),
+                    Nanos::from_millis(1),
+                    Nanos::from_millis(4),
+                    Nanos::from_millis(4),
+                ),
+            )
+            .probes(2)
+            .run(5);
+        for m in run.execution.messages() {
+            let floor = if m.src < m.dst {
+                Nanos::from_millis(1)
+            } else {
+                Nanos::from_millis(4)
+            };
+            assert!(m.delay >= floor, "{:?}→{:?}: {}", m.src, m.dst, m.delay);
+        }
+        assert!(run.network.admits(&run.execution));
+        let outcome = run.synchronize().unwrap();
+        let err = run.execution.discrepancy(outcome.corrections());
+        assert!(clocksync_time::Ext::Finite(err) <= outcome.precision());
+    }
+}

@@ -1,0 +1,41 @@
+//! A threaded, channel-based runtime for the clock synchronizer.
+//!
+//! Where `clocksync-sim` generates executions in virtual time, this crate
+//! runs them **for real**: every processor is an OS thread with its own
+//! monotonic clock (started at a secret offset), probes travel through
+//! crossbeam channels with injected delays, and each thread records its
+//! view exactly as the paper's model prescribes — clock times only. The
+//! harvested views feed the same [`clocksync::Synchronizer`]; the harness
+//! keeps the measured true start offsets so tests and experiments can
+//! compare the guarantee against reality.
+//!
+//! Because real schedulers add jitter, declared upper bounds carry a
+//! configurable safety [`margin`](ClusterConfig::margin); delays below the
+//! configured lower bound are impossible by construction (receivers hold a
+//! message until its injected delay has elapsed), so declared assumptions
+//! are always truthful.
+//!
+//! # Examples
+//!
+//! ```
+//! use clocksync_net::{ClusterConfig, LinkConfig};
+//! use clocksync_time::{Ext, Nanos};
+//!
+//! let run = ClusterConfig::new(3)
+//!     .link(0, 1, LinkConfig::uniform(Nanos::from_millis(1), Nanos::from_millis(3)))
+//!     .link(1, 2, LinkConfig::uniform(Nanos::from_millis(1), Nanos::from_millis(3)))
+//!     .probes(2)
+//!     .run(7);
+//! let outcome = run.synchronize()?;
+//! assert!(outcome.precision().is_finite());
+//! let err = run.execution.discrepancy(outcome.corrections());
+//! assert!(Ext::Finite(err) <= outcome.precision());
+//! # Ok::<(), clocksync::SyncError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+
+pub use cluster::{ClusterConfig, LinkConfig, NetRun};

@@ -1,0 +1,294 @@
+//! Clock drift and periodic resynchronization.
+//!
+//! The paper assumes drift-free clocks and defends the assumption by the
+//! practice it cites (footnote 1, after Kopetz–Ochsenreiter): real
+//! hardware clocks drift by parts-per-million, and deployments rerun the
+//! synchronization periodically, declaring delay assumptions *widened* by
+//! the drift a clock can accumulate over one period.
+//!
+//! This module makes that story concrete:
+//!
+//! * [`run_with_drift`] executes a scenario, then lets each processor's
+//!   clock run at its own secret rate `1 + ρ_i` (ρ in ppm): views are
+//!   re-expressed in drifted clock readings, exactly what a drifting
+//!   processor would have recorded;
+//! * declared assumptions are widened by the worst drift the run horizon
+//!   allows ([`widen_assumption`]), so the declarations remain *true* and
+//!   the synchronizer stays sound;
+//! * the returned [`DriftRun`] can evaluate the corrected clocks at any
+//!   later real time, quantifying how the guarantee decays as drift
+//!   accumulates after the synchronization point — the measurement behind
+//!   experiment E13 and behind the advice "resync every T".
+
+use clocksync::{DelayRange, LinkAssumption, Network, SyncOutcome, Synchronizer};
+use clocksync_model::{Execution, ProcessorId, View, ViewEvent, ViewSet};
+use clocksync_time::{ClockTime, Ext, Nanos, Ratio, RealTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::Simulation;
+
+const PPM: i128 = 1_000_000;
+
+/// Scales a clock reading by `1 + ppm/10⁶`, rounding to whole ns.
+fn drift_clock(clock: ClockTime, ppm: i64) -> ClockTime {
+    let raw = clock.as_nanos() as i128;
+    let scaled = Ratio::new(raw * (PPM + ppm as i128), PPM).round_nanos();
+    ClockTime::ZERO + scaled
+}
+
+/// Re-expresses a view in the readings of a clock running at `1 + ppm/10⁶`.
+fn drift_view(view: &View, ppm: i64) -> View {
+    let events = view
+        .events()
+        .iter()
+        .map(|e| match *e {
+            ViewEvent::Start { clock } => ViewEvent::Start { clock },
+            ViewEvent::Send { to, id, clock } => ViewEvent::Send {
+                to,
+                id,
+                clock: drift_clock(clock, ppm),
+            },
+            ViewEvent::Recv { from, id, clock } => ViewEvent::Recv {
+                from,
+                id,
+                clock: drift_clock(clock, ppm),
+            },
+            ViewEvent::Timer { clock } => ViewEvent::Timer {
+                clock: drift_clock(clock, ppm),
+            },
+        })
+        .collect();
+    View::from_events(view.processor(), events)
+}
+
+/// Widens a (truthful, drift-free) assumption so it stays truthful when
+/// every estimated delay may be off by up to `margin` due to drift:
+/// bounds gain `margin` on both sides, bias bounds gain `2·margin`.
+pub fn widen_assumption(a: &LinkAssumption, margin: Nanos) -> LinkAssumption {
+    match a {
+        LinkAssumption::Bounds { forward, backward } => {
+            let widen = |r: &DelayRange| {
+                let lower = (r.lower() - margin).max(Nanos::ZERO);
+                match r.upper() {
+                    Ext::Finite(ub) => DelayRange::new(lower, ub + margin),
+                    _ => DelayRange::at_least(lower),
+                }
+            };
+            LinkAssumption::bounds(widen(forward), widen(backward))
+        }
+        LinkAssumption::RttBias { bound } => LinkAssumption::rtt_bias(*bound + margin * 2),
+        LinkAssumption::PairedRttBias { bound, window } => {
+            LinkAssumption::paired_rtt_bias(*bound + margin * 2, *window + margin)
+        }
+        LinkAssumption::All(parts) => {
+            LinkAssumption::all(parts.iter().map(|p| widen_assumption(p, margin)).collect())
+        }
+    }
+}
+
+/// A synchronization performed on drifting clocks.
+#[derive(Debug, Clone)]
+pub struct DriftRun {
+    /// The drift-free ground-truth execution.
+    pub execution: Execution,
+    /// The views as the drifting processors actually recorded them.
+    pub drifted_views: ViewSet,
+    /// The widened network the synchronizer was given.
+    pub network: Network,
+    /// Secret clock rates, ppm per processor.
+    pub drift_ppm: Vec<i64>,
+    /// The margin used to widen the declarations.
+    pub margin: Nanos,
+    /// The synchronization outcome (certificate valid at sync time).
+    pub outcome: SyncOutcome,
+}
+
+impl DriftRun {
+    /// The drifting logical clock of `p` at real time `t`:
+    /// `(t − S_p)·(1 + ρ_p/10⁶) + x_p`.
+    pub fn logical_clock_at(&self, p: ProcessorId, t: RealTime) -> Ratio {
+        let elapsed = (t - self.execution.start(p)).as_nanos() as i128;
+        let reading = Ratio::new(elapsed * (PPM + self.drift_ppm[p.index()] as i128), PPM);
+        reading + self.outcome.correction(p)
+    }
+
+    /// The worst pairwise disagreement of the corrected (still drifting)
+    /// clocks at real time `t`.
+    pub fn logical_spread_at(&self, t: RealTime) -> Ratio {
+        let values: Vec<Ratio> = (0..self.execution.n())
+            .map(|i| self.logical_clock_at(ProcessorId(i), t))
+            .collect();
+        match (values.iter().max(), values.iter().min()) {
+            (Some(hi), Some(lo)) => *hi - *lo,
+            _ => Ratio::ZERO,
+        }
+    }
+
+    /// The real time of the last recorded event (the synchronization
+    /// point for decay measurements).
+    pub fn sync_time(&self) -> RealTime {
+        self.execution
+            .messages()
+            .iter()
+            .map(|m| m.received_at)
+            .max()
+            .unwrap_or(RealTime::ZERO)
+    }
+}
+
+/// Runs `sim` under clock drift: rates are sampled uniformly in
+/// `[−max_ppm, +max_ppm]`, views are re-expressed in drifted readings,
+/// declarations are widened just enough to stay truthful, and the
+/// synchronizer runs on what the drifting processors saw.
+///
+/// # Panics
+///
+/// Panics if the widened declarations are still violated (a bug: the
+/// margin is derived from the run's actual horizon) or if the scenario
+/// itself is invalid.
+pub fn run_with_drift(sim: &Simulation, max_ppm: i64, seed: u64) -> DriftRun {
+    assert!(max_ppm >= 0, "drift magnitude must be nonnegative");
+    let base = sim.run(seed);
+    let n = sim.n();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD21F7);
+    let drift_ppm: Vec<i64> = (0..n)
+        .map(|_| {
+            if max_ppm == 0 {
+                0
+            } else {
+                rng.gen_range(-max_ppm..=max_ppm)
+            }
+        })
+        .collect();
+
+    // Drifted views.
+    let drifted_views = ViewSet::new(
+        base.execution
+            .views()
+            .iter()
+            .map(|v| drift_view(v, drift_ppm[v.processor().index()]))
+            .collect(),
+    )
+    .expect("drift preserves view validity");
+
+    // Worst-case reading error over the run horizon, conservatively from
+    // the largest clock reading any processor recorded.
+    let horizon = base
+        .execution
+        .views()
+        .iter()
+        .flat_map(|v| v.events().iter().map(|e| e.clock().as_nanos()))
+        .max()
+        .unwrap_or(0);
+    let worst_err = Ratio::new(horizon as i128 * max_ppm as i128, PPM).ceil_nanos();
+    // An estimated delay mixes two clocks: up to 2× the reading error.
+    let margin = worst_err * 2 + Nanos::new(1);
+
+    let mut b = Network::builder(n);
+    for l in sim.links() {
+        b = b.link(
+            ProcessorId(l.a),
+            ProcessorId(l.b),
+            widen_assumption(&l.assumption, margin),
+        );
+    }
+    let network = b.build();
+    let outcome = Synchronizer::new(network.clone())
+        .synchronize(&drifted_views)
+        .expect("widened declarations absorb the drift");
+
+    DriftRun {
+        execution: base.execution,
+        drifted_views,
+        network,
+        drift_ppm,
+        margin,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn sim() -> Simulation {
+        Simulation::builder(4)
+            .uniform_links(
+                Topology::Ring(4),
+                Nanos::from_micros(100),
+                Nanos::from_micros(400),
+                5,
+            )
+            .probes(2)
+            .spacing(Nanos::from_millis(5))
+            .build()
+    }
+
+    #[test]
+    fn zero_drift_matches_the_plain_pipeline_guarantee() {
+        let run = run_with_drift(&sim(), 0, 3);
+        assert_eq!(run.drift_ppm, vec![0; 4]);
+        let spread = run.logical_spread_at(run.sync_time());
+        assert!(Ext::Finite(spread) <= run.outcome.precision());
+    }
+
+    #[test]
+    fn drifted_run_is_sound_at_sync_time_within_drift_allowance() {
+        for seed in 0..4 {
+            let run = run_with_drift(&sim(), 50, seed); // 50 ppm
+            assert!(run.outcome.precision().is_finite());
+            let spread = run.logical_spread_at(run.sync_time());
+            // At sync time the corrected clocks agree within the
+            // certificate plus the residual reading error the certificate
+            // cannot see (bounded by the margin).
+            let allowance =
+                run.outcome.precision() + Ext::Finite(Ratio::from(run.margin));
+            assert!(
+                Ext::Finite(spread) <= allowance,
+                "seed {seed}: {spread} > {allowance}"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_grows_as_drift_accumulates() {
+        let run = run_with_drift(&sim(), 100, 7);
+        if run.drift_ppm.iter().all(|&d| d == run.drift_ppm[0]) {
+            return; // identical rates never diverge; astronomically rare
+        }
+        let t0 = run.sync_time();
+        let at = |secs: i64| run.logical_spread_at(t0 + Nanos::from_secs(secs));
+        assert!(at(100) > at(1));
+        // ~100ppm relative drift over 100s is ~10ms of divergence.
+        assert!(at(100) > Ratio::from_int(1_000_000));
+    }
+
+    #[test]
+    fn widening_covers_every_assumption_family() {
+        let m = Nanos::new(10);
+        let b = widen_assumption(
+            &LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(5), Nanos::new(50))),
+            m,
+        );
+        match b {
+            LinkAssumption::Bounds { forward, .. } => {
+                assert_eq!(forward.lower(), Nanos::ZERO);
+                assert_eq!(forward.upper(), Ext::Finite(Nanos::new(60)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            widen_assumption(&LinkAssumption::rtt_bias(Nanos::new(7)), m),
+            LinkAssumption::rtt_bias(Nanos::new(27))
+        );
+        match widen_assumption(
+            &LinkAssumption::all(vec![LinkAssumption::no_bounds()]),
+            m,
+        ) {
+            LinkAssumption::All(parts) => assert_eq!(parts.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! High-level simulation scenarios: topology + delay models + assumptions
+//! → executions, ready for synchronization and evaluation.
+
+use std::collections::HashMap;
+
+use clocksync::{LinkAssumption, Network, SyncError, SyncOutcome, Synchronizer};
+use clocksync_model::{Execution, ProcessorId};
+use clocksync_time::{Ext, Nanos, Ratio, RealTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::delay::{DelayDistribution, LinkModel};
+use crate::engine::{Engine, Process};
+use crate::protocol::ProbeProcess;
+use crate::topology::Topology;
+
+/// Derives the tightest delay assumption that the sampled delays of
+/// `model` are guaranteed to satisfy.
+///
+/// * Independent directions ⇒ per-direction [`LinkAssumption::bounds`]
+///   from the distribution supports (upper bound `+∞` for heavy tails);
+/// * correlated directions ⇒ [`LinkAssumption::rtt_bias`] with the link's
+///   jitter spread (clamped up to 1 ns — a bias bound must be positive).
+pub fn truthful_assumption(model: &LinkModel) -> LinkAssumption {
+    match model {
+        LinkModel::Independent { forward, backward } => {
+            let range = |d: &DelayDistribution| match d.support_max() {
+                Ext::Finite(hi) => clocksync::DelayRange::new(d.support_min(), hi),
+                _ => clocksync::DelayRange::at_least(d.support_min()),
+            };
+            LinkAssumption::bounds(range(forward), range(backward))
+        }
+        LinkModel::Correlated { spread, .. } => {
+            LinkAssumption::rtt_bias((*spread).max(Nanos::new(1)))
+        }
+    }
+}
+
+/// One link of a scenario.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Lower endpoint.
+    pub a: usize,
+    /// Higher endpoint.
+    pub b: usize,
+    /// How delays are actually generated.
+    pub model: LinkModel,
+    /// What the synchronizer is told (oriented `a → b`).
+    pub assumption: LinkAssumption,
+}
+
+/// A repeatable simulation scenario.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_sim::{Simulation, Topology, DelayDistribution};
+/// use clocksync_time::{Ext, Nanos};
+///
+/// let sim = Simulation::builder(4)
+///     .uniform_links(Topology::Ring(4),
+///                    Nanos::from_micros(50), Nanos::from_micros(250), 7)
+///     .probes(3)
+///     .build();
+/// let run = sim.run(42);
+/// let outcome = run.synchronize()?;
+/// assert!(outcome.precision().is_finite());
+/// // The hidden true error never exceeds the guarantee.
+/// let err = run.true_discrepancy(outcome.corrections());
+/// assert!(Ext::Finite(err) <= outcome.precision());
+/// # Ok::<(), clocksync::SyncError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    n: usize,
+    links: Vec<LinkSpec>,
+    probes: usize,
+    spacing: Nanos,
+    start_spread: Nanos,
+}
+
+impl Simulation {
+    /// Starts building a scenario over `n` processors.
+    pub fn builder(n: usize) -> SimulationBuilder {
+        SimulationBuilder {
+            sim: Simulation {
+                n,
+                links: Vec::new(),
+                probes: 2,
+                spacing: Nanos::from_millis(10),
+                start_spread: Nanos::from_millis(5),
+            },
+        }
+    }
+
+    /// The number of processors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The declared links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Probe round trips per link.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Spacing between probe rounds.
+    pub fn spacing(&self) -> Nanos {
+        self.spacing
+    }
+
+    /// Maximum random start-time skew.
+    pub fn start_spread(&self) -> Nanos {
+        self.start_spread
+    }
+
+    /// Builds the [`Network`] the synchronizer will be given.
+    pub fn network(&self) -> Network {
+        let mut b = Network::builder(self.n);
+        for l in &self.links {
+            b = b.link(ProcessorId(l.a), ProcessorId(l.b), l.assumption.clone());
+        }
+        b.build()
+    }
+
+    /// Runs the scenario with a seed: samples start offsets and delays,
+    /// executes the probe protocol, and returns the recorded run.
+    pub fn run(&self, seed: u64) -> SimRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let starts: Vec<RealTime> = (0..self.n)
+            .map(|_| {
+                let s = if self.start_spread == Nanos::ZERO {
+                    0
+                } else {
+                    rng.gen_range(0..=self.start_spread.as_nanos())
+                };
+                RealTime::from_nanos(s)
+            })
+            .collect();
+        let mut links = HashMap::new();
+        for l in &self.links {
+            links.insert((l.a, l.b), l.model.resolve(&mut rng));
+        }
+        let engine = Engine::new(starts, links);
+        // Probes start only after every processor has started.
+        let initial_delay = self.start_spread + Nanos::from_micros(100);
+        let processes: Vec<Box<dyn Process>> = (0..self.n)
+            .map(|_| {
+                Box::new(ProbeProcess::new(self.probes, self.spacing, initial_delay))
+                    as Box<dyn Process>
+            })
+            .collect();
+        let execution = engine.run(processes, &mut rng);
+        SimRun {
+            network: self.network(),
+            execution,
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    sim: Simulation,
+}
+
+impl SimulationBuilder {
+    /// Adds one link with an explicit delay model and assumption (oriented
+    /// `a → b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are out of range or equal.
+    pub fn link(
+        mut self,
+        a: usize,
+        b: usize,
+        model: LinkModel,
+        assumption: LinkAssumption,
+    ) -> Self {
+        assert!(a != b, "link endpoints must differ");
+        assert!(a < self.sim.n && b < self.sim.n, "endpoint out of range");
+        let (a, b, model, assumption) = if a < b {
+            (a, b, model, assumption)
+        } else {
+            let flipped = match model {
+                LinkModel::Independent { forward, backward } => LinkModel::Independent {
+                    forward: backward,
+                    backward: forward,
+                },
+                sym => sym,
+            };
+            (b, a, flipped, assumption.reversed())
+        };
+        self.sim.links.push(LinkSpec {
+            a,
+            b,
+            model,
+            assumption,
+        });
+        self
+    }
+
+    /// Adds a link whose declared assumption is derived truthfully from
+    /// its delay model ([`truthful_assumption`]).
+    pub fn truthful_link(self, a: usize, b: usize, model: LinkModel) -> Self {
+        let assumption = truthful_assumption(&model);
+        self.link(a, b, model, assumption)
+    }
+
+    /// Adds every edge of `topology` with symmetric uniform delays in
+    /// `[lo, hi]` and the matching truthful bounds assumption. The
+    /// topology's randomness (if any) is drawn from `topo_seed`.
+    pub fn uniform_links(self, topology: Topology, lo: Nanos, hi: Nanos, topo_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(topo_seed);
+        let edges = topology.edges(&mut rng);
+        edges.into_iter().fold(self, |b, (x, y)| {
+            b.truthful_link(
+                x,
+                y,
+                LinkModel::symmetric(DelayDistribution::uniform(lo, hi)),
+            )
+        })
+    }
+
+    /// Sets the number of probe round trips per link (default 2).
+    pub fn probes(mut self, probes: usize) -> Self {
+        self.sim.probes = probes;
+        self
+    }
+
+    /// Sets the spacing between probe rounds (default 10 ms).
+    pub fn spacing(mut self, spacing: Nanos) -> Self {
+        self.sim.spacing = spacing;
+        self
+    }
+
+    /// Sets the maximum random start-time skew (default 5 ms).
+    pub fn start_spread(mut self, spread: Nanos) -> Self {
+        assert!(spread >= Nanos::ZERO, "spread must be nonnegative");
+        self.sim.start_spread = spread;
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Simulation {
+        self.sim
+    }
+}
+
+/// One executed simulation: the hidden ground truth plus everything the
+/// synchronizer may see.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The declared assumption network.
+    pub network: Network,
+    /// The recorded execution (views + hidden starts).
+    pub execution: Execution,
+}
+
+impl SimRun {
+    /// Runs the optimal synchronizer on the recorded views.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] (impossible for truthfully-declared
+    /// scenarios).
+    pub fn synchronize(&self) -> Result<SyncOutcome, SyncError> {
+        Synchronizer::new(self.network.clone()).synchronize(self.execution.views())
+    }
+
+    /// The *true* worst pairwise disagreement of corrected clocks — the
+    /// quantity only the outside observer can measure.
+    pub fn true_discrepancy(&self, corrections: &[Ratio]) -> Ratio {
+        self.execution.discrepancy(corrections)
+    }
+
+    /// Whether the generated execution satisfies the declared assumptions
+    /// (always true for truthful scenarios; useful as a self-check).
+    pub fn is_admissible(&self) -> bool {
+        self.network.admits(&self.execution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_scenario_is_admissible_and_sound() {
+        let sim = Simulation::builder(5)
+            .uniform_links(
+                Topology::Ring(5),
+                Nanos::from_micros(100),
+                Nanos::from_micros(400),
+                3,
+            )
+            .probes(2)
+            .build();
+        for seed in 0..5 {
+            let run = sim.run(seed);
+            assert!(run.is_admissible());
+            let outcome = run.synchronize().unwrap();
+            assert!(outcome.precision().is_finite());
+            let err = run.true_discrepancy(outcome.corrections());
+            assert!(Ext::Finite(err) <= outcome.precision(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn truthful_heavy_tail_scenario_uses_lower_bound_only() {
+        let model = LinkModel::symmetric(DelayDistribution::heavy_tail(
+            Nanos::from_micros(200),
+            Nanos::from_micros(100),
+            1.5,
+        ));
+        match truthful_assumption(&model) {
+            LinkAssumption::Bounds { forward, backward } => {
+                assert_eq!(forward.lower(), Nanos::from_micros(200));
+                assert_eq!(forward.upper(), Ext::PosInf);
+                assert_eq!(backward.upper(), Ext::PosInf);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truthful_correlated_scenario_uses_rtt_bias() {
+        let model = LinkModel::Correlated {
+            base: DelayDistribution::uniform(Nanos::from_micros(1), Nanos::from_millis(50)),
+            spread: Nanos::from_micros(30),
+        };
+        assert_eq!(
+            truthful_assumption(&model),
+            LinkAssumption::rtt_bias(Nanos::from_micros(30))
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible_by_seed() {
+        let sim = Simulation::builder(3)
+            .uniform_links(
+                Topology::Path(3),
+                Nanos::from_micros(10),
+                Nanos::from_micros(90),
+                1,
+            )
+            .build();
+        let a = sim.run(7);
+        let b = sim.run(7);
+        assert_eq!(a.execution, b.execution);
+        let c = sim.run(8);
+        assert!(a.execution != c.execution);
+    }
+
+    #[test]
+    fn reversed_link_declaration_matches_forward() {
+        // Declaring (2, 0) with asymmetric delays must orient correctly.
+        let model = LinkModel::Independent {
+            forward: DelayDistribution::constant(Nanos::new(100)),
+            backward: DelayDistribution::constant(Nanos::new(900)),
+        };
+        let sim = Simulation::builder(3)
+            .truthful_link(2, 0, model)
+            .uniform_links(Topology::Path(3), Nanos::new(1), Nanos::new(10), 1)
+            .probes(1)
+            .build();
+        let run = sim.run(11);
+        assert!(run.is_admissible());
+        // Messages 2 → 0 take 100ns (the declared forward direction).
+        let d = run
+            .execution
+            .link_delays(ProcessorId(2), ProcessorId(0));
+        assert!(d.iter().all(|&x| x == Nanos::new(100)));
+    }
+}

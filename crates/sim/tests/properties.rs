@@ -1,0 +1,97 @@
+//! Property tests for the simulator: determinism, admissibility, and
+//! structural invariants of generated executions.
+
+use clocksync_sim::{DelayDistribution, LinkModel, Simulation, Topology};
+use clocksync_time::{Ext, Nanos};
+use proptest::prelude::*;
+
+fn topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (3usize..8).prop_map(Topology::Path),
+        (3usize..8).prop_map(Topology::Ring),
+        (3usize..8).prop_map(Topology::Star),
+        (3usize..6).prop_map(Topology::Complete),
+        ((2usize..4), (2usize..4)).prop_map(|(rows, cols)| Topology::Grid { rows, cols }),
+        (4usize..9, 0u32..500).prop_map(|(n, extra_per_mille)| Topology::RandomConnected {
+            n,
+            extra_per_mille
+        }),
+    ]
+}
+
+fn model() -> impl Strategy<Value = LinkModel> {
+    prop_oneof![
+        (1i64..1_000, 0i64..100_000).prop_map(|(lo, width)| LinkModel::symmetric(
+            DelayDistribution::uniform(Nanos::new(lo), Nanos::new(lo + width))
+        )),
+        (1i64..100_000, 1i64..50_000, 11u32..30).prop_map(|(floor, scale, alpha10)| {
+            LinkModel::symmetric(DelayDistribution::heavy_tail(
+                Nanos::new(floor),
+                Nanos::new(scale),
+                alpha10 as f64 / 10.0,
+            ))
+        }),
+        (1i64..1_000_000, 1i64..10_000).prop_map(|(hi, spread)| LinkModel::Correlated {
+            base: DelayDistribution::uniform(Nanos::new(1), Nanos::new(hi)),
+            spread: Nanos::new(spread),
+        }),
+    ]
+}
+
+fn simulation() -> impl Strategy<Value = Simulation> {
+    (topology(), model(), 1usize..4, 0u64..1_000).prop_map(|(topo, model, probes, topo_seed)| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(topo_seed);
+        let mut b = Simulation::builder(topo.n());
+        for (x, y) in topo.edges(&mut rng) {
+            b = b.truthful_link(x, y, model.clone());
+        }
+        b.probes(probes).build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Equal seeds give equal executions; different seeds differ.
+    #[test]
+    fn seeded_runs_are_deterministic(sim in simulation(), seed in 0u64..10_000) {
+        let a = sim.run(seed);
+        let b = sim.run(seed);
+        prop_assert_eq!(&a.execution, &b.execution);
+    }
+
+    /// Truthfully-declared scenarios always generate admissible
+    /// executions, and the synchronizer's guarantee holds on them.
+    #[test]
+    fn truthful_scenarios_are_admissible_and_sound(sim in simulation(), seed in 0u64..10_000) {
+        let run = sim.run(seed);
+        prop_assert!(run.is_admissible());
+        let outcome = run.synchronize().expect("truthful => consistent");
+        let err = run.true_discrepancy(outcome.corrections());
+        prop_assert!(Ext::Finite(err) <= outcome.precision());
+    }
+
+    /// Structural invariants: every link carries exactly `probes` round
+    /// trips, and views validate.
+    #[test]
+    fn probe_protocol_structure(sim in simulation(), seed in 0u64..10_000) {
+        let run = sim.run(seed);
+        let probes = sim.probes();
+        for l in sim.links() {
+            let fwd = run
+                .execution
+                .link_delays(clocksync_model::ProcessorId(l.a), clocksync_model::ProcessorId(l.b))
+                .len();
+            let bwd = run
+                .execution
+                .link_delays(clocksync_model::ProcessorId(l.b), clocksync_model::ProcessorId(l.a))
+                .len();
+            prop_assert_eq!(fwd, probes);
+            prop_assert_eq!(bwd, probes);
+        }
+        for v in run.execution.views().iter() {
+            prop_assert!(v.validate().is_ok());
+        }
+    }
+}

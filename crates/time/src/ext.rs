@@ -1,0 +1,260 @@
+//! Ordered quantities extended with `±∞`.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Nanos, Ratio};
+
+/// A value of `T` extended with `−∞` and `+∞`.
+///
+/// The synchronization theory needs all three routinely:
+///
+/// * a directed link that carried no message has estimated maximal delay
+///   `d̃max = −∞` and estimated minimal delay `d̃min = +∞`;
+/// * a link without an upper delay bound has `ub = +∞`;
+/// * an instance in which some processor is unconstrained in one direction
+///   has optimal precision `+∞`.
+///
+/// The derived ordering is `NegInf < Finite(_) < PosInf`, with finite values
+/// ordered by `T`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_time::{Ext, Nanos};
+///
+/// let observed = Ext::Finite(Nanos::from_micros(120));
+/// assert!(Ext::<Nanos>::NegInf < observed && observed < Ext::PosInf);
+/// assert_eq!(observed + Ext::Finite(Nanos::from_micros(30)),
+///            Ext::Finite(Nanos::from_micros(150)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Ext<T> {
+    /// Negative infinity: below every finite value.
+    NegInf,
+    /// A finite value.
+    Finite(T),
+    /// Positive infinity: above every finite value.
+    PosInf,
+}
+
+impl<T: Default> Default for Ext<T> {
+    /// The default is `Finite(T::default())`.
+    fn default() -> Self {
+        Ext::Finite(T::default())
+    }
+}
+
+impl<T> Ext<T> {
+    /// Returns `true` for a finite value.
+    pub const fn is_finite(&self) -> bool {
+        matches!(self, Ext::Finite(_))
+    }
+
+    /// Returns the finite value, if any.
+    pub fn finite(self) -> Option<T> {
+        match self {
+            Ext::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns a reference to the finite value, if any.
+    pub const fn as_finite(&self) -> Option<&T> {
+        match self {
+            Ext::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the finite value or panics with `msg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is infinite.
+    pub fn expect_finite(self, msg: &str) -> T {
+        match self {
+            Ext::Finite(v) => v,
+            Ext::NegInf => panic!("{msg}: value is -inf"),
+            Ext::PosInf => panic!("{msg}: value is +inf"),
+        }
+    }
+
+    /// Applies `f` to a finite value, preserving infinities.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Ext<U> {
+        match self {
+            Ext::Finite(v) => Ext::Finite(f(v)),
+            Ext::NegInf => Ext::NegInf,
+            Ext::PosInf => Ext::PosInf,
+        }
+    }
+}
+
+impl<T: Ord> Ext<T> {
+    /// The smaller of two extended values.
+    pub fn min(self, other: Ext<T>) -> Ext<T> {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two extended values.
+    pub fn max(self, other: Ext<T>) -> Ext<T> {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl<T> From<T> for Ext<T> {
+    fn from(v: T) -> Ext<T> {
+        Ext::Finite(v)
+    }
+}
+
+impl From<Ext<Nanos>> for Ext<Ratio> {
+    fn from(v: Ext<Nanos>) -> Ext<Ratio> {
+        v.map(Ratio::from)
+    }
+}
+
+impl<T: Add<Output = T>> Add for Ext<T> {
+    type Output = Ext<T>;
+
+    /// Extended addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the indeterminate form `+∞ + (−∞)`; that combination never
+    /// arises from the algorithms in this workspace and indicates a bug.
+    fn add(self, rhs: Ext<T>) -> Ext<T> {
+        match (self, rhs) {
+            (Ext::Finite(a), Ext::Finite(b)) => Ext::Finite(a + b),
+            (Ext::PosInf, Ext::NegInf) | (Ext::NegInf, Ext::PosInf) => {
+                panic!("indeterminate extended sum: +inf + -inf")
+            }
+            (Ext::PosInf, _) | (_, Ext::PosInf) => Ext::PosInf,
+            (Ext::NegInf, _) | (_, Ext::NegInf) => Ext::NegInf,
+        }
+    }
+}
+
+impl<T: Neg<Output = T>> Neg for Ext<T> {
+    type Output = Ext<T>;
+    fn neg(self) -> Ext<T> {
+        match self {
+            Ext::Finite(v) => Ext::Finite(-v),
+            Ext::NegInf => Ext::PosInf,
+            Ext::PosInf => Ext::NegInf,
+        }
+    }
+}
+
+impl<T> Sub for Ext<T>
+where
+    T: Add<Output = T> + Neg<Output = T>,
+{
+    type Output = Ext<T>;
+
+    /// Extended subtraction (`a − b = a + (−b)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the indeterminate forms `+∞ − +∞` and `−∞ − −∞`.
+    fn sub(self, rhs: Ext<T>) -> Ext<T> {
+        self + (-rhs)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Ext<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ext::Finite(v) => write!(f, "{v}"),
+            Ext::NegInf => write!(f, "-inf"),
+            Ext::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_spans_infinities() {
+        let lo: Ext<i64> = Ext::NegInf;
+        let hi: Ext<i64> = Ext::PosInf;
+        let mid = Ext::Finite(0i64);
+        assert!(lo < mid && mid < hi);
+        assert!(Ext::Finite(1) > Ext::Finite(0));
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(lo.max(mid), mid);
+    }
+
+    #[test]
+    fn addition_absorbs_infinities() {
+        let inf: Ext<i64> = Ext::PosInf;
+        assert_eq!(inf + Ext::Finite(5), Ext::PosInf);
+        assert_eq!(Ext::<i64>::NegInf + Ext::Finite(5), Ext::NegInf);
+        assert_eq!(Ext::Finite(2) + Ext::Finite(3), Ext::Finite(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "indeterminate")]
+    fn indeterminate_sum_panics() {
+        let _ = Ext::<i64>::PosInf + Ext::NegInf;
+    }
+
+    #[test]
+    fn negation_swaps_infinities() {
+        assert_eq!(-Ext::<i64>::PosInf, Ext::NegInf);
+        assert_eq!(-Ext::<i64>::NegInf, Ext::PosInf);
+        assert_eq!(-Ext::Finite(4i64), Ext::Finite(-4));
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(Ext::Finite(7i64) - Ext::Finite(3), Ext::Finite(4));
+        assert_eq!(Ext::<i64>::PosInf - Ext::Finite(3), Ext::PosInf);
+        assert_eq!(Ext::Finite(3i64) - Ext::PosInf, Ext::NegInf);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Ext::Finite(9i64);
+        assert!(v.is_finite());
+        assert_eq!(v.finite(), Some(9));
+        assert_eq!(v.as_finite(), Some(&9));
+        assert_eq!(v.expect_finite("should be finite"), 9);
+        assert_eq!(Ext::<i64>::PosInf.finite(), None);
+        assert_eq!(v.map(|x| x * 2), Ext::Finite(18));
+        assert_eq!(Ext::<i64>::NegInf.map(|x| x * 2), Ext::NegInf);
+    }
+
+    #[test]
+    #[should_panic(expected = "+inf")]
+    fn expect_finite_panics_on_infinity() {
+        Ext::<i64>::PosInf.expect_finite("boom");
+    }
+
+    #[test]
+    fn conversions() {
+        let n: Ext<Nanos> = Ext::Finite(Nanos::new(10));
+        let q: Ext<Ratio> = n.into();
+        assert_eq!(q, Ext::Finite(Ratio::from_int(10)));
+        assert_eq!(Ext::from(3i64), Ext::Finite(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ext::Finite(3i64).to_string(), "3");
+        assert_eq!(Ext::<i64>::PosInf.to_string(), "+inf");
+        assert_eq!(Ext::<i64>::NegInf.to_string(), "-inf");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the exact arithmetic substrate.
+
+use clocksync_time::{Ext, Nanos, Ratio};
+use proptest::prelude::*;
+
+/// Rationals with numerators/denominators small enough that arbitrary
+/// three-term expressions stay far from `i128` overflow.
+fn ratio() -> impl Strategy<Value = Ratio> {
+    (-1_000_000_000_000i128..1_000_000_000_000, 1i128..10_000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+fn nanos() -> impl Strategy<Value = Nanos> {
+    (-1_000_000_000_000i64..1_000_000_000_000).prop_map(Nanos::new)
+}
+
+fn ext_ratio() -> impl Strategy<Value = Ext<Ratio>> {
+    prop_oneof![
+        1 => Just(Ext::NegInf),
+        8 => ratio().prop_map(Ext::Finite),
+        1 => Just(Ext::PosInf),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ratio_addition_commutes(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn ratio_addition_associates(a in ratio(), b in ratio(), c in ratio()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn ratio_add_sub_roundtrip(a in ratio(), b in ratio()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn ratio_mul_distributes(a in ratio(), b in ratio(), c in ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn ratio_div_inverts_mul(a in ratio(), b in ratio()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn ratio_normalized_invariants(a in ratio()) {
+        prop_assert!(a.denominator() > 0);
+        // Re-normalizing is a no-op.
+        prop_assert_eq!(Ratio::new(a.numerator(), a.denominator()), a);
+    }
+
+    #[test]
+    fn ratio_ordering_is_translation_invariant(a in ratio(), b in ratio(), c in ratio()) {
+        prop_assert_eq!(a.cmp(&b), (a + c).cmp(&(b + c)));
+    }
+
+    #[test]
+    fn ratio_floor_ceil_round_bracket(a in ratio()) {
+        let fl = Ratio::from(a.floor_nanos());
+        let ce = Ratio::from(a.ceil_nanos());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(ce - fl <= Ratio::ONE);
+        let rd = Ratio::from(a.round_nanos());
+        prop_assert!((rd - a).abs() <= Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn nanos_ratio_embedding_is_homomorphic(a in nanos(), b in nanos()) {
+        prop_assert_eq!(Ratio::from(a) + Ratio::from(b), Ratio::from(a + b));
+        prop_assert_eq!(Ratio::from(a).cmp(&Ratio::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn ext_min_max_lattice(a in ext_ratio(), b in ext_ratio()) {
+        prop_assert_eq!(a.min(b).max(a.max(b)), a.max(b));
+        prop_assert!(a.min(b) <= a && a <= a.max(b));
+    }
+
+    #[test]
+    fn ext_negation_is_involution(a in ext_ratio()) {
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn ext_negation_reverses_order(a in ext_ratio(), b in ext_ratio()) {
+        prop_assert_eq!(a < b, -b < -a);
+    }
+}

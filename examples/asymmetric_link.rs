@@ -1,0 +1,92 @@
+//! Where NTP goes wrong and the bias model does not: asymmetric links.
+//!
+//! Run with: `cargo run --example asymmetric_link`
+//!
+//! NTP estimates a peer's offset as half the difference of the two
+//! directions' best delays — exact only if delays are symmetric. On a
+//! DSL-like link (fast downstream, slow upstream) that estimate is biased
+//! by half the asymmetry *and NTP cannot know by how much*. The PODC'93
+//! round-trip-bias model instead takes a declared bound `b` on the
+//! direction difference and produces corrections with a certified,
+//! per-instance-optimal error bar.
+
+use clocksync::{LinkAssumption, Network, Synchronizer};
+use clocksync_apps::{fmt_ext_us, fmt_us, row, section};
+use clocksync_baselines::{Baseline, NtpMinFilter};
+use clocksync_model::{ExecutionBuilder, ProcessorId};
+use clocksync_time::{Nanos, RealTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = Nanos::from_micros;
+    let client = ProcessorId(0);
+    let server = ProcessorId(1);
+
+    // Ground truth: the server started 5ms after the client; the link is
+    // asymmetric (upstream 9ms, downstream 3ms) but its bias is bounded by
+    // 7ms and delays move together within that bound.
+    let true_offset = Nanos::from_millis(5);
+    let exec = ExecutionBuilder::new(2)
+        .start(server, RealTime::ZERO + true_offset)
+        // First round trip: light load (up 9ms, down 3ms).
+        .round_trips(
+            client,
+            server,
+            1,
+            RealTime::from_millis(50),
+            Nanos::from_millis(20),
+            us(9_000),
+            us(3_000),
+        )
+        // Second round trip: congestion raises both directions together
+        // (up 10ms, down 8ms) — every pairwise bias stays within 7ms.
+        .round_trips(
+            client,
+            server,
+            1,
+            RealTime::from_millis(150),
+            Nanos::from_millis(20),
+            us(10_000),
+            us(8_000),
+        )
+        .build()?;
+
+    // The bias-model network: the only promise is |d_up − d_down| ≤ 7ms.
+    let net = Network::builder(2)
+        .link(client, server, LinkAssumption::rtt_bias(us(7_000)))
+        .build();
+    assert!(net.admits(&exec));
+
+    let outcome = Synchronizer::new(net.clone()).synchronize(exec.views())?;
+    let ntp = NtpMinFilter::new().corrections(&net, exec.views())?;
+
+    section("asymmetric link: upstream 9ms, downstream 3ms, bias <= 7ms");
+    row("true offset (hidden)", format!("{true_offset}"));
+
+    section("optimal (rtt-bias model)");
+    row("guaranteed precision", fmt_ext_us(outcome.precision()));
+    row(
+        "true error",
+        fmt_us(exec.discrepancy(outcome.corrections())),
+    );
+    row(
+        "certified bound honored",
+        format!(
+            "{}",
+            clocksync_time::Ext::Finite(exec.discrepancy(outcome.corrections()))
+                <= outcome.precision()
+        ),
+    );
+
+    section("NTP (assumes symmetry, no certificate)");
+    row("true error", fmt_us(exec.discrepancy(&ntp)));
+    row(
+        "worst case over equivalent runs",
+        fmt_ext_us(outcome.rho_bar(&ntp)),
+    );
+
+    println!("\nNTP's symmetric-delay midpoint is off by half the (3ms vs");
+    println!("9ms) asymmetry and offers no error bar. The bias model gives");
+    println!("a certified bound, and ρ̄ shows NTP's corrections are also");
+    println!("worse against an adversarial-but-consistent execution.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Drifting clocks and the resynchronization cadence.
+//!
+//! Run with: `cargo run --example drifting_clocks`
+//!
+//! The paper assumes drift-free clocks; its footnote 1 points at the
+//! practical answer (Kopetz–Ochsenreiter): hardware drifts by ppm, so you
+//! widen the declared delay assumptions slightly and resynchronize
+//! periodically. This example runs the full story: secret per-processor
+//! drift rates, views recorded by the drifting clocks, widened
+//! declarations, synchronization, and then the slow decay of the
+//! corrected clocks — from which the resync period falls out.
+
+use clocksync_apps::{fmt_ext_us, fmt_us, row, section};
+use clocksync_sim::{run_with_drift, Simulation, Topology};
+use clocksync_time::{Nanos, RealTime};
+
+fn main() {
+    let sim = Simulation::builder(5)
+        .uniform_links(
+            Topology::Ring(5),
+            Nanos::from_micros(100),
+            Nanos::from_micros(500),
+            2,
+        )
+        .probes(3)
+        .spacing(Nanos::from_millis(10))
+        .build();
+
+    let ppm = 20; // a mediocre crystal oscillator
+    let run = run_with_drift(&sim, ppm, 2026);
+
+    section(&format!("5-node ring, clocks drifting up to ±{ppm} ppm"));
+    row(
+        "secret drift rates (ppm)",
+        format!("{:?}", run.drift_ppm),
+    );
+    row("declaration widening", format!("{}", run.margin));
+    row("certificate at sync", fmt_ext_us(run.outcome.precision()));
+
+    section("corrected-clock spread as drift accumulates");
+    let t0 = run.sync_time();
+    for (label, dt) in [
+        ("at the sync point", 0i64),
+        ("+1 second", 1),
+        ("+10 seconds", 10),
+        ("+60 seconds", 60),
+        ("+10 minutes", 600),
+    ] {
+        row(
+            label,
+            fmt_us(run.logical_spread_at(t0 + Nanos::from_secs(dt))),
+        );
+    }
+
+    // Resync cadence for a 1ms target.
+    let target_us = 1_000.0;
+    let cert_us = run
+        .outcome
+        .precision()
+        .finite()
+        .map(|r| r.to_f64() / 1_000.0)
+        .unwrap_or(0.0);
+    let relative_ppm = 2.0 * ppm as f64; // worst-case pair divergence rate
+    let secs = (target_us - cert_us) / relative_ppm; // us per second = ppm
+    section("deployment advice");
+    row(
+        &format!("resync period for {}us target", target_us as i64),
+        format!("~{secs:.1}s"),
+    );
+    println!("\nThe widened declarations keep the certificate sound at the");
+    println!("sync point; after that, clocks diverge at their relative drift");
+    println!("rate until the next round — exactly the periodic scheme the");
+    println!("paper's footnote 1 defers to.");
+    let _ = RealTime::ZERO;
+}

@@ -1,0 +1,53 @@
+//! Live run: real OS threads, real channels, real (injected) delays.
+//!
+//! Run with: `cargo run --example live_channels`
+//!
+//! Three processor threads start at secret offsets, probe each other over
+//! crossbeam channels whose messages are held for a sampled delay, and
+//! record only what the model allows them to see. The harvested views go
+//! through the same optimal synchronizer as the simulator-driven examples;
+//! the harness compares against the measured true start offsets.
+
+use clocksync_apps::{fmt_ext_us, fmt_us, row, section};
+use clocksync_model::ProcessorId;
+use clocksync_net::{ClusterConfig, LinkConfig};
+use clocksync_time::{Ext, Nanos, RealTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = Nanos::from_millis;
+    let run = ClusterConfig::new(3)
+        .link(0, 1, LinkConfig::uniform(ms(1), ms(3)))
+        .link(1, 2, LinkConfig::uniform(ms(2), ms(5)))
+        .link(0, 2, LinkConfig::uniform(ms(1), ms(6)))
+        .probes(3)
+        .start_spread(ms(4))
+        .run(2026);
+
+    assert!(run.network.admits(&run.execution));
+    let outcome = run.synchronize()?;
+
+    section("live channel cluster: 3 threads, injected delays");
+    row("messages exchanged", run.execution.messages().len().to_string());
+    row("guaranteed precision", fmt_ext_us(outcome.precision()));
+    let achieved = run.execution.discrepancy(outcome.corrections());
+    row("true discrepancy (measured)", fmt_us(achieved));
+    assert!(Ext::Finite(achieved) <= outcome.precision());
+
+    section("measured thread starts vs corrections");
+    for i in 0..3 {
+        let p = ProcessorId(i);
+        row(
+            &format!("{p}"),
+            format!(
+                "started at {}  correction {}",
+                run.execution.start(p) - RealTime::ZERO,
+                fmt_us(outcome.correction(p)),
+            ),
+        );
+    }
+
+    println!("\nThe synchronizer never saw a real time or a true delay —");
+    println!("only the threads' own clock readings — yet its certificate");
+    println!("holds against the measured ground truth.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: synchronize a 4-node ring with known delay bounds.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The flow is the library's standard loop:
+//! 1. describe the network (who is linked, what is assumed about delays);
+//! 2. obtain views (here: from the discrete-event simulator);
+//! 3. `synchronize` → corrections + an optimal per-instance precision;
+//! 4. audit the result against the simulator's hidden ground truth.
+
+use clocksync_apps::{fmt_ext_us, fmt_us, row, section};
+use clocksync_model::ProcessorId;
+use clocksync_sim::{Simulation, Topology};
+use clocksync_time::{Ext, Nanos};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 4 processors in a ring; every link has uniform delays in
+    // [100us, 400us] and the synchronizer is told exactly those bounds.
+    let sim = Simulation::builder(4)
+        .uniform_links(
+            Topology::Ring(4),
+            Nanos::from_micros(100),
+            Nanos::from_micros(400),
+            1,
+        )
+        .probes(3)
+        .start_spread(Nanos::from_millis(5))
+        .build();
+
+    let run = sim.run(2026);
+    let outcome = run.synchronize()?;
+
+    section("quickstart: 4-node ring, bounds [100us, 400us]");
+    row("guaranteed precision", fmt_ext_us(outcome.precision()));
+    let achieved = run.true_discrepancy(outcome.corrections());
+    row("true discrepancy (hidden)", fmt_us(achieved));
+    assert!(Ext::Finite(achieved) <= outcome.precision());
+
+    section("per-processor corrections");
+    for i in 0..4 {
+        let p = ProcessorId(i);
+        row(&format!("offset for {p}"), fmt_us(outcome.correction(p)));
+    }
+
+    section("diagnosis");
+    if let Some((p, q)) = outcome.bottleneck_pair() {
+        row("bottleneck pair", format!("{p} vs {q}"));
+        row("its tight bound", fmt_ext_us(outcome.pair_bound(p, q)));
+    }
+    let cycle = &outcome.components()[0].critical_cycle;
+    row(
+        "critical cycle",
+        cycle
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> "),
+    );
+    println!("\nThe corrected clocks of all four processors agree to within");
+    println!("the guaranteed precision in EVERY execution consistent with");
+    println!("what the processors observed — and no algorithm can do better.");
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! The optimal synchronizer vs practical baselines on identical runs.
+//!
+//! The defining property (§3): for every baseline `B` and every instance,
+//! `ρ̄(B's corrections) ≥ ρ̄(SHIFTS corrections)`. The reverse is never
+//! true; on specific instances we also check strict gaps and the known
+//! failure modes (NTP asymmetry bias, Cristian's last-sample fragility).
+
+use clocksync::{DelayRange, LinkAssumption, Network, Synchronizer};
+use clocksync_baselines::{Baseline, CristianLast, NtpMinFilter, TreeMidpoint};
+use clocksync_model::{ExecutionBuilder, ProcessorId};
+use clocksync_sim::{DelayDistribution, LinkModel, Simulation, Topology};
+use clocksync_time::{Ext, Nanos, Ratio, RealTime};
+
+fn us(x: i64) -> Nanos {
+    Nanos::from_micros(x)
+}
+
+fn all_baselines() -> Vec<Box<dyn Baseline>> {
+    vec![
+        Box::new(NtpMinFilter::new()),
+        Box::new(CristianLast::new()),
+        Box::new(TreeMidpoint::new()),
+    ]
+}
+
+#[test]
+fn no_baseline_ever_beats_optimal_on_random_runs() {
+    let topologies = [
+        Topology::Ring(5),
+        Topology::Complete(4),
+        Topology::RandomConnected {
+            n: 7,
+            extra_per_mille: 300,
+        },
+    ];
+    for topo in topologies {
+        let sim = Simulation::builder(topo.n())
+            .uniform_links(topo, us(20), us(700), 5)
+            .probes(3)
+            .build();
+        for seed in 0..5 {
+            let run = sim.run(seed);
+            let outcome = run.synchronize().unwrap();
+            let best = outcome.rho_bar(outcome.corrections());
+            for baseline in all_baselines() {
+                let x = baseline
+                    .corrections(&run.network, run.execution.views())
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", baseline.name()));
+                assert!(
+                    outcome.rho_bar(&x) >= best,
+                    "{} beat the optimal on {topo:?} seed {seed}",
+                    baseline.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ntp_bias_grows_with_asymmetry_while_optimal_tracks_it() {
+    // Declared asymmetric bounds; sweep the actual asymmetry.
+    let p = ProcessorId(0);
+    let q = ProcessorId(1);
+    for asym_us in [0i64, 500, 1_000, 4_000] {
+        let fwd = us(1_000 + asym_us);
+        let bwd = us(1_000);
+        let net = Network::builder(2)
+            .link(
+                p,
+                q,
+                LinkAssumption::bounds(
+                    DelayRange::new(fwd, fwd),
+                    DelayRange::new(bwd, bwd),
+                ),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(2)
+            .start(q, RealTime::from_micros(333))
+            .round_trips(p, q, 1, RealTime::from_millis(10), us(100), fwd, bwd)
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+        // Exact bounds pin the instance completely: precision 0.
+        assert_eq!(outcome.precision(), Ext::Finite(Ratio::ZERO));
+        assert_eq!(exec.discrepancy(outcome.corrections()), Ratio::ZERO);
+
+        let ntp = NtpMinFilter::new().corrections(&net, exec.views()).unwrap();
+        let expected_bias = Ratio::from_int(asym_us as i128 * 1_000 / 2);
+        assert_eq!(exec.discrepancy(&ntp), expected_bias);
+    }
+}
+
+#[test]
+fn cristian_degrades_with_a_bad_last_sample_ntp_does_not() {
+    let p = ProcessorId(0);
+    let q = ProcessorId(1);
+    let net = Network::builder(2)
+        .link(p, q, LinkAssumption::no_bounds())
+        .build();
+    let exec = ExecutionBuilder::new(2)
+        .start(q, RealTime::from_micros(50))
+        // Early clean symmetric round trip…
+        .round_trips(p, q, 1, RealTime::from_millis(1), us(10), us(200), us(200))
+        // …then a final round trip with a congested return path.
+        .round_trips(p, q, 1, RealTime::from_millis(50), us(10), us(200), us(3_200))
+        .build()
+        .unwrap();
+    let ntp = NtpMinFilter::new().corrections(&net, exec.views()).unwrap();
+    let cristian = CristianLast::new().corrections(&net, exec.views()).unwrap();
+    assert_eq!(exec.discrepancy(&ntp), Ratio::ZERO);
+    assert_eq!(exec.discrepancy(&cristian), Ratio::from_int(1_500_000));
+}
+
+#[test]
+fn tree_midpoint_equals_optimal_on_trees_but_not_on_cycles() {
+    // On a star (a tree) the midpoint baseline achieves the optimum ρ̄.
+    let star = Simulation::builder(5)
+        .uniform_links(Topology::Star(5), us(50), us(500), 2)
+        .probes(2)
+        .build();
+    let run = star.run(4);
+    let outcome = run.synchronize().unwrap();
+    let x = TreeMidpoint::new()
+        .corrections(&run.network, run.execution.views())
+        .unwrap();
+    assert_eq!(outcome.rho_bar(&x), outcome.rho_bar(outcome.corrections()));
+
+    // On rings a strict gap appears for typical seeds.
+    let ring = Simulation::builder(6)
+        .uniform_links(Topology::Ring(6), us(50), us(500), 2)
+        .probes(2)
+        .build();
+    let mut strict = 0;
+    for seed in 0..10 {
+        let run = ring.run(seed);
+        let outcome = run.synchronize().unwrap();
+        let x = TreeMidpoint::new()
+            .corrections(&run.network, run.execution.views())
+            .unwrap();
+        let (b, o) = (outcome.rho_bar(&x), outcome.rho_bar(outcome.corrections()));
+        assert!(o <= b);
+        if o < b {
+            strict += 1;
+        }
+    }
+    assert!(strict > 0, "expected a strict gap on some ring instance");
+}
+
+#[test]
+fn true_error_of_optimal_is_competitive_on_symmetric_workloads() {
+    // NTP is hard to beat on truly symmetric links (it happens to be
+    // unbiased there); the optimal must still never be *worse certified*.
+    let sim = Simulation::builder(4)
+        .link(
+            0,
+            1,
+            LinkModel::symmetric(DelayDistribution::uniform(us(100), us(200))),
+            LinkAssumption::symmetric_bounds(DelayRange::new(us(100), us(200))),
+        )
+        .link(
+            1,
+            2,
+            LinkModel::symmetric(DelayDistribution::uniform(us(100), us(200))),
+            LinkAssumption::symmetric_bounds(DelayRange::new(us(100), us(200))),
+        )
+        .link(
+            2,
+            3,
+            LinkModel::symmetric(DelayDistribution::uniform(us(100), us(200))),
+            LinkAssumption::symmetric_bounds(DelayRange::new(us(100), us(200))),
+        )
+        .probes(4)
+        .build();
+    for seed in 0..5 {
+        let run = sim.run(seed);
+        let outcome = run.synchronize().unwrap();
+        let ntp = NtpMinFilter::new()
+            .corrections(&run.network, run.execution.views())
+            .unwrap();
+        // Certified quality: ours ≤ NTP's, always.
+        assert!(outcome.rho_bar(outcome.corrections()) <= outcome.rho_bar(&ntp));
+        // And our true error stays within our certificate.
+        let err = run.true_discrepancy(outcome.corrections());
+        assert!(Ext::Finite(err) <= outcome.precision());
+    }
+}

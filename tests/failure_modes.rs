@@ -1,0 +1,186 @@
+//! Failure injection: every misuse and every inconsistent input must be
+//! rejected with a precise, typed error — never garbage corrections.
+
+use clocksync::{DelayRange, LinkAssumption, Network, SyncError, Synchronizer};
+use clocksync_baselines::{Baseline, BaselineError, NtpMinFilter, TreeMidpoint};
+use clocksync_model::{
+    ExecutionBuilder, MessageId, ModelError, ProcessorId, View, ViewSet,
+};
+use clocksync_time::{ClockTime, Ext, Nanos, Ratio, RealTime};
+
+const P: ProcessorId = ProcessorId(0);
+const Q: ProcessorId = ProcessorId(1);
+
+#[test]
+fn observed_delays_outside_declared_bounds_are_inconsistent() {
+    // Promise: every delay in [100, 110]. Observation: a round trip whose
+    // total is far too small. No execution satisfies both.
+    let net = Network::builder(2)
+        .link(
+            P,
+            Q,
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(100), Nanos::new(110))),
+        )
+        .build();
+    let exec = ExecutionBuilder::new(2)
+        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(20), Nanos::new(20))
+        .build()
+        .unwrap();
+    let err = Synchronizer::new(net).synchronize(exec.views()).unwrap_err();
+    assert!(matches!(err, SyncError::InconsistentObservations { .. }));
+    assert!(err.to_string().contains("contradict"));
+}
+
+#[test]
+fn rtt_bias_violations_are_inconsistent() {
+    let net = Network::builder(2)
+        .link(P, Q, LinkAssumption::rtt_bias(Nanos::new(10)))
+        .build();
+
+    // A large *cross-direction* asymmetry alone is always explainable by a
+    // clock offset, so it must remain consistent…
+    let explainable = ExecutionBuilder::new(2)
+        .round_trips(P, Q, 1, RealTime::from_nanos(2_000), Nanos::new(10), Nanos::new(500), Nanos::new(50))
+        .build()
+        .unwrap();
+    // (The true execution violates the bias, but the *views* do not prove
+    // it: an equivalent execution with offset ≈ −225ns satisfies it.)
+    assert!(Synchronizer::new(net.clone())
+        .synchronize(explainable.views())
+        .is_ok());
+
+    // …whereas a *same-direction* spread > 2·b is provably impossible:
+    // d̃ differences within one direction are offset-free.
+    let impossible = ExecutionBuilder::new(2)
+        .message(P, Q, RealTime::from_nanos(2_000), Nanos::new(500))
+        .message(P, Q, RealTime::from_nanos(3_000), Nanos::new(100))
+        .message(Q, P, RealTime::from_nanos(4_000), Nanos::new(50))
+        .build()
+        .unwrap();
+    let err = Synchronizer::new(net)
+        .synchronize(impossible.views())
+        .unwrap_err();
+    assert!(matches!(err, SyncError::InconsistentObservations { .. }));
+}
+
+#[test]
+fn wrong_view_count_is_a_typed_error() {
+    let net = Network::builder(3).build();
+    let exec = ExecutionBuilder::new(2).build().unwrap();
+    match Synchronizer::new(net).synchronize(exec.views()) {
+        Err(SyncError::WrongProcessorCount { expected, actual }) => {
+            assert_eq!((expected, actual), (3, 2));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn unbounded_pairs_report_infinite_precision_not_panic() {
+    // One-directional traffic on a no-bounds link: the silent direction
+    // leaves the pair unboundable.
+    let net = Network::builder(2)
+        .link(P, Q, LinkAssumption::no_bounds())
+        .build();
+    let exec = ExecutionBuilder::new(2)
+        .message(P, Q, RealTime::from_nanos(1_000), Nanos::new(50))
+        .build()
+        .unwrap();
+    let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+    assert_eq!(outcome.precision(), Ext::PosInf);
+    assert_eq!(outcome.components().len(), 2);
+    // Per-pair bound is still one-sidedly informative via rho_bar…
+    assert_eq!(outcome.pair_bound(P, Q), Ext::PosInf);
+    // …and corrections exist (zeros are as optimal as anything here).
+    assert_eq!(outcome.corrections().len(), 2);
+}
+
+#[test]
+fn malformed_views_are_rejected_by_the_model_layer() {
+    // Receive with no matching send.
+    let mut v0 = View::new(P);
+    v0.record_recv(Q, MessageId(7), ClockTime::from_nanos(10));
+    let v1 = View::new(Q);
+    let err = ViewSet::new(vec![v0, v1]).unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::OrphanReceive {
+            id: MessageId(7),
+            receiver: P
+        }
+    );
+
+    // Unordered clocks.
+    let mut v0 = View::new(P);
+    v0.record_timer(ClockTime::from_nanos(10));
+    v0.record_timer(ClockTime::from_nanos(5));
+    assert_eq!(
+        ViewSet::new(vec![v0]).unwrap_err(),
+        ModelError::UnorderedView { processor: P }
+    );
+}
+
+#[test]
+fn baselines_report_disconnection_and_missing_traffic() {
+    // Disconnected declared network.
+    let net = Network::builder(3)
+        .link(P, Q, LinkAssumption::no_bounds())
+        .build();
+    let exec = ExecutionBuilder::new(3)
+        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+        .build()
+        .unwrap();
+    let err = NtpMinFilter::new()
+        .corrections(&net, exec.views())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BaselineError::Disconnected {
+            processor: ProcessorId(2)
+        }
+    );
+
+    // Connected but silent link.
+    let net = Network::builder(2)
+        .link(P, Q, LinkAssumption::no_bounds())
+        .build();
+    let silent = ExecutionBuilder::new(2).build().unwrap();
+    let err = TreeMidpoint::new()
+        .corrections(&net, silent.views())
+        .unwrap_err();
+    assert_eq!(err, BaselineError::MissingTraffic { a: P, b: Q });
+}
+
+#[test]
+fn optimal_synchronizer_survives_what_baselines_cannot() {
+    // The optimal algorithm needs no spanning tree: a disconnected
+    // assumption graph degrades to per-component answers instead of
+    // failing outright.
+    let net = Network::builder(4)
+        .link(P, Q, LinkAssumption::no_bounds())
+        .link(ProcessorId(2), ProcessorId(3), LinkAssumption::no_bounds())
+        .build();
+    let exec = ExecutionBuilder::new(4)
+        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(7))
+        .round_trips(ProcessorId(2), ProcessorId(3), 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(20), Nanos::new(30))
+        .build()
+        .unwrap();
+    let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+    assert_eq!(outcome.precision(), Ext::PosInf);
+    let comps = outcome.components();
+    assert_eq!(comps.len(), 2);
+    assert_eq!(comps[0].precision, Ratio::from_int(6)); // (5+7)/2
+    assert_eq!(comps[1].precision, Ratio::from_int(25)); // (20+30)/2
+}
+
+#[test]
+fn error_types_are_displayable_and_chainable() {
+    let model_err: SyncError = ModelError::WrongProcessorCount {
+        expected: 2,
+        actual: 1,
+    }
+    .into();
+    assert!(std::error::Error::source(&model_err).is_some());
+    let boxed: Box<dyn std::error::Error> = Box::new(model_err);
+    assert!(boxed.to_string().contains("invalid views"));
+}
