@@ -30,11 +30,7 @@ impl Baseline for CristianLast {
         "cristian-last"
     }
 
-    fn corrections(
-        &self,
-        network: &Network,
-        views: &ViewSet,
-    ) -> Result<Vec<Ratio>, BaselineError> {
+    fn corrections(&self, network: &Network, views: &ViewSet) -> Result<Vec<Ratio>, BaselineError> {
         if views.len() != network.n() {
             return Err(BaselineError::WrongProcessorCount {
                 expected: network.n(),
@@ -89,11 +85,29 @@ mod tests {
         // First round trip is clean, second is skewed: Cristian follows
         // the second while NTP's filter would have kept the first.
         let exec = ExecutionBuilder::new(2)
-            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(500), Nanos::new(500))
-            .round_trips(P, Q, 1, RealTime::from_nanos(50_000), Nanos::new(10), Nanos::new(500), Nanos::new(2_500))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::new(10),
+                Nanos::new(500),
+                Nanos::new(500),
+            )
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(50_000),
+                Nanos::new(10),
+                Nanos::new(500),
+                Nanos::new(2_500),
+            )
             .build()
             .unwrap();
-        let x = CristianLast::new().corrections(&net(), exec.views()).unwrap();
+        let x = CristianLast::new()
+            .corrections(&net(), exec.views())
+            .unwrap();
         // Latest samples: fwd 500, bwd 2500 ⇒ θ = 1000; truth is 0.
         assert_eq!(exec.discrepancy(&x), Ratio::from_int(1_000));
     }
@@ -102,10 +116,20 @@ mod tests {
     fn clean_symmetric_round_trip_is_exact() {
         let exec = ExecutionBuilder::new(2)
             .start(Q, RealTime::from_nanos(777))
-            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(300), Nanos::new(300))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::new(10),
+                Nanos::new(300),
+                Nanos::new(300),
+            )
             .build()
             .unwrap();
-        let x = CristianLast::new().corrections(&net(), exec.views()).unwrap();
+        let x = CristianLast::new()
+            .corrections(&net(), exec.views())
+            .unwrap();
         assert_eq!(exec.discrepancy(&x), Ratio::ZERO);
     }
 

@@ -97,6 +97,5 @@ pub trait Baseline {
     ///
     /// Returns a [`BaselineError`] when the estimator cannot produce
     /// corrections (disconnected network, missing samples).
-    fn corrections(&self, network: &Network, views: &ViewSet)
-        -> Result<Vec<Ratio>, BaselineError>;
+    fn corrections(&self, network: &Network, views: &ViewSet) -> Result<Vec<Ratio>, BaselineError>;
 }

@@ -1,9 +1,9 @@
 //! The NTP-style minimum-filter offset estimator.
 
 use clocksync::Network;
-use clocksync_model::ViewSet;
 #[cfg(test)]
 use clocksync_model::ProcessorId;
+use clocksync_model::ViewSet;
 use clocksync_time::{Ext, Ratio};
 
 use crate::{spanning_tree, Baseline, BaselineError};
@@ -39,11 +39,7 @@ impl Baseline for NtpMinFilter {
         "ntp-min-filter"
     }
 
-    fn corrections(
-        &self,
-        network: &Network,
-        views: &ViewSet,
-    ) -> Result<Vec<Ratio>, BaselineError> {
+    fn corrections(&self, network: &Network, views: &ViewSet) -> Result<Vec<Ratio>, BaselineError> {
         if views.len() != network.n() {
             return Err(BaselineError::WrongProcessorCount {
                 expected: network.n(),
@@ -157,8 +153,24 @@ mod tests {
         let exec = ExecutionBuilder::new(3)
             .start(Q, RealTime::from_nanos(100))
             .start(ProcessorId(2), RealTime::from_nanos(-250))
-            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(40), Nanos::new(40))
-            .round_trips(Q, ProcessorId(2), 1, RealTime::from_nanos(2_000), Nanos::new(10), Nanos::new(70), Nanos::new(70))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::new(10),
+                Nanos::new(40),
+                Nanos::new(40),
+            )
+            .round_trips(
+                Q,
+                ProcessorId(2),
+                1,
+                RealTime::from_nanos(2_000),
+                Nanos::new(10),
+                Nanos::new(70),
+                Nanos::new(70),
+            )
             .build()
             .unwrap();
         let x = NtpMinFilter::new()

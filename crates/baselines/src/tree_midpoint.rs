@@ -1,9 +1,9 @@
 //! Per-link optimal corrections composed along a spanning tree.
 
 use clocksync::{estimated_local_shifts, Network};
-use clocksync_model::ViewSet;
 #[cfg(test)]
 use clocksync_model::ProcessorId;
+use clocksync_model::ViewSet;
 use clocksync_time::{Ext, Ratio};
 
 use crate::{spanning_tree, Baseline, BaselineError};
@@ -40,11 +40,7 @@ impl Baseline for TreeMidpoint {
         "tree-midpoint"
     }
 
-    fn corrections(
-        &self,
-        network: &Network,
-        views: &ViewSet,
-    ) -> Result<Vec<Ratio>, BaselineError> {
+    fn corrections(&self, network: &Network, views: &ViewSet) -> Result<Vec<Ratio>, BaselineError> {
         if views.len() != network.n() {
             return Err(BaselineError::WrongProcessorCount {
                 expected: network.n(),
@@ -100,8 +96,24 @@ mod tests {
         let exec = ExecutionBuilder::new(3)
             .start(Q, RealTime::from_nanos(123))
             .start(R, RealTime::from_nanos(-77))
-            .round_trips(P, Q, 1, RealTime::from_nanos(5_000), Nanos::new(10), Nanos::new(400), Nanos::new(300))
-            .round_trips(Q, R, 1, RealTime::from_nanos(6_000), Nanos::new(10), Nanos::new(200), Nanos::new(800))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(5_000),
+                Nanos::new(10),
+                Nanos::new(400),
+                Nanos::new(300),
+            )
+            .round_trips(
+                Q,
+                R,
+                1,
+                RealTime::from_nanos(6_000),
+                Nanos::new(10),
+                Nanos::new(200),
+                Nanos::new(800),
+            )
             .build()
             .unwrap();
         let ours = TreeMidpoint::new().corrections(&net, exec.views()).unwrap();
@@ -131,7 +143,15 @@ mod tests {
             .build();
         let exec = ExecutionBuilder::new(2)
             .start(Q, RealTime::from_nanos(50))
-            .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(100), Nanos::new(900))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::new(10),
+                Nanos::new(100),
+                Nanos::new(900),
+            )
             .build()
             .unwrap();
         let x = TreeMidpoint::new().corrections(&net, exec.views()).unwrap();
@@ -144,9 +164,33 @@ mod tests {
         // the tree baseline (rooted BFS) may ignore it, the optimal cannot.
         let net = bounded(3, &[(0, 1), (1, 2), (0, 2)], 0, 10_000);
         let exec = ExecutionBuilder::new(3)
-            .round_trips(P, Q, 1, RealTime::from_nanos(5_000), Nanos::new(10), Nanos::new(4_000), Nanos::new(4_100))
-            .round_trips(Q, R, 1, RealTime::from_nanos(6_000), Nanos::new(10), Nanos::new(3_900), Nanos::new(4_000))
-            .round_trips(P, R, 1, RealTime::from_nanos(7_000), Nanos::new(10), Nanos::new(100), Nanos::new(80))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(5_000),
+                Nanos::new(10),
+                Nanos::new(4_000),
+                Nanos::new(4_100),
+            )
+            .round_trips(
+                Q,
+                R,
+                1,
+                RealTime::from_nanos(6_000),
+                Nanos::new(10),
+                Nanos::new(3_900),
+                Nanos::new(4_000),
+            )
+            .round_trips(
+                P,
+                R,
+                1,
+                RealTime::from_nanos(7_000),
+                Nanos::new(10),
+                Nanos::new(100),
+                Nanos::new(80),
+            )
             .build()
             .unwrap();
         let base = TreeMidpoint::new().corrections(&net, exec.views()).unwrap();

@@ -42,10 +42,7 @@ fn bench_algorithms(c: &mut Criterion) {
     ];
     for (label, algo) in baselines {
         group.bench_with_input(BenchmarkId::from_parameter(label), &views, |b, views| {
-            b.iter(|| {
-                algo.corrections(&net, black_box(views))
-                    .expect("connected")
-            })
+            b.iter(|| algo.corrections(&net, black_box(views)).expect("connected"))
         });
     }
     group.finish();

@@ -1,50 +1,26 @@
 //! Criterion bench: the GLOBAL ESTIMATES step (Floyd–Warshall closure of
-//! local shift estimates), `O(n³)` (E7).
+//! local shift estimates), `O(n³)` (E7) — the generic rational kernel
+//! versus the scaled parallel fast path behind it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use clocksync_graph::{floyd_warshall, SquareMatrix, Weight};
-use clocksync_time::{Ext, Ratio};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A sparse ring-plus-chords estimate matrix (absent pairs are +inf, as
-/// the estimators produce for undeclared links).
-fn sparse_estimates(n: usize, seed: u64) -> SquareMatrix<Ext<Ratio>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = SquareMatrix::from_fn(n, |i, j| {
-        if i == j {
-            <Ext<Ratio> as Weight>::zero()
-        } else {
-            <Ext<Ratio> as Weight>::infinity()
-        }
-    });
-    let mut link = |a: usize, b: usize, rng: &mut StdRng| {
-        let base: i128 = rng.gen_range(1_000..500_000);
-        let skew: i128 = rng.gen_range(0..base);
-        m[(a, b)] = Ext::Finite(Ratio::from_int(base + skew));
-        m[(b, a)] = Ext::Finite(Ratio::from_int(base - skew));
-    };
-    for i in 0..n {
-        link(i, (i + 1) % n, &mut rng);
-    }
-    for _ in 0..n / 2 {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
-        if a != b {
-            link(a.min(b), a.max(b), &mut rng);
-        }
-    }
-    m
-}
+use clocksync_bench::closure_bench::sparse_estimates;
+use clocksync_graph::{fast_closure, floyd_warshall};
 
 fn bench_closure(c: &mut Criterion) {
     let mut group = c.benchmark_group("global_estimates_closure");
     for n in [8usize, 16, 32, 64, 128] {
         let m = sparse_estimates(n, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+        group.bench_with_input(BenchmarkId::new("generic", n), &m, |b, m| {
             b.iter(|| floyd_warshall(black_box(m)).expect("no negative cycles"))
+        });
+    }
+    // The fast path stays affordable well past the generic kernel's range.
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let m = sparse_estimates(n, 3);
+        group.bench_with_input(BenchmarkId::new("fast", n), &m, |b, m| {
+            b.iter(|| fast_closure(black_box(m)).expect("no negative cycles"))
         });
     }
     group.finish();

@@ -1,13 +1,17 @@
 //! Regenerates every experiment table of the reproduction.
 //!
 //! Usage:
-//!   tables              # run all experiments
-//!   tables --exp e4     # run one experiment
-//!   tables --list       # list experiment ids
+//!   tables                        # run all experiments (in parallel)
+//!   tables --exp e4               # run one experiment
+//!   tables --list                 # list experiment ids
+//!   tables --bench-closure [path] # measure the closure fast path and
+//!                                 # write BENCH_closure.json (default
+//!                                 # path: BENCH_closure.json)
 
 use std::process::ExitCode;
 
-use clocksync_bench::registry;
+use clocksync_bench::{closure_bench, registry};
+use rayon::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,9 +19,17 @@ fn main() -> ExitCode {
 
     match args.as_slice() {
         [] => {
-            for (id, desc, run) in &experiments {
-                eprintln!("running {id}: {desc}");
-                println!("{}", run());
+            // The experiments are independent pure functions; render them
+            // concurrently and print in registry order.
+            let outputs: Vec<String> = experiments
+                .par_iter()
+                .map(|(id, desc, run)| {
+                    eprintln!("running {id}: {desc}");
+                    run().to_string()
+                })
+                .collect();
+            for table in outputs {
+                println!("{table}");
             }
             ExitCode::SUCCESS
         }
@@ -38,8 +50,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        [flag, rest @ ..] if flag == "--bench-closure" && rest.len() <= 1 => {
+            let path = rest
+                .first()
+                .map(String::as_str)
+                .unwrap_or("BENCH_closure.json");
+            eprintln!("measuring closure fast path (this runs the O(n^3) generic kernel at n=512; expect a few minutes)");
+            let doc = closure_bench::bench_closure_json();
+            print!("{doc}");
+            match std::fs::write(path, &doc) {
+                Ok(()) => {
+                    eprintln!("wrote {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: tables [--list | --exp <id>]");
+            eprintln!("usage: tables [--list | --exp <id> | --bench-closure [path]]");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,275 @@
+//! Wall-clock measurements of the closure fast path, behind
+//! `tables --bench-closure` and the committed `BENCH_closure.json`
+//! artifact.
+//!
+//! Two comparisons, matching the two optimizations:
+//!
+//! * **closure**: one-shot GLOBAL ESTIMATES — the generic rational
+//!   Floyd–Warshall versus [`clocksync_graph::fast_closure`] (scaled
+//!   `i64`, parallel) on the same sparse estimate matrices.
+//! * **resync**: online steady state — one new observation followed by a
+//!   fresh GLOBAL ESTIMATES matrix via
+//!   [`OnlineSynchronizer::global_estimates`]. The baseline re-derives the
+//!   local estimates and recomputes the full closure per resync (the
+//!   behavior before the incremental cache); the incremental path folds
+//!   the tightened link in with `relax_edge` in `O(n²)`. Both arms cover
+//!   exactly the GLOBAL ESTIMATES step — corrections derivation (Karp's
+//!   cycle mean) is identical on both strategies and excluded.
+//!
+//! Timings are minima over several repetitions — the stable estimator for
+//! a throughput-bound kernel — and the emitted JSON is hand-rolled (flat
+//! numbers and strings only, nothing the vendored serde stub would need).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use clocksync::{estimated_local_shifts, DelayRange, LinkAssumption, Network, OnlineSynchronizer};
+use clocksync_graph::{fast_closure, floyd_warshall_with_paths, SquareMatrix, Weight};
+use clocksync_model::ProcessorId;
+use clocksync_time::{Ext, Nanos, Ratio};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse ring-plus-chords estimate matrix (absent pairs are +inf, as
+/// the estimators produce for undeclared links). Shared by the Criterion
+/// benches and the JSON emitter so both measure the same workload.
+pub fn sparse_estimates(n: usize, seed: u64) -> SquareMatrix<Ext<Ratio>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = SquareMatrix::from_fn(n, |i, j| {
+        if i == j {
+            <Ext<Ratio> as Weight>::zero()
+        } else {
+            <Ext<Ratio> as Weight>::infinity()
+        }
+    });
+    let mut link = |a: usize, b: usize, rng: &mut StdRng| {
+        let base: i128 = rng.gen_range(1_000..500_000);
+        let skew: i128 = rng.gen_range(0..base);
+        m[(a, b)] = Ext::Finite(Ratio::from_int(base + skew));
+        m[(b, a)] = Ext::Finite(Ratio::from_int(base - skew));
+    };
+    for i in 0..n {
+        link(i, (i + 1) % n, &mut rng);
+    }
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            link(a.min(b), a.max(b), &mut rng);
+        }
+    }
+    m
+}
+
+/// Minimum elapsed nanoseconds of `f` over `reps` runs.
+fn min_ns(mut f: impl FnMut(), reps: usize) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best
+}
+
+/// A ring network over `n` processors with identical symmetric bounds.
+fn ring_network(n: usize) -> Network {
+    let mut b = Network::builder(n);
+    for i in 0..n {
+        b = b.link(
+            ProcessorId(i),
+            ProcessorId((i + 1) % n),
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::from_millis(1))),
+        );
+    }
+    b.build()
+}
+
+/// Feeds one initial probe pair per ring link, so every estimate is finite
+/// and the cache has real work to absorb later.
+fn warm_up(online: &mut OnlineSynchronizer, n: usize) {
+    for i in 0..n {
+        let j = (i + 1) % n;
+        online.observe_estimated_delay(ProcessorId(i), ProcessorId(j), Nanos::from_micros(500));
+        online.observe_estimated_delay(ProcessorId(j), ProcessorId(i), Nanos::from_micros(500));
+    }
+}
+
+/// One row of the one-shot closure comparison.
+pub struct ClosureRow {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Generic rational kernel, nanoseconds.
+    pub generic_ns: u128,
+    /// Scaled parallel kernel via `fast_closure`, nanoseconds.
+    pub fast_ns: u128,
+}
+
+/// One row of the steady-state resync comparison.
+pub struct ResyncRow {
+    /// Processor count.
+    pub n: usize,
+    /// Full recompute per resync (pre-cache behavior), nanoseconds.
+    pub full_ns: u128,
+    /// Incremental `relax_edge` on the cached closure, nanoseconds.
+    pub incremental_ns: u128,
+}
+
+/// Times the one-shot closure at each dimension.
+pub fn measure_closure(sizes: &[usize]) -> Vec<ClosureRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let m = sparse_estimates(n, 3);
+            // The generic kernel is O(n³) rational operations — seconds at
+            // n = 512 — so repetitions taper off with size.
+            let reps = (512 / n).clamp(1, 5);
+            let generic_ns = min_ns(
+                || {
+                    floyd_warshall_with_paths(std::hint::black_box(&m))
+                        .expect("no negative cycles");
+                },
+                reps,
+            );
+            let fast_ns = min_ns(
+                || {
+                    fast_closure(std::hint::black_box(&m)).expect("no negative cycles");
+                },
+                5,
+            );
+            ClosureRow {
+                n,
+                generic_ns,
+                fast_ns,
+            }
+        })
+        .collect()
+}
+
+/// Times one steady-state resynchronization step — a strictly-tightening
+/// observation on a rotating link followed by a fresh GLOBAL ESTIMATES
+/// matrix — under both strategies, averaged over `iters` steps.
+pub fn measure_resync(n: usize, iters: usize) -> ResyncRow {
+    let network = ring_network(n);
+
+    // Incremental: warm cache, each observation relaxes it in O(n²).
+    let mut online = OnlineSynchronizer::new(network.clone());
+    warm_up(&mut online, n);
+    online.outcome().expect("consistent warm-up");
+    let mut delay = 400_000i64;
+    let start = Instant::now();
+    for k in 0..iters {
+        let i = k % n;
+        online.observe_estimated_delay(ProcessorId(i), ProcessorId((i + 1) % n), Nanos::new(delay));
+        delay -= 1_000;
+        let estimates = online.global_estimates().expect("consistent stream");
+        std::hint::black_box(estimates[(0, 1)]);
+    }
+    let incremental_ns = start.elapsed().as_nanos() / iters as u128;
+
+    // Baseline: identical stream, but every resync re-derives the local
+    // estimates and recomputes the closure with the generic kernel — what
+    // the synchronizer did before the cache existed.
+    let mut baseline = OnlineSynchronizer::new(network.clone());
+    warm_up(&mut baseline, n);
+    let mut delay = 400_000i64;
+    let start = Instant::now();
+    for k in 0..iters {
+        let i = k % n;
+        baseline.observe_estimated_delay(
+            ProcessorId(i),
+            ProcessorId((i + 1) % n),
+            Nanos::new(delay),
+        );
+        delay -= 1_000;
+        let local = estimated_local_shifts(&network, baseline.observations());
+        let closure = floyd_warshall_with_paths(&local).expect("consistent stream");
+        std::hint::black_box(closure);
+    }
+    let full_ns = start.elapsed().as_nanos() / iters as u128;
+
+    ResyncRow {
+        n,
+        full_ns,
+        incremental_ns,
+    }
+}
+
+fn speedup(slow: u128, fast: u128) -> f64 {
+    if fast == 0 {
+        f64::INFINITY
+    } else {
+        slow as f64 / fast as f64
+    }
+}
+
+/// Runs both suites and renders the `BENCH_closure.json` document.
+pub fn bench_closure_json() -> String {
+    let closure = measure_closure(&[64, 128, 256, 512]);
+    let resync = measure_resync(128, 32);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"global_estimates_closure\",");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p clocksync-bench --bin tables -- --bench-closure\","
+    );
+    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    out.push_str("  \"closure\": [\n");
+    for (idx, row) in closure.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"n\": {}, \"generic_ns\": {}, \"fast_ns\": {}, \"speedup\": {:.2} }}{}",
+            row.n,
+            row.generic_ns,
+            row.fast_ns,
+            speedup(row.generic_ns, row.fast_ns),
+            if idx + 1 < closure.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"resync\": [\n");
+    let _ = writeln!(
+        out,
+        "    {{ \"n\": {}, \"full_ns\": {}, \"incremental_ns\": {}, \"speedup\": {:.2} }}",
+        resync.n,
+        resync.full_ns,
+        resync.incremental_ns,
+        speedup(resync.full_ns, resync.incremental_ns),
+    );
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_estimates_take_the_fast_path() {
+        let m = sparse_estimates(32, 7);
+        assert!(clocksync_graph::try_scaled_closure(&m).is_some());
+        let (fd, _) = fast_closure(&m).unwrap();
+        let (gd, _) = floyd_warshall_with_paths(&m).unwrap();
+        assert_eq!(fd, gd);
+    }
+
+    #[test]
+    fn resync_measurement_streams_stay_consistent() {
+        // Tiny sizes: this checks the harness logic, not performance.
+        let row = measure_resync(8, 4);
+        assert_eq!(row.n, 8);
+        assert!(row.incremental_ns > 0 && row.full_ns > 0);
+    }
+
+    #[test]
+    fn closure_measurement_rows_cover_requested_sizes() {
+        // Tiny size: this checks the harness logic, not performance.
+        let rows = measure_closure(&[8]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].n, 8);
+        assert!(rows[0].generic_ns > 0 && rows[0].fast_ns > 0);
+    }
+}

@@ -29,7 +29,11 @@ pub fn median(values: &mut [Ratio]) -> Ratio {
 
 /// A compact pass/fail marker for invariant columns.
 pub fn mark(ok: bool) -> String {
-    if ok { "yes".into() } else { "NO".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

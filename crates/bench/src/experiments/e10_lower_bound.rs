@@ -40,8 +40,15 @@ fn instances() -> Vec<Instance> {
         net: Network::builder(2).link(p, q, bounds(0, 900)).build(),
         exec: ExecutionBuilder::new(2)
             .start(q, RealTime::from_micros(77))
-            .round_trips(p, q, 1, RealTime::from_millis(2), Nanos::from_micros(10),
-                Nanos::from_micros(300), Nanos::from_micros(500))
+            .round_trips(
+                p,
+                q,
+                1,
+                RealTime::from_millis(2),
+                Nanos::from_micros(10),
+                Nanos::from_micros(300),
+                Nanos::from_micros(500),
+            )
             .build()
             .unwrap(),
     });
@@ -53,10 +60,24 @@ fn instances() -> Vec<Instance> {
             .link(q, r, bounds(0, 600))
             .build(),
         exec: ExecutionBuilder::new(3)
-            .round_trips(p, q, 1, RealTime::from_millis(2), Nanos::from_micros(10),
-                Nanos::from_micros(150), Nanos::from_micros(250))
-            .round_trips(q, r, 1, RealTime::from_millis(4), Nanos::from_micros(10),
-                Nanos::from_micros(100), Nanos::from_micros(480))
+            .round_trips(
+                p,
+                q,
+                1,
+                RealTime::from_millis(2),
+                Nanos::from_micros(10),
+                Nanos::from_micros(150),
+                Nanos::from_micros(250),
+            )
+            .round_trips(
+                q,
+                r,
+                1,
+                RealTime::from_millis(4),
+                Nanos::from_micros(10),
+                Nanos::from_micros(100),
+                Nanos::from_micros(480),
+            )
             .build()
             .unwrap(),
     });
@@ -68,8 +89,15 @@ fn instances() -> Vec<Instance> {
             .build(),
         exec: ExecutionBuilder::new(2)
             .start(q, RealTime::from_micros(-40))
-            .round_trips(p, q, 1, RealTime::from_millis(2), Nanos::from_micros(10),
-                Nanos::from_micros(800), Nanos::from_micros(860))
+            .round_trips(
+                p,
+                q,
+                1,
+                RealTime::from_millis(2),
+                Nanos::from_micros(10),
+                Nanos::from_micros(800),
+                Nanos::from_micros(860),
+            )
             .build()
             .unwrap(),
     });

@@ -49,7 +49,9 @@ pub fn run() -> Table {
         ]);
     }
     table.note("the gap between the two certificates is §7's open problem, measured.");
-    table.note("'sound' = true error within the distributed certificate AND omniscient <= distributed.");
+    table.note(
+        "'sound' = true error within the distributed certificate AND omniscient <= distributed.",
+    );
     table
 }
 

@@ -36,7 +36,10 @@ fn drifting_exec(drift_us: i64) -> Execution {
     eb.build().expect("valid")
 }
 
-fn precision_under(a: LinkAssumption, exec: &Execution) -> Result<Ext<clocksync_time::Ratio>, SyncError> {
+fn precision_under(
+    a: LinkAssumption,
+    exec: &Execution,
+) -> Result<Ext<clocksync_time::Ratio>, SyncError> {
     let net = Network::builder(2).link(P, Q, a).build();
     Synchronizer::new(net)
         .synchronize(exec.views())
@@ -67,11 +70,8 @@ pub fn run() -> Table {
             (false, Err(SyncError::InconsistentObservations { .. })) => "rejected".into(),
             (_, other) => format!("UNEXPECTED {other:?}"),
         };
-        let windowed = precision_under(
-            LinkAssumption::paired_rtt_bias(bound, window),
-            &exec,
-        )
-        .expect("windowed declaration is truthful");
+        let windowed = precision_under(LinkAssumption::paired_rtt_bias(bound, window), &exec)
+            .expect("windowed declaration is truthful");
         let no_bounds =
             precision_under(LinkAssumption::no_bounds(), &exec).expect("always consistent");
         table.push_row(vec![
@@ -82,8 +82,12 @@ pub fn run() -> Table {
             mark(windowed <= no_bounds),
         ]);
     }
-    table.note("plain bias: usable only while the TOTAL drift stays within the bound; else rejected.");
-    table.note("the windowed model extracts the per-round-trip bias information regardless of drift.");
+    table.note(
+        "plain bias: usable only while the TOTAL drift stays within the bound; else rejected.",
+    );
+    table.note(
+        "the windowed model extracts the per-round-trip bias information regardless of drift.",
+    );
     table
 }
 

@@ -15,7 +15,12 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "E1  optimal precision achieved exactly (bounds model, random graphs)",
         &[
-            "n", "seed", "precision(us)", "true err(us)", "rho(ours)=A_max", "alts beaten",
+            "n",
+            "seed",
+            "precision(us)",
+            "true err(us)",
+            "rho(ours)=A_max",
+            "alts beaten",
         ],
     );
     let mut rng = StdRng::seed_from_u64(0xE1);
@@ -67,7 +72,9 @@ pub fn run() -> Table {
         }
     }
     table.note("rho(ours)=A_max must read 'yes' on every row (exact optimality).");
-    table.note("'alts beaten' counts perturbed vectors strictly worse than ours; none may be better.");
+    table.note(
+        "'alts beaten' counts perturbed vectors strictly worse than ours; none may be better.",
+    );
     table
 }
 

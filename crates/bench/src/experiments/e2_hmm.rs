@@ -17,7 +17,12 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "E2  Halpern-Megiddo-Munshi single-exchange instances",
         &[
-            "instance", "lb(us)", "ub(us)", "ours(us)", "HMM closed form(us)", "equal",
+            "instance",
+            "lb(us)",
+            "ub(us)",
+            "ours(us)",
+            "HMM closed form(us)",
+            "equal",
         ],
     );
 
@@ -45,7 +50,12 @@ pub fn run() -> Table {
         let exec = ExecutionBuilder::new(2)
             .start(q, RealTime::from_micros(sigma))
             .message(p, q, RealTime::from_micros(base), Nanos::from_micros(d1))
-            .message(q, p, RealTime::from_micros(base * 2), Nanos::from_micros(d2))
+            .message(
+                q,
+                p,
+                RealTime::from_micros(base * 2),
+                Nanos::from_micros(d2),
+            )
             .build()
             .expect("valid instance");
         let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
@@ -94,7 +104,9 @@ pub fn run() -> Table {
     }
     let net = b.build();
     let exec = eb.build().expect("valid star");
-    let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+    let outcome = Synchronizer::new(net.clone())
+        .synchronize(exec.views())
+        .unwrap();
     let midpoint = TreeMidpoint::new().corrections(&net, exec.views()).unwrap();
     let equal = outcome.rho_bar(&midpoint) == outcome.rho_bar(outcome.corrections());
     table.push_row(vec![

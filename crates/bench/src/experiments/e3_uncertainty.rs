@@ -31,8 +31,8 @@ pub fn run() -> Table {
             .build();
         let mut ours = Vec::new();
         let mut tree = Vec::new();
-        for seed in 0..5 {
-            let run = sim.run(seed);
+        let seeds: Vec<u64> = (0..5).collect();
+        for run in sim.run_many(&seeds) {
             let outcome = run.synchronize().unwrap();
             ours.push(
                 outcome
@@ -42,11 +42,7 @@ pub fn run() -> Table {
             let x = TreeMidpoint::new()
                 .corrections(&run.network, run.execution.views())
                 .unwrap();
-            tree.push(
-                outcome
-                    .rho_bar(&x)
-                    .expect_finite("finite instance"),
-            );
+            tree.push(outcome.rho_bar(&x).expect_finite("finite instance"));
         }
         let o = median(&mut ours);
         let t = median(&mut tree);

@@ -35,8 +35,24 @@ pub fn run() -> Table {
         let down2 = Nanos::from_micros(3_600);
         let exec = ExecutionBuilder::new(2)
             .start(q, RealTime::from_micros(1_234))
-            .round_trips(p, q, 1, RealTime::from_millis(10), Nanos::from_micros(10), up1, down1)
-            .round_trips(p, q, 1, RealTime::from_millis(60), Nanos::from_micros(10), up2, down2)
+            .round_trips(
+                p,
+                q,
+                1,
+                RealTime::from_millis(10),
+                Nanos::from_micros(10),
+                up1,
+                down1,
+            )
+            .round_trips(
+                p,
+                q,
+                1,
+                RealTime::from_millis(60),
+                Nanos::from_micros(10),
+                up2,
+                down2,
+            )
             .build()
             .expect("valid instance");
         let net = Network::builder(2)
@@ -44,7 +60,9 @@ pub fn run() -> Table {
             .build();
         assert!(net.admits(&exec), "asymmetry must stay within the bias");
 
-        let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+        let outcome = Synchronizer::new(net.clone())
+            .synchronize(exec.views())
+            .unwrap();
         let ntp = NtpMinFilter::new().corrections(&net, exec.views()).unwrap();
         table.push_row(vec![
             asym.to_string(),

@@ -9,12 +9,13 @@ use super::common::median;
 use crate::Table;
 
 fn sim(probes: usize) -> Simulation {
-    let model =
-        || LinkModel::symmetric(DelayDistribution::heavy_tail(
+    let model = || {
+        LinkModel::symmetric(DelayDistribution::heavy_tail(
             Nanos::from_micros(150),
             Nanos::from_micros(500),
             1.1, // very heavy tail
-        ));
+        ))
+    };
     let mut b = Simulation::builder(4);
     for (x, y) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
         b = b.truthful_link(x, y, model());
@@ -46,7 +47,9 @@ pub fn run() -> Table {
         let f = |r: clocksync_time::Ratio| format!("{:.2}", r.to_f64() / 1_000.0);
         table.push_row(vec![probes.to_string(), f(med), f(min), f(max)]);
     }
-    table.note("worst-case precision is provably unbounded in this model; every row is finite anyway.");
+    table.note(
+        "worst-case precision is provably unbounded in this model; every row is finite anyway.",
+    );
     table.note("the certificate tightens as probes accumulate (min filters improve).");
     table
 }
@@ -77,10 +80,7 @@ mod tests {
             let mut last = None;
             for frac in [4u64, 2, 1] {
                 let cutoff = total / frac;
-                let views = run
-                    .execution
-                    .views()
-                    .retain_messages(|id| id.0 < cutoff);
+                let views = run.execution.views().retain_messages(|id| id.0 < cutoff);
                 let p = sync.synchronize(&views).unwrap().precision();
                 if let Some(prev) = last {
                     assert!(p <= prev, "seed {seed}, cutoff {cutoff}");

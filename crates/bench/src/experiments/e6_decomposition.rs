@@ -50,9 +50,21 @@ pub fn run() -> Table {
     );
     let both = LinkAssumption::all(vec![bounds(), bias()]);
     for seed in 0..6u64 {
-        let p_bounds = scenario(bounds()).run(seed).synchronize().unwrap().precision();
-        let p_bias = scenario(bias()).run(seed).synchronize().unwrap().precision();
-        let p_both = scenario(both.clone()).run(seed).synchronize().unwrap().precision();
+        let p_bounds = scenario(bounds())
+            .run(seed)
+            .synchronize()
+            .unwrap()
+            .precision();
+        let p_bias = scenario(bias())
+            .run(seed)
+            .synchronize()
+            .unwrap()
+            .precision();
+        let p_both = scenario(both.clone())
+            .run(seed)
+            .synchronize()
+            .unwrap()
+            .precision();
         table.push_row(vec![
             seed.to_string(),
             ext_us(p_bounds),

@@ -28,10 +28,7 @@ pub fn run() -> Table {
         .link(
             p,
             q,
-            LinkAssumption::symmetric_bounds(DelayRange::new(
-                Nanos::ZERO,
-                Nanos::from_micros(ub),
-            )),
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::from_micros(ub))),
         )
         .build();
     // The worst-case-optimal certificate for one exchange is (ub − lb)/2.
@@ -50,7 +47,9 @@ pub fn run() -> Table {
             )
             .build()
             .expect("valid");
-        let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+        let outcome = Synchronizer::new(net.clone())
+            .synchronize(exec.views())
+            .unwrap();
         let cert = outcome.precision();
         let improvement = match cert {
             Ext::Finite(c) if !c.is_zero() => format!("{:.2}", (worst_case / c).to_f64()),

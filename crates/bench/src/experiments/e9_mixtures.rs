@@ -49,7 +49,13 @@ pub fn run() -> Table {
 
     let mut table = Table::new(
         "E9  heterogeneous WAN (bounds + bias + lower-bound-only links)",
-        &["seed", "precision(us)", "lab pair(us)", "wan pair(us)", "sat pair(us)"],
+        &[
+            "seed",
+            "precision(us)",
+            "lab pair(us)",
+            "wan pair(us)",
+            "sat pair(us)",
+        ],
     );
     for seed in 0..5u64 {
         let run = sim.run(seed);

@@ -119,7 +119,13 @@ pub fn pipeline_f64(local: &SquareMatrix<ExtRatio>) -> (f64, Vec<f64>) {
         .iter()
         .map(|row| {
             row.iter()
-                .map(|&x| if x.is_infinite() { f64::NEG_INFINITY } else { x })
+                .map(|&x| {
+                    if x.is_infinite() {
+                        f64::NEG_INFINITY
+                    } else {
+                        x
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -156,8 +162,7 @@ mod tests {
         let exact = shifts(&closure, 0);
 
         let (a_max_f, corrections_f) = pipeline_f64(&local);
-        let rel = (a_max_f - exact.precision.to_f64()).abs()
-            / exact.precision.to_f64().max(1.0);
+        let rel = (a_max_f - exact.precision.to_f64()).abs() / exact.precision.to_f64().max(1.0);
         assert!(rel < 1e-9, "float A_max drifted by {rel}");
         for (x, xf) in exact.corrections.iter().zip(&corrections_f) {
             assert!((x.to_f64() - xf).abs() < 1e-3, "correction drift");

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod closure_bench;
 pub mod experiments;
 pub mod float_ablation;
 mod table;

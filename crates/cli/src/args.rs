@@ -73,7 +73,8 @@ impl Args {
     ///
     /// Returns a message naming the missing flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     /// A `usize` flag with a default.

@@ -225,9 +225,7 @@ mod tests {
     fn all_models_and_topologies_parse() {
         for topo in ["path", "ring", "star", "complete", "grid", "random"] {
             for model in ["uniform", "heavy-tail", "bias"] {
-                let a = args(&[
-                    "simulate", "--topology", topo, "--n", "4", "--model", model,
-                ]);
+                let a = args(&["simulate", "--topology", topo, "--n", "4", "--model", model]);
                 let run = simulate(&a).expect("valid combination");
                 assert!(sync(&run).is_ok(), "{topo}/{model}");
             }

@@ -1,0 +1,832 @@
+//! A small self-contained JSON codec for the run-file schema.
+//!
+//! The workspace builds offline, so instead of depending on `serde_json`
+//! the CLI carries its own JSON value type, parser and printer, plus the
+//! explicit encoders/decoders for the [`RunFile`](crate::RunFile) schema.
+//! The wire format matches what serde's externally-tagged representation
+//! of these types would produce (`{"Bounds": {...}}`, `{"Send": {...}}`,
+//! …), with one deliberate simplification: `+∞` delay upper bounds are
+//! encoded as `null` instead of a tagged `Ext` variant.
+//!
+//! Decoding goes through the model types' validating constructors
+//! ([`ViewSet::new`], [`DelayRange::new`]…), so a malformed or
+//! axiom-violating file is a [`JsonError`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use clocksync::{DelayRange, LinkAssumption};
+use clocksync_model::{MessageId, ProcessorId, View, ViewEvent, ViewSet};
+use clocksync_time::{ClockTime, Ext, Nanos};
+
+use crate::runfile::{LinkEntry, RunFile};
+
+/// A parse or schema error, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl JsonError {
+    fn new(msg: impl Into<String>) -> JsonError {
+        JsonError(msg.into())
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON document value.
+///
+/// Object keys are kept in a `BTreeMap`, so printing is deterministic
+/// (sorted keys) — round-trip tests can compare serialized strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (covers every numeric field in the schema exactly).
+    Int(i128),
+    /// A non-integral number (only produced by the `sync --json` report).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn as_i128(&self, what: &str) -> Result<i128, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            _ => Err(JsonError::new(format!("{what}: expected an integer"))),
+        }
+    }
+
+    fn as_i64(&self, what: &str) -> Result<i64, JsonError> {
+        i64::try_from(self.as_i128(what)?)
+            .map_err(|_| JsonError::new(format!("{what}: integer out of i64 range")))
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, JsonError> {
+        usize::try_from(self.as_i128(what)?)
+            .map_err(|_| JsonError::new(format!("{what}: expected a nonnegative index")))
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            _ => Err(JsonError::new(format!("{what}: expected an array"))),
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, JsonError> {
+        match self {
+            Json::Object(m) => Ok(m),
+            _ => Err(JsonError::new(format!("{what}: expected an object"))),
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str, what: &str) -> Result<&'a Json, JsonError> {
+        self.as_object(what)?
+            .get(key)
+            .ok_or_else(|| JsonError::new(format!("{what}: missing field `{key}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+/// Renders with two-space indentation (like `serde_json::to_string_pretty`).
+pub fn to_string_pretty(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, 0, true, &mut out);
+    out
+}
+
+/// Renders compactly on one line.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, 0, false, &mut out);
+    out
+}
+
+fn write_value(v: &Json, indent: usize, pretty: bool, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => {
+            if f.is_finite() {
+                // Keep a decimal point so the value re-parses as Float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push(']');
+        }
+        Json::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent + 1, pretty, out);
+                write_string(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, indent + 1, pretty, out);
+            }
+            newline_indent(indent, pretty, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: usize, pretty: bool, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Reports the byte offset and nature of the first syntax error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError::new(format!("{msg} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain UTF-8.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not paired; the schema never
+                            // emits them.
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer overflow"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-file schema: encoding
+// ---------------------------------------------------------------------------
+
+fn clock_json(t: ClockTime) -> Json {
+    Json::Int(t.as_nanos() as i128)
+}
+
+fn event_json(e: &ViewEvent) -> Json {
+    match *e {
+        ViewEvent::Start { clock } => {
+            Json::object([("Start", Json::object([("clock", clock_json(clock))]))])
+        }
+        ViewEvent::Send { to, id, clock } => Json::object([(
+            "Send",
+            Json::object([
+                ("to", Json::Int(to.index() as i128)),
+                ("id", Json::Int(id.0 as i128)),
+                ("clock", clock_json(clock)),
+            ]),
+        )]),
+        ViewEvent::Recv { from, id, clock } => Json::object([(
+            "Recv",
+            Json::object([
+                ("from", Json::Int(from.index() as i128)),
+                ("id", Json::Int(id.0 as i128)),
+                ("clock", clock_json(clock)),
+            ]),
+        )]),
+        ViewEvent::Timer { clock } => {
+            Json::object([("Timer", Json::object([("clock", clock_json(clock))]))])
+        }
+    }
+}
+
+fn view_json(v: &View) -> Json {
+    Json::object([
+        ("processor", Json::Int(v.processor().index() as i128)),
+        (
+            "events",
+            Json::Array(v.events().iter().map(event_json).collect()),
+        ),
+    ])
+}
+
+fn delay_range_json(r: &DelayRange) -> Json {
+    Json::object([
+        ("lower", Json::Int(r.lower().as_nanos() as i128)),
+        (
+            "upper",
+            match r.upper() {
+                Ext::Finite(u) => Json::Int(u.as_nanos() as i128),
+                _ => Json::Null, // +∞ (NegInf is unconstructible)
+            },
+        ),
+    ])
+}
+
+/// Encodes a [`LinkAssumption`] (externally tagged, like serde would).
+pub fn assumption_json(a: &LinkAssumption) -> Json {
+    match a {
+        LinkAssumption::Bounds { forward, backward } => Json::object([(
+            "Bounds",
+            Json::object([
+                ("forward", delay_range_json(forward)),
+                ("backward", delay_range_json(backward)),
+            ]),
+        )]),
+        LinkAssumption::RttBias { bound } => Json::object([(
+            "RttBias",
+            Json::object([("bound", Json::Int(bound.as_nanos() as i128))]),
+        )]),
+        LinkAssumption::PairedRttBias { bound, window } => Json::object([(
+            "PairedRttBias",
+            Json::object([
+                ("bound", Json::Int(bound.as_nanos() as i128)),
+                ("window", Json::Int(window.as_nanos() as i128)),
+            ]),
+        )]),
+        LinkAssumption::All(parts) => Json::object([(
+            "All",
+            Json::Array(parts.iter().map(assumption_json).collect()),
+        )]),
+    }
+}
+
+/// Encodes a complete run file.
+pub fn runfile_json(rf: &RunFile) -> Json {
+    let mut fields = vec![
+        ("processors", Json::Int(rf.processors as i128)),
+        (
+            "links",
+            Json::Array(
+                rf.links
+                    .iter()
+                    .map(|l| {
+                        Json::object([
+                            ("a", Json::Int(l.a as i128)),
+                            ("b", Json::Int(l.b as i128)),
+                            ("assumption", assumption_json(&l.assumption)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "views",
+            Json::Array(rf.views.iter().map(view_json).collect()),
+        ),
+    ];
+    if let Some(starts) = &rf.true_starts_ns {
+        fields.push((
+            "true_starts_ns",
+            Json::Array(starts.iter().map(|&s| Json::Int(s as i128)).collect()),
+        ));
+    }
+    Json::object(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Run-file schema: decoding
+// ---------------------------------------------------------------------------
+
+fn parse_clock(v: &Json, what: &str) -> Result<ClockTime, JsonError> {
+    Ok(ClockTime::from_nanos(v.as_i64(what)?))
+}
+
+fn parse_event(v: &Json) -> Result<ViewEvent, JsonError> {
+    let obj = v.as_object("event")?;
+    let (tag, body) = obj
+        .iter()
+        .next()
+        .ok_or_else(|| JsonError::new("event: empty object"))?;
+    if obj.len() != 1 {
+        return Err(JsonError::new("event: expected a single-variant object"));
+    }
+    match tag.as_str() {
+        "Start" => Ok(ViewEvent::Start {
+            clock: parse_clock(body.field("clock", "Start")?, "Start.clock")?,
+        }),
+        "Send" => Ok(ViewEvent::Send {
+            to: ProcessorId(body.field("to", "Send")?.as_usize("Send.to")?),
+            id: MessageId(
+                u64::try_from(body.field("id", "Send")?.as_i128("Send.id")?)
+                    .map_err(|_| JsonError::new("Send.id: expected a u64"))?,
+            ),
+            clock: parse_clock(body.field("clock", "Send")?, "Send.clock")?,
+        }),
+        "Recv" => Ok(ViewEvent::Recv {
+            from: ProcessorId(body.field("from", "Recv")?.as_usize("Recv.from")?),
+            id: MessageId(
+                u64::try_from(body.field("id", "Recv")?.as_i128("Recv.id")?)
+                    .map_err(|_| JsonError::new("Recv.id: expected a u64"))?,
+            ),
+            clock: parse_clock(body.field("clock", "Recv")?, "Recv.clock")?,
+        }),
+        "Timer" => Ok(ViewEvent::Timer {
+            clock: parse_clock(body.field("clock", "Timer")?, "Timer.clock")?,
+        }),
+        other => Err(JsonError::new(format!("event: unknown variant `{other}`"))),
+    }
+}
+
+fn parse_view(v: &Json) -> Result<View, JsonError> {
+    let processor = ProcessorId(v.field("processor", "view")?.as_usize("view.processor")?);
+    let events = v
+        .field("events", "view")?
+        .as_array("view.events")?
+        .iter()
+        .map(parse_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(View::from_events(processor, events))
+}
+
+fn parse_delay_range(v: &Json, what: &str) -> Result<DelayRange, JsonError> {
+    let lower = Nanos::new(v.field("lower", what)?.as_i64("lower")?);
+    if lower < Nanos::ZERO {
+        return Err(JsonError::new(format!("{what}: negative lower bound")));
+    }
+    match v.field("upper", what)? {
+        Json::Null => Ok(DelayRange::at_least(lower)),
+        upper => {
+            let upper = Nanos::new(upper.as_i64("upper")?);
+            if upper < lower {
+                return Err(JsonError::new(format!("{what}: upper < lower")));
+            }
+            Ok(DelayRange::new(lower, upper))
+        }
+    }
+}
+
+fn parse_positive_nanos(v: &Json, what: &str) -> Result<Nanos, JsonError> {
+    let n = Nanos::new(v.as_i64(what)?);
+    if n <= Nanos::ZERO {
+        return Err(JsonError::new(format!("{what}: must be positive")));
+    }
+    Ok(n)
+}
+
+/// Decodes a [`LinkAssumption`].
+///
+/// # Errors
+///
+/// Rejects unknown variants and values the constructors would refuse
+/// (negative bounds, empty conjunctions…).
+pub fn parse_assumption(v: &Json) -> Result<LinkAssumption, JsonError> {
+    let obj = v.as_object("assumption")?;
+    let (tag, body) = obj
+        .iter()
+        .next()
+        .ok_or_else(|| JsonError::new("assumption: empty object"))?;
+    if obj.len() != 1 {
+        return Err(JsonError::new(
+            "assumption: expected a single-variant object",
+        ));
+    }
+    match tag.as_str() {
+        "Bounds" => Ok(LinkAssumption::bounds(
+            parse_delay_range(body.field("forward", "Bounds")?, "Bounds.forward")?,
+            parse_delay_range(body.field("backward", "Bounds")?, "Bounds.backward")?,
+        )),
+        "RttBias" => Ok(LinkAssumption::rtt_bias(parse_positive_nanos(
+            body.field("bound", "RttBias")?,
+            "RttBias.bound",
+        )?)),
+        "PairedRttBias" => Ok(LinkAssumption::paired_rtt_bias(
+            parse_positive_nanos(body.field("bound", "PairedRttBias")?, "PairedRttBias.bound")?,
+            parse_positive_nanos(
+                body.field("window", "PairedRttBias")?,
+                "PairedRttBias.window",
+            )?,
+        )),
+        "All" => {
+            let parts = body
+                .as_array("All")?
+                .iter()
+                .map(parse_assumption)
+                .collect::<Result<Vec<_>, _>>()?;
+            if parts.is_empty() {
+                return Err(JsonError::new("All: empty conjunction"));
+            }
+            Ok(LinkAssumption::all(parts))
+        }
+        other => Err(JsonError::new(format!(
+            "assumption: unknown variant `{other}`"
+        ))),
+    }
+}
+
+/// Decodes a complete run file, validating the view set.
+pub fn parse_runfile(v: &Json) -> Result<RunFile, JsonError> {
+    let processors = v
+        .field("processors", "runfile")?
+        .as_usize("runfile.processors")?;
+    let links = v
+        .field("links", "runfile")?
+        .as_array("runfile.links")?
+        .iter()
+        .map(|l| {
+            Ok(LinkEntry {
+                a: l.field("a", "link")?.as_usize("link.a")?,
+                b: l.field("b", "link")?.as_usize("link.b")?,
+                assumption: parse_assumption(l.field("assumption", "link")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let views = v
+        .field("views", "runfile")?
+        .as_array("runfile.views")?
+        .iter()
+        .map(parse_view)
+        .collect::<Result<Vec<_>, _>>()?;
+    let views = ViewSet::new(views)
+        .map_err(|e| JsonError::new(format!("runfile.views: invalid view set: {e}")))?;
+    if views.len() != processors {
+        return Err(JsonError::new(format!(
+            "runfile: {} views for {} processors",
+            views.len(),
+            processors
+        )));
+    }
+    let true_starts_ns = match v.as_object("runfile")?.get("true_starts_ns") {
+        None | Some(Json::Null) => None,
+        Some(arr) => Some(
+            arr.as_array("runfile.true_starts_ns")?
+                .iter()
+                .map(|s| s.as_i64("true_starts_ns[..]"))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    };
+    Ok(RunFile {
+        processors,
+        links,
+        views,
+        true_starts_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-17", "123456789012345678901"] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v), text);
+        }
+        assert_eq!(parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(to_string(&Json::Float(2.0)), "2.0");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}f — π";
+        let v = Json::Str(s.to_string());
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+        assert_eq!(parse(r#""\u0041\u00e9""#).unwrap(), Json::Str("Aé".into()));
+    }
+
+    #[test]
+    fn structures_round_trip_pretty_and_compact() {
+        let v = Json::object([
+            ("empty_arr", Json::Array(vec![])),
+            ("empty_obj", Json::Object(BTreeMap::new())),
+            (
+                "nested",
+                Json::Array(vec![Json::Int(1), Json::Null, Json::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "nul",
+            "01x",
+            "\"unterminated",
+            "{}extra",
+            "1e",
+            "--1",
+            "\"\\q\"",
+            "[1 2]",
+        ] {
+            assert!(parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn huge_integers_survive() {
+        let v = parse(&i128::MAX.to_string()).unwrap();
+        assert_eq!(v, Json::Int(i128::MAX));
+        // i64 nanos extraction rejects out-of-range values cleanly.
+        assert!(v.as_i64("x").is_err());
+    }
+
+    #[test]
+    fn assumption_schema_round_trips() {
+        let a = LinkAssumption::all(vec![
+            LinkAssumption::bounds(
+                DelayRange::new(Nanos::new(5), Nanos::new(50)),
+                DelayRange::at_least(Nanos::new(3)),
+            ),
+            LinkAssumption::rtt_bias(Nanos::new(7)),
+            LinkAssumption::paired_rtt_bias(Nanos::new(2), Nanos::new(1000)),
+        ]);
+        let text = to_string_pretty(&assumption_json(&a));
+        let back = parse_assumption(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn invalid_assumptions_are_schema_errors() {
+        for text in [
+            r#"{"RttBias": {"bound": 0}}"#,
+            r#"{"RttBias": {"bound": -5}}"#,
+            r#"{"All": []}"#,
+            r#"{"Bounds": {"forward": {"lower": 5, "upper": 1}, "backward": {"lower": 0, "upper": null}}}"#,
+            r#"{"Bounds": {"forward": {"lower": -1, "upper": null}, "backward": {"lower": 0, "upper": null}}}"#,
+            r#"{"Mystery": {}}"#,
+            r#"{"RttBias": {"bound": 1}, "All": []}"#,
+        ] {
+            let v = parse(text).unwrap();
+            assert!(parse_assumption(&v).is_err(), "accepted {text}");
+        }
+    }
+}

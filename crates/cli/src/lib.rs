@@ -10,16 +10,17 @@
 //! * [`commands::render_explain`] — the same, plus the full diagnosis (component
 //!   reports, critical cycle, per-pair bounds).
 //!
-//! The JSON schema is the workspace's own serde representation of views
-//! and assumptions, so recorded runs are stable artifacts that can be
-//! re-synchronized offline, attached to bug reports, or produced by other
-//! tooling.
+//! The JSON schema is the workspace's own hand-rolled representation of
+//! views and assumptions (see [`json`]), so recorded runs are stable
+//! artifacts that can be re-synchronized offline, attached to bug
+//! reports, or produced by other tooling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod json;
 pub mod runfile;
 
 pub use args::Args;

@@ -46,23 +46,30 @@ fn run() -> Result<(), String> {
         }
         "sync" | "explain" => {
             let path = args.require("in")?;
-            let content =
-                fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let runfile = RunFile::from_json(&content).map_err(|e| e.to_string())?;
             let report = commands::sync(&runfile)?;
             if args.command() == "sync" && args.get_bool("json") {
-                let corrections: Vec<f64> = report
+                use clocksync_cli::json::Json;
+                let corrections = report
                     .outcome
                     .corrections()
                     .iter()
-                    .map(|r| r.to_f64())
+                    .map(|r| Json::Float(r.to_f64()))
                     .collect();
-                let body = serde_json::json!({
-                    "precision_ns": report.outcome.precision().finite().map(|r| r.to_f64()),
-                    "corrections_ns": corrections,
-                    "true_error_ns": report.true_error.map(|r| r.to_f64()),
-                });
-                println!("{}", serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?);
+                let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+                let body = Json::object([
+                    (
+                        "precision_ns",
+                        opt_f64(report.outcome.precision().finite().map(|r| r.to_f64())),
+                    ),
+                    ("corrections_ns", Json::Array(corrections)),
+                    (
+                        "true_error_ns",
+                        opt_f64(report.true_error.map(|r| r.to_f64())),
+                    ),
+                ]);
+                println!("{}", clocksync_cli::json::to_string_pretty(&body));
             } else {
                 let lines = if args.command() == "sync" {
                     commands::render_sync(&report)

@@ -2,10 +2,11 @@
 
 use clocksync::{LinkAssumption, Network};
 use clocksync_model::{ProcessorId, ViewSet};
-use serde::{Deserialize, Serialize};
+
+use crate::json;
 
 /// One declared link in a run file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkEntry {
     /// Lower endpoint index.
     pub a: usize,
@@ -39,7 +40,7 @@ pub struct LinkEntry {
 /// assert_eq!(back.processors, 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunFile {
     /// Number of processors.
     pub processors: usize,
@@ -47,8 +48,8 @@ pub struct RunFile {
     pub links: Vec<LinkEntry>,
     /// The recorded views.
     pub views: ViewSet,
-    /// Observer-only ground truth (real start times in ns), if recorded.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Observer-only ground truth (real start times in ns), if recorded
+    /// (omitted from the JSON when absent).
     pub true_starts_ns: Option<Vec<i64>>,
 }
 
@@ -62,23 +63,23 @@ impl RunFile {
         b.build()
     }
 
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON (see [`crate::json`] for the schema).
     ///
     /// # Errors
     ///
-    /// Propagates serialization failures (practically unreachable for
-    /// these types).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Infallible in practice; the `Result` is kept so callers are not
+    /// churned if a fallible backend returns.
+    pub fn to_json(&self) -> Result<String, json::JsonError> {
+        Ok(json::to_string_pretty(&json::runfile_json(self)))
     }
 
-    /// Deserializes from JSON.
+    /// Deserializes from JSON, validating the embedded view set.
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error for malformed input.
-    pub fn from_json(s: &str) -> Result<RunFile, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns the parse or schema error for malformed input.
+    pub fn from_json(s: &str) -> Result<RunFile, json::JsonError> {
+        json::parse_runfile(&json::parse(s)?)
     }
 }
 

@@ -2,6 +2,7 @@
 //! arbitrary assumption trees and arbitrary valid view sets.
 
 use clocksync::{DelayRange, LinkAssumption};
+use clocksync_cli::json;
 use clocksync_cli::runfile::LinkEntry;
 use clocksync_cli::RunFile;
 use clocksync_model::{ExecutionBuilder, ProcessorId};
@@ -42,13 +43,18 @@ fn file_spec() -> impl Strategy<Value = FileSpec> {
             proptest::collection::vec(assumption(), 1..4),
             any::<bool>(),
         )
-            .prop_map(move |(starts, messages, assumptions, with_truth)| FileSpec {
-                n,
-                starts,
-                messages: messages.into_iter().filter(|&(a, b, _, _)| a != b).collect(),
-                assumptions,
-                with_truth,
-            })
+            .prop_map(
+                move |(starts, messages, assumptions, with_truth)| FileSpec {
+                    n,
+                    starts,
+                    messages: messages
+                        .into_iter()
+                        .filter(|&(a, b, _, _)| a != b)
+                        .collect(),
+                    assumptions,
+                    with_truth,
+                },
+            )
     })
 }
 
@@ -112,11 +118,17 @@ proptest! {
         prop_assert_eq!(back.network(), rf.network());
     }
 
-    /// Assumptions alone round trip through JSON exactly.
+    /// Assumptions alone round trip through JSON exactly, in both the
+    /// compact and the pretty rendering.
     #[test]
     fn assumption_json_round_trip(a in assumption()) {
-        let json = serde_json::to_string(&a).expect("serializable");
-        let back: LinkAssumption = serde_json::from_str(&json).expect("parseable");
-        prop_assert_eq!(back, a);
+        let compact = json::to_string(&json::assumption_json(&a));
+        let back = json::parse_assumption(&json::parse(&compact).expect("parseable"))
+            .expect("valid assumption");
+        prop_assert_eq!(&back, &a);
+        let pretty = json::to_string_pretty(&json::assumption_json(&a));
+        let back2 = json::parse_assumption(&json::parse(&pretty).expect("parseable"))
+            .expect("valid assumption");
+        prop_assert_eq!(&back2, &a);
     }
 }

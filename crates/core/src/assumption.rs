@@ -105,11 +105,23 @@ fn within_window(
 }
 
 fn samples_paired(mf: &MsgSample, mb: &MsgSample, window: Nanos) -> bool {
-    within_window(mf.send_clock, mf.recv_clock, mb.send_clock, mb.recv_clock, window)
+    within_window(
+        mf.send_clock,
+        mf.recv_clock,
+        mb.send_clock,
+        mb.recv_clock,
+        window,
+    )
 }
 
 fn records_paired(mf: &MessageRecord, mb: &MessageRecord, window: Nanos) -> bool {
-    within_window(mf.send_clock, mf.recv_clock, mb.send_clock, mb.recv_clock, window)
+    within_window(
+        mf.send_clock,
+        mf.recv_clock,
+        mb.send_clock,
+        mb.recv_clock,
+        window,
+    )
 }
 
 /// A delay assumption for one bidirectional link `{p, q}`.
@@ -283,8 +295,7 @@ impl LinkAssumption {
                 for mf in evidence.forward_samples {
                     for mb in evidence.backward_samples {
                         if samples_paired(mf, mb, *window) {
-                            let term = (Ratio::from(*bound)
-                                + Ratio::from(mf.estimated_delay())
+                            let term = (Ratio::from(*bound) + Ratio::from(mf.estimated_delay())
                                 - Ratio::from(mb.estimated_delay()))
                                 * Ratio::new(1, 2);
                             tightest = tightest.min(Ext::Finite(term));
@@ -335,8 +346,7 @@ impl LinkAssumption {
                     .all(|m| m.delay >= Nanos::ZERO);
                 let within_bias = forward.iter().all(|mf| {
                     backward.iter().all(|mb| {
-                        !records_paired(mf, mb, *window)
-                            || (mf.delay - mb.delay).abs() <= *bound
+                        !records_paired(mf, mb, *window) || (mf.delay - mb.delay).abs() <= *bound
                     })
                 });
                 nonneg && within_bias
@@ -515,12 +525,24 @@ mod tests {
         // Two round trips 1ms apart; window 10ns pairs each probe only
         // with its own echo.
         let fwd = vec![
-            MsgSample { send_clock: ct(0), recv_clock: ct(100) },
-            MsgSample { send_clock: ct(1_000_000), recv_clock: ct(1_000_900) },
+            MsgSample {
+                send_clock: ct(0),
+                recv_clock: ct(100),
+            },
+            MsgSample {
+                send_clock: ct(1_000_000),
+                recv_clock: ct(1_000_900),
+            },
         ];
         let bwd = vec![
-            MsgSample { send_clock: ct(105), recv_clock: ct(210) },
-            MsgSample { send_clock: ct(1_000_905), recv_clock: ct(1_001_000) },
+            MsgSample {
+                send_clock: ct(105),
+                recv_clock: ct(210),
+            },
+            MsgSample {
+                send_clock: ct(1_000_905),
+                recv_clock: ct(1_001_000),
+            },
         ];
         let ev = LinkEvidence::from_samples(&fwd, &bwd);
         let b = Nanos::new(50);

@@ -65,16 +65,20 @@ pub fn global_estimates(
 /// [`crate::SyncOutcome::constraint_chain`] reconstructs *which* sequence
 /// of links produces each global bound.
 ///
+/// Computed via [`clocksync_graph::fast_closure`]: estimate matrices have
+/// small common denominators (1 or 2 for nanosecond-granularity
+/// observations), so the closure runs on the parallel scaled-`i64` kernel;
+/// inputs that cannot be scaled exactly fall back to the generic
+/// rational-arithmetic kernel with identical results.
+///
 /// # Errors
 ///
 /// Same conditions as [`global_estimates`].
 pub fn global_estimates_with_chains(
     local: &SquareMatrix<ExtRatio>,
 ) -> Result<(SquareMatrix<ExtRatio>, SquareMatrix<usize>), SyncError> {
-    clocksync_graph::floyd_warshall_with_paths(local).map_err(|e| {
-        SyncError::InconsistentObservations {
-            witness: ProcessorId(e.witness),
-        }
+    clocksync_graph::fast_closure(local).map_err(|e| SyncError::InconsistentObservations {
+        witness: ProcessorId(e.witness),
     })
 }
 
@@ -150,10 +154,7 @@ mod tests {
             .link(
                 P,
                 Q,
-                LinkAssumption::symmetric_bounds(DelayRange::new(
-                    Nanos::new(100),
-                    Nanos::new(200),
-                )),
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(100), Nanos::new(200))),
             )
             .build();
         let mut obs = LinkObservations::empty(2);

@@ -4,21 +4,30 @@
 //! resynchronization the paper cites) do not hand over complete views in
 //! one batch: timestamped messages trickle in and the corrections are
 //! recomputed on demand. [`OnlineSynchronizer`] maintains the per-link
-//! evidence incrementally and reruns the (cheap, `O(n³)`) correction
-//! computation whenever asked.
+//! evidence incrementally and keeps the GLOBAL ESTIMATES closure *cached*:
+//! each new observation re-estimates only the link it travelled on and
+//! folds the (monotonically tighter) edge into the cached closure with
+//! [`clocksync_graph::Closure::relax_edge`] in `O(n²)`, so steady-state
+//! resynchronization never pays the `O(n³)` full recompute.
 //!
 //! Because the estimators depend on the views only through per-link
 //! evidence (Lemmas 6.2/6.5), feeding observations incrementally is
 //! *exactly* as good as batch synchronization over the same messages — a
 //! property the test below checks — and each additional observation can
-//! only tighten the certificate.
+//! only tighten the certificate. That monotonicity is precisely what makes
+//! the incremental closure update exact: a tightened link is an edge-weight
+//! decrease, the one operation `relax_edge` absorbs without error. Should
+//! an estimate ever loosen (no built-in assumption does this, but the cache
+//! does not assume it), the cache is invalidated and the next
+//! [`OnlineSynchronizer::outcome`] call rebuilds from scratch.
 
+use clocksync_graph::Closure;
 use clocksync_model::{LinkObservations, MsgSample, ProcessorId, ViewSet};
-use clocksync_time::{ClockTime, Nanos};
+use clocksync_time::{ClockTime, ExtRatio, Nanos};
 
 use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
 
-/// An incrementally-fed synchronizer.
+/// An incrementally-fed synchronizer with a cached closure.
 ///
 /// # Examples
 ///
@@ -46,15 +55,27 @@ use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
 pub struct OnlineSynchronizer {
     network: Network,
     observations: LinkObservations,
+    /// The current `m̃ls` matrix, maintained per-link as observations
+    /// arrive; always equal to
+    /// `estimated_local_shifts(&network, &observations)`.
+    local: clocksync_graph::SquareMatrix<ExtRatio>,
+    /// The closure of `local`, when valid. `None` after an estimate
+    /// loosened or a relaxation surfaced an inconsistency; the next
+    /// [`OnlineSynchronizer::outcome`] rebuilds it.
+    cached: Option<Closure<ExtRatio>>,
 }
 
 impl OnlineSynchronizer {
     /// Creates an online synchronizer with no observations yet.
     pub fn new(network: Network) -> OnlineSynchronizer {
         let n = network.n();
+        let observations = LinkObservations::empty(n);
+        let local = estimated_local_shifts(&network, &observations);
         OnlineSynchronizer {
             network,
-            observations: LinkObservations::empty(n),
+            observations,
+            local,
+            cached: None,
         }
     }
 
@@ -88,6 +109,7 @@ impl OnlineSynchronizer {
                 recv_clock,
             },
         );
+        self.refresh_link(src, dst);
     }
 
     /// Records one delivered message by its estimated delay only (clock
@@ -104,9 +126,15 @@ impl OnlineSynchronizer {
         estimated_delay: Nanos,
     ) {
         self.observations.record(src, dst, estimated_delay);
+        self.refresh_link(src, dst);
     }
 
     /// Merges every message of a complete view set into the stream.
+    ///
+    /// A bulk merge touches many links at once, so instead of folding each
+    /// message into the cached closure it re-derives every link estimate
+    /// and lets the next [`OnlineSynchronizer::outcome`] rebuild the
+    /// closure once.
     ///
     /// # Errors
     ///
@@ -119,22 +147,110 @@ impl OnlineSynchronizer {
             });
         }
         for m in views.message_observations() {
-            self.observe_message(m.src, m.dst, m.send_clock, m.recv_clock);
+            self.observations.record_sample(
+                m.src,
+                m.dst,
+                MsgSample {
+                    send_clock: m.send_clock,
+                    recv_clock: m.recv_clock,
+                },
+            );
         }
+        self.local = estimated_local_shifts(&self.network, &self.observations);
+        self.cached = None;
         Ok(())
     }
 
-    /// Computes the optimal corrections for everything observed so far.
+    /// Re-estimates the one link a fresh observation travelled on and
+    /// folds any change into the cached closure.
+    ///
+    /// A round-trip sample on link `{a, b}` moves the evidence both ways
+    /// (a slow message raises `d̃max`, which tightens the *opposite*
+    /// direction's upper-bound slack), so both directed entries are
+    /// recomputed. Tightenings relax the cache in `O(n²)`; a loosening or
+    /// an inconsistency (negative cycle) drops the cache instead, leaving
+    /// the rebuild — and the canonical error report — to
+    /// [`OnlineSynchronizer::outcome`].
+    fn refresh_link(&mut self, a: ProcessorId, b: ProcessorId) {
+        for (p, q) in [(a, b), (b, a)] {
+            let Some(assumption) = self.network.assumption(p, q) else {
+                continue;
+            };
+            let evidence = self.observations.evidence(p, q);
+            let w = assumption.estimated_mls(&evidence);
+            let (u, v) = (p.index(), q.index());
+            let old = self.local[(u, v)];
+            if w == old {
+                continue;
+            }
+            self.local[(u, v)] = w;
+            if w < old {
+                if let Some(cache) = self.cached.as_mut() {
+                    if cache.relax_edge(u, v, w).is_err() {
+                        // Inconsistent observations: the relaxation
+                        // poisoned the cache. Estimates only tighten, so
+                        // the inconsistency is permanent; outcome() will
+                        // recompute and report the canonical witness.
+                        self.cached = None;
+                    }
+                }
+            } else {
+                // An estimate loosened (no built-in assumption does this,
+                // but stay exact if one ever does): the cached closure may
+                // rest on the retracted bound.
+                self.cached = None;
+            }
+        }
+    }
+
+    /// Rebuilds the cached closure if an invalidation (or nothing yet)
+    /// left it empty.
+    fn ensure_cache(&mut self) -> Result<&Closure<ExtRatio>, SyncError> {
+        if self.cached.is_none() {
+            let closure =
+                Closure::fast(&self.local).map_err(|e| SyncError::InconsistentObservations {
+                    witness: ProcessorId(e.witness),
+                })?;
+            self.cached = Some(closure);
+        }
+        Ok(self.cached.as_ref().expect("cache was just rebuilt"))
+    }
+
+    /// The current GLOBAL ESTIMATES matrix `m̃s` — each entry bounds how
+    /// far its column processor can lag its row processor — served
+    /// straight from the incrementally-maintained cache.
+    ///
+    /// In steady state this costs only the `O(n²)` relaxation already paid
+    /// by the last `observe_*` call; nothing is cloned and no corrections
+    /// are derived, so prefer it over [`OnlineSynchronizer::outcome`] when
+    /// only pair bounds are needed between resynchronizations.
     ///
     /// # Errors
     ///
     /// Returns [`SyncError::InconsistentObservations`] if the accumulated
     /// observations contradict the declared assumptions.
-    pub fn outcome(&self) -> Result<SyncOutcome, SyncError> {
-        let local = estimated_local_shifts(&self.network, &self.observations);
-        let (closure, chains) = crate::global_estimates_with_chains(&local)?;
-        let mut outcome = SyncOutcome::from_global_estimates(closure);
-        outcome.set_constraint_chains(chains);
+    pub fn global_estimates(
+        &mut self,
+    ) -> Result<&clocksync_graph::SquareMatrix<ExtRatio>, SyncError> {
+        Ok(self.ensure_cache()?.dist())
+    }
+
+    /// Computes the optimal corrections for everything observed so far.
+    ///
+    /// The GLOBAL ESTIMATES closure comes from the incremental cache (kept
+    /// current by the `observe_*` methods; recomputed via
+    /// [`clocksync_graph::fast_closure`] only after an invalidation);
+    /// deriving `A_max` and the correction vector from it still costs the
+    /// full [`SyncOutcome::from_global_estimates`] on every call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::InconsistentObservations`] if the accumulated
+    /// observations contradict the declared assumptions.
+    pub fn outcome(&mut self) -> Result<SyncOutcome, SyncError> {
+        let cache = self.ensure_cache()?;
+        let mut outcome = SyncOutcome::from_global_estimates(cache.dist().clone());
+        outcome.set_constraint_chains(cache.next().clone());
         Ok(outcome)
     }
 }
@@ -163,7 +279,15 @@ mod tests {
     fn streaming_equals_batch() {
         let exec = ExecutionBuilder::new(2)
             .start(Q, RealTime::from_nanos(123))
-            .round_trips(P, Q, 3, RealTime::from_nanos(5_000), Nanos::new(997), Nanos::new(400), Nanos::new(350))
+            .round_trips(
+                P,
+                Q,
+                3,
+                RealTime::from_nanos(5_000),
+                Nanos::new(997),
+                Nanos::new(400),
+                Nanos::new(350),
+            )
             .build()
             .unwrap();
         let batch = Synchronizer::new(net()).synchronize(exec.views()).unwrap();
@@ -171,6 +295,46 @@ mod tests {
         online.ingest_views(exec.views()).unwrap();
         let streamed = online.outcome().unwrap();
         assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn message_stream_equals_batch() {
+        // Same as above, but fed message by message so every observation
+        // exercises the incremental relax_edge path (ingest_views rebuilds
+        // wholesale instead).
+        let exec = ExecutionBuilder::new(2)
+            .start(Q, RealTime::from_nanos(123))
+            .round_trips(
+                P,
+                Q,
+                3,
+                RealTime::from_nanos(5_000),
+                Nanos::new(997),
+                Nanos::new(400),
+                Nanos::new(350),
+            )
+            .build()
+            .unwrap();
+        let batch = Synchronizer::new(net()).synchronize(exec.views()).unwrap();
+        let mut online = OnlineSynchronizer::new(net());
+        // Build the cache up front so the relaxations really are folded in
+        // one at a time rather than deferred to a single rebuild.
+        let _ = online.outcome().unwrap();
+        for m in exec.views().message_observations() {
+            online.observe_message(m.src, m.dst, m.send_clock, m.recv_clock);
+        }
+        let streamed = online.outcome().unwrap();
+        assert_eq!(batch.precision(), streamed.precision());
+        assert_eq!(batch.corrections(), streamed.corrections());
+        assert_eq!(
+            batch.global_shift_estimates(),
+            streamed.global_shift_estimates()
+        );
+        // The lightweight accessor serves the same matrix.
+        assert_eq!(
+            online.global_estimates().unwrap(),
+            batch.global_shift_estimates()
+        );
     }
 
     #[test]
@@ -218,14 +382,34 @@ mod tests {
             .link(
                 P,
                 Q,
-                LinkAssumption::symmetric_bounds(DelayRange::new(
-                    Nanos::new(400),
-                    Nanos::new(500),
-                )),
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(400), Nanos::new(500))),
             )
             .build();
         let mut online = OnlineSynchronizer::new(net);
         // Round trip estimate sums to 100 < 2·lb = 800: impossible.
+        online.observe_estimated_delay(P, Q, Nanos::new(60));
+        online.observe_estimated_delay(Q, P, Nanos::new(40));
+        assert!(matches!(
+            online.outcome(),
+            Err(SyncError::InconsistentObservations { .. })
+        ));
+        // The inconsistency is permanent: asking again still reports it.
+        assert!(online.outcome().is_err());
+    }
+
+    #[test]
+    fn inconsistency_found_incrementally_matches_rebuild() {
+        // Same stream, but with a warm cache so the negative cycle is first
+        // noticed inside relax_edge rather than by the full kernel.
+        let net = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(400), Nanos::new(500))),
+            )
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        let _ = online.outcome().unwrap();
         online.observe_estimated_delay(P, Q, Nanos::new(60));
         online.observe_estimated_delay(Q, P, Nanos::new(40));
         assert!(matches!(

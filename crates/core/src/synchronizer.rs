@@ -127,9 +127,8 @@ impl SyncOutcome {
         let mut reports = Vec::with_capacity(components.len());
         for members in components {
             let k = members.len();
-            let sub = SquareMatrix::from_fn(k, |a, b| {
-                closure[(members[a].index(), members[b].index())]
-            });
+            let sub =
+                SquareMatrix::from_fn(k, |a, b| closure[(members[a].index(), members[b].index())]);
             let result = shifts(&sub, 0);
             for (local_idx, p) in members.iter().enumerate() {
                 corrections[p.index()] = result.corrections[local_idx];
@@ -324,8 +323,18 @@ mod tests {
             .build();
         let exec = ExecutionBuilder::new(2)
             .start(Q, RealTime::from_nanos(sigma))
-            .message(P, Q, RealTime::from_nanos(1_000 + sigma.abs()), Nanos::new(d))
-            .message(Q, P, RealTime::from_nanos(2_000 + sigma.abs()), Nanos::new(d))
+            .message(
+                P,
+                Q,
+                RealTime::from_nanos(1_000 + sigma.abs()),
+                Nanos::new(d),
+            )
+            .message(
+                Q,
+                P,
+                RealTime::from_nanos(2_000 + sigma.abs()),
+                Nanos::new(d),
+            )
             .build()
             .unwrap();
         let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
@@ -421,8 +430,24 @@ mod tests {
             )
             .build();
         let exec = ExecutionBuilder::new(3)
-            .round_trips(P, Q, 1, RealTime::from_nanos(0), Nanos::ZERO, Nanos::new(5), Nanos::new(5))
-            .round_trips(Q, R, 1, RealTime::from_nanos(1_000), Nanos::ZERO, Nanos::new(25), Nanos::new(25))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(0),
+                Nanos::ZERO,
+                Nanos::new(5),
+                Nanos::new(5),
+            )
+            .round_trips(
+                Q,
+                R,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::ZERO,
+                Nanos::new(25),
+                Nanos::new(25),
+            )
             .build()
             .unwrap();
         let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
@@ -449,8 +474,24 @@ mod tests {
             )
             .build();
         let exec = ExecutionBuilder::new(3)
-            .round_trips(P, Q, 1, RealTime::from_nanos(100), Nanos::new(10), Nanos::new(5), Nanos::new(5))
-            .round_trips(Q, R, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(100),
+                Nanos::new(10),
+                Nanos::new(5),
+                Nanos::new(5),
+            )
+            .round_trips(
+                Q,
+                R,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::new(10),
+                Nanos::new(5),
+                Nanos::new(5),
+            )
             .build()
             .unwrap();
         let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();

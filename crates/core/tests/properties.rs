@@ -2,7 +2,7 @@
 //! executions the outcome must honor the paper's guarantees exactly.
 
 use clocksync::{DelayRange, LinkAssumption, Network, Synchronizer};
-use clocksync_model::{ExecutionBuilder, Execution, ProcessorId};
+use clocksync_model::{Execution, ExecutionBuilder, ProcessorId};
 use clocksync_time::{Ext, Nanos, Ratio, RealTime};
 use proptest::prelude::*;
 
@@ -47,7 +47,9 @@ fn bounds_instance() -> impl Strategy<Value = BoundsInstance> {
             // Derive bounds and traffic deterministically from the seed.
             let mut state = seed | 1;
             let mut rnd = move |range: i64| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as i64).rem_euclid(range)
             };
             let mut traffic = Vec::with_capacity(links.len());

@@ -1,0 +1,446 @@
+//! The closure subsystem: a scaled fast path for one-shot closures and an
+//! incrementally-maintained [`Closure`] cache for online resynchronization.
+//!
+//! Two complementary optimizations of the GLOBAL ESTIMATES step live here:
+//!
+//! * [`fast_closure`] — the drop-in replacement for
+//!   [`crate::floyd_warshall_with_paths`] over [`ExtRatio`] matrices. It
+//!   rescales the matrix to plain `i64` (exact, via the least common
+//!   denominator) and runs the parallel
+//!   [`crate::blocked_floyd_warshall_i64`] kernel, falling back to the
+//!   generic reference kernel whenever exact scaling is impossible or
+//!   could overflow. Results are bit-identical to the reference on every
+//!   input the fast path accepts.
+//! * [`Closure`] — a cached `(dist, next)` pair supporting
+//!   [`Closure::relax_edge`]: applying a single-edge weight *decrease* in
+//!   `O(n²)` instead of recomputing the full `O(n³)` closure. Online
+//!   synchronizers observe one message at a time, and each observation can
+//!   only tighten the estimate of the link it travelled on, so steady-state
+//!   resynchronization becomes a sequence of `relax_edge` calls.
+
+use clocksync_time::{Ext, ExtRatio, Ratio};
+
+use crate::{
+    blocked_floyd_warshall_i64, floyd_warshall_with_paths, NegativeCycleError, SquareMatrix,
+    Weight, UNREACHABLE,
+};
+
+/// Largest common denominator the scaling pass will build. Estimate
+/// matrices produced from integer-nanosecond observations have
+/// denominators 1 or 2 (the round-trip estimator halves an RTT), so this
+/// is generous; it exists to bail out before `lcm` or the scaled
+/// magnitudes overflow.
+const MAX_SCALE: i128 = 1 << 40;
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+/// Exactly rescales an extended-rational matrix to sentinel-encoded `i64`,
+/// returning the scaled matrix and the common denominator, or `None` when
+/// the matrix cannot be represented safely (`NegInf` entries, an oversized
+/// common denominator, or magnitudes big enough that `n` additions could
+/// approach [`UNREACHABLE`]).
+fn scaled_weights(m: &SquareMatrix<ExtRatio>) -> Option<(SquareMatrix<i64>, i128)> {
+    let n = m.n();
+    let mut scale: i128 = 1;
+    for (_, _, &w) in m.iter() {
+        match w {
+            Ext::Finite(r) => {
+                let den = r.denominator();
+                scale = scale.checked_mul(den / gcd(scale, den))?;
+                if scale > MAX_SCALE {
+                    return None;
+                }
+            }
+            Ext::PosInf => {}
+            Ext::NegInf => return None,
+        }
+    }
+    // Any shortest path has at most n−1 edges, so the kernel's sums stay
+    // within n·limit, far from the sentinel.
+    let limit = UNREACHABLE / (4 * (n as i64).max(1));
+    let mut out = SquareMatrix::filled(n, UNREACHABLE);
+    for (i, j, &w) in m.iter() {
+        if let Ext::Finite(r) = w {
+            let scaled = r.numerator().checked_mul(scale / r.denominator())?;
+            let v = i64::try_from(scaled).ok()?;
+            if !(-limit..=limit).contains(&v) {
+                return None;
+            }
+            out[(i, j)] = v;
+        }
+    }
+    Some((out, scale))
+}
+
+/// The result type of the closure functions: `(dist, next)` on success,
+/// the negative-cycle witness otherwise.
+pub type ClosureResult = Result<(SquareMatrix<ExtRatio>, SquareMatrix<usize>), NegativeCycleError>;
+
+/// Runs the scaled `i64` kernel if the matrix admits exact scaling.
+/// Returns `None` when it does not (the caller should use the generic
+/// kernel). Exposed so the equivalence test suite can tell "fast path
+/// taken" apart from "silently fell back".
+pub fn try_scaled_closure(m: &SquareMatrix<ExtRatio>) -> Option<ClosureResult> {
+    let (scaled, scale) = scaled_weights(m)?;
+    Some(blocked_floyd_warshall_i64(&scaled).map(|(dist, next)| {
+        let dist = SquareMatrix::from_fn(m.n(), |i, j| {
+            let v = dist[(i, j)];
+            if v == UNREACHABLE {
+                Ext::PosInf
+            } else {
+                Ext::Finite(Ratio::new(v as i128, scale))
+            }
+        });
+        (dist, next)
+    }))
+}
+
+/// The all-pairs shortest-path closure with path successors — same
+/// contract as [`crate::floyd_warshall_with_paths`], computed via the
+/// parallel scaled-`i64` kernel whenever the input can be exactly
+/// rescaled (the common case for estimate matrices), and via the generic
+/// exact kernel otherwise. On every input both routes produce identical
+/// distance matrices; on fast-path inputs the successor matrices are
+/// identical too.
+///
+/// # Errors
+///
+/// Returns [`NegativeCycleError`] when the graph contains a negative
+/// cycle.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_graph::{fast_closure, SquareMatrix, Weight};
+/// use clocksync_time::{Ext, ExtRatio, Ratio};
+///
+/// let mut m = SquareMatrix::from_fn(3, |i, j| {
+///     if i == j { <ExtRatio as Weight>::zero() } else { Ext::PosInf }
+/// });
+/// m[(0, 1)] = Ext::Finite(Ratio::new(1, 2));
+/// m[(1, 2)] = Ext::Finite(Ratio::from_int(2));
+/// let (dist, _next) = fast_closure(&m)?;
+/// assert_eq!(dist[(0, 2)], Ext::Finite(Ratio::new(5, 2)));
+/// # Ok::<(), clocksync_graph::NegativeCycleError>(())
+/// ```
+pub fn fast_closure(m: &SquareMatrix<ExtRatio>) -> ClosureResult {
+    match try_scaled_closure(m) {
+        Some(result) => result,
+        None => floyd_warshall_with_paths(m),
+    }
+}
+
+/// A cached metric closure that can absorb single-edge weight decreases in
+/// `O(n²)` — the incremental engine behind online resynchronization.
+///
+/// The invariant: `dist` is the exact all-pairs shortest-path closure of
+/// some weighted digraph, and `next` is a valid successor matrix for it
+/// (`next[(i, j)]` begins a shortest `i → j` path; `usize::MAX` iff
+/// unreachable or `i == j`). [`Closure::relax_edge`] preserves the
+/// invariant under edge insertions/decreases; any other change requires a
+/// rebuild with [`Closure::new`].
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_graph::{Closure, SquareMatrix};
+/// use clocksync_time::Ext;
+///
+/// let mut m = SquareMatrix::filled(3, Ext::PosInf);
+/// for i in 0..3 { m[(i, i)] = Ext::Finite(0i64); }
+/// m[(0, 1)] = Ext::Finite(3);
+/// m[(1, 2)] = Ext::Finite(3);
+/// let mut c = Closure::new(&m)?;
+/// assert_eq!(c.dist()[(0, 2)], Ext::Finite(6));
+/// // A tighter 0 → 1 estimate arrives: every pair through it improves.
+/// assert!(c.relax_edge(0, 1, Ext::Finite(1))?);
+/// assert_eq!(c.dist()[(0, 2)], Ext::Finite(4));
+/// # Ok::<(), clocksync_graph::NegativeCycleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Closure<W> {
+    dist: SquareMatrix<W>,
+    next: SquareMatrix<usize>,
+}
+
+impl<W: Weight> Closure<W> {
+    /// Builds the closure of a weight matrix with the generic exact kernel
+    /// (conventions of [`crate::floyd_warshall_with_paths`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegativeCycleError`] when the graph has a negative cycle.
+    pub fn new(m: &SquareMatrix<W>) -> Result<Closure<W>, NegativeCycleError> {
+        floyd_warshall_with_paths(m).map(|(dist, next)| Closure { dist, next })
+    }
+
+    /// Wraps an already-computed `(dist, next)` pair — e.g. the output of
+    /// [`fast_closure`]. The pair must satisfy the closure invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices disagree on dimension.
+    pub fn from_parts(dist: SquareMatrix<W>, next: SquareMatrix<usize>) -> Closure<W> {
+        assert_eq!(
+            dist.n(),
+            next.n(),
+            "dist and next must have equal dimension"
+        );
+        Closure { dist, next }
+    }
+
+    /// The dimension.
+    pub fn n(&self) -> usize {
+        self.dist.n()
+    }
+
+    /// The closure distances.
+    pub fn dist(&self) -> &SquareMatrix<W> {
+        &self.dist
+    }
+
+    /// The successor matrix (see [`crate::reconstruct_path`]).
+    pub fn next(&self) -> &SquareMatrix<usize> {
+        &self.next
+    }
+
+    /// Consumes the cache, returning `(dist, next)`.
+    pub fn into_parts(self) -> (SquareMatrix<W>, SquareMatrix<usize>) {
+        (self.dist, self.next)
+    }
+
+    /// Incorporates a new edge `u → v` of weight `w` (equivalently: lowers
+    /// the existing edge to `w`), updating the cached closure in `O(n²)`:
+    ///
+    /// `dist[i][j] ← min(dist[i][j], dist[i][u] + w + dist[v][j])`.
+    ///
+    /// This is exact because a weight *decrease* cannot lengthen any
+    /// shortest path, and any path improved by the change uses the new
+    /// edge, splitting into an old shortest `i → u` prefix and `v → j`
+    /// suffix — both of which the cached closure already knows. Returns
+    /// whether any entry changed; `Ok(false)` when `w` is no better than
+    /// the current `dist[(u, v)]` (the common steady-state case, detected
+    /// in `O(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegativeCycleError`] when the new edge closes a negative
+    /// cycle (`w + dist[(v, u)] < 0`). The cache is left in an unspecified
+    /// partially-updated state and must be discarded or rebuilt; this
+    /// mirrors the full kernels, which also reject such graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn relax_edge(&mut self, u: usize, v: usize, w: W) -> Result<bool, NegativeCycleError> {
+        let n = self.dist.n();
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if u == v {
+            // A self-loop only matters when negative (a 1-cycle).
+            return if w < W::zero() {
+                Err(NegativeCycleError { witness: u })
+            } else {
+                Ok(false)
+            };
+        }
+        if !w.is_reachable() || w >= self.dist[(u, v)] {
+            return Ok(false);
+        }
+        // Snapshots: the new edge cannot change column u or row v unless it
+        // closes a negative cycle (w + dist[(v, u)] ≥ 0 ⇒ no i → u path
+        // improves by detouring through u → v → … → u), so reading the old
+        // values below is exact; a closed negative cycle instead surfaces
+        // as a negative diagonal entry, reported as the error.
+        let col_u: Vec<W> = (0..n).map(|i| self.dist[(i, u)]).collect();
+        let row_v: Vec<W> = (0..n).map(|j| self.dist[(v, j)]).collect();
+        let next_u: Vec<usize> = (0..n).map(|i| self.next[(i, u)]).collect();
+        let mut changed = false;
+        let mut negative = None;
+        for i in 0..n {
+            let diu = col_u[i];
+            if !diu.is_reachable() {
+                continue;
+            }
+            let base = diu + w;
+            let first_hop = if i == u { v } else { next_u[i] };
+            for (j, &dvj) in row_v.iter().enumerate() {
+                if !dvj.is_reachable() {
+                    continue;
+                }
+                let cand = base + dvj;
+                if cand < self.dist[(i, j)] {
+                    self.dist[(i, j)] = cand;
+                    self.next[(i, j)] = first_hop;
+                    changed = true;
+                    if i == j && negative.is_none() {
+                        negative = Some(i);
+                    }
+                }
+            }
+        }
+        match negative {
+            Some(witness) => Err(NegativeCycleError { witness }),
+            None => Ok(changed),
+        }
+    }
+}
+
+impl Closure<ExtRatio> {
+    /// Builds the closure via [`fast_closure`] (the parallel scaled-`i64`
+    /// kernel with generic fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegativeCycleError`] when the graph has a negative cycle.
+    pub fn fast(m: &SquareMatrix<ExtRatio>) -> Result<Closure<ExtRatio>, NegativeCycleError> {
+        fast_closure(m).map(|(dist, next)| Closure { dist, next })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruct_path;
+
+    fn ratio_matrix(n: usize, edges: &[(usize, usize, i128, i128)]) -> SquareMatrix<ExtRatio> {
+        let mut m = SquareMatrix::from_fn(n, |i, j| {
+            if i == j {
+                <ExtRatio as Weight>::zero()
+            } else {
+                Ext::PosInf
+            }
+        });
+        for &(a, b, num, den) in edges {
+            m[(a, b)] = Ext::Finite(Ratio::new(num, den));
+        }
+        m
+    }
+
+    #[test]
+    fn fast_closure_matches_generic_on_rationals() {
+        let m = ratio_matrix(
+            4,
+            &[
+                (0, 1, 1, 2),
+                (1, 2, 3, 2),
+                (2, 3, -1, 2),
+                (0, 3, 10, 1),
+                (3, 0, 5, 1),
+            ],
+        );
+        assert!(
+            try_scaled_closure(&m).is_some(),
+            "should take the fast path"
+        );
+        let (fd, fnext) = fast_closure(&m).unwrap();
+        let (gd, gnext) = floyd_warshall_with_paths(&m).unwrap();
+        assert_eq!(fd, gd);
+        assert_eq!(fnext, gnext);
+    }
+
+    #[test]
+    fn scaling_rejects_neg_inf_and_huge_denominators() {
+        let mut m = ratio_matrix(2, &[(0, 1, 1, 1)]);
+        m[(1, 0)] = Ext::NegInf;
+        assert!(try_scaled_closure(&m).is_none());
+        let mut m = ratio_matrix(2, &[(0, 1, 1, 1)]);
+        m[(1, 0)] = Ext::Finite(Ratio::new(1, MAX_SCALE * 2 + 1));
+        assert!(try_scaled_closure(&m).is_none());
+    }
+
+    #[test]
+    fn fast_closure_falls_back_when_unscalable() {
+        let mut m = ratio_matrix(2, &[(0, 1, 3, 1)]);
+        m[(1, 0)] = Ext::Finite(Ratio::new(1, MAX_SCALE * 2 + 1));
+        let (d, _) = fast_closure(&m).unwrap();
+        assert_eq!(d[(0, 1)], Ext::Finite(Ratio::from_int(3)));
+    }
+
+    #[test]
+    fn fast_closure_reports_negative_cycles() {
+        let m = ratio_matrix(2, &[(0, 1, 1, 1), (1, 0, -2, 1)]);
+        assert!(fast_closure(&m).is_err());
+    }
+
+    #[test]
+    fn relax_edge_matches_full_recompute() {
+        let mut m = ratio_matrix(4, &[(0, 1, 4, 1), (1, 2, 4, 1), (2, 3, 4, 1), (3, 0, 4, 1)]);
+        let mut c = Closure::new(&m).unwrap();
+        // Tighten 1 → 2, then add a brand-new chord 0 → 2.
+        for (u, v, w) in [
+            (1usize, 2usize, Ratio::from_int(1)),
+            (0, 2, Ratio::from_int(2)),
+        ] {
+            m[(u, v)] = Ext::Finite(w);
+            c.relax_edge(u, v, Ext::Finite(w)).unwrap();
+            let fresh = Closure::new(&m).unwrap();
+            assert_eq!(c.dist(), fresh.dist());
+        }
+    }
+
+    #[test]
+    fn relax_edge_no_op_cases() {
+        let m = ratio_matrix(3, &[(0, 1, 2, 1), (1, 2, 2, 1)]);
+        let mut c = Closure::new(&m).unwrap();
+        let before = c.clone();
+        // Worse than the existing estimate, equal to it, unreachable, and a
+        // nonnegative self-loop: all no-ops.
+        assert!(!c.relax_edge(0, 1, Ext::Finite(Ratio::from_int(7))).unwrap());
+        assert!(!c.relax_edge(0, 1, Ext::Finite(Ratio::from_int(2))).unwrap());
+        assert!(!c.relax_edge(2, 0, Ext::PosInf).unwrap());
+        assert!(!c.relax_edge(1, 1, Ext::Finite(Ratio::ZERO)).unwrap());
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn relax_edge_detects_negative_cycles() {
+        let m = ratio_matrix(3, &[(0, 1, 2, 1), (1, 2, 2, 1), (2, 0, 2, 1)]);
+        let mut c = Closure::new(&m).unwrap();
+        // dist(1, 0) = 4; an edge 0 → 1 of weight −5 closes a −1 cycle.
+        let err = c
+            .relax_edge(0, 1, Ext::Finite(Ratio::from_int(-5)))
+            .unwrap_err();
+        let _ = err.witness;
+        // Negative self-loops are 1-cycles.
+        let mut c2 = Closure::new(&m).unwrap();
+        assert!(c2
+            .relax_edge(1, 1, Ext::Finite(Ratio::from_int(-1)))
+            .is_err());
+    }
+
+    #[test]
+    fn relax_edge_keeps_successors_valid() {
+        let m = ratio_matrix(4, &[(0, 1, 4, 1), (1, 2, 4, 1), (2, 3, 4, 1)]);
+        let mut c = Closure::new(&m).unwrap();
+        c.relax_edge(0, 2, Ext::Finite(Ratio::from_int(3))).unwrap();
+        c.relax_edge(1, 3, Ext::Finite(Ratio::from_int(5))).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                match reconstruct_path(c.next(), i, j) {
+                    Some(path) => {
+                        assert_eq!(path.first(), Some(&i));
+                        assert_eq!(path.last(), Some(&j));
+                        assert!(c.dist()[(i, j)].is_reachable());
+                    }
+                    None => assert!(!c.dist()[(i, j)].is_reachable()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let m = ratio_matrix(3, &[(0, 1, 1, 1), (1, 2, 1, 1)]);
+        let c = Closure::fast(&m).unwrap();
+        assert_eq!(c.n(), 3);
+        let (d, next) = c.clone().into_parts();
+        assert_eq!(Closure::from_parts(d, next), c);
+    }
+}

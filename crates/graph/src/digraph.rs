@@ -84,13 +84,16 @@ impl<W: Weight> DiGraph<W> {
     /// among parallel `i→j` edges, `W::infinity()` if there is none, and
     /// `W::zero()` on the diagonal.
     pub fn to_matrix(&self) -> SquareMatrix<W> {
-        let mut m = SquareMatrix::from_fn(self.n, |i, j| {
-            if i == j {
-                W::zero()
-            } else {
-                W::infinity()
-            }
-        });
+        let mut m = SquareMatrix::from_fn(
+            self.n,
+            |i, j| {
+                if i == j {
+                    W::zero()
+                } else {
+                    W::infinity()
+                }
+            },
+        );
         for e in &self.edges {
             if e.weight < m[(e.from, e.to)] {
                 m[(e.from, e.to)] = e.weight;

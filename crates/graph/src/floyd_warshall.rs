@@ -98,11 +98,7 @@ pub fn floyd_warshall_with_paths<W: Weight>(
 /// Expands a successor matrix into the node sequence of a shortest
 /// `from → to` path (inclusive of both endpoints). Returns `None` when
 /// `to` is unreachable from `from`; `Some(vec![from])` when `from == to`.
-pub fn reconstruct_path(
-    next: &SquareMatrix<usize>,
-    from: usize,
-    to: usize,
-) -> Option<Vec<usize>> {
+pub fn reconstruct_path(next: &SquareMatrix<usize>, from: usize, to: usize) -> Option<Vec<usize>> {
     if from == to {
         return Some(vec![from]);
     }
@@ -209,8 +205,8 @@ mod tests {
         assert_eq!(reconstruct_path(&next, 0, 0), Some(vec![0]));
         assert_eq!(reconstruct_path(&next, 3, 0), None);
         // Direct edge wins when it is cheapest.
-        let (_, next2) = floyd_warshall_with_paths(&graph(3, &[(0, 1, 1), (1, 2, 5), (0, 2, 2)]))
-            .unwrap();
+        let (_, next2) =
+            floyd_warshall_with_paths(&graph(3, &[(0, 1, 1), (1, 2, 5), (0, 2, 2)])).unwrap();
         assert_eq!(reconstruct_path(&next2, 0, 2), Some(vec![0, 2]));
     }
 
@@ -218,7 +214,14 @@ mod tests {
     fn reconstructed_path_weight_matches_distance() {
         let m = graph(
             5,
-            &[(0, 1, 3), (1, 2, 4), (2, 3, 1), (3, 4, 2), (0, 2, 9), (1, 4, 20)],
+            &[
+                (0, 1, 3),
+                (1, 2, 4),
+                (2, 3, 1),
+                (3, 4, 2),
+                (0, 2, 9),
+                (1, 4, 20),
+            ],
         );
         let (d, next) = floyd_warshall_with_paths(&m).unwrap();
         for i in 0..5 {

@@ -247,7 +247,10 @@ mod tests {
 
     #[test]
     fn acyclic_graphs_have_no_cycle_mean() {
-        assert_eq!(howard_max_cycle_mean(&matrix(3, &[(0, 1, 5), (1, 2, 5)])), None);
+        assert_eq!(
+            howard_max_cycle_mean(&matrix(3, &[(0, 1, 5), (1, 2, 5)])),
+            None
+        );
         assert_eq!(howard_max_cycle_mean(&matrix(0, &[])), None);
         assert_eq!(howard_max_cycle_mean(&matrix(4, &[])), None);
     }

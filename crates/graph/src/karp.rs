@@ -33,9 +33,11 @@ impl CycleMean {
         self.cycle.len()
     }
 
-    /// Witness cycles are never empty; provided for clippy-completeness.
+    /// Whether the witness cycle is empty. Every `CycleMean` the algorithms
+    /// construct carries a non-empty witness, so this is `false` for them;
+    /// it reports on the actual data rather than hard-coding that invariant.
     pub fn is_empty(&self) -> bool {
-        false
+        self.cycle.is_empty()
     }
 }
 
@@ -159,11 +161,7 @@ pub fn karp_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<CycleMean> {
 
 /// Scans every repeated-vertex segment of `walk` and returns the segment
 /// (as a cycle) whose mean equals `lambda`.
-fn extract_best_cycle(
-    walk: &[usize],
-    m: &SquareMatrix<Ext<Ratio>>,
-    lambda: Ratio,
-) -> Vec<usize> {
+fn extract_best_cycle(walk: &[usize], m: &SquareMatrix<Ext<Ratio>>, lambda: Ratio) -> Vec<usize> {
     let mut best_cycle: Option<(Ratio, Vec<usize>)> = None;
     for i in 0..walk.len() {
         for j in (i + 1)..walk.len() {
@@ -174,10 +172,12 @@ fn extract_best_cycle(
             let mut total = Ratio::ZERO;
             for t in 0..seg.len() {
                 let from = seg[t];
-                let to = if t + 1 < seg.len() { seg[t + 1] } else { seg[0] };
-                total += m[(from, to)]
-                    .finite()
-                    .expect("walk follows existing edges");
+                let to = if t + 1 < seg.len() {
+                    seg[t + 1]
+                } else {
+                    seg[0]
+                };
+                total += m[(from, to)].finite().expect("walk follows existing edges");
             }
             let mean = total * Ratio::new(1, seg.len() as i128);
             match &best_cycle {

@@ -16,6 +16,14 @@
 //! Brute-force oracles used by the test suites and benches live in
 //! [`brute`].
 //!
+//! For the GLOBAL ESTIMATES hot path there is a performance layer on top of
+//! the generic kernels: [`fast_closure`] scales rational matrices to plain
+//! `i64` and runs the parallel [`blocked_floyd_warshall_i64`] kernel
+//! (falling back to the generic one when exact scaling is impossible), and
+//! [`Closure`] caches a computed closure so single-edge tightenings can be
+//! absorbed in `O(n²)` via [`Closure::relax_edge`] instead of a full
+//! `O(n³)` recompute.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,7 +41,9 @@
 #![warn(missing_docs)]
 
 mod bellman_ford;
+mod blocked;
 pub mod brute;
+mod closure;
 mod digraph;
 mod floyd_warshall;
 mod howard;
@@ -42,6 +52,8 @@ mod matrix;
 mod weight;
 
 pub use bellman_ford::{bellman_ford, NegativeCycleError};
+pub use blocked::{blocked_floyd_warshall_i64, UNREACHABLE};
+pub use closure::{fast_closure, try_scaled_closure, Closure, ClosureResult};
 pub use digraph::{DiGraph, Edge};
 pub use floyd_warshall::{floyd_warshall, floyd_warshall_with_paths, reconstruct_path};
 pub use howard::howard_max_cycle_mean;

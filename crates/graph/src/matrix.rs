@@ -49,9 +49,42 @@ impl<T> SquareMatrix<T> {
         SquareMatrix { n, data }
     }
 
+    /// Builds a matrix from its row-major backing vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_vec(n: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), n * n, "backing vector must hold n*n entries");
+        SquareMatrix { n, data }
+    }
+
     /// The dimension of the matrix.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The row-major backing slice (row `i` occupies `i*n..(i+1)*n`).
+    ///
+    /// This is the entry point for kernels that want flat, cache-friendly
+    /// access instead of per-element `(row, col)` indexing.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// One row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n`.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.n, "matrix index out of range");
+        &self.data[row * self.n..(row + 1) * self.n]
     }
 
     /// Borrowing accessor; panics on out-of-range indices like indexing.
@@ -137,6 +170,23 @@ mod tests {
     fn out_of_range_panics() {
         let m = SquareMatrix::filled(2, 0i64);
         let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn flat_access_matches_indexing() {
+        let mut m = SquareMatrix::from_fn(3, |i, j| (i * 3 + j) as i64);
+        assert_eq!(m.as_slice()[5], m[(1, 2)]);
+        assert_eq!(m.row(2), &[6, 7, 8]);
+        m.as_mut_slice()[4] = -1;
+        assert_eq!(m[(1, 1)], -1);
+        let rebuilt = SquareMatrix::from_vec(3, m.as_slice().to_vec());
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n entries")]
+    fn from_vec_checks_length() {
+        let _ = SquareMatrix::from_vec(2, vec![1i64, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Property equivalence of the closure fast paths against the generic
+//! reference kernel — the correctness contract of the perf layer:
+//!
+//! * [`blocked_floyd_warshall_i64`] must be **bit-identical** to
+//!   [`floyd_warshall_with_paths`] (distances *and* successors) on every
+//!   graph without a negative cycle, and must agree error-for-error on
+//!   graphs with one.
+//! * [`fast_closure`]'s scaling front-end must preserve that identity
+//!   through rational weights of mixed denominators.
+//! * [`Closure::relax_edge`] must leave the cache equal (in distance) to a
+//!   full recompute after any sequence of edge decreases, with a successor
+//!   matrix that still reconstructs genuine shortest paths.
+//!
+//! Each suite runs 1000 random cases.
+
+use clocksync_graph::{
+    blocked_floyd_warshall_i64, fast_closure, floyd_warshall_with_paths, reconstruct_path,
+    try_scaled_closure, Closure, SquareMatrix, Weight, UNREACHABLE,
+};
+use clocksync_time::{Ext, Ratio};
+use proptest::prelude::*;
+
+type W = Ext<Ratio>;
+
+/// A random sentinel-`i64` digraph: `n ≤ 12`, each off-diagonal pair
+/// absent or weighted in `[-20, 20]` (negative cycles included on
+/// purpose), diagonal occasionally positive to exercise normalization.
+fn sentinel_graph() -> impl Strategy<Value = SquareMatrix<i64>> {
+    (1usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec(
+            prop_oneof![
+                2 => Just(UNREACHABLE),
+                5 => -20i64..=20,
+            ],
+            n * n,
+        )
+        .prop_map(move |cells| {
+            let mut k = 0;
+            SquareMatrix::from_fn(n, |i, j| {
+                let v = cells[k];
+                k += 1;
+                if i == j && v != UNREACHABLE {
+                    // Mostly zero diagonals, sometimes positive (the kernel
+                    // must normalize), never negative (that is just a
+                    // trivial negative cycle, covered by off-diagonal ones).
+                    v.rem_euclid(3)
+                } else {
+                    v
+                }
+            })
+        })
+    })
+}
+
+/// A random rational digraph with denominators in `{1, 2, 4}` — always
+/// scalable, so [`fast_closure`] takes the `i64` kernel.
+fn rational_graph() -> impl Strategy<Value = SquareMatrix<W>> {
+    (1usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(
+            prop_oneof![
+                2 => Just(Ext::PosInf),
+                5 => (-40i128..=40, 0usize..=2).prop_map(|(num, d)| {
+                    Ext::Finite(Ratio::new(num, 1 << d))
+                }),
+            ],
+            n * n,
+        )
+        .prop_map(move |cells| {
+            let mut k = 0;
+            SquareMatrix::from_fn(n, |i, j| {
+                let v = cells[k];
+                k += 1;
+                if i == j {
+                    <W as Weight>::zero()
+                } else {
+                    v
+                }
+            })
+        })
+    })
+}
+
+/// A rational digraph guaranteed free of negative cycles (nonnegative
+/// weights), plus a sequence of candidate edge updates to relax in.
+fn closure_with_updates() -> impl Strategy<Value = (SquareMatrix<W>, Vec<(usize, usize, i128)>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        let matrix = proptest::collection::vec(
+            prop_oneof![
+                2 => Just(Ext::PosInf),
+                5 => (0i128..=40).prop_map(|w| Ext::Finite(Ratio::from_int(w))),
+            ],
+            n * n,
+        )
+        .prop_map(move |cells| {
+            let mut k = 0;
+            SquareMatrix::from_fn(n, |i, j| {
+                let v = cells[k];
+                k += 1;
+                if i == j {
+                    <W as Weight>::zero()
+                } else {
+                    v
+                }
+            })
+        });
+        // Raw endpoints are reduced mod n; weights may go negative, so some
+        // sequences close negative cycles — both kernels must agree then.
+        let updates = proptest::collection::vec((0usize..1000, 0usize..1000, -10i128..=40), 1..=5);
+        (matrix, updates)
+    })
+}
+
+fn ext_of(m: &SquareMatrix<i64>) -> SquareMatrix<Ext<i64>> {
+    SquareMatrix::from_fn(m.n(), |i, j| {
+        let v = m[(i, j)];
+        if v == UNREACHABLE {
+            Ext::PosInf
+        } else {
+            Ext::Finite(v)
+        }
+    })
+}
+
+/// Asserts that `next` reconstructs, for every pair, a real path in `m`
+/// whose total weight is exactly `dist[(i, j)]` — or that the pair is
+/// genuinely unreachable.
+fn assert_successors_valid(
+    m: &SquareMatrix<W>,
+    dist: &SquareMatrix<W>,
+    next: &SquareMatrix<usize>,
+) -> Result<(), TestCaseError> {
+    let n = m.n();
+    for i in 0..n {
+        for j in 0..n {
+            match reconstruct_path(next, i, j) {
+                Some(path) => {
+                    prop_assert_eq!(path[0], i);
+                    prop_assert_eq!(*path.last().unwrap(), j);
+                    let mut total = <W as Weight>::zero();
+                    for pair in path.windows(2) {
+                        let w = m[(pair[0], pair[1])];
+                        prop_assert!(w.is_reachable(), "path uses absent edge");
+                        total = total + w;
+                    }
+                    prop_assert_eq!(total, dist[(i, j)], "path weight != dist at ({},{})", i, j);
+                }
+                None => prop_assert!(
+                    !dist[(i, j)].is_reachable(),
+                    "no path reconstructed for reachable pair ({},{})",
+                    i,
+                    j
+                ),
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The blocked `i64` kernel is bit-identical to the generic kernel:
+    /// same distances, same successor matrix, same error outcomes.
+    #[test]
+    fn blocked_kernel_matches_generic(m in sentinel_graph()) {
+        let blocked = blocked_floyd_warshall_i64(&m);
+        let generic = floyd_warshall_with_paths(&ext_of(&m));
+        match (blocked, generic) {
+            (Ok((bd, bnext)), Ok((gd, gnext))) => {
+                for (i, j, &v) in bd.iter() {
+                    let g = match gd[(i, j)] {
+                        Ext::Finite(x) => x,
+                        Ext::PosInf => UNREACHABLE,
+                        Ext::NegInf => unreachable!("generic never yields -inf here"),
+                    };
+                    prop_assert_eq!(v, g, "dist mismatch at ({},{})", i, j);
+                }
+                prop_assert_eq!(bnext, gnext, "successor matrices differ");
+            }
+            (Err(_), Err(_)) => {}
+            (b, g) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", b, g),
+        }
+    }
+
+    /// The scaling front-end preserves the identity through mixed
+    /// denominators: `fast_closure` equals the generic kernel exactly, and
+    /// these inputs really exercise the scaled path.
+    #[test]
+    fn fast_closure_matches_generic(m in rational_graph()) {
+        prop_assert!(try_scaled_closure(&m).is_some(), "input unexpectedly unscalable");
+        match (fast_closure(&m), floyd_warshall_with_paths(&m)) {
+            (Ok((fd, fnext)), Ok((gd, gnext))) => {
+                prop_assert_eq!(fd, gd, "distances differ");
+                prop_assert_eq!(fnext, gnext, "successors differ");
+            }
+            (Err(_), Err(_)) => {}
+            (f, g) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", f, g),
+        }
+    }
+
+    /// Incremental `relax_edge` equals a full recompute after every edge
+    /// decrease: identical distances, valid successors, and agreement on
+    /// negative-cycle detection.
+    #[test]
+    fn relax_edge_matches_full_recompute((mut m, updates) in closure_with_updates()) {
+        let n = m.n();
+        let mut cache = Closure::new(&m).expect("nonnegative start has no negative cycle");
+        for (ur, vr, wi) in updates {
+            let (u, v) = (ur % n, vr % n);
+            let w = Ext::Finite(Ratio::from_int(wi));
+            // The graph relax_edge models: the edge lowered to min(old, w).
+            let merged = if w < m[(u, v)] { w } else { m[(u, v)] };
+            match cache.relax_edge(u, v, w) {
+                Ok(_) => {
+                    m[(u, v)] = merged;
+                    let fresh = Closure::new(&m)
+                        .expect("relax_edge accepted, so no negative cycle exists");
+                    prop_assert_eq!(cache.dist(), fresh.dist(), "dist diverged at ({},{})", u, v);
+                    assert_successors_valid(&m, cache.dist(), cache.next())?;
+                }
+                Err(_) => {
+                    m[(u, v)] = merged;
+                    // The cache is poisoned; the full kernel must confirm
+                    // the negative cycle, and the protocol is to rebuild.
+                    prop_assert!(
+                        Closure::new(&m).is_err(),
+                        "relax_edge reported a cycle the full kernel does not see"
+                    );
+                    return Ok(());
+                }
+            }
+        }
+    }
+}

@@ -94,7 +94,9 @@ impl ExecutionBuilder {
         for i in 0..count {
             let sent = base + spacing * i as i64;
             let echo = sent + forward;
-            self = self.message(p, q, sent, forward).message(q, p, echo, backward);
+            self = self
+                .message(p, q, sent, forward)
+                .message(q, p, echo, backward);
         }
         self
     }

@@ -63,7 +63,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::BadStartEvent { processor } => {
-                write!(f, "view of {processor} lacks a unique initial start event at clock 0")
+                write!(
+                    f,
+                    "view of {processor} lacks a unique initial start event at clock 0"
+                )
             }
             ModelError::UnorderedView { processor } => {
                 write!(f, "view of {processor} is not ordered by clock time")
@@ -78,7 +81,10 @@ impl fmt::Display for ModelError {
                 write!(f, "message {id} sent by {sender} was never received")
             }
             ModelError::EndpointMismatch { id } => {
-                write!(f, "sender and receiver disagree about endpoints of message {id}")
+                write!(
+                    f,
+                    "sender and receiver disagree about endpoints of message {id}"
+                )
             }
             ModelError::UnknownProcessor { processor } => {
                 write!(f, "{processor} is not a processor of this system")

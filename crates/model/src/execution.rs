@@ -265,7 +265,7 @@ mod tests {
     #[test]
     fn discrepancy_measures_corrected_spread() {
         let exec = two_node_exec(); // S = (0, 100)
-        // Perfect corrections: x_q − x_p = S_q − S_p.
+                                    // Perfect corrections: x_q − x_p = S_q − S_p.
         let perfect = vec![Ratio::ZERO, Ratio::from_int(100)];
         assert_eq!(exec.discrepancy(&perfect), Ratio::ZERO);
         // No corrections: spread is |S_p − S_q| = 100.

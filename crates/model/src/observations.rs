@@ -134,7 +134,7 @@ impl Default for DirectedStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkObservations {
     n: usize,
-    stats: Vec<DirectedStats>,   // row-major n×n, diagonal unused
+    stats: Vec<DirectedStats>,    // row-major n×n, diagonal unused
     samples: Vec<Vec<MsgSample>>, // row-major n×n, diagonal unused
 }
 

@@ -95,10 +95,7 @@ impl View {
                 processor: self.processor,
             });
         }
-        let ordered = self
-            .events
-            .windows(2)
-            .all(|w| w[0].clock() <= w[1].clock());
+        let ordered = self.events.windows(2).all(|w| w[0].clock() <= w[1].clock());
         if !ordered {
             return Err(ModelError::UnorderedView {
                 processor: self.processor,
@@ -242,8 +239,7 @@ impl ViewSet {
         for v in &self.views {
             for e in v.events() {
                 if let ViewEvent::Recv { from: _, id, clock } = *e {
-                    let (src, dst, send_clock) =
-                        sends[&id]; // correspondence validated at construction
+                    let (src, dst, send_clock) = sends[&id]; // correspondence validated at construction
                     out.push(MessageObservation {
                         src,
                         dst,
@@ -323,10 +319,7 @@ mod tests {
 
     #[test]
     fn nonzero_start_clock_is_rejected() {
-        let v = View::from_events(
-            ProcessorId(0),
-            vec![ViewEvent::Start { clock: ct(5) }],
-        );
+        let v = View::from_events(ProcessorId(0), vec![ViewEvent::Start { clock: ct(5) }]);
         assert!(v.validate().is_err());
     }
 

@@ -1,7 +1,7 @@
 //! Property tests for the execution model: the shift operation behaves like
 //! the paper's §4.1 group action and views are shift-invariant.
 
-use clocksync_model::{ExecutionBuilder, Execution, ProcessorId};
+use clocksync_model::{Execution, ExecutionBuilder, ProcessorId};
 use clocksync_time::{Nanos, Ratio, RealTime};
 use proptest::prelude::*;
 
@@ -16,10 +16,8 @@ struct Scenario {
 fn scenario() -> impl Strategy<Value = Scenario> {
     (2usize..=5).prop_flat_map(|n| {
         let starts = proptest::collection::vec(0i64..1_000_000, n);
-        let messages = proptest::collection::vec(
-            (0..n, 0..n, 0i64..1_000_000, 0i64..100_000),
-            1..12,
-        );
+        let messages =
+            proptest::collection::vec((0..n, 0..n, 0i64..1_000_000, 0i64..100_000), 1..12);
         (starts, messages).prop_map(move |(starts, messages)| Scenario {
             n,
             starts,
@@ -40,12 +38,7 @@ fn build(s: &Scenario) -> Option<Execution> {
     for &(src, dst, off, delay) in &s.messages {
         // Send well after every start so delays keep clocks nonnegative.
         let sent = RealTime::from_nanos(latest + off);
-        b = b.message(
-            ProcessorId(src),
-            ProcessorId(dst),
-            sent,
-            Nanos::new(delay),
-        );
+        b = b.message(ProcessorId(src), ProcessorId(dst), sent, Nanos::new(delay));
     }
     b.build().ok()
 }

@@ -230,13 +230,11 @@ impl ClusterConfig {
                     let start_offset = Nanos::new(
                         i64::try_from((start - epoch).as_nanos()).expect("run fits in i64 ns"),
                     );
-                    let clock_now =
-                        |start: Instant| -> ClockTime {
-                            ClockTime::from_nanos(
-                                i64::try_from(start.elapsed().as_nanos())
-                                    .expect("run fits in i64 ns"),
-                            )
-                        };
+                    let clock_now = |start: Instant| -> ClockTime {
+                        ClockTime::from_nanos(
+                            i64::try_from(start.elapsed().as_nanos()).expect("run fits in i64 ns"),
+                        )
+                    };
                     let mut events = vec![ViewEvent::Start {
                         clock: ClockTime::ZERO,
                     }];
@@ -256,10 +254,10 @@ impl ClusterConfig {
                     let mut received = 0usize;
 
                     let send_to = |peer: usize,
-                                       payload: u64,
-                                       cfg: &LinkConfig,
-                                       events: &mut Vec<ViewEvent>,
-                                       link_rng: &mut StdRng| {
+                                   payload: u64,
+                                   cfg: &LinkConfig,
+                                   events: &mut Vec<ViewEvent>,
+                                   link_rng: &mut StdRng| {
                         let id = MessageId(msg_ids.fetch_add(1, Ordering::Relaxed));
                         let (lo, hi) = cfg.range(i < peer);
                         let delay = if lo == hi {
@@ -328,13 +326,7 @@ impl ClusterConfig {
                                         })
                                         .map(|&(_, _, c)| c)
                                         .expect("echo goes back over a known link");
-                                    send_to(
-                                        wire.from.index(),
-                                        1,
-                                        &cfg,
-                                        &mut events,
-                                        &mut link_rng,
-                                    );
+                                    send_to(wire.from.index(), 1, &cfg, &mut events, &mut link_rng);
                                 }
                             }
                             Err(_) => { /* timeout: loop re-checks schedule */ }
@@ -419,7 +411,11 @@ mod tests {
             .probes(1)
             .run(3);
         for m in run.execution.messages() {
-            assert!(m.delay >= Nanos::from_millis(2), "delay {} too small", m.delay);
+            assert!(
+                m.delay >= Nanos::from_millis(2),
+                "delay {} too small",
+                m.delay
+            );
         }
     }
 

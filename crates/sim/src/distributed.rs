@@ -158,8 +158,8 @@ impl Node {
             m[(a.index(), b.index())] = ab;
             m[(b.index(), a.index())] = ba;
         }
-        let closure = clocksync::global_estimates(&m)
-            .expect("honest reports cannot be inconsistent");
+        let closure =
+            clocksync::global_estimates(&m).expect("honest reports cannot be inconsistent");
         let outcome = SyncOutcome::from_global_estimates(closure);
         {
             let mut sink = self.sink.lock().expect("sink lock");
@@ -250,13 +250,17 @@ impl Process<DistMsg> for Node {
                     self.deliver_report(report, ctx);
                 }
             }
-            DistMsg::Report { a, b, mls_ab, mls_ba } => {
+            DistMsg::Report {
+                a,
+                b,
+                mls_ab,
+                mls_ba,
+            } => {
                 self.deliver_report((a, b, mls_ab, mls_ba), ctx);
             }
             DistMsg::Correction { target, value } => {
                 if target == ctx.id() {
-                    self.sink.lock().expect("sink lock").corrections[target.index()] =
-                        Some(value);
+                    self.sink.lock().expect("sink lock").corrections[target.index()] = Some(value);
                 } else {
                     let hop = self.route_down[&target];
                     ctx.send(hop, DistMsg::Correction { target, value });
@@ -364,8 +368,7 @@ impl DistributedSync {
             "declared links must connect every processor to the leader"
         );
         // route_down[v][target] = child of v on the path to target.
-        let mut route_down: Vec<HashMap<ProcessorId, ProcessorId>> =
-            vec![HashMap::new(); n];
+        let mut route_down: Vec<HashMap<ProcessorId, ProcessorId>> = vec![HashMap::new(); n];
         for t in 1..n {
             // Walk up from t; each ancestor routes to the child just below.
             let mut below = ProcessorId(t);

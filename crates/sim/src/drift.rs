@@ -243,8 +243,7 @@ mod tests {
             // At sync time the corrected clocks agree within the
             // certificate plus the residual reading error the certificate
             // cannot see (bounded by the margin).
-            let allowance =
-                run.outcome.precision() + Ext::Finite(Ratio::from(run.margin));
+            let allowance = run.outcome.precision() + Ext::Finite(Ratio::from(run.margin));
             assert!(
                 Ext::Finite(spread) <= allowance,
                 "seed {seed}: {spread} > {allowance}"
@@ -283,10 +282,7 @@ mod tests {
             widen_assumption(&LinkAssumption::rtt_bias(Nanos::new(7)), m),
             LinkAssumption::rtt_bias(Nanos::new(27))
         );
-        match widen_assumption(
-            &LinkAssumption::all(vec![LinkAssumption::no_bounds()]),
-            m,
-        ) {
+        match widen_assumption(&LinkAssumption::all(vec![LinkAssumption::no_bounds()]), m) {
             LinkAssumption::All(parts) => assert_eq!(parts.len(), 1),
             other => panic!("{other:?}"),
         }

@@ -10,9 +10,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use clocksync_model::{Execution, MessageId, ProcessorId, View, ViewEvent, ViewSet};
-use clocksync_time::{ClockTime, RealTime};
 #[cfg(test)]
 use clocksync_time::Nanos;
+use clocksync_time::{ClockTime, RealTime};
 use rand::Rng;
 
 use crate::delay::ResolvedLink;
@@ -140,11 +140,7 @@ impl Engine {
     /// Panics if `processes.len()` differs from the processor count, if a
     /// process sends to a non-neighbor, or if the event cap is exceeded
     /// (a non-terminating protocol).
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        processes: Vec<Box<dyn Process>>,
-        rng: &mut R,
-    ) -> Execution {
+    pub fn run<R: Rng + ?Sized>(&self, processes: Vec<Box<dyn Process>>, rng: &mut R) -> Execution {
         self.run_with_payload(processes, rng)
     }
 
@@ -168,10 +164,10 @@ impl Engine {
         let mut payloads: HashMap<u64, EventKind<P>> = HashMap::new();
         let mut seq = 0u64;
         let push = |queue: &mut BinaryHeap<_>,
-                        payloads: &mut HashMap<u64, EventKind<P>>,
-                        seq: &mut u64,
-                        at: RealTime,
-                        kind: EventKind<P>| {
+                    payloads: &mut HashMap<u64, EventKind<P>>,
+                    seq: &mut u64,
+                    at: RealTime,
+                    kind: EventKind<P>| {
             queue.push(Reverse((at, *seq)));
             payloads.insert(*seq, kind);
             *seq += 1;
@@ -328,10 +324,7 @@ mod tests {
         links.insert((0usize, 1usize), link(250));
         // The initiator starts last so its ping cannot arrive before the
         // responder's start (the model has no pre-start queueing).
-        let engine = Engine::new(
-            vec![RealTime::from_nanos(1_000), RealTime::ZERO],
-            links,
-        );
+        let engine = Engine::new(vec![RealTime::from_nanos(1_000), RealTime::ZERO], links);
         let exec = engine.run(
             vec![Box::new(Ping), Box::new(Ping)],
             &mut StdRng::seed_from_u64(1),
@@ -376,10 +369,7 @@ mod tests {
     fn timers_fire_at_their_clock_time() {
         let mut links = HashMap::new();
         links.insert((0usize, 1usize), link(100));
-        let engine = Engine::new(
-            vec![RealTime::from_nanos(10_000), RealTime::ZERO],
-            links,
-        );
+        let engine = Engine::new(vec![RealTime::from_nanos(10_000), RealTime::ZERO], links);
         let exec = engine.run(
             vec![Box::new(TimedSender), Box::new(TimedSender)],
             &mut StdRng::seed_from_u64(1),

@@ -46,7 +46,10 @@ impl ProbeProcess {
     pub fn new(probes: usize, spacing: Nanos, initial_delay: Nanos) -> ProbeProcess {
         assert!(probes > 0, "at least one probe round required");
         assert!(spacing > Nanos::ZERO, "spacing must be positive");
-        assert!(initial_delay > Nanos::ZERO, "initial delay must be positive");
+        assert!(
+            initial_delay > Nanos::ZERO,
+            "initial delay must be positive"
+        );
         ProbeProcess {
             probes,
             spacing,

@@ -160,6 +160,15 @@ impl Simulation {
             execution,
         }
     }
+
+    /// Runs the scenario under every seed in parallel (rayon), returning
+    /// the runs in seed order. Each run is seeded independently, so the
+    /// results are identical to calling [`Simulation::run`] sequentially —
+    /// a property the test suite checks.
+    pub fn run_many(&self, seeds: &[u64]) -> Vec<SimRun> {
+        use rayon::prelude::*;
+        seeds.par_iter().map(|&seed| self.run(seed)).collect()
+    }
 }
 
 /// Builder for [`Simulation`].
@@ -358,6 +367,26 @@ mod tests {
     }
 
     #[test]
+    fn run_many_matches_sequential_runs() {
+        let sim = Simulation::builder(4)
+            .uniform_links(
+                Topology::Ring(4),
+                Nanos::from_micros(50),
+                Nanos::from_micros(250),
+                2,
+            )
+            .probes(2)
+            .build();
+        let seeds: Vec<u64> = (0..8).collect();
+        let parallel = sim.run_many(&seeds);
+        assert_eq!(parallel.len(), seeds.len());
+        for (run, &seed) in parallel.iter().zip(&seeds) {
+            let sequential = sim.run(seed);
+            assert_eq!(run.execution, sequential.execution, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn reversed_link_declaration_matches_forward() {
         // Declaring (2, 0) with asymmetric delays must orient correctly.
         let model = LinkModel::Independent {
@@ -372,9 +401,7 @@ mod tests {
         let run = sim.run(11);
         assert!(run.is_admissible());
         // Messages 2 → 0 take 100ns (the declared forward direction).
-        let d = run
-            .execution
-            .link_delays(ProcessorId(2), ProcessorId(0));
+        let d = run.execution.link_delays(ProcessorId(2), ProcessorId(0));
         assert!(d.iter().all(|&x| x == Nanos::new(100)));
     }
 }

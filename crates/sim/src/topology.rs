@@ -120,7 +120,7 @@ impl Topology {
                 }
                 for a in 0..n {
                     for b in (a + 1)..n {
-                        if !edges.contains(&(a, b)) && rng.gen_range(0..1000) < extra_per_mille {
+                        if !edges.contains(&(a, b)) && rng.gen_range(0..1000u32) < extra_per_mille {
                             edges.push((a, b));
                         }
                     }
@@ -176,10 +176,7 @@ mod tests {
         assert_eq!(Topology::Ring(5).edges(&mut r).len(), 5);
         assert_eq!(Topology::Star(5).edges(&mut r).len(), 4);
         assert_eq!(Topology::Complete(5).edges(&mut r).len(), 10);
-        assert_eq!(
-            Topology::Grid { rows: 2, cols: 3 }.edges(&mut r).len(),
-            7
-        );
+        assert_eq!(Topology::Grid { rows: 2, cols: 3 }.edges(&mut r).len(), 7);
     }
 
     #[test]

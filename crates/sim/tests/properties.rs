@@ -12,10 +12,8 @@ fn topology() -> impl Strategy<Value = Topology> {
         (3usize..8).prop_map(Topology::Star),
         (3usize..6).prop_map(Topology::Complete),
         ((2usize..4), (2usize..4)).prop_map(|(rows, cols)| Topology::Grid { rows, cols }),
-        (4usize..9, 0u32..500).prop_map(|(n, extra_per_mille)| Topology::RandomConnected {
-            n,
-            extra_per_mille
-        }),
+        (4usize..9, 0u32..500)
+            .prop_map(|(n, extra_per_mille)| Topology::RandomConnected { n, extra_per_mille }),
     ]
 }
 

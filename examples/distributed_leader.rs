@@ -31,7 +31,10 @@ fn main() {
     let run = DistributedSync::new(sim).run(2026);
 
     section("distributed leader protocol, 6 processors");
-    row("messages exchanged (total)", run.execution.messages().len().to_string());
+    row(
+        "messages exchanged (total)",
+        run.execution.messages().len().to_string(),
+    );
     row("leader-certified precision", fmt_ext_us(run.precision));
     let err = run.execution.discrepancy(&run.corrections);
     row("true discrepancy (hidden)", fmt_us(err));

@@ -30,10 +30,7 @@ fn main() {
     let run = run_with_drift(&sim, ppm, 2026);
 
     section(&format!("5-node ring, clocks drifting up to ±{ppm} ppm"));
-    row(
-        "secret drift rates (ppm)",
-        format!("{:?}", run.drift_ppm),
-    );
+    row("secret drift rates (ppm)", format!("{:?}", run.drift_ppm));
     row("declaration widening", format!("{}", run.margin));
     row("certificate at sync", fmt_ext_us(run.outcome.precision()));
 

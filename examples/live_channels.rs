@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = run.synchronize()?;
 
     section("live channel cluster: 3 threads, injected delays");
-    row("messages exchanged", run.execution.messages().len().to_string());
+    row(
+        "messages exchanged",
+        run.execution.messages().len().to_string(),
+    );
     row("guaranteed precision", fmt_ext_us(outcome.precision()));
     let achieved = run.execution.discrepancy(outcome.corrections());
     row("true discrepancy (measured)", fmt_us(achieved));

@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // LAN links: genuine uniform delays inside declared bounds.
     let lan = LinkModel::symmetric(DelayDistribution::uniform(us(50), us(250)));
-    let lan_assumption =
-        LinkAssumption::symmetric_bounds(DelayRange::new(us(50), us(250)));
+    let lan_assumption = LinkAssumption::symmetric_bounds(DelayRange::new(us(50), us(250)));
 
     // WAN pair: a congested route with a large unknown base delay shared by
     // both directions; only the bias (±300us) is promised.
@@ -40,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Satellite: heavy-tailed, no upper bound exists; declare the floor.
     let sat = LinkModel::symmetric(DelayDistribution::heavy_tail(us(120_000), us(5_000), 1.3));
-    let sat_assumption =
-        LinkAssumption::symmetric_bounds(DelayRange::at_least(us(120_000)));
+    let sat_assumption = LinkAssumption::symmetric_bounds(DelayRange::at_least(us(120_000)));
 
     let sim = Simulation::builder(5)
         .link(0, 1, lan.clone(), lan_assumption.clone())

@@ -68,10 +68,7 @@ fn ntp_bias_grows_with_asymmetry_while_optimal_tracks_it() {
             .link(
                 p,
                 q,
-                LinkAssumption::bounds(
-                    DelayRange::new(fwd, fwd),
-                    DelayRange::new(bwd, bwd),
-                ),
+                LinkAssumption::bounds(DelayRange::new(fwd, fwd), DelayRange::new(bwd, bwd)),
             )
             .build();
         let exec = ExecutionBuilder::new(2)
@@ -79,7 +76,9 @@ fn ntp_bias_grows_with_asymmetry_while_optimal_tracks_it() {
             .round_trips(p, q, 1, RealTime::from_millis(10), us(100), fwd, bwd)
             .build()
             .unwrap();
-        let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+        let outcome = Synchronizer::new(net.clone())
+            .synchronize(exec.views())
+            .unwrap();
         // Exact bounds pin the instance completely: precision 0.
         assert_eq!(outcome.precision(), Ext::Finite(Ratio::ZERO));
         assert_eq!(exec.discrepancy(outcome.corrections()), Ratio::ZERO);
@@ -102,7 +101,15 @@ fn cristian_degrades_with_a_bad_last_sample_ntp_does_not() {
         // Early clean symmetric round trip…
         .round_trips(p, q, 1, RealTime::from_millis(1), us(10), us(200), us(200))
         // …then a final round trip with a congested return path.
-        .round_trips(p, q, 1, RealTime::from_millis(50), us(10), us(200), us(3_200))
+        .round_trips(
+            p,
+            q,
+            1,
+            RealTime::from_millis(50),
+            us(10),
+            us(200),
+            us(3_200),
+        )
         .build()
         .unwrap();
     let ntp = NtpMinFilter::new().corrections(&net, exec.views()).unwrap();

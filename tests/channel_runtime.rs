@@ -26,10 +26,7 @@ fn triangle_cluster_guarantee_holds_against_measured_truth() {
     assert!(outcome.precision().is_finite());
     let err = run.execution.discrepancy(outcome.corrections());
     assert!(Ext::Finite(err) <= outcome.precision());
-    assert_eq!(
-        outcome.rho_bar(outcome.corrections()),
-        outcome.precision()
-    );
+    assert_eq!(outcome.rho_bar(outcome.corrections()), outcome.precision());
 }
 
 #[test]

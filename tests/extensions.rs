@@ -2,9 +2,7 @@
 //! leader protocol, the online synchronizer, the windowed bias model and
 //! anchoring — exercised together and against each other.
 
-use clocksync::{
-    DelayRange, LinkAssumption, Network, OnlineSynchronizer, Synchronizer,
-};
+use clocksync::{DelayRange, LinkAssumption, Network, OnlineSynchronizer, Synchronizer};
 use clocksync_model::{ExecutionBuilder, ProcessorId};
 use clocksync_sim::{DistributedSync, Simulation, Topology};
 use clocksync_time::{Ext, Nanos, Ratio, RealTime};
@@ -57,7 +55,11 @@ fn online_synchronizer_tracks_a_live_stream() {
     let q = ProcessorId(1);
     let r = ProcessorId(2);
     let net = Network::builder(3)
-        .link(p, q, LinkAssumption::symmetric_bounds(DelayRange::new(us(0), us(500))))
+        .link(
+            p,
+            q,
+            LinkAssumption::symmetric_bounds(DelayRange::new(us(0), us(500))),
+        )
         .link(q, r, LinkAssumption::rtt_bias(us(50)))
         .build();
     let mut online = OnlineSynchronizer::new(net);
@@ -81,9 +83,7 @@ fn online_synchronizer_tracks_a_live_stream() {
     // (closure entries are monotone; the corrections may re-balance, so
     // the realized pair bound legitimately can shift).
     for (i, j) in [(0usize, 1usize), (1, 0)] {
-        assert!(
-            full.global_shift_estimates()[(i, j)] <= mid.global_shift_estimates()[(i, j)]
-        );
+        assert!(full.global_shift_estimates()[(i, j)] <= mid.global_shift_estimates()[(i, j)]);
     }
 }
 
@@ -147,9 +147,10 @@ fn distributed_protocol_handles_mixed_assumptions() {
         .truthful_link(
             0,
             1,
-            clocksync_sim::LinkModel::symmetric(
-                clocksync_sim::DelayDistribution::uniform(us(50), us(200)),
-            ),
+            clocksync_sim::LinkModel::symmetric(clocksync_sim::DelayDistribution::uniform(
+                us(50),
+                us(200),
+            )),
         )
         .truthful_link(
             1,
@@ -162,9 +163,11 @@ fn distributed_protocol_handles_mixed_assumptions() {
         .truthful_link(
             2,
             3,
-            clocksync_sim::LinkModel::symmetric(
-                clocksync_sim::DelayDistribution::heavy_tail(us(300), us(100), 1.5),
-            ),
+            clocksync_sim::LinkModel::symmetric(clocksync_sim::DelayDistribution::heavy_tail(
+                us(300),
+                us(100),
+                1.5,
+            )),
         )
         .probes(3)
         .build();

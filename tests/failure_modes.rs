@@ -3,9 +3,7 @@
 
 use clocksync::{DelayRange, LinkAssumption, Network, SyncError, Synchronizer};
 use clocksync_baselines::{Baseline, BaselineError, NtpMinFilter, TreeMidpoint};
-use clocksync_model::{
-    ExecutionBuilder, MessageId, ModelError, ProcessorId, View, ViewSet,
-};
+use clocksync_model::{ExecutionBuilder, MessageId, ModelError, ProcessorId, View, ViewSet};
 use clocksync_time::{ClockTime, Ext, Nanos, Ratio, RealTime};
 
 const P: ProcessorId = ProcessorId(0);
@@ -23,10 +21,20 @@ fn observed_delays_outside_declared_bounds_are_inconsistent() {
         )
         .build();
     let exec = ExecutionBuilder::new(2)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(20), Nanos::new(20))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(20),
+            Nanos::new(20),
+        )
         .build()
         .unwrap();
-    let err = Synchronizer::new(net).synchronize(exec.views()).unwrap_err();
+    let err = Synchronizer::new(net)
+        .synchronize(exec.views())
+        .unwrap_err();
     assert!(matches!(err, SyncError::InconsistentObservations { .. }));
     assert!(err.to_string().contains("contradict"));
 }
@@ -40,7 +48,15 @@ fn rtt_bias_violations_are_inconsistent() {
     // A large *cross-direction* asymmetry alone is always explainable by a
     // clock offset, so it must remain consistent…
     let explainable = ExecutionBuilder::new(2)
-        .round_trips(P, Q, 1, RealTime::from_nanos(2_000), Nanos::new(10), Nanos::new(500), Nanos::new(50))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(2_000),
+            Nanos::new(10),
+            Nanos::new(500),
+            Nanos::new(50),
+        )
         .build()
         .unwrap();
     // (The true execution violates the bias, but the *views* do not prove
@@ -127,7 +143,15 @@ fn baselines_report_disconnection_and_missing_traffic() {
         .link(P, Q, LinkAssumption::no_bounds())
         .build();
     let exec = ExecutionBuilder::new(3)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(5),
+            Nanos::new(5),
+        )
         .build()
         .unwrap();
     let err = NtpMinFilter::new()
@@ -161,8 +185,24 @@ fn optimal_synchronizer_survives_what_baselines_cannot() {
         .link(ProcessorId(2), ProcessorId(3), LinkAssumption::no_bounds())
         .build();
     let exec = ExecutionBuilder::new(4)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(7))
-        .round_trips(ProcessorId(2), ProcessorId(3), 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(20), Nanos::new(30))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(5),
+            Nanos::new(7),
+        )
+        .round_trips(
+            ProcessorId(2),
+            ProcessorId(3),
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(20),
+            Nanos::new(30),
+        )
         .build()
         .unwrap();
     let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();

@@ -78,7 +78,15 @@ fn correction_function_is_view_determined() {
         .build();
     let base = ExecutionBuilder::new(2)
         .start(Q, RealTime::from_nanos(100))
-        .round_trips(P, Q, 1, RealTime::from_nanos(5_000), Nanos::new(10), Nanos::new(400), Nanos::new(300))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(5_000),
+            Nanos::new(10),
+            Nanos::new(400),
+            Nanos::new(300),
+        )
         .build()
         .unwrap();
     // An equivalent execution: shift q by 250 (still admissible:
@@ -137,7 +145,12 @@ fn simulator_runs_are_model_admissible() {
 #[test]
 fn timers_do_not_affect_synchronization() {
     let sim = Simulation::builder(3)
-        .uniform_links(Topology::Path(3), Nanos::from_micros(10), Nanos::from_micros(90), 2)
+        .uniform_links(
+            Topology::Path(3),
+            Nanos::from_micros(10),
+            Nanos::from_micros(90),
+            2,
+        )
         .probes(2)
         .build();
     let run = sim.run(3);
@@ -172,13 +185,17 @@ fn timers_do_not_affect_synchronization() {
 #[test]
 fn estimated_delay_identity_across_sources() {
     let sim = Simulation::builder(4)
-        .uniform_links(Topology::Star(4), Nanos::from_micros(5), Nanos::from_micros(300), 4)
+        .uniform_links(
+            Topology::Star(4),
+            Nanos::from_micros(5),
+            Nanos::from_micros(300),
+            4,
+        )
         .probes(2)
         .build();
     let run = sim.run(8);
     for m in run.execution.messages() {
-        let expected = m.delay
-            + (run.execution.start(m.src) - RealTime::ZERO)
+        let expected = m.delay + (run.execution.start(m.src) - RealTime::ZERO)
             - (run.execution.start(m.dst) - RealTime::ZERO);
         assert_eq!(m.estimated_delay, expected);
     }

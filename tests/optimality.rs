@@ -36,7 +36,9 @@ fn two_node() -> (Network, Execution) {
 #[test]
 fn lower_bound_is_realized_by_explicit_shifts() {
     let (net, exec) = two_node();
-    let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+    let outcome = Synchronizer::new(net.clone())
+        .synchronize(exec.views())
+        .unwrap();
     assert_eq!(outcome.precision(), Ext::Finite(Ratio::from_int(40)));
 
     // Shift q as late as possible w.r.t. p (s = +40) and as early as
@@ -108,11 +110,29 @@ fn closure_cycles_dominate_link_cycles() {
         .build();
     // Both links balanced: mls = 50 in all four directions.
     let exec = ExecutionBuilder::new(3)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(50), Nanos::new(50))
-        .round_trips(Q, R, 1, RealTime::from_nanos(2_000), Nanos::new(10), Nanos::new(50), Nanos::new(50))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(50),
+            Nanos::new(50),
+        )
+        .round_trips(
+            Q,
+            R,
+            1,
+            RealTime::from_nanos(2_000),
+            Nanos::new(10),
+            Nanos::new(50),
+            Nanos::new(50),
+        )
         .build()
         .unwrap();
-    let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+    let outcome = Synchronizer::new(net.clone())
+        .synchronize(exec.views())
+        .unwrap();
     // Per-link uncertainty would suggest 50; the P–R closure cycle forces
     // (100 + 100)/2 = 100.
     assert_eq!(outcome.precision(), Ext::Finite(Ratio::from_int(100)));
@@ -147,9 +167,33 @@ fn rho_bar_grid_search_never_beats_shifts() {
     let exec = ExecutionBuilder::new(3)
         .start(Q, RealTime::from_nanos(55))
         .start(R, RealTime::from_nanos(-20))
-        .round_trips(P, Q, 2, RealTime::from_nanos(1_000), Nanos::new(500), Nanos::new(60), Nanos::new(90))
-        .round_trips(Q, R, 2, RealTime::from_nanos(5_000), Nanos::new(500), Nanos::new(120), Nanos::new(70))
-        .round_trips(P, R, 1, RealTime::from_nanos(9_000), Nanos::new(500), Nanos::new(40), Nanos::new(90))
+        .round_trips(
+            P,
+            Q,
+            2,
+            RealTime::from_nanos(1_000),
+            Nanos::new(500),
+            Nanos::new(60),
+            Nanos::new(90),
+        )
+        .round_trips(
+            Q,
+            R,
+            2,
+            RealTime::from_nanos(5_000),
+            Nanos::new(500),
+            Nanos::new(120),
+            Nanos::new(70),
+        )
+        .round_trips(
+            P,
+            R,
+            1,
+            RealTime::from_nanos(9_000),
+            Nanos::new(500),
+            Nanos::new(40),
+            Nanos::new(90),
+        )
         .build()
         .unwrap();
     assert!(net.admits(&exec));
@@ -184,21 +228,34 @@ fn favorable_instances_get_better_certificates() {
             .link(
                 P,
                 Q,
-                LinkAssumption::symmetric_bounds(DelayRange::new(
-                    Nanos::ZERO,
-                    Nanos::new(u),
-                )),
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(u))),
             )
             .build()
     };
     // Lucky: tiny actual delays ⇒ mls = min(d, U−d) small.
     let lucky = ExecutionBuilder::new(2)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(5), Nanos::new(5))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(5),
+            Nanos::new(5),
+        )
         .build()
         .unwrap();
     // Unlucky: delays in the middle of the window.
     let unlucky = ExecutionBuilder::new(2)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(500), Nanos::new(500))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(500),
+            Nanos::new(500),
+        )
         .build()
         .unwrap();
     let p_lucky = Synchronizer::new(net(1_000))
@@ -222,10 +279,19 @@ fn decomposition_is_exactly_the_min_of_parts() {
     // min of the parts'.
     let exec = ExecutionBuilder::new(2)
         .start(Q, RealTime::from_nanos(12))
-        .round_trips(P, Q, 2, RealTime::from_nanos(1_000), Nanos::new(777), Nanos::new(300), Nanos::new(340))
+        .round_trips(
+            P,
+            Q,
+            2,
+            RealTime::from_nanos(1_000),
+            Nanos::new(777),
+            Nanos::new(300),
+            Nanos::new(340),
+        )
         .build()
         .unwrap();
-    let bounds = LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(250), Nanos::new(400)));
+    let bounds =
+        LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(250), Nanos::new(400)));
     let bias = LinkAssumption::rtt_bias(Nanos::new(50));
     let under = |a: LinkAssumption| {
         let net = Network::builder(2).link(P, Q, a).build();
@@ -235,8 +301,8 @@ fn decomposition_is_exactly_the_min_of_parts() {
     let o_bias = under(bias.clone());
     let o_both = under(LinkAssumption::all(vec![bounds, bias]));
     for (i, j) in [(0usize, 1usize), (1, 0)] {
-        let expected = o_bounds.global_shift_estimates()[(i, j)]
-            .min(o_bias.global_shift_estimates()[(i, j)]);
+        let expected =
+            o_bounds.global_shift_estimates()[(i, j)].min(o_bias.global_shift_estimates()[(i, j)]);
         assert_eq!(o_both.global_shift_estimates()[(i, j)], expected);
     }
     assert!(o_both.precision() <= o_bounds.precision());

@@ -6,9 +6,7 @@ use clocksync::{
     estimated_local_shifts, global_estimates, DelayRange, LinkAssumption, Network, Synchronizer,
 };
 use clocksync_graph::{karp_max_cycle_mean, SquareMatrix, Weight};
-use clocksync_model::{
-    Execution, ExecutionBuilder, LinkEvidence, MsgSample, ProcessorId, ViewSet,
-};
+use clocksync_model::{Execution, ExecutionBuilder, LinkEvidence, MsgSample, ProcessorId, ViewSet};
 use clocksync_time::{Ext, ExtRatio, Nanos, Ratio, RealTime};
 
 const P: ProcessorId = ProcessorId(0);
@@ -106,7 +104,9 @@ fn claim_4_2_admissible_shifts_are_bounded() {
 #[test]
 fn theorem_4_4_lower_bound() {
     let (net, exec) = standard();
-    let outcome = Synchronizer::new(net.clone()).synchronize(exec.views()).unwrap();
+    let outcome = Synchronizer::new(net.clone())
+        .synchronize(exec.views())
+        .unwrap();
     let a_max = outcome.precision().expect_finite("bounded");
     assert_eq!(a_max, Ratio::from_int(40));
     let late = exec.shift(&[Nanos::ZERO, Nanos::new(40)]);
@@ -129,8 +129,24 @@ fn lemma_4_5_estimates_preserve_cycle_means() {
     let exec = ExecutionBuilder::new(3)
         .start(Q, RealTime::from_micros(55))
         .start(R, RealTime::from_micros(-20))
-        .round_trips(P, Q, 1, RealTime::from_millis(2), Nanos::new(10), Nanos::from_micros(150), Nanos::from_micros(250))
-        .round_trips(Q, R, 1, RealTime::from_millis(4), Nanos::new(10), Nanos::from_micros(100), Nanos::from_micros(480))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_millis(2),
+            Nanos::new(10),
+            Nanos::from_micros(150),
+            Nanos::from_micros(250),
+        )
+        .round_trips(
+            Q,
+            R,
+            1,
+            RealTime::from_millis(4),
+            Nanos::new(10),
+            Nanos::from_micros(100),
+            Nanos::from_micros(480),
+        )
         .build()
         .unwrap();
     let estimated = global_estimates(&estimated_local_shifts(
@@ -164,8 +180,24 @@ fn lemmas_5_2_and_5_3_local_to_global() {
         .link(Q, R, bounds(0, 100))
         .build();
     let exec = ExecutionBuilder::new(3)
-        .round_trips(P, Q, 1, RealTime::from_nanos(1_000), Nanos::new(10), Nanos::new(50), Nanos::new(50))
-        .round_trips(Q, R, 1, RealTime::from_nanos(2_000), Nanos::new(10), Nanos::new(50), Nanos::new(50))
+        .round_trips(
+            P,
+            Q,
+            1,
+            RealTime::from_nanos(1_000),
+            Nanos::new(10),
+            Nanos::new(50),
+            Nanos::new(50),
+        )
+        .round_trips(
+            Q,
+            R,
+            1,
+            RealTime::from_nanos(2_000),
+            Nanos::new(10),
+            Nanos::new(50),
+            Nanos::new(50),
+        )
         .build()
         .unwrap();
     // True local maxima are 50 everywhere; ms(P,R) = 100 by composition.

@@ -60,8 +60,7 @@ fn uniform_bounds_on_every_topology() {
 fn heavy_tailed_links_with_lower_bounds_only() {
     // Model 2: no upper bounds exist at all, worst case unbounded — yet
     // each instance gets a finite certificate.
-    let model =
-        || LinkModel::symmetric(DelayDistribution::heavy_tail(us(100), us(400), 1.2));
+    let model = || LinkModel::symmetric(DelayDistribution::heavy_tail(us(100), us(400), 1.2));
     let mut b = Simulation::builder(5);
     for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)] {
         b = b.truthful_link(x, y, model());

@@ -13,10 +13,9 @@ use proptest::prelude::*;
 fn assumption() -> impl Strategy<Value = LinkAssumption> {
     let range = (0i64..1_000_000, 0i64..1_000_000)
         .prop_map(|(lo, w)| DelayRange::new(Nanos::new(lo), Nanos::new(lo + w)));
-    let bounds = (range.clone(), range.clone())
-        .prop_map(|(f, b)| LinkAssumption::bounds(f, b));
-    let lower_only =
-        (0i64..1_000_000).prop_map(|lo| LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(lo))));
+    let bounds = (range.clone(), range.clone()).prop_map(|(f, b)| LinkAssumption::bounds(f, b));
+    let lower_only = (0i64..1_000_000)
+        .prop_map(|lo| LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(lo))));
     let bias = (1i64..1_000_000).prop_map(|b| LinkAssumption::rtt_bias(Nanos::new(b)));
     let paired = (1i64..1_000_000, 1i64..10_000_000)
         .prop_map(|(b, w)| LinkAssumption::paired_rtt_bias(Nanos::new(b), Nanos::new(w)));
@@ -43,7 +42,10 @@ fn fuzz_input() -> impl Strategy<Value = FuzzInput> {
         (starts, messages, links).prop_map(move |(starts, messages, links)| FuzzInput {
             n,
             starts,
-            messages: messages.into_iter().filter(|&(a, b, _, _)| a != b).collect(),
+            messages: messages
+                .into_iter()
+                .filter(|&(a, b, _, _)| a != b)
+                .collect(),
             links: links.into_iter().filter(|(a, b, _)| a != b).collect(),
         })
     })

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and type surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`])
+//! over a plain wall-clock harness: per benchmark it calibrates an
+//! iteration count to a target measurement time, runs several samples and
+//! prints the median, mean and min per-iteration time.
+//!
+//! Compared to the real crate there is no statistical outlier analysis, no
+//! HTML report and no saved baselines — but timings are honest wall-clock
+//! medians, good enough for the ×-factor comparisons the repo's
+//! `BENCH_*.json` artifacts record. Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — target measurement time per sample batch
+//!   (default 300 ms).
+//! * `CRITERION_SAMPLES` — number of sample batches (default 12).
+//! * `CRITERION_FILTER` — substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under measurement; handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One recorded result, also exposed programmatically for JSON emitters.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/benchmark-id`.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds across sample batches.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds across sample batches.
+    pub mean_ns: f64,
+    /// Fastest sample batch, per iteration, in nanoseconds.
+    pub min_ns: f64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The benchmark manager (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// A manager with settings taken from the environment.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// All measurements recorded so far (used by JSON emitters).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Ok(filter) = std::env::var("CRITERION_FILTER") {
+            if !full.contains(&filter) {
+                return self;
+            }
+        }
+        let target = Duration::from_millis(env_u64("CRITERION_MEASURE_MS", 300));
+        let samples = env_u64("CRITERION_SAMPLES", 12).max(3) as usize;
+
+        // Calibrate: double the iteration count until one batch takes at
+        // least 1/10 of the per-sample budget.
+        let per_sample = target / samples as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b, input);
+            if b.elapsed * 10 >= per_sample || iters >= 1 << 40 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b, input);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter[0];
+        println!(
+            "{full:<48} median {:>12}  mean {:>12}  min {:>12}  ({iters} iters/sample)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+        self.parent.results.push(Measurement {
+            id: full,
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+        });
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_with_input(id, &(), |b, _| routine(b))
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; ignore all CLI arguments.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "smoke/64");
+        assert!(ms[0].median_ns > 0.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the fork-join subset the workspace uses — [`join`], [`scope`],
+//! [`current_num_threads`], and eager parallel iterators (`par_iter`,
+//! `into_par_iter`, `par_chunks_mut`) with `map` / `enumerate` /
+//! `for_each` / `collect` — implemented on `std::thread::scope` with one
+//! OS thread per contiguous chunk of work.
+//!
+//! Differences from real rayon, deliberately accepted:
+//!
+//! * **No work stealing.** Items are split into `current_num_threads()`
+//!   contiguous chunks up front. For the uniform-cost loops in this
+//!   workspace (tile rounds of the blocked closure kernel, scenario
+//!   fan-out) static splitting is within noise of a stealing scheduler.
+//! * **Threads are spawned per call**, not pooled. Spawn cost (~10 µs per
+//!   thread) is negligible against the millisecond-scale loop bodies these
+//!   call sites run; `par_execute` falls back to the calling thread for
+//!   tiny inputs so small-n paths pay nothing.
+//! * [`Scope::spawn`] takes a plain `FnOnce()` (no `&Scope` argument) and
+//!   runs queued tasks when the scope closure returns — equivalent for
+//!   fork-join use, not for nested dynamic spawning.
+//!
+//! Thread count honours `RAYON_NUM_THREADS`, like the real crate.
+
+use std::cell::RefCell;
+
+/// The number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A fork-join scope; see [`scope`].
+pub struct Scope<'a> {
+    tasks: RefCell<Vec<Box<dyn FnOnce() + Send + 'a>>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Queues a task; all queued tasks run in parallel when the scope
+    /// closure returns, and [`scope`] only returns once they finish.
+    pub fn spawn<F: FnOnce() + Send + 'a>(&self, f: F) {
+        self.tasks.borrow_mut().push(Box::new(f));
+    }
+}
+
+/// Creates a scope in which borrowing tasks can be spawned.
+pub fn scope<'a, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'a>) -> R,
+{
+    let sc = Scope {
+        tasks: RefCell::new(Vec::new()),
+    };
+    let result = f(&sc);
+    let tasks = sc.tasks.into_inner();
+    if !tasks.is_empty() {
+        std::thread::scope(|s| {
+            for t in tasks {
+                s.spawn(t);
+            }
+        });
+    }
+    result
+}
+
+/// Applies `f` to every item (with its global index), in parallel,
+/// preserving order in the result.
+fn par_execute<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    let mut offset = 0;
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        let len = c.len();
+        chunks.push((offset, c));
+        offset += len;
+    }
+    let results: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(base, c)| {
+                s.spawn(move || {
+                    c.into_iter()
+                        .enumerate()
+                        .map(|(i, x)| f(base + i, x))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Eager parallel iterators (subset of `rayon::iter`).
+pub mod iter {
+    use super::par_execute;
+
+    /// A parallel iterator: consumed by `for_each` or `collect`.
+    pub trait ParallelIterator: Sized {
+        /// Item type.
+        type Item: Send;
+
+        /// Runs `g` over every (global-index, item) pair in parallel,
+        /// returning results in order. Drives all consuming methods.
+        fn run_indexed<U, G>(self, g: G) -> Vec<U>
+        where
+            U: Send,
+            G: Fn(usize, Self::Item) -> U + Sync;
+
+        /// Maps each item through `f`.
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pairs each item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = self.run_indexed(|_, x| f(x));
+        }
+
+        /// Collects all items, preserving order.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.run_indexed(|_, x| x))
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + Send,
+        {
+            self.run_indexed(|_, x| x).into_iter().sum()
+        }
+    }
+
+    /// See [`ParallelIterator::map`].
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, U, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        U: Send,
+        F: Fn(B::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn run_indexed<V, G>(self, g: G) -> Vec<V>
+        where
+            V: Send,
+            G: Fn(usize, U) -> V + Sync,
+        {
+            let f = self.f;
+            self.base.run_indexed(move |i, x| g(i, f(x)))
+        }
+    }
+
+    /// See [`ParallelIterator::enumerate`].
+    pub struct Enumerate<B> {
+        base: B,
+    }
+
+    impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+        type Item = (usize, B::Item);
+        fn run_indexed<V, G>(self, g: G) -> Vec<V>
+        where
+            V: Send,
+            G: Fn(usize, (usize, B::Item)) -> V + Sync,
+        {
+            self.base.run_indexed(move |i, x| g(i, (i, x)))
+        }
+    }
+
+    /// A producer backed by a materialized list of item handles.
+    pub struct VecProducer<T>(pub(crate) Vec<T>);
+
+    impl<T: Send> ParallelIterator for VecProducer<T> {
+        type Item = T;
+        fn run_indexed<U, G>(self, g: G) -> Vec<U>
+        where
+            U: Send,
+            G: Fn(usize, T) -> U + Sync,
+        {
+            par_execute(self.0, &g)
+        }
+    }
+
+    /// Conversion into a parallel iterator (subset of rayon's trait).
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type.
+        type Item: Send;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecProducer<T>;
+        type Item = T;
+        fn into_par_iter(self) -> VecProducer<T> {
+            VecProducer(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+        type Iter = VecProducer<&'a T>;
+        type Item = &'a T;
+        fn into_par_iter(self) -> VecProducer<&'a T> {
+            VecProducer(self.iter().collect())
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+        type Iter = VecProducer<&'a T>;
+        type Item = &'a T;
+        fn into_par_iter(self) -> VecProducer<&'a T> {
+            VecProducer(self.iter().collect())
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+        type Iter = VecProducer<&'a mut T>;
+        type Item = &'a mut T;
+        fn into_par_iter(self) -> VecProducer<&'a mut T> {
+            VecProducer(self.iter_mut().collect())
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = VecProducer<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> VecProducer<usize> {
+            VecProducer(self.collect())
+        }
+    }
+
+    /// `x.par_iter()` sugar for `(&x).into_par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type (a shared reference).
+        type Item: Send + 'data;
+        /// Borrows `self` into a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoParallelIterator,
+    {
+        type Iter = <&'data I as IntoParallelIterator>::Iter;
+        type Item = <&'data I as IntoParallelIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// `x.par_iter_mut()` sugar for `(&mut x).into_par_iter()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type (an exclusive reference).
+        type Item: Send + 'data;
+        /// Exclusively borrows `self` into a parallel iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoParallelIterator,
+    {
+        type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+        type Item = <&'data mut I as IntoParallelIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// Parallel chunking of mutable slices (subset of `ParallelSliceMut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into disjoint mutable chunks of `chunk_size` (last may be
+        /// shorter), iterable in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> VecProducer<&mut [T]>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> VecProducer<&mut [T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            VecProducer(self.chunks_mut(chunk_size).collect())
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn enumerate_matches_position() {
+        let v = vec!["a", "b", "c"];
+        let tagged: Vec<(usize, &&str)> = v.par_iter().enumerate().collect();
+        assert_eq!(tagged[1], (1, &"b"));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0u64; 1024];
+        data.par_chunks_mut(100).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[99], 0);
+        assert_eq!(data[100], 1);
+        assert_eq!(data[1023], 10);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sum_works() {
+        let total: usize = (0..=100).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(total, 5050);
+    }
+}

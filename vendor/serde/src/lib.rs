@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive` for the rationale. `Serialize` and
+//! `Deserialize` are marker traits with blanket impls: every type
+//! satisfies them, and the derive macros (re-exported under the `derive`
+//! feature) expand to nothing. No actual (de)serialization machinery is
+//! provided — the workspace's only wire format, the CLI run file, uses an
+//! explicit hand-written JSON codec.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

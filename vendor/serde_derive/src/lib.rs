@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde`/`serde_derive` cannot be fetched. This proc-macro crate accepts
+//! `#[derive(Serialize, Deserialize)]` (including `#[serde(...)]` helper
+//! attributes) and expands to nothing; the sibling `vendor/serde` crate
+//! provides blanket trait impls so bounds are always satisfied. Nothing in
+//! the workspace performs serde-based (de)serialization — the CLI's JSON
+//! run files use an explicit hand-written codec instead — so the no-op
+//! expansion is sufficient. If the real crates become available again,
+//! swapping the `[workspace.dependencies]` paths back restores full serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
