@@ -4,7 +4,7 @@
 //!   tables                        # run all experiments (in parallel)
 //!   tables --exp e4               # run one experiment
 //!   tables --list                 # list experiment ids
-//!   tables --bench-closure [path] # measure the closure fast path and
+//!   tables --bench-closure \[path\] # measure the closure fast path and
 //!                                 # write BENCH_closure.json (default
 //!                                 # path: BENCH_closure.json)
 

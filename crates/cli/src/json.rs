@@ -2,7 +2,7 @@
 //!
 //! The workspace builds offline, so instead of depending on `serde_json`
 //! the CLI carries its own JSON value type, parser and printer, plus the
-//! explicit encoders/decoders for the [`RunFile`](crate::RunFile) schema.
+//! explicit encoders/decoders for the [`RunFile`] schema.
 //! The wire format matches what serde's externally-tagged representation
 //! of these types would produce (`{"Bounds": {...}}`, `{"Send": {...}}`,
 //! …), with one deliberate simplification: `+∞` delay upper bounds are

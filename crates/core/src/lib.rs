@@ -72,6 +72,7 @@
 
 pub mod analysis;
 mod assumption;
+mod degradation;
 mod error;
 mod estimates;
 mod network;
@@ -80,6 +81,7 @@ mod shifts;
 mod synchronizer;
 
 pub use assumption::{DelayRange, LinkAssumption};
+pub use degradation::{classify_degradations, DegradationReason, LinkDegradation};
 pub use error::SyncError;
 pub use estimates::{estimated_local_shifts, global_estimates, global_estimates_with_chains};
 pub use network::{Network, NetworkBuilder};

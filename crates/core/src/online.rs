@@ -25,6 +25,7 @@ use clocksync_graph::Closure;
 use clocksync_model::{LinkObservations, MsgSample, ProcessorId, ViewSet};
 use clocksync_time::{ClockTime, ExtRatio, Nanos};
 
+use crate::degradation::classify_degradations;
 use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
 
 /// An incrementally-fed synchronizer with a cached closure.
@@ -248,9 +249,15 @@ impl OnlineSynchronizer {
     /// Returns [`SyncError::InconsistentObservations`] if the accumulated
     /// observations contradict the declared assumptions.
     pub fn outcome(&mut self) -> Result<SyncOutcome, SyncError> {
-        let cache = self.ensure_cache()?;
+        self.ensure_cache()?;
+        let cache = self.cached.as_ref().expect("cache was just ensured");
         let mut outcome = SyncOutcome::from_global_estimates(cache.dist().clone());
         outcome.set_constraint_chains(cache.next().clone());
+        outcome.set_degradations(classify_degradations(
+            &self.network,
+            &self.observations,
+            &self.local,
+        ));
         Ok(outcome)
     }
 }

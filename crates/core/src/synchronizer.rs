@@ -6,6 +6,7 @@ use clocksync_time::{ClockTime, Ext, ExtRatio, Ratio};
 use serde::{Deserialize, Serialize};
 
 use crate::analysis::{rho_bar, worst_pair};
+use crate::degradation::{classify_degradations, LinkDegradation};
 use crate::shifts::{shifts, synchronizable_components};
 use crate::{estimated_local_shifts, global_estimates_with_chains, Network, SyncError};
 
@@ -87,6 +88,7 @@ impl Synchronizer {
         let (closure, chains) = global_estimates_with_chains(&local)?;
         let mut outcome = SyncOutcome::from_global_estimates(closure);
         outcome.set_constraint_chains(chains);
+        outcome.set_degradations(classify_degradations(&self.network, &observations, &local));
         Ok(outcome)
     }
 }
@@ -112,6 +114,7 @@ pub struct SyncOutcome {
     closure: SquareMatrix<ExtRatio>,
     components: Vec<ComponentReport>,
     chains: Option<SquareMatrix<usize>>,
+    degradations: Vec<LinkDegradation>,
 }
 
 impl SyncOutcome {
@@ -148,6 +151,7 @@ impl SyncOutcome {
             closure,
             components: reports,
             chains: None,
+            degradations: Vec::new(),
         }
     }
 
@@ -157,6 +161,45 @@ impl SyncOutcome {
     /// closure (see [`crate::global_estimates_with_chains`]).
     pub fn set_constraint_chains(&mut self, chains: SquareMatrix<usize>) {
         self.chains = Some(chains);
+    }
+
+    /// Attaches the structured degradation report (see
+    /// [`crate::classify_degradations`]). Callers that assemble outcomes
+    /// from partial data — e.g. a distributed leader whose report deadline
+    /// fired — use this to record *why* entries of the closure are `+∞`.
+    pub fn set_degradations(&mut self, degradations: Vec<LinkDegradation>) {
+        self.degradations = degradations;
+    }
+
+    /// Every declared link whose evidence fell short of its assumption,
+    /// with the reason. Empty for a fully healthy run; also empty (not
+    /// *diagnosed*) when the outcome was built via
+    /// [`SyncOutcome::from_global_estimates`] and no caller attached a
+    /// report. The exact guarantee held in each degraded state is spelled
+    /// out in `DESIGN.md` §5.
+    pub fn degradations(&self) -> &[LinkDegradation] {
+        &self.degradations
+    }
+
+    /// `true` when every pair of processors has a finite mutual bound —
+    /// i.e. a single synchronizable component and a finite
+    /// [`precision`](SyncOutcome::precision).
+    pub fn is_fully_synchronized(&self) -> bool {
+        self.components.len() <= 1
+    }
+
+    /// The index into [`components`](SyncOutcome::components) of the
+    /// component containing `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn component_of(&self, p: ProcessorId) -> usize {
+        assert!(p.index() < self.corrections.len(), "{p} out of range");
+        self.components
+            .iter()
+            .position(|c| c.members.contains(&p))
+            .expect("every processor belongs to exactly one component")
     }
 
     /// The chain of processors whose consecutive link constraints compose
@@ -292,6 +335,9 @@ impl std::fmt::Display for SyncOutcome {
         if self.components.len() > 1 {
             write!(f, " | {} components", self.components.len())?;
         }
+        if !self.degradations.is_empty() {
+            write!(f, " | {} degraded links", self.degradations.len())?;
+        }
         Ok(())
     }
 }
@@ -396,6 +442,42 @@ mod tests {
         assert_eq!(comp.precision, Ratio::from_int(5));
         // R alone is a perfect singleton component.
         assert_eq!(outcome.components()[1].precision, Ratio::ZERO);
+    }
+
+    #[test]
+    fn silent_link_shows_up_in_degradations_and_components() {
+        use crate::DegradationReason;
+        // P–Q healthy, Q–R declared but never carried a message.
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .link(
+                Q,
+                R,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(3)
+            .message(P, Q, RealTime::from_nanos(100), Nanos::new(5))
+            .message(Q, P, RealTime::from_nanos(200), Nanos::new(5))
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        assert!(!outcome.is_fully_synchronized());
+        assert_eq!(
+            outcome.degradations(),
+            &[crate::LinkDegradation {
+                a: Q,
+                b: R,
+                reason: DegradationReason::Silent,
+            }]
+        );
+        assert_eq!(outcome.component_of(P), outcome.component_of(Q));
+        assert_ne!(outcome.component_of(P), outcome.component_of(R));
+        assert!(outcome.to_string().contains("1 degraded links"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The processor-thread cluster.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -12,6 +13,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Delay configuration of one bidirectional link. The *forward* direction
 /// is low-id → high-id.
@@ -21,14 +23,19 @@ pub struct LinkConfig {
     fwd_hi: Nanos,
     bwd_lo: Nanos,
     bwd_hi: Nanos,
+    loss_ppm: u32,
 }
 
 impl LinkConfig {
     /// Injected per-message delays uniform in `[lo, hi]` (both directions).
     ///
+    /// A zero lower bound is allowed: the paper's asynchronous model (§6)
+    /// admits links with `lb = 0`, where only the upper bound carries
+    /// information.
+    ///
     /// # Panics
     ///
-    /// Panics unless `0 < lo ≤ hi`.
+    /// Panics unless `0 ≤ lo ≤ hi`.
     pub fn uniform(lo: Nanos, hi: Nanos) -> LinkConfig {
         LinkConfig::asymmetric(lo, hi, lo, hi)
     }
@@ -38,22 +45,38 @@ impl LinkConfig {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < lo ≤ hi` in each direction.
+    /// Panics unless `0 ≤ lo ≤ hi` in each direction.
     pub fn asymmetric(fwd_lo: Nanos, fwd_hi: Nanos, bwd_lo: Nanos, bwd_hi: Nanos) -> LinkConfig {
         assert!(
-            Nanos::ZERO < fwd_lo && fwd_lo <= fwd_hi,
-            "link delays require 0 < lo <= hi (forward)"
+            Nanos::ZERO <= fwd_lo && fwd_lo <= fwd_hi,
+            "link delays require 0 <= lo <= hi (forward)"
         );
         assert!(
-            Nanos::ZERO < bwd_lo && bwd_lo <= bwd_hi,
-            "link delays require 0 < lo <= hi (backward)"
+            Nanos::ZERO <= bwd_lo && bwd_lo <= bwd_hi,
+            "link delays require 0 <= lo <= hi (backward)"
         );
         LinkConfig {
             fwd_lo,
             fwd_hi,
             bwd_lo,
             bwd_hi,
+            loss_ppm: 0,
         }
+    }
+
+    /// Drops each message on this link with probability `ppm / 1_000_000`
+    /// (applied at send time, in either direction, to probes and echoes
+    /// alike). The sender records its send normally — it cannot tell a
+    /// lost message from a slow one — and the harvest erases the orphaned
+    /// send events so the recorded execution stays well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm > 1_000_000`.
+    pub fn loss(mut self, ppm: u32) -> LinkConfig {
+        assert!(ppm <= 1_000_000, "loss is in parts per million");
+        self.loss_ppm = ppm;
+        self
     }
 
     /// The sampling range for one direction.
@@ -76,19 +99,118 @@ impl LinkConfig {
     }
 }
 
-/// One probe in flight.
+/// What the harness concluded about one link after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Every probe round completed within its deadline; the link keeps its
+    /// declared delay bounds.
+    Healthy,
+    /// At least one probe round exhausted its retries but others
+    /// succeeded. The link stays in the network **downgraded to the
+    /// no-bounds assumption** (Corollary 6.4): delivered messages are
+    /// still real evidence, but the declared bounds are no longer
+    /// trusted.
+    NoBounds,
+    /// No probe round ever completed. The link drops out of the network
+    /// entirely; its endpoints may end up in different components.
+    Dropped,
+}
+
+impl std::fmt::Display for LinkState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkState::Healthy => write!(f, "healthy"),
+            LinkState::NoBounds => write!(f, "no-bounds"),
+            LinkState::Dropped => write!(f, "dropped"),
+        }
+    }
+}
+
+/// Per-link probe statistics and the resulting degradation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkHealth {
+    /// Lower-id endpoint.
+    pub a: ProcessorId,
+    /// Higher-id endpoint.
+    pub b: ProcessorId,
+    /// Probe messages sent by the initiator, retries included.
+    pub probes_sent: usize,
+    /// Probe resends after a missed deadline.
+    pub retries: usize,
+    /// Messages swallowed by injected loss (probes and echoes, both
+    /// directions).
+    pub lost: usize,
+    /// Probe rounds that completed (an echo came back before the round
+    /// gave up).
+    pub rounds_ok: usize,
+    /// Probe rounds that exhausted every retry.
+    pub rounds_failed: usize,
+    /// The degradation decision derived from the round counts.
+    pub state: LinkState,
+}
+
+impl LinkHealth {
+    /// The degradation rule: no completed round → the link is dead; some
+    /// failed rounds → keep it but stop trusting its bounds; otherwise
+    /// healthy.
+    fn classify(rounds_ok: usize, rounds_failed: usize) -> LinkState {
+        if rounds_ok == 0 {
+            LinkState::Dropped
+        } else if rounds_failed > 0 {
+            LinkState::NoBounds
+        } else {
+            LinkState::Healthy
+        }
+    }
+}
+
+impl std::fmt::Display for LinkHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link {}–{}: {} ({} ok, {} failed, {} retries, {} lost)",
+            self.a, self.b, self.state, self.rounds_ok, self.rounds_failed, self.retries, self.lost
+        )
+    }
+}
+
+/// One probe or echo in flight.
 struct Wire {
     id: MessageId,
     from: ProcessorId,
-    payload: u64,
+    /// `Some(probe_id)` when this message answers probe `probe_id`.
+    echo_of: Option<MessageId>,
     sent_at: Instant,
     deliver_after: Duration,
+}
+
+/// One unanswered probe round on an initiator.
+struct Pending {
+    peer: usize,
+    cfg: LinkConfig,
+    /// Every probe id sent for this round (original plus retries); an echo
+    /// for any of them completes the round.
+    ids: Vec<MessageId>,
+    attempt: u32,
+    deadline: Instant,
+}
+
+/// Initiator- and sender-side per-link counters, merged across threads at
+/// harvest.
+#[derive(Default, Clone, Copy)]
+struct LocalHealth {
+    probes_sent: usize,
+    retries: usize,
+    lost: usize,
+    rounds_ok: usize,
+    rounds_failed: usize,
 }
 
 /// Per-thread recorded view plus measured ground truth.
 struct ThreadLog {
     start_offset: Nanos,
     events: Vec<ViewEvent>,
+    health: HashMap<(usize, usize), LocalHealth>,
 }
 
 /// Configuration and entry point of a cluster run.
@@ -102,6 +224,8 @@ pub struct ClusterConfig {
     spacing: Nanos,
     start_spread: Nanos,
     margin: Nanos,
+    probe_deadline: Nanos,
+    max_retries: u32,
 }
 
 impl ClusterConfig {
@@ -114,6 +238,8 @@ impl ClusterConfig {
             spacing: Nanos::from_millis(2),
             start_spread: Nanos::from_millis(2),
             margin: Nanos::from_millis(200),
+            probe_deadline: Nanos::from_millis(25),
+            max_retries: 3,
         }
     }
 
@@ -130,6 +256,10 @@ impl ClusterConfig {
     }
 
     /// Number of probe round trips per link (default 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes == 0`.
     pub fn probes(mut self, probes: usize) -> Self {
         assert!(probes > 0, "at least one probe required");
         self.probes = probes;
@@ -156,7 +286,38 @@ impl ClusterConfig {
         self
     }
 
-    /// The network the synchronizer will be told about.
+    /// How long an initiator waits for a probe's echo before retrying
+    /// (default 25 ms). Each retry doubles the wait — exponential backoff —
+    /// so a round with `r` retries spans `deadline · (2^(r+1) − 1)` at
+    /// most.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the deadline is positive.
+    pub fn probe_deadline(mut self, deadline: Nanos) -> Self {
+        assert!(deadline > Nanos::ZERO, "probe deadline must be positive");
+        self.probe_deadline = deadline;
+        self
+    }
+
+    /// How many times a probe round is retried after a missed deadline
+    /// before the round is declared failed (default 3; 0 disables
+    /// retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retries > 16` (the exponential backoff would overflow
+    /// any useful time scale long before that).
+    pub fn retries(mut self, retries: u32) -> Self {
+        assert!(retries <= 16, "more than 16 retries is never useful");
+        self.max_retries = retries;
+        self
+    }
+
+    /// The network the run *intends*: every configured link with its
+    /// declared delay bounds. The network a [`NetRun`] actually
+    /// synchronizes over may be weaker — see [`NetRun::network`] and
+    /// [`NetRun::health`].
     pub fn network(&self) -> Network {
         let mut b = Network::builder(self.n);
         for &(a, c, cfg) in &self.links {
@@ -165,8 +326,32 @@ impl ClusterConfig {
         b.build()
     }
 
+    /// The degraded network implied by per-link health: healthy links keep
+    /// their bounds, `NoBounds` links keep only message correspondence
+    /// (Corollary 6.4), dropped links disappear.
+    fn degraded_network(&self, health: &[LinkHealth]) -> Network {
+        let mut b = Network::builder(self.n);
+        for (h, &(a, c, cfg)) in health.iter().zip(&self.links) {
+            match h.state {
+                LinkState::Healthy => {
+                    b = b.link(ProcessorId(a), ProcessorId(c), cfg.assumption(self.margin));
+                }
+                LinkState::NoBounds => {
+                    b = b.link(ProcessorId(a), ProcessorId(c), LinkAssumption::no_bounds());
+                }
+                LinkState::Dropped => {}
+            }
+        }
+        b.build()
+    }
+
     /// Launches the threads, runs the probe protocol to completion and
-    /// harvests views and measured start times.
+    /// harvests views, measured start times and per-link health.
+    ///
+    /// The protocol cannot wedge: every probe round either completes or
+    /// exhausts its retries, after which the affected link is downgraded
+    /// (see [`LinkState`]) and the survivors' evidence is synchronized as
+    /// usual.
     ///
     /// # Panics
     ///
@@ -194,19 +379,20 @@ impl ClusterConfig {
             receivers.push(Some(rx));
         }
 
-        // Per-processor wiring: initiated links (to higher ids) and the
-        // number of messages expected.
+        // Per-processor wiring: initiated links (to higher ids).
         let mut initiate: Vec<Vec<(usize, LinkConfig)>> = vec![Vec::new(); n];
-        let mut expected: Vec<usize> = vec![0; n];
         for &(a, b, cfg) in &self.links {
             initiate[a].push((b, cfg));
-            expected[a] += self.probes; // echoes back to the initiator
-            expected[b] += self.probes; // probes arriving at the responder
         }
 
         let msg_ids = Arc::new(AtomicU64::new(0));
         let logs: Arc<Vec<Mutex<Option<ThreadLog>>>> =
             Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        // Responders serve echoes until every initiator has resolved all
+        // of its probe rounds (completed or given up); this replaces the
+        // old fixed expected-message count, which wedged forever on the
+        // first lost message.
+        let initiating = Arc::new(AtomicUsize::new(n));
         let epoch = Instant::now();
 
         thread::scope(|scope| {
@@ -214,13 +400,16 @@ impl ClusterConfig {
                 let rx = receivers[i].take().expect("receiver taken once");
                 let senders = senders.clone();
                 let initiate = initiate[i].clone();
-                let expected = expected[i];
                 let offset = offsets[i];
                 let msg_ids = Arc::clone(&msg_ids);
                 let logs = Arc::clone(&logs);
+                let initiating = Arc::clone(&initiating);
                 let probes = self.probes;
                 let spacing = self.spacing;
+                let base_deadline = Duration::from_nanos(self.probe_deadline.as_nanos() as u64);
+                let max_retries = self.max_retries;
                 let first_probe_after = self.start_spread + Nanos::from_millis(1);
+                let all_links = self.links.clone();
                 let mut link_rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
 
                 scope.spawn(move || {
@@ -238,6 +427,7 @@ impl ClusterConfig {
                     let mut events = vec![ViewEvent::Start {
                         clock: ClockTime::ZERO,
                     }];
+                    let mut health: HashMap<(usize, usize), LocalHealth> = HashMap::new();
 
                     // Probe send schedule (initiators only).
                     let mut schedule: Vec<(Duration, usize, LinkConfig)> = Vec::new();
@@ -251,13 +441,20 @@ impl ClusterConfig {
                     }
                     schedule.sort_by_key(|&(at, peer, _)| (at, peer));
                     let mut next_send = 0usize;
-                    let mut received = 0usize;
+                    let mut pending: Vec<Pending> = Vec::new();
+                    let mut done_initiating = false;
 
+                    // Records the send, samples loss, and (maybe) puts the
+                    // message on the wire. A send to an exited peer is
+                    // indistinguishable from a lost message and treated
+                    // the same way.
                     let send_to = |peer: usize,
-                                   payload: u64,
+                                   echo_of: Option<MessageId>,
                                    cfg: &LinkConfig,
                                    events: &mut Vec<ViewEvent>,
-                                   link_rng: &mut StdRng| {
+                                   health: &mut HashMap<(usize, usize), LocalHealth>,
+                                   link_rng: &mut StdRng|
+                     -> MessageId {
                         let id = MessageId(msg_ids.fetch_add(1, Ordering::Relaxed));
                         let (lo, hi) = cfg.range(i < peer);
                         let delay = if lo == hi {
@@ -270,33 +467,95 @@ impl ClusterConfig {
                             id,
                             clock: clock_now(start),
                         });
-                        senders[peer]
-                            .send(Wire {
+                        let lost =
+                            cfg.loss_ppm > 0 && link_rng.gen_range(0..1_000_000u32) < cfg.loss_ppm;
+                        if lost {
+                            let key = (i.min(peer), i.max(peer));
+                            health.entry(key).or_default().lost += 1;
+                        } else {
+                            let _ = senders[peer].send(Wire {
                                 id,
                                 from: ProcessorId(i),
-                                payload,
+                                echo_of,
                                 sent_at: Instant::now(),
                                 deliver_after: Duration::from_nanos(delay.as_nanos() as u64),
-                            })
-                            .expect("peer inbox open");
+                            });
+                        }
+                        id
                     };
 
-                    let deadline = start + Duration::from_secs(30);
-                    while received < expected || next_send < schedule.len() {
-                        assert!(Instant::now() < deadline, "cluster run timed out");
+                    let hard_deadline = start + Duration::from_secs(30);
+                    loop {
+                        assert!(Instant::now() < hard_deadline, "cluster run timed out");
                         // Send everything due.
                         while next_send < schedule.len() && start.elapsed() >= schedule[next_send].0
                         {
                             let (_, peer, cfg) = schedule[next_send];
-                            send_to(peer, 0, &cfg, &mut events, &mut link_rng);
+                            let id =
+                                send_to(peer, None, &cfg, &mut events, &mut health, &mut link_rng);
+                            let key = (i.min(peer), i.max(peer));
+                            health.entry(key).or_default().probes_sent += 1;
+                            pending.push(Pending {
+                                peer,
+                                cfg,
+                                ids: vec![id],
+                                attempt: 0,
+                                deadline: Instant::now() + base_deadline,
+                            });
                             next_send += 1;
                         }
-                        let wait = if next_send < schedule.len() {
-                            schedule[next_send].0.saturating_sub(start.elapsed())
-                        } else {
-                            Duration::from_millis(5)
+                        // Expire or retry overdue rounds.
+                        let now = Instant::now();
+                        let mut slot = 0;
+                        while slot < pending.len() {
+                            if now < pending[slot].deadline {
+                                slot += 1;
+                                continue;
+                            }
+                            let key = {
+                                let p = &pending[slot];
+                                (i.min(p.peer), i.max(p.peer))
+                            };
+                            if pending[slot].attempt >= max_retries {
+                                let entry = health.entry(key).or_default();
+                                entry.rounds_failed += 1;
+                                pending.swap_remove(slot);
+                            } else {
+                                let (peer, cfg) = (pending[slot].peer, pending[slot].cfg);
+                                let id = send_to(
+                                    peer,
+                                    None,
+                                    &cfg,
+                                    &mut events,
+                                    &mut health,
+                                    &mut link_rng,
+                                );
+                                let entry = health.entry(key).or_default();
+                                entry.probes_sent += 1;
+                                entry.retries += 1;
+                                let p = &mut pending[slot];
+                                p.ids.push(id);
+                                p.attempt += 1;
+                                p.deadline = now + base_deadline * (1u32 << p.attempt);
+                                slot += 1;
+                            }
                         }
-                        .min(Duration::from_millis(5));
+                        if !done_initiating && next_send >= schedule.len() && pending.is_empty() {
+                            done_initiating = true;
+                            initiating.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        if done_initiating && initiating.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        // Wait for traffic, but never past the next thing
+                        // we owe the protocol.
+                        let mut wait = Duration::from_millis(5);
+                        if next_send < schedule.len() {
+                            wait = wait.min(schedule[next_send].0.saturating_sub(start.elapsed()));
+                        }
+                        for p in &pending {
+                            wait = wait.min(p.deadline.saturating_duration_since(now));
+                        }
                         match rx.recv_timeout(wait.max(Duration::from_micros(100))) {
                             Ok(wire) => {
                                 // Hold the message until its injected delay
@@ -311,48 +570,123 @@ impl ClusterConfig {
                                     id: wire.id,
                                     clock: clock_now(start),
                                 });
-                                received += 1;
-                                if wire.payload == 0 {
-                                    // Echo immediately over the same link.
-                                    let cfg = self
-                                        .links
-                                        .iter()
-                                        .find(|&&(a, b, _)| {
-                                            (a, b)
-                                                == (
-                                                    i.min(wire.from.index()),
-                                                    i.max(wire.from.index()),
-                                                )
-                                        })
-                                        .map(|&(_, _, c)| c)
-                                        .expect("echo goes back over a known link");
-                                    send_to(wire.from.index(), 1, &cfg, &mut events, &mut link_rng);
+                                match wire.echo_of {
+                                    None => {
+                                        // Probe: echo immediately over the
+                                        // same link.
+                                        let cfg = all_links
+                                            .iter()
+                                            .find(|&&(a, b, _)| {
+                                                (a, b)
+                                                    == (
+                                                        i.min(wire.from.index()),
+                                                        i.max(wire.from.index()),
+                                                    )
+                                            })
+                                            .map(|&(_, _, c)| c)
+                                            .expect("echo goes back over a known link");
+                                        send_to(
+                                            wire.from.index(),
+                                            Some(wire.id),
+                                            &cfg,
+                                            &mut events,
+                                            &mut health,
+                                            &mut link_rng,
+                                        );
+                                    }
+                                    Some(probe_id) => {
+                                        // An echo for any probe of a round
+                                        // (original or retry) completes it;
+                                        // echoes for rounds already given
+                                        // up on are plain extra evidence.
+                                        if let Some(pos) =
+                                            pending.iter().position(|p| p.ids.contains(&probe_id))
+                                        {
+                                            let peer = pending[pos].peer;
+                                            let key = (i.min(peer), i.max(peer));
+                                            health.entry(key).or_default().rounds_ok += 1;
+                                            pending.swap_remove(pos);
+                                        }
+                                    }
                                 }
                             }
-                            Err(_) => { /* timeout: loop re-checks schedule */ }
+                            Err(_) => { /* timeout: loop re-checks deadlines */ }
                         }
                     }
 
                     *logs[i].lock() = Some(ThreadLog {
                         start_offset,
                         events,
+                        health,
                     });
                 });
             }
         });
 
         let mut starts = Vec::with_capacity(n);
-        let mut views = Vec::with_capacity(n);
-        for (i, cell) in logs.iter().enumerate() {
+        let mut raw = Vec::with_capacity(n);
+        let mut merged: HashMap<(usize, usize), LocalHealth> = HashMap::new();
+        for cell in logs.iter() {
             let log = cell.lock().take().expect("thread completed");
             starts.push(RealTime::ZERO + log.start_offset);
-            views.push(View::from_events(ProcessorId(i), log.events));
+            for (key, local) in log.health {
+                let entry = merged.entry(key).or_default();
+                entry.probes_sent += local.probes_sent;
+                entry.retries += local.retries;
+                entry.lost += local.lost;
+                entry.rounds_ok += local.rounds_ok;
+                entry.rounds_failed += local.rounds_failed;
+            }
+            raw.push(log.events);
         }
+
+        // Erase sends that never arrived (lost, or landed after the peer
+        // finished): the model's views may only mention messages that were
+        // actually delivered.
+        let delivered: HashSet<MessageId> = raw
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                ViewEvent::Recv { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let views: Vec<View> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut events)| {
+                events.retain(|e| match e {
+                    ViewEvent::Send { id, .. } => delivered.contains(id),
+                    _ => true,
+                });
+                View::from_events(ProcessorId(i), events)
+            })
+            .collect();
         let views = ViewSet::new(views).expect("cluster produces valid views");
         let execution = Execution::new(starts, views).expect("counts match");
+
+        let health: Vec<LinkHealth> = self
+            .links
+            .iter()
+            .map(|&(a, b, _)| {
+                let local = merged.get(&(a, b)).copied().unwrap_or_default();
+                LinkHealth {
+                    a: ProcessorId(a),
+                    b: ProcessorId(b),
+                    probes_sent: local.probes_sent,
+                    retries: local.retries,
+                    lost: local.lost,
+                    rounds_ok: local.rounds_ok,
+                    rounds_failed: local.rounds_failed,
+                    state: LinkHealth::classify(local.rounds_ok, local.rounds_failed),
+                }
+            })
+            .collect();
+
         NetRun {
-            network: self.network(),
+            network: self.degraded_network(&health),
             execution,
+            health,
         }
     }
 }
@@ -360,14 +694,21 @@ impl ClusterConfig {
 /// A completed cluster run: measured ground truth plus harvested views.
 #[derive(Debug, Clone)]
 pub struct NetRun {
-    /// The truthful assumption network for the run.
+    /// The network the synchronizer is told about, **after** degradation:
+    /// links whose probe rounds all failed are gone, links with partial
+    /// failures carry only the no-bounds assumption. The intended network
+    /// is [`ClusterConfig::network`].
     pub network: Network,
     /// Measured execution (views + true thread start times).
     pub execution: Execution,
+    /// Per-link probe statistics and degradation decisions, in the order
+    /// the links were configured.
+    pub health: Vec<LinkHealth>,
 }
 
 impl NetRun {
-    /// Runs the optimal synchronizer on the harvested views.
+    /// Runs the optimal synchronizer on the harvested views over the
+    /// (possibly degraded) network.
     ///
     /// # Errors
     ///
@@ -375,6 +716,11 @@ impl NetRun {
     /// the jitter margin was exceeded.
     pub fn synchronize(&self) -> Result<SyncOutcome, SyncError> {
         Synchronizer::new(self.network.clone()).synchronize(self.execution.views())
+    }
+
+    /// `true` when every link came through with its bounds intact.
+    pub fn all_links_healthy(&self) -> bool {
+        self.health.iter().all(|h| h.state == LinkState::Healthy)
     }
 }
 
@@ -394,6 +740,7 @@ mod tests {
             .probes(2)
             .run(1);
         assert!(run.network.admits(&run.execution));
+        assert!(run.all_links_healthy());
         let outcome = run.synchronize().unwrap();
         assert!(outcome.precision().is_finite());
         let err = run.execution.discrepancy(outcome.corrections());
@@ -420,9 +767,96 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "0 < lo <= hi")]
-    fn zero_floor_is_rejected() {
-        let _ = LinkConfig::uniform(Nanos::ZERO, Nanos::from_millis(1));
+    fn zero_floor_is_allowed() {
+        // The paper's asynchronous model (§6) has lb = 0; the runtime must
+        // accept it and still synchronize.
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::ZERO, Nanos::from_millis(1)),
+            )
+            .probes(2)
+            .run(11);
+        assert!(run.network.admits(&run.execution));
+        let outcome = run.synchronize().unwrap();
+        assert!(outcome.precision().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo <= hi")]
+    fn negative_floor_is_rejected() {
+        let _ = LinkConfig::uniform(Nanos::new(-1), Nanos::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "parts per million")]
+    fn overfull_loss_is_rejected() {
+        let _ = LinkConfig::uniform(Nanos::ZERO, Nanos::from_millis(1)).loss(1_000_001);
+    }
+
+    #[test]
+    fn lossy_link_recovers_through_retries() {
+        // Heavy loss, but retries keep resending until a round trip lands:
+        // the run terminates (the old fixed-count loop would wedge) and
+        // whatever evidence survived is admissible.
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_micros(100), Nanos::from_millis(1)).loss(400_000),
+            )
+            .probes(3)
+            .probe_deadline(Nanos::from_millis(10))
+            .retries(6)
+            .run(21);
+        assert!(run.network.admits(&run.execution));
+        let h = run.health[0];
+        assert!(h.probes_sent >= 3);
+        // Either loss fired (overwhelmingly likely) or the run happened to
+        // come through clean; both must synchronize.
+        let _ = run.synchronize().unwrap();
+    }
+
+    #[test]
+    fn dead_link_drops_out_instead_of_wedging() {
+        // Link 1–2 loses literally everything: it must be Dropped, p2 ends
+        // up in its own component, and the survivors 0–1 still get a
+        // finite mutual guarantee.
+        let run = ClusterConfig::new(3)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_micros(500), Nanos::from_millis(1)),
+            )
+            .link(
+                1,
+                2,
+                LinkConfig::uniform(Nanos::from_micros(500), Nanos::from_millis(1)).loss(1_000_000),
+            )
+            .probes(2)
+            .probe_deadline(Nanos::from_millis(4))
+            .retries(1)
+            .run(31);
+        assert_eq!(run.health[0].state, LinkState::Healthy);
+        assert_eq!(run.health[1].state, LinkState::Dropped);
+        assert_eq!(run.health[1].rounds_ok, 0);
+        assert!(run.health[1].lost > 0);
+        assert_eq!(run.network.link_count(), 1);
+        let outcome = run.synchronize().unwrap();
+        assert!(!outcome.is_fully_synchronized());
+        assert_ne!(
+            outcome.component_of(ProcessorId(2)),
+            outcome.component_of(ProcessorId(0))
+        );
+    }
+
+    #[test]
+    fn degradation_classification_rules() {
+        assert_eq!(LinkHealth::classify(0, 0), LinkState::Dropped);
+        assert_eq!(LinkHealth::classify(0, 3), LinkState::Dropped);
+        assert_eq!(LinkHealth::classify(2, 1), LinkState::NoBounds);
+        assert_eq!(LinkHealth::classify(4, 0), LinkState::Healthy);
     }
 
     #[test]

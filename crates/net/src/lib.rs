@@ -15,6 +15,15 @@
 //! message until its injected delay has elapsed), so declared assumptions
 //! are always truthful.
 //!
+//! The runtime degrades instead of wedging: probe rounds carry deadlines
+//! with bounded retry and exponential backoff
+//! ([`probe_deadline`](ClusterConfig::probe_deadline) /
+//! [`retries`](ClusterConfig::retries)), links can inject message
+//! [`loss`](LinkConfig::loss), and a link that keeps missing its deadlines
+//! is downgraded to the paper's no-bounds assumption (Corollary 6.4) or
+//! dropped from the network entirely. [`NetRun::health`] reports what
+//! happened to each link as a [`LinkHealth`]/[`LinkState`].
+//!
 //! # Examples
 //!
 //! ```
@@ -38,4 +47,4 @@
 
 mod cluster;
 
-pub use cluster::{ClusterConfig, LinkConfig, NetRun};
+pub use cluster::{ClusterConfig, LinkConfig, LinkHealth, LinkState, NetRun};

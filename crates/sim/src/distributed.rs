@@ -34,10 +34,10 @@
 //! ground truth and that an omniscient centralized run (which *does* see
 //! the report traffic) is at least as precise.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
-use clocksync::{LinkAssumption, Network, SyncOutcome};
+use clocksync::{DegradationReason, LinkAssumption, LinkDegradation, Network, SyncOutcome};
 use clocksync_graph::{SquareMatrix, Weight};
 use clocksync_model::{Execution, LinkEvidence, MsgSample, ProcessorId};
 use clocksync_time::{ClockTime, ExtRatio, Nanos, Ratio, RealTime};
@@ -45,6 +45,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{Engine, Process, ProcessCtx};
+use crate::faults::{FaultLog, FaultPlan};
 use crate::scenario::Simulation;
 
 /// Messages of the distributed protocol.
@@ -94,6 +95,8 @@ pub enum DistMsg {
 struct SharedOutcome {
     corrections: Vec<Option<Ratio>>,
     precision: Option<ExtRatio>,
+    outcome: Option<SyncOutcome>,
+    reports: Vec<(ProcessorId, ProcessorId, ExtRatio, ExtRatio)>,
 }
 
 /// One protocol participant.
@@ -106,6 +109,11 @@ struct Node {
     initiate: HashMap<ProcessorId, LinkAssumption>,
     fwd_samples: HashMap<ProcessorId, Vec<MsgSample>>,
     bwd_samples: HashMap<ProcessorId, Vec<MsgSample>>,
+    /// Peers whose link report was already produced (guards against
+    /// duplicated echoes triggering a second report).
+    reported: HashSet<ProcessorId>,
+    /// The clock at which the pending probe-round timer will fire.
+    next_probe_at: Option<ClockTime>,
     /// Next hop toward the leader (None at the leader).
     parent: Option<ProcessorId>,
     /// Next hop toward each processor in this node's subtree.
@@ -114,6 +122,17 @@ struct Node {
     n: usize,
     expected_reports: usize,
     reports: Vec<(ProcessorId, ProcessorId, ExtRatio, ExtRatio)>,
+    /// Canonical keys of the links already reported (duplicate reports on a
+    /// lossy network must not double-count toward `expected_reports`).
+    report_keys: HashSet<(usize, usize)>,
+    /// Every declared link, for diagnosing the unreported ones.
+    all_links: Vec<(ProcessorId, ProcessorId)>,
+    /// Leader-side report deadline (set only under a fault plan): if not
+    /// every report arrived by this clock reading, compute from what's
+    /// there — a partial-but-optimal answer for the reachable part.
+    deadline_at: Option<ClockTime>,
+    /// Whether the leader has already computed and distributed.
+    computed: bool,
     sink: Arc<Mutex<SharedOutcome>>,
 }
 
@@ -128,8 +147,19 @@ impl Node {
         ctx: &mut ProcessCtx<DistMsg>,
     ) {
         if self.is_leader() {
-            self.reports.push(report);
-            if self.reports.len() == self.expected_reports {
+            if self.computed {
+                // The deadline already fired: the answer is out. A late
+                // report cannot be folded in retroactively.
+                return;
+            }
+            let key = (
+                report.0.index().min(report.1.index()),
+                report.0.index().max(report.1.index()),
+            );
+            if self.report_keys.insert(key) {
+                self.reports.push(report);
+            }
+            if self.report_keys.len() == self.expected_reports {
                 self.leader_compute(ctx);
             }
         } else {
@@ -147,6 +177,7 @@ impl Node {
     }
 
     fn leader_compute(&mut self, ctx: &mut ProcessCtx<DistMsg>) {
+        self.computed = true;
         let mut m = SquareMatrix::from_fn(self.n, |i, j| {
             if i == j {
                 <ExtRatio as Weight>::zero()
@@ -160,11 +191,28 @@ impl Node {
         }
         let closure =
             clocksync::global_estimates(&m).expect("honest reports cannot be inconsistent");
-        let outcome = SyncOutcome::from_global_estimates(closure);
+        let mut outcome = SyncOutcome::from_global_estimates(closure);
+        // Links that never reported stayed +∞ in the matrix; record why.
+        let degradations: Vec<LinkDegradation> = self
+            .all_links
+            .iter()
+            .filter(|(a, b)| {
+                let key = (a.index().min(b.index()), a.index().max(b.index()));
+                !self.report_keys.contains(&key)
+            })
+            .map(|&(a, b)| LinkDegradation {
+                a,
+                b,
+                reason: DegradationReason::Unreported,
+            })
+            .collect();
+        outcome.set_degradations(degradations);
         {
             let mut sink = self.sink.lock().expect("sink lock");
             sink.precision = Some(outcome.precision());
             sink.corrections[ctx.id().index()] = Some(outcome.correction(ctx.id()));
+            sink.reports = self.reports.clone();
+            sink.outcome = Some(outcome.clone());
         }
         for i in 0..self.n {
             let target = ProcessorId(i);
@@ -185,8 +233,13 @@ impl Node {
 
 impl Process<DistMsg> for Node {
     fn on_start(&mut self, ctx: &mut ProcessCtx<DistMsg>) {
+        if let Some(at) = self.deadline_at {
+            ctx.set_timer(at);
+        }
         if !self.initiate.is_empty() {
-            ctx.set_timer(ClockTime::ZERO + self.initial_delay);
+            let at = ClockTime::ZERO + self.initial_delay;
+            self.next_probe_at = Some(at);
+            ctx.set_timer(at);
         } else if self.is_leader() && self.expected_reports == 0 {
             // Degenerate linkless system: nothing to wait for.
             self.leader_compute(ctx);
@@ -194,20 +247,38 @@ impl Process<DistMsg> for Node {
     }
 
     fn on_timer(&mut self, ctx: &mut ProcessCtx<DistMsg>) {
-        let seq = self.rounds_fired as u32;
-        let peers: Vec<ProcessorId> = self.initiate.keys().copied().collect();
-        for peer in peers {
-            ctx.send(
-                peer,
-                DistMsg::Probe {
-                    seq,
-                    sent_clock: ctx.clock(),
-                },
-            );
-        }
-        self.rounds_fired += 1;
-        if self.rounds_fired < self.probes {
-            ctx.set_timer(ctx.clock() + self.spacing);
+        // Two kinds of timer can be pending (the next probe round, and at
+        // the leader the report deadline); the firing clock tells them
+        // apart, since timers fire exactly at the clock they were set for.
+        if self.next_probe_at == Some(ctx.clock()) {
+            self.next_probe_at = None;
+            let seq = self.rounds_fired as u32;
+            // Sorted so the send order (and hence the engine's delay-rng
+            // draw order) is independent of the map's hash state.
+            let mut peers: Vec<ProcessorId> = self.initiate.keys().copied().collect();
+            peers.sort_unstable();
+            for peer in peers {
+                ctx.send(
+                    peer,
+                    DistMsg::Probe {
+                        seq,
+                        sent_clock: ctx.clock(),
+                    },
+                );
+            }
+            self.rounds_fired += 1;
+            if self.rounds_fired < self.probes {
+                let at = ctx.clock() + self.spacing;
+                self.next_probe_at = Some(at);
+                ctx.set_timer(at);
+            }
+        } else if self.deadline_at == Some(ctx.clock()) {
+            self.deadline_at = None;
+            if !self.computed {
+                // Whoever has not reported by now is presumed unreachable:
+                // answer with the evidence that made it through.
+                self.leader_compute(ctx);
+            }
         }
     }
 
@@ -238,7 +309,8 @@ impl Process<DistMsg> for Node {
                     send_clock: sent_clock,
                     recv_clock: ctx.clock(),
                 });
-                if self.fwd_samples[&from].len() == self.probes {
+                if self.fwd_samples[&from].len() >= self.probes && !self.reported.contains(&from) {
+                    self.reported.insert(from);
                     let assumption = self.initiate[&from].clone();
                     let ev = LinkEvidence::from_samples(
                         &self.fwd_samples[&from],
@@ -304,23 +376,102 @@ pub struct DistRun {
 #[derive(Debug, Clone)]
 pub struct DistributedSync {
     sim: Simulation,
+    faults: Option<FaultPlan>,
+    report_timeout: Nanos,
 }
 
 impl DistributedSync {
     /// Wraps a scenario; the protocol will use its links, assumptions,
     /// probe counts and timing.
     pub fn new(sim: Simulation) -> DistributedSync {
-        DistributedSync { sim }
+        DistributedSync {
+            sim,
+            faults: None,
+            report_timeout: Nanos::from_millis(50),
+        }
     }
 
-    /// Runs the full protocol and harvests the participants' results.
+    /// Attaches a fault plan for [`DistributedSync::run_faulty`]. Arms the
+    /// leader's report deadline: reports still missing when it expires are
+    /// presumed lost and the leader answers for the survivors.
+    pub fn with_faults(mut self, plan: FaultPlan) -> DistributedSync {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets how long past the last scheduled probe round the leader waits
+    /// for reports before computing from what arrived (default 50 ms; only
+    /// meaningful for [`DistributedSync::run_faulty`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is not positive.
+    pub fn report_timeout(mut self, timeout: Nanos) -> DistributedSync {
+        assert!(timeout > Nanos::ZERO, "report timeout must be positive");
+        self.report_timeout = timeout;
+        self
+    }
+
+    /// Runs the full protocol, fault-free, and harvests the participants'
+    /// results.
     ///
     /// # Panics
     ///
     /// Panics if the declared links do not connect all processors to the
-    /// leader (processor 0), or if a processor never received its
-    /// correction (a protocol bug).
+    /// leader (processor 0), if a processor never received its correction
+    /// (a protocol bug), or if a fault plan was attached — a faulty run can
+    /// leave processors without corrections by design, so it must go
+    /// through [`DistributedSync::run_faulty`], whose result type can say
+    /// so.
     pub fn run(&self, seed: u64) -> DistRun {
+        assert!(
+            self.faults.is_none(),
+            "a fault plan is attached: use run_faulty"
+        );
+        let (execution, _log, shared, network) = self.run_inner(seed, None);
+        let corrections: Vec<Ratio> = shared
+            .corrections
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.unwrap_or_else(|| panic!("p{i} never received its correction")))
+            .collect();
+        DistRun {
+            execution,
+            network,
+            corrections,
+            precision: shared.precision.expect("leader computed"),
+        }
+    }
+
+    /// Runs the protocol under the attached fault plan (empty if none was
+    /// attached — the deadline machinery still arms, which is useful for
+    /// testing it) and reports whatever the survivors achieved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declared links do not connect all processors to the
+    /// leader (crash faults may *partition* the run, but the declared
+    /// topology must be connected).
+    pub fn run_faulty(&self, seed: u64) -> FaultyDistRun {
+        let plan = self.faults.clone().unwrap_or_default();
+        let (execution, log, shared, network) = self.run_inner(seed, Some(&plan));
+        FaultyDistRun {
+            execution,
+            network,
+            corrections: shared.corrections,
+            outcome: shared.outcome,
+            reports: shared.reports,
+            log,
+        }
+    }
+
+    /// Shared protocol body; `plan` switches the engine's fault path and
+    /// arms the leader's report deadline.
+    fn run_inner(
+        &self,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+    ) -> (Execution, FaultLog, SharedOutcome, Network) {
         let n = self.sim.n();
         let mut rng = StdRng::seed_from_u64(seed);
         let starts: Vec<RealTime> = (0..n)
@@ -383,8 +534,27 @@ impl DistributedSync {
         let sink = Arc::new(Mutex::new(SharedOutcome {
             corrections: vec![None; n],
             precision: None,
+            outcome: None,
+            reports: Vec::new(),
         }));
         let initial_delay = self.sim.start_spread() + Nanos::from_micros(100);
+        let all_links: Vec<(ProcessorId, ProcessorId)> = self
+            .sim
+            .links()
+            .iter()
+            .map(|l| (ProcessorId(l.a), ProcessorId(l.b)))
+            .collect();
+        // Under a fault plan the leader arms a report deadline: the last
+        // probe round is scheduled at initial_delay + (probes−1)·spacing,
+        // and the timeout budgets for its round trip plus report routing.
+        let leader_deadline = plan.map(|_| {
+            ClockTime::ZERO
+                + initial_delay
+                + Nanos::new(
+                    self.sim.spacing().as_nanos() * self.sim.probes().saturating_sub(1) as i64,
+                )
+                + self.report_timeout
+        });
         let processes: Vec<Box<dyn Process<DistMsg>>> = (0..n)
             .map(|i| {
                 let mut initiate = HashMap::new();
@@ -401,35 +571,74 @@ impl DistributedSync {
                     initiate,
                     fwd_samples: HashMap::new(),
                     bwd_samples: HashMap::new(),
+                    reported: HashSet::new(),
+                    next_probe_at: None,
                     parent: parent[i],
                     route_down: route_down[i].clone(),
                     n,
                     expected_reports: self.sim.links().len(),
                     reports: Vec::new(),
+                    report_keys: HashSet::new(),
+                    all_links: all_links.clone(),
+                    deadline_at: if i == 0 { leader_deadline } else { None },
+                    computed: false,
                     sink: Arc::clone(&sink),
                 }) as Box<dyn Process<DistMsg>>
             })
             .collect();
 
         let engine = Engine::new(starts, links);
-        let execution = engine.run_with_payload(processes, &mut rng);
+        let (execution, log) = match plan {
+            None => (
+                engine.run_with_payload(processes, &mut rng),
+                FaultLog::default(),
+            ),
+            Some(pl) => engine.run_with_payload_faulty(processes, &mut rng, pl),
+        };
 
         let shared = Arc::try_unwrap(sink)
             .expect("engine dropped all process handles")
             .into_inner()
             .expect("sink lock");
-        let corrections: Vec<Ratio> = shared
-            .corrections
-            .into_iter()
+        (execution, log, shared, self.sim.network())
+    }
+}
+
+/// A completed distributed run under faults: what the *survivors* ended up
+/// with.
+///
+/// Unlike [`DistRun`], nothing here is guaranteed total: a crashed (or
+/// partitioned-off) processor holds no correction, and if the leader
+/// itself crashed before its deadline there is no outcome at all.
+#[derive(Debug, Clone)]
+pub struct FaultyDistRun {
+    /// The full recorded execution, faults applied.
+    pub execution: Execution,
+    /// The declared network.
+    pub network: Network,
+    /// The correction each processor ended up holding (`None`: crashed, or
+    /// the correction message never reached it).
+    pub corrections: Vec<Option<Ratio>>,
+    /// The leader's computed outcome — corrections, per-component
+    /// precision, and [`Unreported`](DegradationReason::Unreported)
+    /// degradations for links whose report missed the deadline. `None` if
+    /// the leader crashed before computing.
+    pub outcome: Option<SyncOutcome>,
+    /// The per-link estimate reports that reached the leader in time —
+    /// exactly the evidence the outcome was computed from.
+    pub reports: Vec<(ProcessorId, ProcessorId, ExtRatio, ExtRatio)>,
+    /// What the fault plan actually did.
+    pub log: FaultLog,
+}
+
+impl FaultyDistRun {
+    /// The processors that hold a correction, ascending.
+    pub fn survivors(&self) -> Vec<ProcessorId> {
+        self.corrections
+            .iter()
             .enumerate()
-            .map(|(i, c)| c.unwrap_or_else(|| panic!("p{i} never received its correction")))
-            .collect();
-        DistRun {
-            execution,
-            network: self.sim.network(),
-            corrections,
-            precision: shared.precision.expect("leader computed"),
-        }
+            .filter_map(|(i, c)| c.map(|_| ProcessorId(i)))
+            .collect()
     }
 }
 
@@ -497,6 +706,61 @@ mod tests {
         assert!(run.precision.is_finite());
         let err = run.execution.discrepancy(&run.corrections);
         assert!(Ext::Finite(err) <= run.precision);
+    }
+
+    #[test]
+    fn crashed_subtree_degrades_to_survivor_component() {
+        // Ring of 5, p3 crashes mid-protocol: links (2,3) and (3,4) cannot
+        // report, the survivors {0,1,2,4} stay connected through the rest
+        // of the ring and still get corrections.
+        let plan = FaultPlan::new().crash(ProcessorId(3), RealTime::from_micros(5_200));
+        let dist = DistributedSync::new(ring_sim(2)).with_faults(plan);
+        let run = dist.run_faulty(3);
+        assert!(run.corrections[3].is_none(), "crashed node holds nothing");
+        for i in [0usize, 1, 2, 4] {
+            assert!(run.corrections[i].is_some(), "survivor p{i} corrected");
+        }
+        let outcome = run.outcome.as_ref().expect("leader computed");
+        assert!(!outcome.degradations().is_empty());
+        assert!(outcome
+            .degradations()
+            .iter()
+            .all(|d| d.reason == clocksync::DegradationReason::Unreported
+                && (d.a == ProcessorId(3) || d.b == ProcessorId(3))));
+        // The leader's answer is exactly the batch pipeline over the
+        // surviving reports.
+        let mut m = clocksync_graph::SquareMatrix::from_fn(5, |i, j| {
+            if i == j {
+                <ExtRatio as clocksync_graph::Weight>::zero()
+            } else {
+                <ExtRatio as clocksync_graph::Weight>::infinity()
+            }
+        });
+        for &(a, b, ab, ba) in &run.reports {
+            m[(a.index(), b.index())] = ab;
+            m[(b.index(), a.index())] = ba;
+        }
+        let expected = SyncOutcome::from_global_estimates(clocksync::global_estimates(&m).unwrap());
+        for p in run.survivors() {
+            assert_eq!(run.corrections[p.index()], Some(expected.correction(p)));
+        }
+    }
+
+    #[test]
+    fn fault_free_faulty_run_matches_plain_run() {
+        // run_faulty with no plan attached arms the deadline but injects
+        // nothing; every correction must match the plain protocol's.
+        let dist = DistributedSync::new(ring_sim(2));
+        let plain = dist.run(5);
+        let armed = dist.run_faulty(5);
+        assert!(armed.log.is_clean());
+        for (i, c) in plain.corrections.iter().enumerate() {
+            assert_eq!(armed.corrections[i], Some(*c));
+        }
+        assert_eq!(
+            armed.outcome.expect("leader computed").precision(),
+            plain.precision
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! synchronizer, hidden start times and true delays for evaluation.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use clocksync_model::{Execution, MessageId, ProcessorId, View, ViewEvent, ViewSet};
 #[cfg(test)]
@@ -16,6 +16,7 @@ use clocksync_time::{ClockTime, RealTime};
 use rand::Rng;
 
 use crate::delay::ResolvedLink;
+use crate::faults::{FaultLog, FaultPlan};
 
 /// A reactive processor behaviour.
 ///
@@ -144,6 +145,29 @@ impl Engine {
         self.run_with_payload(processes, rng)
     }
 
+    /// Like [`Engine::run`], but injects the faults scheduled in `plan` and
+    /// additionally returns the [`FaultLog`] of what actually fired.
+    ///
+    /// The produced execution still satisfies every model axiom: sends of
+    /// lost messages are erased from the views at harvest (the processors
+    /// cannot tell "lost" from "never sent"), duplicates are fresh messages
+    /// with their own ids, and crash-stopped processors simply have short
+    /// views. With an empty plan this is exactly [`Engine::run`], random
+    /// stream included.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::run`], plus a plan referencing an
+    /// out-of-range processor.
+    pub fn run_faulty<R: Rng + ?Sized>(
+        &self,
+        processes: Vec<Box<dyn Process>>,
+        rng: &mut R,
+        plan: &FaultPlan,
+    ) -> (Execution, FaultLog) {
+        self.run_with_payload_faulty(processes, rng, plan)
+    }
+
     /// Like [`Engine::run`] but with an arbitrary message payload type,
     /// enabling protocols that carry structured data (timestamps, shift
     /// reports, corrections — see [`crate::DistributedSync`]).
@@ -153,11 +177,45 @@ impl Engine {
     /// Same conditions as [`Engine::run`].
     pub fn run_with_payload<P: Clone, R: Rng + ?Sized>(
         &self,
-        mut processes: Vec<Box<dyn Process<P>>>,
+        processes: Vec<Box<dyn Process<P>>>,
         rng: &mut R,
     ) -> Execution {
+        self.run_inner(processes, rng, None).0
+    }
+
+    /// [`Engine::run_with_payload`] with fault injection — the payload-typed
+    /// version of [`Engine::run_faulty`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Engine::run_faulty`].
+    pub fn run_with_payload_faulty<P: Clone, R: Rng + ?Sized>(
+        &self,
+        processes: Vec<Box<dyn Process<P>>>,
+        rng: &mut R,
+        plan: &FaultPlan,
+    ) -> (Execution, FaultLog) {
+        self.run_inner(processes, rng, Some(plan))
+    }
+
+    /// The single event loop behind all `run_*` entry points. When `plan`
+    /// is `None`, no fault bookkeeping touches the random stream, so
+    /// fault-free runs are bit-identical to the pre-fault engine.
+    fn run_inner<P: Clone, R: Rng + ?Sized>(
+        &self,
+        mut processes: Vec<Box<dyn Process<P>>>,
+        rng: &mut R,
+        plan: Option<&FaultPlan>,
+    ) -> (Execution, FaultLog) {
         let n = self.starts.len();
         assert_eq!(processes.len(), n, "one process per processor required");
+        let mut log = FaultLog::default();
+        if let Some(plan) = plan {
+            if let Some(max) = plan.max_processor_index() {
+                assert!(max < n, "fault plan references processor {max}, n = {n}");
+            }
+            log.crashed = plan.crashes();
+        }
 
         // Min-heap on (time, sequence) for deterministic tie-breaking.
         let mut queue: BinaryHeap<Reverse<(RealTime, u64)>> = BinaryHeap::new();
@@ -199,6 +257,21 @@ impl Engine {
                 EventKind::Deliver { to, .. } => *to,
             };
             let clock = ClockTime::ZERO + (now - self.starts[p.index()]);
+            let crashed = plan
+                .and_then(|pl| pl.crash_time(p))
+                .is_some_and(|t| now >= t);
+            if crashed {
+                match kind {
+                    // The processor booted, then died: keep the mandatory
+                    // start event so its (empty) view stays well-formed.
+                    EventKind::Start(_) => events[p.index()].push(ViewEvent::Start { clock }),
+                    // A message into the void; the sender's send event is
+                    // erased at harvest.
+                    EventKind::Deliver { id, .. } => log.dropped.push(id),
+                    EventKind::Timer(_) => {}
+                }
+                continue;
+            }
             let mut ctx = ProcessCtx {
                 id: p,
                 clock,
@@ -232,10 +305,56 @@ impl Engine {
                     .get(&key)
                     .unwrap_or_else(|| panic!("{p} sent to non-neighbor {to}"));
                 let forward = p.index() < to.index();
-                let delay = link.sample(forward, rng);
+                let mut delay = link.sample(forward, rng);
                 let id = MessageId(next_msg_id);
                 next_msg_id += 1;
                 events[p.index()].push(ViewEvent::Send { to, id, clock });
+                let faults = plan.and_then(|pl| pl.link_faults(key));
+                let mut deliver = true;
+                let mut duplicate = false;
+                if let Some(lf) = faults {
+                    if lf.is_down_at(now) || (lf.drop_prob > 0.0 && rng.gen_bool(lf.drop_prob)) {
+                        deliver = false;
+                        log.dropped.push(id);
+                    } else {
+                        if lf.reorder_prob > 0.0 && rng.gen_bool(lf.reorder_prob) {
+                            // "Overtaken" by later traffic: resample as the
+                            // max of two draws — still inside the link's
+                            // support, so truthful assumptions stay valid.
+                            delay = delay.max(link.sample(forward, rng));
+                            log.reordered.push(id);
+                        }
+                        duplicate = lf.dup_prob > 0.0 && rng.gen_bool(lf.dup_prob);
+                    }
+                }
+                if !deliver {
+                    continue;
+                }
+                if duplicate {
+                    // The copy is a genuine extra message: fresh id, its
+                    // own send event (same clock) and its own delay draw.
+                    let copy = MessageId(next_msg_id);
+                    next_msg_id += 1;
+                    events[p.index()].push(ViewEvent::Send {
+                        to,
+                        id: copy,
+                        clock,
+                    });
+                    let copy_delay = link.sample(forward, rng);
+                    log.duplicated.push((id, copy));
+                    push(
+                        &mut queue,
+                        &mut payloads,
+                        &mut seq,
+                        now + copy_delay,
+                        EventKind::Deliver {
+                            to,
+                            from: p,
+                            id: copy,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
                 push(
                     &mut queue,
                     &mut payloads,
@@ -260,13 +379,36 @@ impl Engine {
             }
         }
 
+        if plan.is_some() {
+            // Erase the sends of messages that were never delivered (drop,
+            // down window, receiver crash): to the survivors, a lost
+            // message is indistinguishable from one never sent, and the
+            // view-set axioms require matched send/recv pairs.
+            let delivered: HashSet<MessageId> = events
+                .iter()
+                .flat_map(|evts| {
+                    evts.iter().filter_map(|e| match e {
+                        ViewEvent::Recv { id, .. } => Some(*id),
+                        _ => None,
+                    })
+                })
+                .collect();
+            for evts in &mut events {
+                evts.retain(|e| match e {
+                    ViewEvent::Send { id, .. } => delivered.contains(id),
+                    _ => true,
+                });
+            }
+        }
         let views: Vec<View> = events
             .into_iter()
             .enumerate()
             .map(|(i, evts)| View::from_events(ProcessorId(i), evts))
             .collect();
         let views = ViewSet::new(views).expect("engine produces valid views");
-        Execution::new(self.starts.clone(), views).expect("engine start/view counts match")
+        let execution =
+            Execution::new(self.starts.clone(), views).expect("engine start/view counts match");
+        (execution, log)
     }
 
     /// Convenience: per-processor start times.
@@ -385,6 +527,141 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, ViewEvent::Timer { .. })));
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_run() {
+        let mut links = HashMap::new();
+        links.insert((0usize, 1usize), link(250));
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        let clean = engine.run(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(5),
+        );
+        let (faulty, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(5),
+            &FaultPlan::new(),
+        );
+        assert_eq!(clean, faulty);
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn dropped_messages_leave_no_trace_in_views() {
+        let mut links = HashMap::new();
+        links.insert((0usize, 1usize), link(250));
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        let plan = FaultPlan::new().drop_messages(ProcessorId(0), ProcessorId(1), 1.0);
+        let (exec, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(2),
+            &plan,
+        );
+        // The ping was lost; no echo ever happened, and the sender's view
+        // shows no send (it cannot know the loss occurred — but the model
+        // requires matched pairs, so the send is erased).
+        assert!(exec.messages().is_empty());
+        assert_eq!(log.dropped.len(), 1);
+        assert_eq!(exec.views().view(ProcessorId(0)).events().len(), 1);
+    }
+
+    #[test]
+    fn duplicated_messages_are_fresh_messages() {
+        let mut links = HashMap::new();
+        links.insert((0usize, 1usize), link(250));
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        let plan = FaultPlan::new().duplicate_messages(ProcessorId(0), ProcessorId(1), 1.0);
+        let (exec, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(3),
+            &plan,
+        );
+        // Ping duplicated → two pings delivered → two echoes, each also
+        // duplicated → 6 messages, all with distinct ids (ViewSet::new
+        // would have rejected reuse).
+        assert_eq!(exec.messages().len(), 6);
+        assert_eq!(log.duplicated.len(), 3);
+        assert!(log.dropped.is_empty());
+    }
+
+    #[test]
+    fn crash_stop_silences_a_processor() {
+        let mut links = HashMap::new();
+        links.insert((0usize, 1usize), link(250));
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        // p1 crashes before the ping can arrive.
+        let plan = FaultPlan::new().crash(ProcessorId(1), RealTime::from_nanos(100));
+        let (exec, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(4),
+            &plan,
+        );
+        assert!(exec.messages().is_empty());
+        assert_eq!(log.dropped.len(), 1);
+        assert_eq!(
+            log.crashed,
+            vec![(ProcessorId(1), RealTime::from_nanos(100))]
+        );
+        // The crashed processor still has its mandatory start event.
+        assert_eq!(exec.views().view(ProcessorId(1)).events().len(), 1);
+    }
+
+    #[test]
+    fn link_down_window_swallows_sends() {
+        let mut links = HashMap::new();
+        links.insert((0usize, 1usize), link(250));
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        // The link is down exactly when the start-time ping is sent, but
+        // back up for the echo — which never happens, since the ping died.
+        let plan = FaultPlan::new().link_down(
+            ProcessorId(0),
+            ProcessorId(1),
+            RealTime::ZERO,
+            RealTime::from_nanos(10),
+        );
+        let (exec, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(5),
+            &plan,
+        );
+        assert!(exec.messages().is_empty());
+        assert_eq!(log.dropped.len(), 1);
+    }
+
+    #[test]
+    fn reordering_keeps_delays_in_support() {
+        let mut links = HashMap::new();
+        links.insert(
+            (0usize, 1usize),
+            LinkModel::symmetric(DelayDistribution::uniform(Nanos::new(100), Nanos::new(500)))
+                .resolve(&mut StdRng::seed_from_u64(0)),
+        );
+        let engine = Engine::new(vec![RealTime::ZERO, RealTime::ZERO], links);
+        let plan = FaultPlan::new().reorder_messages(ProcessorId(0), ProcessorId(1), 1.0);
+        let (exec, log) = engine.run_faulty(
+            vec![Box::new(Ping), Box::new(Ping)],
+            &mut StdRng::seed_from_u64(6),
+            &plan,
+        );
+        assert_eq!(exec.messages().len(), 2);
+        assert_eq!(log.reordered.len(), 2);
+        assert!(exec
+            .messages()
+            .iter()
+            .all(|m| m.delay >= Nanos::new(100) && m.delay <= Nanos::new(500)));
+    }
+
+    #[test]
+    #[should_panic(expected = "references processor")]
+    fn out_of_range_fault_plan_panics() {
+        let engine = Engine::new(vec![RealTime::ZERO], HashMap::new());
+        let plan = FaultPlan::new().crash(ProcessorId(5), RealTime::ZERO);
+        let _ = engine.run_faulty(
+            vec![Box::new(IdleProcess)],
+            &mut StdRng::seed_from_u64(0),
+            &plan,
+        );
     }
 
     #[test]

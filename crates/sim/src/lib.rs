@@ -44,14 +44,18 @@ mod delay;
 mod distributed;
 mod drift;
 mod engine;
+mod faults;
 mod protocol;
 mod scenario;
 mod topology;
 
 pub use delay::{DelayDistribution, LinkModel, ResolvedLink};
-pub use distributed::{DistMsg, DistRun, DistributedSync};
+pub use distributed::{DistMsg, DistRun, DistributedSync, FaultyDistRun};
 pub use drift::{run_with_drift, widen_assumption, DriftRun};
 pub use engine::{Engine, IdleProcess, Process, ProcessCtx};
+pub use faults::{FaultLog, FaultPlan, LinkFaults};
 pub use protocol::ProbeProcess;
-pub use scenario::{truthful_assumption, LinkSpec, SimRun, Simulation, SimulationBuilder};
+pub use scenario::{
+    truthful_assumption, FaultySimRun, LinkSpec, SimRun, Simulation, SimulationBuilder,
+};
 pub use topology::Topology;

@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::delay::{DelayDistribution, LinkModel};
 use crate::engine::{Engine, Process};
+use crate::faults::{FaultLog, FaultPlan};
 use crate::protocol::ProbeProcess;
 use crate::topology::Topology;
 
@@ -77,6 +78,7 @@ pub struct Simulation {
     probes: usize,
     spacing: Nanos,
     start_spread: Nanos,
+    faults: FaultPlan,
 }
 
 impl Simulation {
@@ -89,6 +91,7 @@ impl Simulation {
                 probes: 2,
                 spacing: Nanos::from_millis(10),
                 start_spread: Nanos::from_millis(5),
+                faults: FaultPlan::new(),
             },
         }
     }
@@ -118,6 +121,11 @@ impl Simulation {
         self.start_spread
     }
 
+    /// The fault plan (empty by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Builds the [`Network`] the synchronizer will be given.
     pub fn network(&self) -> Network {
         let mut b = Network::builder(self.n);
@@ -128,8 +136,18 @@ impl Simulation {
     }
 
     /// Runs the scenario with a seed: samples start offsets and delays,
-    /// executes the probe protocol, and returns the recorded run.
+    /// executes the probe protocol (under the fault plan, if one was
+    /// declared), and returns the recorded run. Use
+    /// [`Simulation::run_with_faults`] to also get the fault log.
     pub fn run(&self, seed: u64) -> SimRun {
+        self.run_with_faults(seed).run
+    }
+
+    /// Like [`Simulation::run`], but additionally returns the
+    /// [`FaultLog`] of what the fault plan actually did to this seed's
+    /// execution. With an empty plan the log is empty and the run is
+    /// bit-identical to the plan-free scenario under the same seed.
+    pub fn run_with_faults(&self, seed: u64) -> FaultySimRun {
         let mut rng = StdRng::seed_from_u64(seed);
         let starts: Vec<RealTime> = (0..self.n)
             .map(|_| {
@@ -154,10 +172,17 @@ impl Simulation {
                     as Box<dyn Process>
             })
             .collect();
-        let execution = engine.run(processes, &mut rng);
-        SimRun {
-            network: self.network(),
-            execution,
+        let (execution, log) = if self.faults.is_empty() {
+            (engine.run(processes, &mut rng), FaultLog::default())
+        } else {
+            engine.run_faulty(processes, &mut rng, &self.faults)
+        };
+        FaultySimRun {
+            run: SimRun {
+                network: self.network(),
+                execution,
+            },
+            log,
         }
     }
 
@@ -255,6 +280,13 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches a fault plan: every run of the built scenario injects
+    /// these faults (reproducibly, per seed). See [`FaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.sim.faults = plan;
+        self
+    }
+
     /// Finishes building.
     pub fn build(self) -> Simulation {
         self.sim
@@ -292,6 +324,34 @@ impl SimRun {
     /// (always true for truthful scenarios; useful as a self-check).
     pub fn is_admissible(&self) -> bool {
         self.network.admits(&self.execution)
+    }
+}
+
+/// A [`SimRun`] together with the record of which faults actually fired.
+///
+/// Injected faults keep the execution admissible for truthful
+/// assumptions (drops erase evidence, duplicates and reorderings sample
+/// from the genuine delay distribution), so [`SimRun::synchronize`] still
+/// applies — it just sees less, or redundant, evidence and degrades per
+/// the contract in `DESIGN.md` §5.
+#[derive(Debug, Clone)]
+pub struct FaultySimRun {
+    /// The run itself (network, execution, ground truth).
+    pub run: SimRun,
+    /// What went wrong, message by message.
+    pub log: FaultLog,
+}
+
+impl FaultySimRun {
+    /// Shorthand for [`SimRun::synchronize`] on the inner run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SyncError`] exactly as [`SimRun::synchronize`] does
+    /// (still impossible for truthfully-declared scenarios: faults never
+    /// fabricate out-of-support delays).
+    pub fn synchronize(&self) -> Result<SyncOutcome, SyncError> {
+        self.run.synchronize()
     }
 }
 
@@ -384,6 +444,57 @@ mod tests {
             let sequential = sim.run(seed);
             assert_eq!(run.execution, sequential.execution, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn faulty_runs_stay_admissible_and_reproducible() {
+        let plan = FaultPlan::new()
+            .drop_messages(ProcessorId(0), ProcessorId(1), 0.4)
+            .duplicate_messages(ProcessorId(1), ProcessorId(2), 0.4)
+            .reorder_messages(ProcessorId(2), ProcessorId(3), 0.4);
+        let sim = Simulation::builder(4)
+            .uniform_links(
+                Topology::Ring(4),
+                Nanos::from_micros(50),
+                Nanos::from_micros(250),
+                2,
+            )
+            .probes(3)
+            .faults(plan)
+            .build();
+        let mut any_fault = false;
+        for seed in 0..6 {
+            let faulty = sim.run_with_faults(seed);
+            any_fault |= !faulty.log.is_clean();
+            // Faults thin or pad the evidence but never break the model or
+            // the declared assumptions.
+            assert!(faulty.run.is_admissible(), "seed {seed}");
+            let outcome = faulty.synchronize().unwrap();
+            let err = faulty.run.true_discrepancy(outcome.corrections());
+            assert!(Ext::Finite(err) <= outcome.precision(), "seed {seed}");
+            // Same seed, same faults.
+            let again = sim.run_with_faults(seed);
+            assert_eq!(faulty.run.execution, again.run.execution);
+            assert_eq!(faulty.log, again.log);
+        }
+        assert!(any_fault, "plan never fired across six seeds");
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let sim = Simulation::builder(3)
+            .uniform_links(
+                Topology::Path(3),
+                Nanos::from_micros(10),
+                Nanos::from_micros(90),
+                1,
+            )
+            .build();
+        let with_empty_plan = sim.clone();
+        let a = sim.run(7);
+        let b = with_empty_plan.run_with_faults(7);
+        assert_eq!(a.execution, b.run.execution);
+        assert!(b.log.is_clean());
     }
 
     #[test]
