@@ -56,6 +56,20 @@ pub fn section(title: &str) {
     println!("== {title} ==");
 }
 
+/// Reads an optional `--trace FILE` argument from the process argv, the
+/// shared convention of the runnable examples: when present, the example
+/// records its run and writes a JSONL trace to `FILE` (render it with
+/// `clocksync trace summarize --in FILE`).
+pub fn trace_flag() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

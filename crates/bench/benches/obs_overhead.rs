@@ -1,0 +1,90 @@
+//! Criterion guard bench: the observability layer's overhead.
+//!
+//! The recorder's contract (DESIGN.md §6) is that the *disabled* path is
+//! near-free — one branch per operation — so threading it through the
+//! pipeline must not tax untraced runs. This bench pins that down three
+//! ways: the full synchronize stage with no recorder, with a disabled
+//! recorder, and with an enabled one (the only variant allowed to cost
+//! something), plus micro-benches of the disabled ops themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksync::Synchronizer;
+use clocksync_obs::{FieldValue, Recorder};
+use clocksync_sim::{SimRun, Simulation, Topology};
+use clocksync_time::Nanos;
+
+fn ring_run(n: usize) -> SimRun {
+    Simulation::builder(n)
+        .uniform_links(
+            Topology::Ring(n),
+            Nanos::from_micros(50),
+            Nanos::from_micros(400),
+            11,
+        )
+        .probes(3)
+        .build()
+        .run(7)
+}
+
+fn bench_sync_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_sync_overhead");
+    for n in [8usize, 32] {
+        let run = ring_run(n);
+        group.bench_with_input(BenchmarkId::new("no_recorder", n), &run, |b, run| {
+            b.iter(|| black_box(run).synchronize().expect("consistent"))
+        });
+        group.bench_with_input(BenchmarkId::new("disabled", n), &run, |b, run| {
+            let recorder = Recorder::disabled();
+            b.iter(|| {
+                black_box(run)
+                    .synchronize_traced(&recorder)
+                    .expect("consistent")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("enabled", n), &run, |b, run| {
+            let recorder = Recorder::enabled();
+            b.iter(|| {
+                black_box(run)
+                    .synchronize_traced(&recorder)
+                    .expect("consistent")
+            })
+        });
+        // The same contrast through the Synchronizer API directly.
+        group.bench_with_input(BenchmarkId::new("builder_noop", n), &run, |b, run| {
+            b.iter(|| {
+                Synchronizer::new(black_box(run).network.clone())
+                    .with_recorder(Recorder::disabled())
+                    .synchronize(run.execution.views())
+                    .expect("consistent")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_disabled_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_disabled_ops");
+    let recorder = Recorder::disabled();
+    group.bench_function(BenchmarkId::new("incr", "disabled"), |b| {
+        b.iter(|| recorder.incr(black_box("bench.counter"), 1))
+    });
+    group.bench_function(BenchmarkId::new("observe_ns", "disabled"), |b| {
+        b.iter(|| recorder.observe_ns(black_box("bench.hist"), 42))
+    });
+    group.bench_function(BenchmarkId::new("event", "disabled"), |b| {
+        b.iter(|| recorder.event(black_box("bench.event"), [("k", FieldValue::from(1i64))]))
+    });
+    group.bench_function(BenchmarkId::new("span", "disabled"), |b| {
+        b.iter(|| {
+            let mut span = recorder.span(black_box("bench.span"));
+            span.field("n", 5usize);
+            span.finish();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_overhead, bench_disabled_ops);
+criterion_main!(benches);

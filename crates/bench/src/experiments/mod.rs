@@ -1,4 +1,4 @@
-//! One module per experiment (see `DESIGN.md` §5 for the index).
+//! One module per experiment (see `DESIGN.md` §7 for the index).
 
 pub mod common;
 pub mod e10_lower_bound;

@@ -2,7 +2,7 @@
 //!
 //! The PODC'93 paper has no empirical tables or figures — it is a theory
 //! paper — so the reproduction defines one experiment per theorem/headline
-//! claim (see `DESIGN.md` §5 and `EXPERIMENTS.md`). This crate implements
+//! claim (see `DESIGN.md` §7 and `EXPERIMENTS.md`). This crate implements
 //! each experiment as a function returning a printable [`Table`]; the
 //! `tables` binary renders all of them, and the Criterion benches under
 //! `benches/` cover the performance claims (E7).

@@ -106,11 +106,36 @@ impl Args {
 
     /// An `f64` flag with a default.
     ///
+    /// Only finite values are accepted: `NaN`/`inf` would silently poison
+    /// downstream rational conversions, so they are rejected at parse
+    /// time. Domain checks beyond finiteness go through
+    /// [`Args::get_f64_in`].
+    ///
     /// # Errors
     ///
-    /// Returns a message if the value does not parse.
+    /// Returns a message if the value does not parse or is not finite.
     pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
-        self.parse_flag(name, default)
+        let v: f64 = self.parse_flag(name, default)?;
+        if !v.is_finite() {
+            return Err(format!("flag --{name}: `{v}` is not a finite number"));
+        }
+        Ok(v)
+    }
+
+    /// An `f64` flag with a default, constrained to `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse, is not finite, or
+    /// falls outside the domain.
+    pub fn get_f64_in(&self, name: &str, default: f64, lo: f64, hi: f64) -> Result<f64, String> {
+        let v = self.get_f64(name, default)?;
+        if v < lo || v > hi {
+            return Err(format!(
+                "flag --{name}: `{v}` is outside the valid range [{lo}, {hi}]"
+            ));
+        }
+        Ok(v)
     }
 
     /// Whether a boolean flag (`--json true`/`--json 1`) is set truthy.
@@ -164,5 +189,36 @@ mod tests {
         let a = parse(&["simulate", "--n", "abc"]).unwrap();
         assert!(a.get_usize("n", 1).is_err());
         assert!(a.require("out").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity", "1e999"] {
+            let a = parse(&["simulate", "--alpha", bad]).unwrap();
+            assert!(a.get_f64("alpha", 1.0).is_err(), "accepted --alpha {bad}");
+        }
+        // Finite values still pass, including negatives (domain checks
+        // are per-flag via get_f64_in).
+        let a = parse(&["simulate", "--alpha", "-2.5"]).unwrap();
+        assert_eq!(a.get_f64("alpha", 1.0).unwrap(), -2.5);
+    }
+
+    #[test]
+    fn domain_checked_floats() {
+        let a = parse(&["simulate", "--loss-ppm", "2000000"]).unwrap();
+        assert!(a.get_f64_in("loss-ppm", 0.0, 0.0, 1_000_000.0).is_err());
+        let a = parse(&["simulate", "--loss-ppm", "-1"]).unwrap();
+        assert!(a.get_f64_in("loss-ppm", 0.0, 0.0, 1_000_000.0).is_err());
+        let a = parse(&["simulate", "--loss-ppm", "300000"]).unwrap();
+        assert_eq!(
+            a.get_f64_in("loss-ppm", 0.0, 0.0, 1_000_000.0).unwrap(),
+            300_000.0
+        );
+        // The default itself is not range-checked away.
+        let a = parse(&["simulate"]).unwrap();
+        assert_eq!(
+            a.get_f64_in("loss-ppm", 0.0, 0.0, 1_000_000.0).unwrap(),
+            0.0
+        );
     }
 }

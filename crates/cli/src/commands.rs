@@ -2,7 +2,8 @@
 
 use clocksync::{SyncOutcome, Synchronizer};
 use clocksync_model::{Execution, ProcessorId};
-use clocksync_sim::{DelayDistribution, LinkModel, Simulation, Topology};
+use clocksync_obs::Recorder;
+use clocksync_sim::{DelayDistribution, FaultPlan, LinkModel, Simulation, Topology};
 use clocksync_time::{Ext, ExtRatio, Nanos, Ratio, RealTime};
 
 use crate::runfile::{LinkEntry, RunFile};
@@ -47,11 +48,20 @@ fn link_model(args: &Args) -> Result<LinkModel, String> {
     let hi = Nanos::from_micros(args.get_i64("hi-us", 400)?);
     Ok(match args.get_str("model", "uniform") {
         "uniform" => LinkModel::symmetric(DelayDistribution::uniform(lo, hi)),
-        "heavy-tail" => LinkModel::symmetric(DelayDistribution::heavy_tail(
-            lo,
-            Nanos::from_micros(args.get_i64("scale-us", 100)?),
-            args.get_f64("alpha", 1.3)?,
-        )),
+        "heavy-tail" => {
+            // The distribution's domain is alpha > 0; a zero or negative
+            // value would panic deep inside the sampler, so reject it at
+            // the flag boundary with a message naming the flag.
+            let alpha = args.get_f64("alpha", 1.3)?;
+            if alpha <= 0.0 {
+                return Err(format!("flag --alpha: `{alpha}` must be positive"));
+            }
+            LinkModel::symmetric(DelayDistribution::heavy_tail(
+                lo,
+                Nanos::from_micros(args.get_i64("scale-us", 100)?),
+                alpha,
+            ))
+        }
         "bias" => LinkModel::Correlated {
             base: DelayDistribution::uniform(lo, hi),
             spread: Nanos::from_micros(args.get_i64("bias-us", 200)?),
@@ -67,22 +77,46 @@ fn link_model(args: &Args) -> Result<LinkModel, String> {
 ///
 /// Returns a message for invalid flags or impossible scenarios.
 pub fn simulate(args: &Args) -> Result<RunFile, String> {
+    simulate_traced(args, &Recorder::disabled())
+}
+
+/// [`simulate`] with an observability recorder attached: the engine emits
+/// its `sim.run` span, `sim.*` counters and per-round probe events into
+/// `recorder`. Recording changes nothing about the generated run.
+///
+/// # Errors
+///
+/// Returns a message for invalid flags or impossible scenarios.
+pub fn simulate_traced(args: &Args, recorder: &Recorder) -> Result<RunFile, String> {
     let topo = topology(args)?;
     let model = link_model(args)?;
     let seed = args.get_u64("seed", 0)?;
+    // Loss is parts-per-million of messages dropped, applied uniformly to
+    // every link; the domain check catches NaN/negative/overfull values
+    // at the flag boundary.
+    let loss_ppm = args.get_f64_in("loss-ppm", 0.0, 0.0, 1_000_000.0)?;
 
-    let mut builder = Simulation::builder(topo.n());
-    {
+    let edges: Vec<(usize, usize)> = {
         use rand::SeedableRng;
         let mut topo_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x7090);
-        for (a, b) in topo.edges(&mut topo_rng) {
-            builder = builder.truthful_link(a, b, model.clone());
+        topo.edges(&mut topo_rng)
+    };
+    let mut builder = Simulation::builder(topo.n());
+    for &(a, b) in &edges {
+        builder = builder.truthful_link(a, b, model.clone());
+    }
+    if loss_ppm > 0.0 {
+        let mut plan = FaultPlan::new();
+        for &(a, b) in &edges {
+            plan = plan.drop_messages(ProcessorId(a), ProcessorId(b), loss_ppm / 1_000_000.0);
         }
+        builder = builder.faults(plan);
     }
     let sim = builder
         .probes(args.get_usize("probes", 3)?)
         .spacing(Nanos::from_micros(args.get_i64("spacing-us", 10_000)?))
         .start_spread(Nanos::from_micros(args.get_i64("spread-us", 5_000)?))
+        .recorder(recorder.clone())
         .build();
     let run = sim.run(seed);
 
@@ -123,7 +157,19 @@ pub struct SyncReport {
 ///
 /// Returns a message for invalid views or inconsistent observations.
 pub fn sync(run: &RunFile) -> Result<SyncReport, String> {
+    sync_traced(run, &Recorder::disabled())
+}
+
+/// [`sync`] with an observability recorder attached: the synchronizer
+/// emits its per-stage `sync.*` spans (including which closure kernel ran)
+/// into `recorder`. The outcome is bit-for-bit the same either way.
+///
+/// # Errors
+///
+/// Returns a message for invalid views or inconsistent observations.
+pub fn sync_traced(run: &RunFile, recorder: &Recorder) -> Result<SyncReport, String> {
     let outcome = Synchronizer::new(run.network())
+        .with_recorder(recorder.clone())
         .synchronize(&run.views)
         .map_err(|e| e.to_string())?;
     let true_error = run.true_starts_ns.as_ref().map(|starts| {
@@ -236,6 +282,56 @@ mod tests {
     fn unknown_flags_are_reported() {
         assert!(simulate(&args(&["simulate", "--topology", "möbius"])).is_err());
         assert!(simulate(&args(&["simulate", "--model", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn alpha_and_loss_domains_are_enforced() {
+        let bad_alpha = simulate(&args(&[
+            "simulate",
+            "--model",
+            "heavy-tail",
+            "--alpha",
+            "-1.0",
+        ]));
+        assert!(bad_alpha.unwrap_err().contains("--alpha"));
+        let bad_loss = simulate(&args(&["simulate", "--loss-ppm", "2000000"]));
+        assert!(bad_loss.unwrap_err().contains("--loss-ppm"));
+        let nan_loss = simulate(&args(&["simulate", "--loss-ppm", "NaN"]));
+        assert!(nan_loss.is_err());
+    }
+
+    #[test]
+    fn lossy_simulation_still_produces_a_syncable_run() {
+        let a = args(&[
+            "simulate",
+            "--n",
+            "4",
+            "--loss-ppm",
+            "300000",
+            "--seed",
+            "3",
+        ]);
+        let run = simulate(&a).unwrap();
+        assert!(sync(&run).is_ok());
+    }
+
+    #[test]
+    fn traced_simulate_and_sync_fill_the_recorder() {
+        let recorder = Recorder::enabled();
+        let a = args(&["simulate", "--n", "4", "--seed", "2"]);
+        let run = simulate_traced(&a, &recorder).unwrap();
+        let report = sync_traced(&run, &recorder).unwrap();
+        assert!(report.outcome.precision().is_finite());
+        let trace = recorder.snapshot();
+        let spans = trace.span_names();
+        assert!(spans.contains(&"sim.run"));
+        assert!(spans.contains(&"sync.global_estimates"));
+        assert!(trace
+            .span_field("sync.global_estimates", "kernel")
+            .is_some());
+        assert!(trace.counter("sim.messages_delivered").unwrap_or(0) > 0);
+        // The traced outcome is the same as the untraced one.
+        assert_eq!(sync(&run).unwrap().outcome, report.outcome);
     }
 
     #[test]

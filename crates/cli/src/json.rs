@@ -1,8 +1,10 @@
-//! A small self-contained JSON codec for the run-file schema.
+//! The JSON codec for the run-file schema.
 //!
 //! The workspace builds offline, so instead of depending on `serde_json`
-//! the CLI carries its own JSON value type, parser and printer, plus the
-//! explicit encoders/decoders for the [`RunFile`] schema.
+//! the CLI uses the workspace's own JSON value type, parser and printer
+//! (now hosted in [`clocksync_obs::json`] so the observability layer can
+//! share it) and carries the explicit encoders/decoders for the
+//! [`RunFile`] schema here.
 //! The wire format matches what serde's externally-tagged representation
 //! of these types would produce (`{"Bounds": {...}}`, `{"Send": {...}}`,
 //! …), with one deliberate simplification: `+∞` delay upper bounds are
@@ -12,429 +14,15 @@
 //! ([`ViewSet::new`], [`DelayRange::new`]…), so a malformed or
 //! axiom-violating file is a [`JsonError`], never a panic.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
 use clocksync::{DelayRange, LinkAssumption};
 use clocksync_model::{MessageId, ProcessorId, View, ViewEvent, ViewSet};
 use clocksync_time::{ClockTime, Ext, Nanos};
 
+// The generic JSON layer lives in `clocksync-obs`; re-export it so the
+// CLI's public `json` surface is unchanged.
+pub use clocksync_obs::json::{parse, to_string, to_string_pretty, Json, JsonError};
+
 use crate::runfile::{LinkEntry, RunFile};
-
-/// A parse or schema error, with a human-readable description.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError(String);
-
-impl JsonError {
-    fn new(msg: impl Into<String>) -> JsonError {
-        JsonError(msg.into())
-    }
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json: {}", self.0)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-/// A JSON document value.
-///
-/// Object keys are kept in a `BTreeMap`, so printing is deterministic
-/// (sorted keys) — round-trip tests can compare serialized strings.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// An integer (covers every numeric field in the schema exactly).
-    Int(i128),
-    /// A non-integral number (only produced by the `sync --json` report).
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object.
-    Object(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    fn as_i128(&self, what: &str) -> Result<i128, JsonError> {
-        match self {
-            Json::Int(v) => Ok(*v),
-            _ => Err(JsonError::new(format!("{what}: expected an integer"))),
-        }
-    }
-
-    fn as_i64(&self, what: &str) -> Result<i64, JsonError> {
-        i64::try_from(self.as_i128(what)?)
-            .map_err(|_| JsonError::new(format!("{what}: integer out of i64 range")))
-    }
-
-    fn as_usize(&self, what: &str) -> Result<usize, JsonError> {
-        usize::try_from(self.as_i128(what)?)
-            .map_err(|_| JsonError::new(format!("{what}: expected a nonnegative index")))
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[Json], JsonError> {
-        match self {
-            Json::Array(v) => Ok(v),
-            _ => Err(JsonError::new(format!("{what}: expected an array"))),
-        }
-    }
-
-    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Json>, JsonError> {
-        match self {
-            Json::Object(m) => Ok(m),
-            _ => Err(JsonError::new(format!("{what}: expected an object"))),
-        }
-    }
-
-    fn field<'a>(&'a self, key: &str, what: &str) -> Result<&'a Json, JsonError> {
-        self.as_object(what)?
-            .get(key)
-            .ok_or_else(|| JsonError::new(format!("{what}: missing field `{key}`")))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Printing
-// ---------------------------------------------------------------------------
-
-/// Renders with two-space indentation (like `serde_json::to_string_pretty`).
-pub fn to_string_pretty(v: &Json) -> String {
-    let mut out = String::new();
-    write_value(v, 0, true, &mut out);
-    out
-}
-
-/// Renders compactly on one line.
-pub fn to_string(v: &Json) -> String {
-    let mut out = String::new();
-    write_value(v, 0, false, &mut out);
-    out
-}
-
-fn write_value(v: &Json, indent: usize, pretty: bool, out: &mut String) {
-    match v {
-        Json::Null => out.push_str("null"),
-        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Json::Int(i) => out.push_str(&i.to_string()),
-        Json::Float(f) => {
-            if f.is_finite() {
-                // Keep a decimal point so the value re-parses as Float.
-                let s = format!("{f}");
-                out.push_str(&s);
-                if !s.contains(['.', 'e', 'E']) {
-                    out.push_str(".0");
-                }
-            } else {
-                out.push_str("null");
-            }
-        }
-        Json::Str(s) => write_string(s, out),
-        Json::Array(items) => {
-            if items.is_empty() {
-                out.push_str("[]");
-                return;
-            }
-            out.push('[');
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                newline_indent(indent + 1, pretty, out);
-                write_value(item, indent + 1, pretty, out);
-            }
-            newline_indent(indent, pretty, out);
-            out.push(']');
-        }
-        Json::Object(map) => {
-            if map.is_empty() {
-                out.push_str("{}");
-                return;
-            }
-            out.push('{');
-            for (i, (k, val)) in map.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                newline_indent(indent + 1, pretty, out);
-                write_string(k, out);
-                out.push(':');
-                if pretty {
-                    out.push(' ');
-                }
-                write_value(val, indent + 1, pretty, out);
-            }
-            newline_indent(indent, pretty, out);
-            out.push('}');
-        }
-    }
-}
-
-fn newline_indent(indent: usize, pretty: bool, out: &mut String) {
-    if pretty {
-        out.push('\n');
-        for _ in 0..indent {
-            out.push_str("  ");
-        }
-    }
-}
-
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-// ---------------------------------------------------------------------------
-// Parsing
-// ---------------------------------------------------------------------------
-
-/// Parses a complete JSON document.
-///
-/// # Errors
-///
-/// Reports the byte offset and nature of the first syntax error.
-pub fn parse(input: &str) -> Result<Json, JsonError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(JsonError::new(format!(
-            "trailing characters at offset {}",
-            p.pos
-        )));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn err(&self, msg: &str) -> JsonError {
-        JsonError::new(format!("{msg} at offset {}", self.pos))
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn eat_keyword(&mut self, kw: &str, v: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
-            self.pos += kw.len();
-            Ok(v)
-        } else {
-            Err(self.err("invalid literal"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
-            Some(b'n') => self.eat_keyword("null", Json::Null),
-            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
-            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let val = self.value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let start = self.pos;
-            // Consume a run of plain UTF-8.
-            while let Some(c) = self.peek() {
-                if c == b'"' || c == b'\\' || c < 0x20 {
-                    break;
-                }
-                self.pos += 1;
-            }
-            s.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid utf-8"))?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("invalid \\u escape"))?,
-                                16,
-                            )
-                            .map_err(|_| self.err("invalid \\u escape"))?;
-                            // Surrogates are not paired; the schema never
-                            // emits them.
-                            s.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                _ => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        if self.peek() == Some(b'.') {
-            is_float = true;
-            self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            is_float = true;
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        if is_float {
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|_| self.err("invalid number"))
-        } else {
-            text.parse::<i128>()
-                .map(Json::Int)
-                .map_err(|_| self.err("integer overflow"))
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Run-file schema: encoding
@@ -737,68 +325,6 @@ pub fn parse_runfile(v: &Json) -> Result<RunFile, JsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scalar_round_trips() {
-        for text in ["null", "true", "false", "0", "-17", "123456789012345678901"] {
-            let v = parse(text).unwrap();
-            assert_eq!(to_string(&v), text);
-        }
-        assert_eq!(parse("1.5").unwrap(), Json::Float(1.5));
-        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
-        assert_eq!(to_string(&Json::Float(2.0)), "2.0");
-    }
-
-    #[test]
-    fn string_escapes_round_trip() {
-        let s = "a\"b\\c\nd\te\u{1}f — π";
-        let v = Json::Str(s.to_string());
-        assert_eq!(parse(&to_string(&v)).unwrap(), v);
-        assert_eq!(parse(r#""\u0041\u00e9""#).unwrap(), Json::Str("Aé".into()));
-    }
-
-    #[test]
-    fn structures_round_trip_pretty_and_compact() {
-        let v = Json::object([
-            ("empty_arr", Json::Array(vec![])),
-            ("empty_obj", Json::Object(BTreeMap::new())),
-            (
-                "nested",
-                Json::Array(vec![Json::Int(1), Json::Null, Json::Bool(true)]),
-            ),
-        ]);
-        assert_eq!(parse(&to_string(&v)).unwrap(), v);
-        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
-    }
-
-    #[test]
-    fn malformed_inputs_error_without_panicking() {
-        for text in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\"}",
-            "nul",
-            "01x",
-            "\"unterminated",
-            "{}extra",
-            "1e",
-            "--1",
-            "\"\\q\"",
-            "[1 2]",
-        ] {
-            assert!(parse(text).is_err(), "accepted {text:?}");
-        }
-    }
-
-    #[test]
-    fn huge_integers_survive() {
-        let v = parse(&i128::MAX.to_string()).unwrap();
-        assert_eq!(v, Json::Int(i128::MAX));
-        // i64 nanos extraction rejects out-of-range values cleanly.
-        assert!(v.as_i64("x").is_err());
-    }
-
     #[test]
     fn assumption_schema_round_trips() {
         let a = LinkAssumption::all(vec![

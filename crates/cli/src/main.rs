@@ -4,31 +4,66 @@
 //! clocksync simulate [--topology ring|path|star|complete|grid|random]
 //!                    [--n N] [--model uniform|heavy-tail|bias] [--lo-us L]
 //!                    [--hi-us H] [--bias-us B] [--probes K] [--seed S]
-//!                    [--out FILE]
-//! clocksync sync     --in FILE [--json true]
+//!                    [--loss-ppm P] [--out FILE] [--trace FILE]
+//! clocksync sync     --in FILE [--json true] [--trace FILE]
 //! clocksync explain  --in FILE
+//! clocksync trace summarize --in FILE
 //! ```
 
 use std::fs;
 use std::process::ExitCode;
 
 use clocksync_cli::{commands, Args, RunFile};
+use clocksync_obs::{Recorder, Trace};
 
 const USAGE: &str = "usage:
-  clocksync simulate [--topology T] [--n N] [--model M] [--probes K] [--seed S] [--out FILE]
-  clocksync sync     --in FILE [--json true]
+  clocksync simulate [--topology T] [--n N] [--model M] [--probes K] [--seed S]
+                     [--loss-ppm P] [--out FILE] [--trace FILE]
+  clocksync sync     --in FILE [--json true] [--trace FILE]
   clocksync explain  --in FILE
+  clocksync trace summarize --in FILE
 
 topologies: path ring star complete grid random
 models:     uniform (--lo-us --hi-us)
             heavy-tail (--lo-us --scale-us --alpha)
-            bias (--lo-us --hi-us --bias-us)";
+            bias (--lo-us --hi-us --bias-us)
+
+--trace FILE writes a JSONL trace (spans, counters, histograms, events);
+`trace summarize` renders one as a human-readable report.";
+
+/// A recorder wired to `--trace`: enabled only when the flag is present,
+/// so untraced runs keep the no-op fast path.
+fn trace_recorder(args: &Args) -> Recorder {
+    if args.get("trace").is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Writes the recorder's snapshot to the `--trace` path, if any.
+fn write_trace(args: &Args, recorder: &Recorder) -> Result<(), String> {
+    if let Some(path) = args.get("trace") {
+        let jsonl = recorder.snapshot().to_jsonl();
+        fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
-    let args = Args::parse(std::env::args().skip(1)).map_err(|e| format!("{e}\n{USAGE}"))?;
+    // `trace summarize` is a two-word subcommand; fold it into one token
+    // before flag parsing.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.len() >= 2 && raw[0] == "trace" && raw[1] == "summarize" {
+        raw.splice(0..2, ["trace-summarize".to_string()]);
+    }
+    let args = Args::parse(raw).map_err(|e| format!("{e}\n{USAGE}"))?;
     match args.command() {
         "simulate" => {
-            let runfile = commands::simulate(&args)?;
+            let recorder = trace_recorder(&args);
+            let runfile = commands::simulate_traced(&args, &recorder)?;
+            write_trace(&args, &recorder)?;
             let json = runfile.to_json().map_err(|e| e.to_string())?;
             match args.get("out") {
                 Some(path) => {
@@ -48,7 +83,9 @@ fn run() -> Result<(), String> {
             let path = args.require("in")?;
             let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let runfile = RunFile::from_json(&content).map_err(|e| e.to_string())?;
-            let report = commands::sync(&runfile)?;
+            let recorder = trace_recorder(&args);
+            let report = commands::sync_traced(&runfile, &recorder)?;
+            write_trace(&args, &recorder)?;
             if args.command() == "sync" && args.get_bool("json") {
                 use clocksync_cli::json::Json;
                 let corrections = report
@@ -79,6 +116,15 @@ fn run() -> Result<(), String> {
                 for line in lines {
                     println!("{line}");
                 }
+            }
+            Ok(())
+        }
+        "trace-summarize" => {
+            let path = args.require("in")?;
+            let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let trace = Trace::from_jsonl(&content).map_err(|e| e.to_string())?;
+            for line in trace.summarize() {
+                println!("{line}");
             }
             Ok(())
         }

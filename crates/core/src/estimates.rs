@@ -77,7 +77,37 @@ pub fn global_estimates(
 pub fn global_estimates_with_chains(
     local: &SquareMatrix<ExtRatio>,
 ) -> Result<(SquareMatrix<ExtRatio>, SquareMatrix<usize>), SyncError> {
-    clocksync_graph::fast_closure(local).map_err(|e| SyncError::InconsistentObservations {
+    global_estimates_traced(local, &clocksync_obs::Recorder::disabled())
+}
+
+/// Like [`global_estimates_with_chains`], recording a
+/// `sync.global_estimates` span whose `kernel` field names the closure
+/// kernel that actually ran (`scaled-i64` or `rational-generic`) — so a
+/// BENCH regression on this stage is attributable to a kernel change
+/// rather than guessed at.
+///
+/// # Errors
+///
+/// Same conditions as [`global_estimates`].
+pub fn global_estimates_traced(
+    local: &SquareMatrix<ExtRatio>,
+    recorder: &clocksync_obs::Recorder,
+) -> Result<(SquareMatrix<ExtRatio>, SquareMatrix<usize>), SyncError> {
+    let mut span = recorder.span("sync.global_estimates");
+    span.field("n", local.n());
+    // Mirrors `clocksync_graph::fast_closure`, split open so the kernel
+    // choice is observable.
+    let result = match clocksync_graph::try_scaled_closure(local) {
+        Some(result) => {
+            span.field("kernel", "scaled-i64");
+            result
+        }
+        None => {
+            span.field("kernel", "rational-generic");
+            clocksync_graph::floyd_warshall_with_paths(local)
+        }
+    };
+    result.map_err(|e| SyncError::InconsistentObservations {
         witness: ProcessorId(e.witness),
     })
 }

@@ -83,7 +83,9 @@ mod synchronizer;
 pub use assumption::{DelayRange, LinkAssumption};
 pub use degradation::{classify_degradations, DegradationReason, LinkDegradation};
 pub use error::SyncError;
-pub use estimates::{estimated_local_shifts, global_estimates, global_estimates_with_chains};
+pub use estimates::{
+    estimated_local_shifts, global_estimates, global_estimates_traced, global_estimates_with_chains,
+};
 pub use network::{Network, NetworkBuilder};
 pub use online::OnlineSynchronizer;
 pub use shifts::{shifts, synchronizable_components, ShiftsResult};

@@ -5,10 +5,13 @@ use clocksync_model::{ProcessorId, ViewSet};
 use clocksync_time::{ClockTime, Ext, ExtRatio, Ratio};
 use serde::{Deserialize, Serialize};
 
+use clocksync_obs::Recorder;
+
 use crate::analysis::{rho_bar, worst_pair};
 use crate::degradation::{classify_degradations, LinkDegradation};
+use crate::estimates::global_estimates_traced;
 use crate::shifts::{shifts, synchronizable_components};
-use crate::{estimated_local_shifts, global_estimates_with_chains, Network, SyncError};
+use crate::{estimated_local_shifts, Network, SyncError};
 
 /// The optimal clock synchronization algorithm of the paper, specialized
 /// to a [`Network`] of delay assumptions.
@@ -47,12 +50,30 @@ use crate::{estimated_local_shifts, global_estimates_with_chains, Network, SyncE
 #[derive(Debug, Clone)]
 pub struct Synchronizer {
     network: Network,
+    recorder: Recorder,
 }
 
 impl Synchronizer {
     /// Creates a synchronizer for the given network specification.
     pub fn new(network: Network) -> Synchronizer {
-        Synchronizer { network }
+        Synchronizer {
+            network,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches an observability recorder; each [`synchronize`] call then
+    /// emits per-stage spans (`sync.local_estimates`,
+    /// `sync.global_estimates` with the closure-kernel choice,
+    /// `sync.shifts`, `sync.degradations` — taxonomy in DESIGN.md §6).
+    /// Recording never changes the result: the outcome is a pure function
+    /// of the views, bit-for-bit (see `tests/observability.rs`).
+    ///
+    /// [`synchronize`]: Synchronizer::synchronize
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Synchronizer {
+        self.recorder = recorder;
+        self
     }
 
     /// The network specification.
@@ -83,12 +104,27 @@ impl Synchronizer {
                 actual: views.len(),
             });
         }
-        let observations = views.link_observations();
-        let local = estimated_local_shifts(&self.network, &observations);
-        let (closure, chains) = global_estimates_with_chains(&local)?;
-        let mut outcome = SyncOutcome::from_global_estimates(closure);
-        outcome.set_constraint_chains(chains);
-        outcome.set_degradations(classify_degradations(&self.network, &observations, &local));
+        let (observations, local) = {
+            let mut span = self.recorder.span("sync.local_estimates");
+            span.field("n", views.len());
+            let observations = views.link_observations();
+            let local = estimated_local_shifts(&self.network, &observations);
+            (observations, local)
+        };
+        let (closure, chains) = global_estimates_traced(&local, &self.recorder)?;
+        let mut outcome = {
+            let mut span = self.recorder.span("sync.shifts");
+            span.field("n", views.len());
+            let mut outcome = SyncOutcome::from_global_estimates(closure);
+            span.field("components", outcome.components().len());
+            outcome.set_constraint_chains(chains);
+            outcome
+        };
+        {
+            let mut span = self.recorder.span("sync.degradations");
+            outcome.set_degradations(classify_degradations(&self.network, &observations, &local));
+            span.field("degraded_links", outcome.degradations().len());
+        }
         Ok(outcome)
     }
 }

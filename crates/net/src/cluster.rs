@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use clocksync::{DelayRange, LinkAssumption, Network, SyncError, SyncOutcome, Synchronizer};
 use clocksync_model::{Execution, MessageId, ProcessorId, View, ViewEvent, ViewSet};
+use clocksync_obs::{FieldValue, Recorder};
 use clocksync_time::{ClockTime, Nanos, RealTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -193,6 +194,8 @@ struct Pending {
     ids: Vec<MessageId>,
     attempt: u32,
     deadline: Instant,
+    /// When the round's first probe left, for the RTT histogram.
+    first_sent: Instant,
 }
 
 /// Initiator- and sender-side per-link counters, merged across threads at
@@ -211,6 +214,8 @@ struct ThreadLog {
     start_offset: Nanos,
     events: Vec<ViewEvent>,
     health: HashMap<(usize, usize), LocalHealth>,
+    /// The thread hit the run deadline and aborted its unresolved rounds.
+    timed_out: bool,
 }
 
 /// Configuration and entry point of a cluster run.
@@ -226,6 +231,8 @@ pub struct ClusterConfig {
     margin: Nanos,
     probe_deadline: Nanos,
     max_retries: u32,
+    run_deadline: Nanos,
+    recorder: Recorder,
 }
 
 impl ClusterConfig {
@@ -240,6 +247,8 @@ impl ClusterConfig {
             margin: Nanos::from_millis(200),
             probe_deadline: Nanos::from_millis(25),
             max_retries: 3,
+            run_deadline: Nanos::new(30_000_000_000),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -314,6 +323,35 @@ impl ClusterConfig {
         self
     }
 
+    /// Wall-clock budget for the whole run, per thread (default 30 s).
+    /// A thread that exhausts it **aborts gracefully**: its unresolved
+    /// probe rounds are written off as failed, the affected links degrade
+    /// through the usual [`LinkState`] rules, and the harvest proceeds
+    /// with whatever evidence exists. The run never panics on a wedged
+    /// protocol — see [`NetRun::timed_out`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the deadline is positive.
+    pub fn run_deadline(mut self, deadline: Nanos) -> Self {
+        assert!(deadline > Nanos::ZERO, "run deadline must be positive");
+        self.run_deadline = deadline;
+        self
+    }
+
+    /// Attaches an observability recorder. The run then emits a
+    /// `net.cluster_run` span, a `net.probe_rtt` histogram (round-trip
+    /// time per completed probe round), `net.retries` / `net.messages_lost`
+    /// counters, a `net.backoff_wait` histogram (retry backoff spans),
+    /// one `net.link_health` event per link at harvest, and a `net.abort`
+    /// event if a thread hits the run deadline. Recording never touches
+    /// the delay sampling, so a run's views do not depend on it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The network the run *intends*: every configured link with its
     /// declared delay bounds. The network a [`NetRun`] actually
     /// synchronizes over may be weaker — see [`NetRun::network`] and
@@ -351,7 +389,10 @@ impl ClusterConfig {
     /// The protocol cannot wedge: every probe round either completes or
     /// exhausts its retries, after which the affected link is downgraded
     /// (see [`LinkState`]) and the survivors' evidence is synchronized as
-    /// usual.
+    /// usual. As a backstop, a thread that is still unresolved when
+    /// [`ClusterConfig::run_deadline`] expires aborts gracefully — its
+    /// remaining rounds are written off as failed and the run reports
+    /// [`NetRun::timed_out`] instead of panicking.
     ///
     /// # Panics
     ///
@@ -359,6 +400,9 @@ impl ClusterConfig {
     /// axioms (a bug, not an input condition).
     pub fn run(&self, seed: u64) -> NetRun {
         let n = self.n;
+        let mut run_span = self.recorder.span("net.cluster_run");
+        run_span.field("n", n);
+        run_span.field("links", self.links.len());
         let mut rng = StdRng::seed_from_u64(seed);
         let offsets: Vec<Nanos> = (0..n)
             .map(|_| {
@@ -410,6 +454,8 @@ impl ClusterConfig {
                 let max_retries = self.max_retries;
                 let first_probe_after = self.start_spread + Nanos::from_millis(1);
                 let all_links = self.links.clone();
+                let run_deadline = Duration::from_nanos(self.run_deadline.as_nanos() as u64);
+                let recorder = self.recorder.clone();
                 let mut link_rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
 
                 scope.spawn(move || {
@@ -472,6 +518,7 @@ impl ClusterConfig {
                         if lost {
                             let key = (i.min(peer), i.max(peer));
                             health.entry(key).or_default().lost += 1;
+                            recorder.incr("net.messages_lost", 1);
                         } else {
                             let _ = senders[peer].send(Wire {
                                 id,
@@ -484,9 +531,51 @@ impl ClusterConfig {
                         id
                     };
 
-                    let hard_deadline = start + Duration::from_secs(30);
+                    let hard_deadline = start + run_deadline;
+                    let mut timed_out = false;
                     loop {
-                        assert!(Instant::now() < hard_deadline, "cluster run timed out");
+                        if Instant::now() >= hard_deadline {
+                            // Graceful abort (the old code panicked here,
+                            // taking the whole harvest down with it): write
+                            // off every unresolved round — and the rounds
+                            // never even started — as failed, so the
+                            // affected links degrade through the usual
+                            // LinkState rules, and let the harvest keep
+                            // whatever evidence the run did produce.
+                            for p in &pending {
+                                let key = (i.min(p.peer), i.max(p.peer));
+                                health.entry(key).or_default().rounds_failed += 1;
+                            }
+                            for &(_, peer, _) in &schedule[next_send..] {
+                                let key = (i.min(peer), i.max(peer));
+                                health.entry(key).or_default().rounds_failed += 1;
+                            }
+                            if recorder.is_enabled() {
+                                recorder.event(
+                                    "net.abort",
+                                    [
+                                        ("processor", FieldValue::from(i)),
+                                        ("pending_rounds", FieldValue::from(pending.len())),
+                                        (
+                                            "unsent_rounds",
+                                            FieldValue::from(schedule.len() - next_send),
+                                        ),
+                                        (
+                                            "elapsed_ns",
+                                            FieldValue::from(start.elapsed().as_nanos() as u64),
+                                        ),
+                                    ],
+                                );
+                            }
+                            pending.clear();
+                            timed_out = true;
+                            // Leave the termination protocol so peers that
+                            // are still healthy can finish normally.
+                            if !done_initiating {
+                                initiating.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            break;
+                        }
                         // Send everything due.
                         while next_send < schedule.len() && start.elapsed() >= schedule[next_send].0
                         {
@@ -495,12 +584,14 @@ impl ClusterConfig {
                                 send_to(peer, None, &cfg, &mut events, &mut health, &mut link_rng);
                             let key = (i.min(peer), i.max(peer));
                             health.entry(key).or_default().probes_sent += 1;
+                            let sent = Instant::now();
                             pending.push(Pending {
                                 peer,
                                 cfg,
                                 ids: vec![id],
                                 attempt: 0,
-                                deadline: Instant::now() + base_deadline,
+                                deadline: sent + base_deadline,
+                                first_sent: sent,
                             });
                             next_send += 1;
                         }
@@ -533,10 +624,13 @@ impl ClusterConfig {
                                 let entry = health.entry(key).or_default();
                                 entry.probes_sent += 1;
                                 entry.retries += 1;
+                                recorder.incr("net.retries", 1);
                                 let p = &mut pending[slot];
                                 p.ids.push(id);
                                 p.attempt += 1;
-                                p.deadline = now + base_deadline * (1u32 << p.attempt);
+                                let backoff = base_deadline * (1u32 << p.attempt);
+                                recorder.observe_ns("net.backoff_wait", backoff.as_nanos() as u64);
+                                p.deadline = now + backoff;
                                 slot += 1;
                             }
                         }
@@ -602,10 +696,13 @@ impl ClusterConfig {
                                         if let Some(pos) =
                                             pending.iter().position(|p| p.ids.contains(&probe_id))
                                         {
-                                            let peer = pending[pos].peer;
-                                            let key = (i.min(peer), i.max(peer));
+                                            let done = pending.swap_remove(pos);
+                                            let key = (i.min(done.peer), i.max(done.peer));
                                             health.entry(key).or_default().rounds_ok += 1;
-                                            pending.swap_remove(pos);
+                                            recorder.observe_ns(
+                                                "net.probe_rtt",
+                                                done.first_sent.elapsed().as_nanos() as u64,
+                                            );
                                         }
                                     }
                                 }
@@ -618,6 +715,7 @@ impl ClusterConfig {
                         start_offset,
                         events,
                         health,
+                        timed_out,
                     });
                 });
             }
@@ -626,8 +724,10 @@ impl ClusterConfig {
         let mut starts = Vec::with_capacity(n);
         let mut raw = Vec::with_capacity(n);
         let mut merged: HashMap<(usize, usize), LocalHealth> = HashMap::new();
+        let mut timed_out = false;
         for cell in logs.iter() {
             let log = cell.lock().take().expect("thread completed");
+            timed_out |= log.timed_out;
             starts.push(RealTime::ZERO + log.start_offset);
             for (key, local) in log.health {
                 let entry = merged.entry(key).or_default();
@@ -683,10 +783,30 @@ impl ClusterConfig {
             })
             .collect();
 
+        if self.recorder.is_enabled() {
+            for h in &health {
+                self.recorder.event(
+                    "net.link_health",
+                    [
+                        ("a", FieldValue::from(h.a.index())),
+                        ("b", FieldValue::from(h.b.index())),
+                        ("state", FieldValue::from(h.state.to_string())),
+                        ("rounds_ok", FieldValue::from(h.rounds_ok)),
+                        ("rounds_failed", FieldValue::from(h.rounds_failed)),
+                        ("retries", FieldValue::from(h.retries)),
+                        ("lost", FieldValue::from(h.lost)),
+                    ],
+                );
+            }
+        }
+        run_span.field("timed_out", timed_out);
+        run_span.finish();
+
         NetRun {
             network: self.degraded_network(&health),
             execution,
             health,
+            timed_out,
         }
     }
 }
@@ -704,6 +824,10 @@ pub struct NetRun {
     /// Per-link probe statistics and degradation decisions, in the order
     /// the links were configured.
     pub health: Vec<LinkHealth>,
+    /// At least one thread exhausted [`ClusterConfig::run_deadline`] and
+    /// aborted its unresolved probe rounds. The outcome is still total —
+    /// the links those rounds belonged to are degraded, not wedged on.
+    pub timed_out: bool,
 }
 
 impl NetRun {
@@ -741,6 +865,7 @@ mod tests {
             .run(1);
         assert!(run.network.admits(&run.execution));
         assert!(run.all_links_healthy());
+        assert!(!run.timed_out);
         let outcome = run.synchronize().unwrap();
         assert!(outcome.precision().is_finite());
         let err = run.execution.discrepancy(outcome.corrections());
@@ -849,6 +974,63 @@ mod tests {
             outcome.component_of(ProcessorId(2)),
             outcome.component_of(ProcessorId(0))
         );
+    }
+
+    #[test]
+    fn wedged_run_aborts_gracefully_instead_of_panicking() {
+        // A link that answers nothing, probed with a deadline *longer*
+        // than the whole run budget: the round can neither complete nor
+        // expire, which wedged the old code against its 30 s assert and
+        // panicked the harvest. Now the thread aborts at the run deadline,
+        // the link degrades to Dropped, and the outcome is still total.
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_micros(100), Nanos::from_millis(1)).loss(1_000_000),
+            )
+            .probes(1)
+            .probe_deadline(Nanos::new(10_000_000_000))
+            .retries(0)
+            .run_deadline(Nanos::from_millis(300))
+            .run(7);
+        assert!(run.timed_out, "the run deadline must have fired");
+        assert_eq!(run.health[0].state, LinkState::Dropped);
+        assert_eq!(run.health[0].rounds_ok, 0);
+        assert!(run.health[0].rounds_failed > 0);
+        assert_eq!(run.network.link_count(), 0);
+        // Degraded but total: the synchronizer still answers, with the
+        // endpoints in separate components rather than a panic.
+        let outcome = run.synchronize().unwrap();
+        assert_eq!(outcome.corrections().len(), 2);
+        assert_ne!(
+            outcome.component_of(ProcessorId(0)),
+            outcome.component_of(ProcessorId(1))
+        );
+    }
+
+    #[test]
+    fn aborted_run_emits_the_abort_event() {
+        // Same wedge, recorder attached: the trace must carry the abort
+        // and the Dropped link-health transition.
+        let recorder = Recorder::enabled();
+        let run = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_micros(100), Nanos::from_millis(1)).loss(1_000_000),
+            )
+            .probes(1)
+            .probe_deadline(Nanos::new(10_000_000_000))
+            .retries(0)
+            .run_deadline(Nanos::from_millis(300))
+            .with_recorder(recorder.clone())
+            .run(7);
+        assert!(run.timed_out);
+        let trace = recorder.snapshot();
+        assert!(trace.events_named("net.abort").count() > 0);
+        assert_eq!(trace.events_named("net.link_health").count(), 1);
+        assert!(trace.span_names().contains(&"net.cluster_run"));
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! The [`Recorder`] handle the runtimes thread through their pipelines.
+//!
+//! A recorder is either **disabled** (the default — every operation is a
+//! single `Option` branch, no allocation, no locking) or **enabled**, in
+//! which case it accumulates [`TraceRecord`]s behind an `Arc` so clones
+//! handed to worker threads all feed one trace. Cloning is cheap either
+//! way, and the handle is `Send + Sync`, so it can cross `thread::scope`
+//! and rayon boundaries freely.
+//!
+//! Instrumentation never changes what the pipeline computes: recorders
+//! observe wall-clock time and counters, and the synchronizer itself is a
+//! pure function of the recorded views (`tests/observability.rs` checks
+//! the outcome is bit-for-bit identical with and without one attached).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::trace::{Hist, Trace, TraceRecord};
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A signed integer (counts, ids, signed margins).
+    Int(i64),
+    /// A float (rates, seconds).
+    Float(f64),
+    /// A string (kernel names, link labels, reasons).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    records: Mutex<Vec<TraceRecord>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
+}
+
+/// A cheap, cloneable handle that pipeline stages report into.
+///
+/// `Recorder::disabled()` (also `Default`) is the no-op handle every
+/// constructor starts with; `Recorder::enabled()` turns collection on.
+/// See the [module docs](self) for the overhead contract.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every operation returns immediately.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A collecting recorder; timestamps are relative to this call.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                records: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_ns(inner: &Inner) -> u64 {
+        u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = inner.counters.lock().expect("obs counters poisoned");
+            *counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Records one duration observation (in nanoseconds) into the named
+    /// histogram.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.hists.lock().expect("obs hists poisoned");
+            hists.entry(name.to_string()).or_default().observe(ns);
+        }
+    }
+
+    /// Emits a point-in-time event with typed fields.
+    pub fn event<'a>(&self, name: &str, fields: impl IntoIterator<Item = (&'a str, FieldValue)>) {
+        if let Some(inner) = &self.inner {
+            let record = TraceRecord::Event {
+                name: name.to_string(),
+                at_ns: Self::now_ns(inner),
+                fields: fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            };
+            inner
+                .records
+                .lock()
+                .expect("obs records poisoned")
+                .push(record);
+        }
+    }
+
+    /// Opens a span; its duration is recorded when the returned guard is
+    /// dropped (or [`Span::finish`]ed). On a disabled recorder the guard
+    /// is inert.
+    pub fn span(&self, name: &str) -> Span {
+        let start = self
+            .inner
+            .as_ref()
+            .map(|inner| (Self::now_ns(inner), Instant::now()));
+        Span {
+            recorder: self.clone(),
+            name: name.to_string(),
+            start,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Snapshots everything recorded so far into a [`Trace`].
+    ///
+    /// Counters and histograms are appended after the span/event records.
+    /// A disabled recorder yields an empty trace.
+    pub fn snapshot(&self) -> Trace {
+        let Some(inner) = &self.inner else {
+            return Trace::default();
+        };
+        let mut records = inner.records.lock().expect("obs records poisoned").clone();
+        for (name, value) in inner.counters.lock().expect("obs counters poisoned").iter() {
+            records.push(TraceRecord::Counter {
+                name: name.clone(),
+                value: *value,
+            });
+        }
+        for (name, hist) in inner.hists.lock().expect("obs hists poisoned").iter() {
+            records.push(TraceRecord::Hist {
+                name: name.clone(),
+                hist: *hist,
+            });
+        }
+        Trace { records }
+    }
+}
+
+/// An open span: a named duration with attached fields.
+///
+/// Obtained from [`Recorder::span`]; the duration is measured from the
+/// `span()` call to the drop (RAII, panic-safe) or explicit
+/// [`Span::finish`].
+#[derive(Debug)]
+pub struct Span {
+    recorder: Recorder,
+    name: String,
+    /// `(start offset from epoch, start instant)`; `None` when disabled.
+    start: Option<(u64, Instant)>,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span {
+    /// Attaches a typed field to the span (no-op when disabled).
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        if self.start.is_some() {
+            self.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it, but reads better
+    /// at call sites that want an explicit end).
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start_ns, started)) = self.start.take() else {
+            return;
+        };
+        let Some(inner) = &self.recorder.inner else {
+            return;
+        };
+        let dur_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let record = TraceRecord::Span {
+            name: std::mem::take(&mut self.name),
+            start_ns,
+            dur_ns,
+            fields: std::mem::take(&mut self.fields),
+        };
+        inner
+            .records
+            .lock()
+            .expect("obs records poisoned")
+            .push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_collects_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.incr("c", 3);
+        r.observe_ns("h", 10);
+        r.event("e", [("k", FieldValue::from(1i64))]);
+        let mut s = r.span("s");
+        s.field("f", true);
+        s.finish();
+        assert!(r.snapshot().records.is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_collects_all_record_kinds() {
+        let r = Recorder::enabled();
+        assert!(r.is_enabled());
+        r.incr("pkts", 2);
+        r.incr("pkts", 3);
+        r.observe_ns("rtt", 100);
+        r.observe_ns("rtt", 300);
+        r.event("health", [("link", FieldValue::from("0-1"))]);
+        let mut s = r.span("stage");
+        s.field("kernel", "scaled-i64");
+        s.finish();
+        let trace = r.snapshot();
+        assert_eq!(trace.records.len(), 4);
+        assert!(trace
+            .records
+            .iter()
+            .any(|rec| matches!(rec, TraceRecord::Counter { name, value: 5 } if name == "pkts")));
+        assert!(trace.records.iter().any(|rec| matches!(
+            rec,
+            TraceRecord::Hist { name, hist } if name == "rtt" && hist.count == 2 && hist.sum_ns == 400
+        )));
+        assert!(trace.records.iter().any(
+            |rec| matches!(rec, TraceRecord::Span { name, fields, .. } if name == "stage" && fields.len() == 1)
+        ));
+    }
+
+    #[test]
+    fn clones_share_one_trace() {
+        let r = Recorder::enabled();
+        let clone = r.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(|| clone.incr("thread_counter", 1));
+        });
+        r.incr("thread_counter", 1);
+        let trace = r.snapshot();
+        assert!(trace.records.iter().any(|rec| matches!(
+            rec,
+            TraceRecord::Counter { name, value: 2 } if name == "thread_counter"
+        )));
+    }
+
+    #[test]
+    fn span_survives_panic_unwind() {
+        let r = Recorder::enabled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = r.span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // RAII still recorded the span on the unwind path.
+        assert!(r
+            .snapshot()
+            .records
+            .iter()
+            .any(|rec| matches!(rec, TraceRecord::Span { name, .. } if name == "doomed")));
+    }
+}

@@ -1,0 +1,612 @@
+//! The trace record schema, its JSONL wire format, and a summarizer.
+//!
+//! A trace is a flat list of records; each serializes to one JSON object
+//! per line, discriminated by the `"t"` field:
+//!
+//! ```text
+//! {"t":"span","name":"sync.global_estimates","start_ns":…,"dur_ns":…,"fields":{"kernel":"scaled-i64",…}}
+//! {"t":"event","name":"net.link_health","at_ns":…,"fields":{"link":"0-1","state":"NoBounds",…}}
+//! {"t":"counter","name":"sim.messages_delivered","value":57}
+//! {"t":"hist","name":"net.probe_rtt","count":12,"min_ns":…,"max_ns":…,"sum_ns":…}
+//! ```
+//!
+//! Field values are JSON integers, floats, strings or booleans. The
+//! decoder ([`Trace::from_jsonl`]) validates the schema strictly —
+//! unknown record types, missing/extra keys and mistyped values are
+//! [`TraceError`]s — so it doubles as the CI schema check for emitted
+//! traces. See DESIGN.md §6 for the span/counter taxonomy.
+
+use std::fmt;
+
+use crate::json::{self, Json, JsonError};
+use crate::recorder::FieldValue;
+
+/// A trace whose JSONL line failed to parse or violated the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(String);
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Aggregate duration statistics for one histogram (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Hist {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation, in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation, in nanoseconds.
+    pub max_ns: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Hist {
+    /// Folds one observation into the aggregate.
+    pub fn observe(&mut self, ns: u64) {
+        if self.count == 0 || ns < self.min_ns {
+            self.min_ns = ns;
+        }
+        if ns > self.max_ns {
+            self.max_ns = ns;
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One record in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A named duration with attached fields.
+    Span {
+        /// Span name (taxonomy in DESIGN.md §6, e.g. `sync.shifts`).
+        name: String,
+        /// Start offset from the recorder's epoch, nanoseconds.
+        start_ns: u64,
+        /// Wall-clock duration, nanoseconds.
+        dur_ns: u64,
+        /// Typed key/value annotations.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// A point-in-time occurrence with attached fields.
+    Event {
+        /// Event name (e.g. `net.link_health`).
+        name: String,
+        /// Offset from the recorder's epoch, nanoseconds.
+        at_ns: u64,
+        /// Typed key/value annotations.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// A monotonic counter's final value.
+    Counter {
+        /// Counter name (e.g. `sim.messages_dropped`).
+        name: String,
+        /// Total accumulated count.
+        value: u64,
+    },
+    /// A duration histogram's aggregate statistics.
+    Hist {
+        /// Histogram name (e.g. `net.probe_rtt`).
+        name: String,
+        /// The aggregate.
+        hist: Hist,
+    },
+}
+
+/// A finished trace: an ordered list of records.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Spans and events in recording order, then counters, then
+    /// histograms (both sorted by name).
+    pub records: Vec<TraceRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn field_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::Int(i) => Json::Int(*i as i128),
+        // Fields are never non-finite in practice; `Json::float` keeps the
+        // exporter total if one ever is (the strict decoder will flag it).
+        FieldValue::Float(f) => Json::float(*f),
+        FieldValue::Str(s) => Json::Str(s.clone()),
+        FieldValue::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn fields_json(fields: &[(String, FieldValue)]) -> Json {
+    Json::Object(
+        fields
+            .iter()
+            .map(|(k, v)| (k.clone(), field_json(v)))
+            .collect(),
+    )
+}
+
+fn record_json(r: &TraceRecord) -> Json {
+    match r {
+        TraceRecord::Span {
+            name,
+            start_ns,
+            dur_ns,
+            fields,
+        } => Json::object([
+            ("t", Json::Str("span".into())),
+            ("name", Json::Str(name.clone())),
+            ("start_ns", Json::Int(*start_ns as i128)),
+            ("dur_ns", Json::Int(*dur_ns as i128)),
+            ("fields", fields_json(fields)),
+        ]),
+        TraceRecord::Event {
+            name,
+            at_ns,
+            fields,
+        } => Json::object([
+            ("t", Json::Str("event".into())),
+            ("name", Json::Str(name.clone())),
+            ("at_ns", Json::Int(*at_ns as i128)),
+            ("fields", fields_json(fields)),
+        ]),
+        TraceRecord::Counter { name, value } => Json::object([
+            ("t", Json::Str("counter".into())),
+            ("name", Json::Str(name.clone())),
+            ("value", Json::Int(*value as i128)),
+        ]),
+        TraceRecord::Hist { name, hist } => Json::object([
+            ("t", Json::Str("hist".into())),
+            ("name", Json::Str(name.clone())),
+            ("count", Json::Int(hist.count as i128)),
+            ("min_ns", Json::Int(hist.min_ns as i128)),
+            ("max_ns", Json::Int(hist.max_ns as i128)),
+            ("sum_ns", Json::Int(hist.sum_ns as i128)),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding (strict — this is the schema validator)
+// ---------------------------------------------------------------------------
+
+fn err(line_no: usize, msg: impl fmt::Display) -> TraceError {
+    TraceError(format!("line {line_no}: {msg}"))
+}
+
+fn parse_fields(v: &Json, line_no: usize) -> Result<Vec<(String, FieldValue)>, TraceError> {
+    let obj = v.as_object("fields").map_err(|e| err(line_no, e))?;
+    obj.iter()
+        .map(|(k, v)| {
+            let value = match v {
+                Json::Int(i) => FieldValue::Int(
+                    i64::try_from(*i)
+                        .map_err(|_| err(line_no, format!("field `{k}`: out of i64 range")))?,
+                ),
+                Json::Float(f) => FieldValue::Float(*f),
+                Json::Str(s) => FieldValue::Str(s.clone()),
+                Json::Bool(b) => FieldValue::Bool(*b),
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("field `{k}`: unsupported value {other:?}"),
+                    ))
+                }
+            };
+            Ok((k.clone(), value))
+        })
+        .collect()
+}
+
+fn expect_keys(v: &Json, keys: &[&str], line_no: usize) -> Result<(), TraceError> {
+    let obj = v.as_object("record").map_err(|e| err(line_no, e))?;
+    for k in obj.keys() {
+        if !keys.contains(&k.as_str()) {
+            return Err(err(line_no, format!("unexpected key `{k}`")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
+    let v = json::parse(line).map_err(|e| err(line_no, e))?;
+    let get = |key: &str| -> Result<&Json, JsonError> { v.field(key, "record") };
+    let name = get("name")
+        .and_then(|n| n.as_str("name").map(str::to_string))
+        .map_err(|e| err(line_no, e))?;
+    let tag = get("t")
+        .and_then(|t| t.as_str("t").map(str::to_string))
+        .map_err(|e| err(line_no, e))?;
+    match tag.as_str() {
+        "span" => {
+            expect_keys(&v, &["t", "name", "start_ns", "dur_ns", "fields"], line_no)?;
+            Ok(TraceRecord::Span {
+                name,
+                start_ns: get("start_ns")
+                    .and_then(|x| x.as_u64("start_ns"))
+                    .map_err(|e| err(line_no, e))?,
+                dur_ns: get("dur_ns")
+                    .and_then(|x| x.as_u64("dur_ns"))
+                    .map_err(|e| err(line_no, e))?,
+                fields: parse_fields(get("fields").map_err(|e| err(line_no, e))?, line_no)?,
+            })
+        }
+        "event" => {
+            expect_keys(&v, &["t", "name", "at_ns", "fields"], line_no)?;
+            Ok(TraceRecord::Event {
+                name,
+                at_ns: get("at_ns")
+                    .and_then(|x| x.as_u64("at_ns"))
+                    .map_err(|e| err(line_no, e))?,
+                fields: parse_fields(get("fields").map_err(|e| err(line_no, e))?, line_no)?,
+            })
+        }
+        "counter" => {
+            expect_keys(&v, &["t", "name", "value"], line_no)?;
+            Ok(TraceRecord::Counter {
+                name,
+                value: get("value")
+                    .and_then(|x| x.as_u64("value"))
+                    .map_err(|e| err(line_no, e))?,
+            })
+        }
+        "hist" => {
+            expect_keys(
+                &v,
+                &["t", "name", "count", "min_ns", "max_ns", "sum_ns"],
+                line_no,
+            )?;
+            let field = |key: &str| {
+                get(key)
+                    .and_then(|x| x.as_u64(key))
+                    .map_err(|e| err(line_no, e))
+            };
+            Ok(TraceRecord::Hist {
+                name,
+                hist: Hist {
+                    count: field("count")?,
+                    min_ns: field("min_ns")?,
+                    max_ns: field("max_ns")?,
+                    sum_ns: field("sum_ns")?,
+                },
+            })
+        }
+        other => Err(err(line_no, format!("unknown record type `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace API
+// ---------------------------------------------------------------------------
+
+impl Trace {
+    /// Serializes the trace as JSONL, one record per line (with a
+    /// trailing newline when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&json::to_string(&record_json(r)));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses and validates a JSONL trace (blank lines are skipped).
+    ///
+    /// Decoded `fields` come back sorted by key (JSON objects carry no
+    /// order), so `to_jsonl ∘ from_jsonl` is a fixpoint after one round.
+    ///
+    /// # Errors
+    ///
+    /// On the first malformed line or schema violation, with its line
+    /// number.
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            records.push(parse_record(line, i + 1)?);
+        }
+        Ok(Trace { records })
+    }
+
+    /// The final value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Counter { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// The aggregate of a histogram, if recorded.
+    pub fn hist(&self, name: &str) -> Option<Hist> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Hist { name: n, hist } if n == name => Some(*hist),
+            _ => None,
+        })
+    }
+
+    /// Span names in recording order (repeats included).
+    pub fn span_names(&self) -> Vec<&str> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The first value of `key` on any span named `span`.
+    pub fn span_field(&self, span: &str, key: &str) -> Option<&FieldValue> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Span { name, fields, .. } if name == span => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        })
+    }
+
+    /// The field lists of every event named `name`, in recording order.
+    pub fn events_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a [(String, FieldValue)]> + 'a {
+        self.records.iter().filter_map(move |r| match r {
+            TraceRecord::Event {
+                name: n, fields, ..
+            } if n == name => Some(fields.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Renders a human-readable summary, one item per line (what
+    /// `clocksync trace summarize` prints).
+    pub fn summarize(&self) -> Vec<String> {
+        type EventGroup<'a> = Vec<(u64, &'a [(String, FieldValue)])>;
+        let mut spans: Vec<(&str, u64, u64, u64)> = Vec::new(); // name, count, total, max
+        let mut events: Vec<(&str, EventGroup)> = Vec::new();
+        let mut counters = Vec::new();
+        let mut hists = Vec::new();
+        for r in &self.records {
+            match r {
+                TraceRecord::Span { name, dur_ns, .. } => {
+                    match spans.iter_mut().find(|(n, ..)| n == name) {
+                        Some((_, c, total, max)) => {
+                            *c += 1;
+                            *total += dur_ns;
+                            *max = (*max).max(*dur_ns);
+                        }
+                        None => spans.push((name, 1, *dur_ns, *dur_ns)),
+                    }
+                }
+                TraceRecord::Event {
+                    name,
+                    at_ns,
+                    fields,
+                } => match events.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, occ)) => occ.push((*at_ns, fields)),
+                    None => events.push((name, vec![(*at_ns, fields.as_slice())])),
+                },
+                TraceRecord::Counter { name, value } => counters.push((name, *value)),
+                TraceRecord::Hist { name, hist } => hists.push((name, *hist)),
+            }
+        }
+
+        let mut out = Vec::new();
+        out.push(format!(
+            "{} records: {} span(s), {} event(s), {} counter(s), {} histogram(s)",
+            self.records.len(),
+            spans.iter().map(|(_, c, ..)| c).sum::<u64>(),
+            events.iter().map(|(_, o)| o.len()).sum::<usize>(),
+            counters.len(),
+            hists.len(),
+        ));
+        if !spans.is_empty() {
+            out.push(String::new());
+            out.push("spans:".into());
+            for (name, count, total, max) in &spans {
+                out.push(format!(
+                    "  {name:<28} {count:>4}x  total {:>9}  mean {:>9}  max {:>9}",
+                    fmt_ns(*total),
+                    fmt_ns(total / count),
+                    fmt_ns(*max),
+                ));
+            }
+        }
+        if !counters.is_empty() {
+            out.push(String::new());
+            out.push("counters:".into());
+            for (name, value) in &counters {
+                out.push(format!("  {name:<28} {value}"));
+            }
+        }
+        if !hists.is_empty() {
+            out.push(String::new());
+            out.push("histograms:".into());
+            for (name, h) in &hists {
+                out.push(format!(
+                    "  {name:<28} {:>4}x  min {:>9}  mean {:>9}  max {:>9}",
+                    h.count,
+                    fmt_ns(h.min_ns),
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.max_ns),
+                ));
+            }
+        }
+        if !events.is_empty() {
+            out.push(String::new());
+            out.push("events:".into());
+            for (name, occurrences) in &events {
+                out.push(format!("  {name:<28} {:>4}x", occurrences.len()));
+                // Spell out small groups; big ones stay aggregated.
+                if occurrences.len() <= 12 {
+                    for (at_ns, fields) in occurrences {
+                        let rendered: Vec<String> = fields
+                            .iter()
+                            .map(|(k, v)| format!("{k}={}", fmt_field(v)))
+                            .collect();
+                        out.push(format!(
+                            "    [{:>9}] {}",
+                            fmt_ns(*at_ns),
+                            rendered.join(" ")
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_field(v: &FieldValue) -> String {
+    match v {
+        FieldValue::Int(i) => i.to_string(),
+        FieldValue::Float(f) => format!("{f}"),
+        FieldValue::Str(s) => s.clone(),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            records: vec![
+                TraceRecord::Span {
+                    name: "sync.global_estimates".into(),
+                    start_ns: 10,
+                    dur_ns: 250,
+                    fields: vec![
+                        ("kernel".into(), FieldValue::Str("scaled-i64".into())),
+                        ("n".into(), FieldValue::Int(8)),
+                    ],
+                },
+                TraceRecord::Event {
+                    name: "net.link_health".into(),
+                    at_ns: 300,
+                    fields: vec![
+                        ("link".into(), FieldValue::Str("0-1".into())),
+                        ("ok".into(), FieldValue::Bool(false)),
+                        ("rate".into(), FieldValue::Float(0.5)),
+                    ],
+                },
+                TraceRecord::Counter {
+                    name: "sim.messages_dropped".into(),
+                    value: 3,
+                },
+                TraceRecord::Hist {
+                    name: "net.probe_rtt".into(),
+                    hist: Hist {
+                        count: 2,
+                        min_ns: 100,
+                        max_ns: 300,
+                        sum_ns: 400,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = sample();
+        let text = t.to_jsonl();
+        assert_eq!(text.lines().count(), 4);
+        let back = Trace::from_jsonl(&text).unwrap();
+        // Decoded fields come back key-sorted; the sample is already
+        // sorted, so the records compare equal directly.
+        assert_eq!(back, t);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected_with_line_numbers() {
+        for (bad, why) in [
+            ("{\"t\":\"span\"}", "missing name"),
+            ("{\"t\":\"mystery\",\"name\":\"x\"}", "unknown type"),
+            (
+                "{\"t\":\"counter\",\"name\":\"c\",\"value\":-1}",
+                "negative count",
+            ),
+            (
+                "{\"t\":\"counter\",\"name\":\"c\",\"value\":1,\"extra\":0}",
+                "extra key",
+            ),
+            (
+                "{\"t\":\"event\",\"name\":\"e\",\"at_ns\":1,\"fields\":{\"k\":[1]}}",
+                "array field value",
+            ),
+            ("not json", "parse error"),
+        ] {
+            let text = format!(
+                "{}\n{bad}\n",
+                "{\"t\":\"counter\",\"name\":\"ok\",\"value\":0}"
+            );
+            let e = Trace::from_jsonl(&text).unwrap_err();
+            assert!(e.to_string().contains("line 2"), "{why}: {e}");
+        }
+    }
+
+    #[test]
+    fn accessors_find_records() {
+        let t = sample();
+        assert_eq!(t.counter("sim.messages_dropped"), Some(3));
+        assert_eq!(t.counter("absent"), None);
+        assert_eq!(t.hist("net.probe_rtt").unwrap().mean_ns(), 200);
+        assert_eq!(t.span_names(), vec!["sync.global_estimates"]);
+        assert_eq!(
+            t.span_field("sync.global_estimates", "kernel"),
+            Some(&FieldValue::Str("scaled-i64".into()))
+        );
+        assert_eq!(t.events_named("net.link_health").count(), 1);
+    }
+
+    #[test]
+    fn summary_covers_every_record_kind() {
+        let text = sample().summarize().join("\n");
+        for needle in [
+            "1 span(s)",
+            "sync.global_estimates",
+            "net.link_health",
+            "link=0-1",
+            "sim.messages_dropped",
+            "net.probe_rtt",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = Trace::default();
+        assert_eq!(t.to_jsonl(), "");
+        assert_eq!(Trace::from_jsonl("").unwrap(), t);
+        assert_eq!(Trace::from_jsonl("\n  \n").unwrap(), t);
+    }
+}

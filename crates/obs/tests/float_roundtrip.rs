@@ -1,0 +1,87 @@
+//! Property tests for the JSON codec's number handling: every finite
+//! `f64` (including `f64::MAX`, subnormals and `1e300`) must survive an
+//! encode/decode round trip bit-for-bit, and every `i128` exactly.
+
+use clocksync_obs::json::{parse, to_string, to_string_pretty, Json};
+use proptest::prelude::*;
+
+fn roundtrip_float(f: f64) {
+    let v = Json::Float(f);
+    for text in [to_string(&v), to_string_pretty(&v)] {
+        match parse(&text).unwrap_or_else(|e| panic!("{f}: {e} (from {text})")) {
+            Json::Float(back) => assert_eq!(
+                back.to_bits(),
+                f.to_bits(),
+                "{f} came back as {back} via {text}"
+            ),
+            other => panic!("{f} re-parsed as {other:?} (from {text})"),
+        }
+    }
+}
+
+proptest! {
+    // Raw bit patterns cover normals, subnormals and both zeros; the
+    // non-finite patterns (which the printer rejects by design) are
+    // skipped.
+    #[test]
+    fn finite_floats_round_trip(bits in any::<u64>()) {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            roundtrip_float(f);
+        }
+    }
+
+    // Huge and tiny magnitudes (1e300, 1e-320, …) rarely fall out of
+    // uniform bit patterns' mantissa/exponent mix in interesting decimal
+    // shapes; force the full decade range explicitly.
+    #[test]
+    fn extreme_floats_round_trip(mantissa in any::<i64>(), scale in -320i32..=308) {
+        let f = (mantissa as f64) * 10f64.powi(scale);
+        if f.is_finite() {
+            roundtrip_float(f);
+        }
+    }
+
+    #[test]
+    fn integers_round_trip(hi in any::<i64>(), lo in any::<u64>()) {
+        let i = ((hi as i128) << 64) | (lo as i128);
+        let v = Json::Int(i);
+        prop_assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_documents_round_trip(
+        bits in any::<u64>(),
+        i in any::<i64>(),
+        chars in proptest::collection::vec(32u8..127, 0..20),
+    ) {
+        let f = f64::from_bits(bits);
+        prop_assume!(f.is_finite());
+        let s = String::from_utf8(chars).unwrap();
+        let v = Json::object([
+            ("f", Json::Float(f)),
+            ("i", Json::Int(i as i128)),
+            ("s", Json::Str(s)),
+            ("a", Json::Array(vec![Json::Float(f), Json::Null, Json::Bool(true)])),
+        ]);
+        prop_assert_eq!(parse(&to_string(&v)).unwrap(), v.clone());
+        prop_assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+    }
+}
+
+#[test]
+fn named_extremes_round_trip() {
+    for f in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        1.0e300,
+        -1.0e300,
+        f64::EPSILON,
+        0.0,
+        -0.0,
+    ] {
+        roundtrip_float(f);
+    }
+}

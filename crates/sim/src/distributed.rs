@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use clocksync::{DegradationReason, LinkAssumption, LinkDegradation, Network, SyncOutcome};
 use clocksync_graph::{SquareMatrix, Weight};
 use clocksync_model::{Execution, LinkEvidence, MsgSample, ProcessorId};
+use clocksync_obs::{FieldValue, Recorder};
 use clocksync_time::{ClockTime, ExtRatio, Nanos, Ratio, RealTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -133,7 +134,11 @@ struct Node {
     deadline_at: Option<ClockTime>,
     /// Whether the leader has already computed and distributed.
     computed: bool,
+    /// Immutable copy of the armed report deadline (never cleared), so the
+    /// leader can report its deadline margin when it computes.
+    deadline_clock: Option<ClockTime>,
     sink: Arc<Mutex<SharedOutcome>>,
+    recorder: Recorder,
 }
 
 impl Node {
@@ -144,6 +149,7 @@ impl Node {
     fn deliver_report(
         &mut self,
         report: (ProcessorId, ProcessorId, ExtRatio, ExtRatio),
+        via: ProcessorId,
         ctx: &mut ProcessCtx<DistMsg>,
     ) {
         if self.is_leader() {
@@ -157,6 +163,20 @@ impl Node {
                 report.0.index().max(report.1.index()),
             );
             if self.report_keys.insert(key) {
+                if self.recorder.is_enabled() {
+                    // Report latency per subtree: `via` is the leader's
+                    // child whose subtree produced this link's report, and
+                    // `clock_ns` is the leader clock at arrival.
+                    self.recorder.event(
+                        "dist.report",
+                        [
+                            ("a", FieldValue::from(report.0.index())),
+                            ("b", FieldValue::from(report.1.index())),
+                            ("via", FieldValue::from(via.index())),
+                            ("clock_ns", FieldValue::from(ctx.clock().as_nanos())),
+                        ],
+                    );
+                }
                 self.reports.push(report);
             }
             if self.report_keys.len() == self.expected_reports {
@@ -178,6 +198,19 @@ impl Node {
 
     fn leader_compute(&mut self, ctx: &mut ProcessCtx<DistMsg>) {
         self.computed = true;
+        if self.recorder.is_enabled() {
+            let mut fields = vec![
+                ("reports", FieldValue::from(self.reports.len())),
+                ("expected", FieldValue::from(self.expected_reports)),
+            ];
+            if let Some(deadline) = self.deadline_clock {
+                // Positive margin: the leader finished before its deadline;
+                // zero: the deadline itself forced a partial compute.
+                let margin = deadline.as_nanos() - ctx.clock().as_nanos();
+                fields.push(("deadline_margin_ns", FieldValue::from(margin)));
+            }
+            self.recorder.event("dist.compute", fields);
+        }
         let mut m = SquareMatrix::from_fn(self.n, |i, j| {
             if i == j {
                 <ExtRatio as Weight>::zero()
@@ -319,7 +352,7 @@ impl Process<DistMsg> for Node {
                     let mls_ab = assumption.estimated_mls(&ev);
                     let mls_ba = assumption.reversed().estimated_mls(&ev.reversed());
                     let report = (ctx.id(), from, mls_ab, mls_ba);
-                    self.deliver_report(report, ctx);
+                    self.deliver_report(report, ctx.id(), ctx);
                 }
             }
             DistMsg::Report {
@@ -328,7 +361,7 @@ impl Process<DistMsg> for Node {
                 mls_ab,
                 mls_ba,
             } => {
-                self.deliver_report((a, b, mls_ab, mls_ba), ctx);
+                self.deliver_report((a, b, mls_ab, mls_ba), from, ctx);
             }
             DistMsg::Correction { target, value } => {
                 if target == ctx.id() {
@@ -378,6 +411,7 @@ pub struct DistributedSync {
     sim: Simulation,
     faults: Option<FaultPlan>,
     report_timeout: Nanos,
+    recorder: Recorder,
 }
 
 impl DistributedSync {
@@ -388,7 +422,20 @@ impl DistributedSync {
             sim,
             faults: None,
             report_timeout: Nanos::from_millis(50),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder. The engine emits its `sim.*`
+    /// counters and `sim.run` span; the leader emits a `dist.report` event
+    /// per link report it accepts (with the subtree it arrived through)
+    /// and one `dist.compute` event with its report tally and deadline
+    /// margin. Recording never touches the delay random stream, so runs
+    /// are bit-for-bit identical with or without it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> DistributedSync {
+        self.recorder = recorder;
+        self
     }
 
     /// Attaches a fault plan for [`DistributedSync::run_faulty`]. Arms the
@@ -582,12 +629,19 @@ impl DistributedSync {
                     all_links: all_links.clone(),
                     deadline_at: if i == 0 { leader_deadline } else { None },
                     computed: false,
+                    deadline_clock: if i == 0 { leader_deadline } else { None },
                     sink: Arc::clone(&sink),
+                    recorder: if i == 0 {
+                        self.recorder.clone()
+                    } else {
+                        Recorder::disabled()
+                    },
                 }) as Box<dyn Process<DistMsg>>
             })
             .collect();
 
-        let engine = Engine::new(starts, links);
+        let mut engine = Engine::new(starts, links);
+        engine.set_recorder(self.recorder.clone());
         let (execution, log) = match plan {
             None => (
                 engine.run_with_payload(processes, &mut rng),

@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use clocksync_model::{Execution, MessageId, ProcessorId, View, ViewEvent, ViewSet};
+use clocksync_obs::Recorder;
 #[cfg(test)]
 use clocksync_time::Nanos;
 use clocksync_time::{ClockTime, RealTime};
@@ -98,6 +99,7 @@ pub struct Engine {
     links: HashMap<(usize, usize), ResolvedLink>,
     neighbors: Vec<Vec<ProcessorId>>,
     max_events: usize,
+    recorder: Recorder,
 }
 
 impl Engine {
@@ -124,6 +126,7 @@ impl Engine {
             links,
             neighbors,
             max_events: 1_000_000,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -131,6 +134,14 @@ impl Engine {
     /// events).
     pub fn set_max_events(&mut self, cap: usize) {
         self.max_events = cap;
+    }
+
+    /// Attaches an observability recorder; each run then emits a
+    /// `sim.run` span and the `sim.*` delivery counters (taxonomy in
+    /// DESIGN.md §6). Recording never touches the random stream, so runs
+    /// are bit-identical with and without it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Runs the processes until no events remain and returns the recorded
@@ -209,6 +220,8 @@ impl Engine {
     ) -> (Execution, FaultLog) {
         let n = self.starts.len();
         assert_eq!(processes.len(), n, "one process per processor required");
+        let mut run_span = self.recorder.span("sim.run");
+        run_span.field("n", n);
         let mut log = FaultLog::default();
         if let Some(plan) = plan {
             if let Some(max) = plan.max_processor_index() {
@@ -267,7 +280,10 @@ impl Engine {
                     EventKind::Start(_) => events[p.index()].push(ViewEvent::Start { clock }),
                     // A message into the void; the sender's send event is
                     // erased at harvest.
-                    EventKind::Deliver { id, .. } => log.dropped.push(id),
+                    EventKind::Deliver { id, .. } => {
+                        self.recorder.incr("sim.messages_dropped", 1);
+                        log.dropped.push(id);
+                    }
                     EventKind::Timer(_) => {}
                 }
                 continue;
@@ -286,12 +302,14 @@ impl Engine {
                     processes[p.index()].on_start(&mut ctx);
                 }
                 EventKind::Timer(_) => {
+                    self.recorder.incr("sim.timers_fired", 1);
                     events[p.index()].push(ViewEvent::Timer { clock });
                     processes[p.index()].on_timer(&mut ctx);
                 }
                 EventKind::Deliver {
                     from, id, payload, ..
                 } => {
+                    self.recorder.incr("sim.messages_delivered", 1);
                     events[p.index()].push(ViewEvent::Recv { from, id, clock });
                     processes[p.index()].on_message(from, payload, &mut ctx);
                 }
@@ -308,6 +326,7 @@ impl Engine {
                 let mut delay = link.sample(forward, rng);
                 let id = MessageId(next_msg_id);
                 next_msg_id += 1;
+                self.recorder.incr("sim.messages_sent", 1);
                 events[p.index()].push(ViewEvent::Send { to, id, clock });
                 let faults = plan.and_then(|pl| pl.link_faults(key));
                 let mut deliver = true;
@@ -315,6 +334,7 @@ impl Engine {
                 if let Some(lf) = faults {
                     if lf.is_down_at(now) || (lf.drop_prob > 0.0 && rng.gen_bool(lf.drop_prob)) {
                         deliver = false;
+                        self.recorder.incr("sim.messages_dropped", 1);
                         log.dropped.push(id);
                     } else {
                         if lf.reorder_prob > 0.0 && rng.gen_bool(lf.reorder_prob) {
@@ -341,6 +361,7 @@ impl Engine {
                         clock,
                     });
                     let copy_delay = link.sample(forward, rng);
+                    self.recorder.incr("sim.messages_duplicated", 1);
                     log.duplicated.push((id, copy));
                     push(
                         &mut queue,
@@ -408,6 +429,8 @@ impl Engine {
         let views = ViewSet::new(views).expect("engine produces valid views");
         let execution =
             Execution::new(self.starts.clone(), views).expect("engine start/view counts match");
+        run_span.field("events", processed);
+        run_span.finish();
         (execution, log)
     }
 

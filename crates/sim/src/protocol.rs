@@ -8,6 +8,7 @@
 //! standard round-trip workload of NTP-like protocols.
 
 use clocksync_model::ProcessorId;
+use clocksync_obs::{FieldValue, Recorder};
 use clocksync_time::{ClockTime, Nanos};
 
 use crate::engine::{Process, ProcessCtx};
@@ -34,6 +35,7 @@ pub struct ProbeProcess {
     spacing: Nanos,
     initial_delay: Nanos,
     rounds_fired: usize,
+    recorder: Recorder,
 }
 
 impl ProbeProcess {
@@ -55,7 +57,17 @@ impl ProbeProcess {
             spacing,
             initial_delay,
             rounds_fired: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder; each probe round then emits a
+    /// `sim.probe_round` event carrying the initiator and its local clock
+    /// (per-round timing; taxonomy in DESIGN.md §6).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> ProbeProcess {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -79,6 +91,16 @@ impl Process for ProbeProcess {
             if nb > me {
                 ctx.send(nb, PROBE);
             }
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                "sim.probe_round",
+                [
+                    ("processor", FieldValue::from(me.index())),
+                    ("round", FieldValue::from(self.rounds_fired)),
+                    ("clock_ns", FieldValue::from(ctx.clock().as_nanos())),
+                ],
+            );
         }
         self.rounds_fired += 1;
         if self.rounds_fired < self.probes {

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use clocksync::{LinkAssumption, Network, SyncError, SyncOutcome, Synchronizer};
 use clocksync_model::{Execution, ProcessorId};
+use clocksync_obs::Recorder;
 use clocksync_time::{Ext, Nanos, Ratio, RealTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +80,7 @@ pub struct Simulation {
     spacing: Nanos,
     start_spread: Nanos,
     faults: FaultPlan,
+    recorder: Recorder,
 }
 
 impl Simulation {
@@ -92,6 +94,7 @@ impl Simulation {
                 spacing: Nanos::from_millis(10),
                 start_spread: Nanos::from_millis(5),
                 faults: FaultPlan::new(),
+                recorder: Recorder::disabled(),
             },
         }
     }
@@ -163,13 +166,16 @@ impl Simulation {
         for l in &self.links {
             links.insert((l.a, l.b), l.model.resolve(&mut rng));
         }
-        let engine = Engine::new(starts, links);
+        let mut engine = Engine::new(starts, links);
+        engine.set_recorder(self.recorder.clone());
         // Probes start only after every processor has started.
         let initial_delay = self.start_spread + Nanos::from_micros(100);
         let processes: Vec<Box<dyn Process>> = (0..self.n)
             .map(|_| {
-                Box::new(ProbeProcess::new(self.probes, self.spacing, initial_delay))
-                    as Box<dyn Process>
+                Box::new(
+                    ProbeProcess::new(self.probes, self.spacing, initial_delay)
+                        .with_recorder(self.recorder.clone()),
+                ) as Box<dyn Process>
             })
             .collect();
         let (execution, log) = if self.faults.is_empty() {
@@ -287,6 +293,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches an observability recorder: every run then emits the
+    /// engine's `sim.run` span and `sim.*` counters plus per-round
+    /// `sim.probe_round` events (taxonomy in DESIGN.md §6). Recording
+    /// never touches the random stream, so runs are bit-identical with
+    /// and without it.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.sim.recorder = recorder;
+        self
+    }
+
     /// Finishes building.
     pub fn build(self) -> Simulation {
         self.sim
@@ -312,6 +328,19 @@ impl SimRun {
     /// scenarios).
     pub fn synchronize(&self) -> Result<SyncOutcome, SyncError> {
         Synchronizer::new(self.network.clone()).synchronize(self.execution.views())
+    }
+
+    /// Like [`SimRun::synchronize`], with per-stage spans reported to
+    /// `recorder` (see [`Synchronizer::with_recorder`]). The outcome is
+    /// bit-for-bit the same as the unrecorded one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SimRun::synchronize`].
+    pub fn synchronize_traced(&self, recorder: &Recorder) -> Result<SyncOutcome, SyncError> {
+        Synchronizer::new(self.network.clone())
+            .with_recorder(recorder.clone())
+            .synchronize(self.execution.views())
     }
 
     /// The *true* worst pairwise disagreement of corrected clocks — the

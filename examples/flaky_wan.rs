@@ -2,6 +2,9 @@
 //! processor — and the guarantees that survive all of it.
 //!
 //! Run with: `cargo run --example flaky_wan`
+//! (add `--trace out.jsonl` to record a full observability trace of both
+//! the simulated run and the live threaded-cluster segment, then render
+//! it with `clocksync trace summarize --in out.jsonl`)
 //!
 //! Topology (5 sites, a ring):
 //!
@@ -21,12 +24,20 @@
 //! each one landed, with per-component corrections that remain optimal
 //! for whatever evidence survived.
 
-use clocksync_apps::{fmt_ext_us, row, section};
+use clocksync_apps::{fmt_ext_us, row, section, trace_flag};
 use clocksync_model::ProcessorId;
+use clocksync_net::{ClusterConfig, LinkConfig};
+use clocksync_obs::Recorder;
 use clocksync_sim::{FaultPlan, Simulation, Topology};
 use clocksync_time::{Nanos, RealTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = trace_flag();
+    let recorder = if trace_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     let us = RealTime::from_micros;
     let plan = FaultPlan::new()
         .drop_messages(ProcessorId(1), ProcessorId(2), 0.3)
@@ -42,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .probes(3)
         .faults(plan)
+        .recorder(recorder.clone())
         .build();
 
     let faulty = sim.run_with_faults(7);
@@ -58,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The faulty execution is still a perfectly valid execution of the
     // model — the processors just saw less.
     assert!(faulty.run.is_admissible(), "faults never forge evidence");
-    let outcome = faulty.synchronize()?;
+    let outcome = faulty.run.synchronize_traced(&recorder)?;
 
     section("degradation report");
     if outcome.degradations().is_empty() {
@@ -95,5 +107,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nEvery surviving pair keeps the tightest bound its remaining");
     println!("evidence supports (optimal per instance); the crashed site and");
     println!("the starved links are reported, not papered over.");
+
+    // The same story on real threads: a 3-site cluster whose middle link
+    // loses 40% of its messages, so retries and backoff fire before the
+    // probe rounds land. With `--trace`, this segment contributes the
+    // per-link retry counters, RTT/backoff histograms and link-health
+    // events to the trace.
+    section("live threaded cluster with a lossy link");
+    let net = ClusterConfig::new(3)
+        .link(
+            0,
+            1,
+            LinkConfig::uniform(Nanos::from_micros(200), Nanos::from_millis(1)),
+        )
+        .link(
+            1,
+            2,
+            LinkConfig::uniform(Nanos::from_micros(200), Nanos::from_millis(1)).loss(400_000),
+        )
+        .probes(2)
+        .probe_deadline(Nanos::from_millis(8))
+        .retries(5)
+        .with_recorder(recorder.clone())
+        .run(7);
+    for h in &net.health {
+        row(&format!("link {}–{}", h.a, h.b), h.state.to_string());
+    }
+    let live = net.synchronize()?;
+    row("live precision", fmt_ext_us(live.precision()));
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, recorder.snapshot().to_jsonl())?;
+        println!("\ntrace written to {path}");
+        println!("render it with: clocksync trace summarize --in {path}");
+    }
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! Quickstart: synchronize a 4-node ring with known delay bounds.
 //!
 //! Run with: `cargo run --example quickstart`
+//! (add `--trace out.jsonl` to record an observability trace)
 //!
 //! The flow is the library's standard loop:
 //! 1. describe the network (who is linked, what is assumed about delays);
@@ -8,12 +9,19 @@
 //! 3. `synchronize` → corrections + an optimal per-instance precision;
 //! 4. audit the result against the simulator's hidden ground truth.
 
-use clocksync_apps::{fmt_ext_us, fmt_us, row, section};
+use clocksync_apps::{fmt_ext_us, fmt_us, row, section, trace_flag};
 use clocksync_model::ProcessorId;
+use clocksync_obs::Recorder;
 use clocksync_sim::{Simulation, Topology};
 use clocksync_time::{Ext, Nanos};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = trace_flag();
+    let recorder = if trace_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     // 4 processors in a ring; every link has uniform delays in
     // [100us, 400us] and the synchronizer is told exactly those bounds.
     let sim = Simulation::builder(4)
@@ -25,10 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .probes(3)
         .start_spread(Nanos::from_millis(5))
+        .recorder(recorder.clone())
         .build();
 
     let run = sim.run(2026);
-    let outcome = run.synchronize()?;
+    let outcome = run.synchronize_traced(&recorder)?;
 
     section("quickstart: 4-node ring, bounds [100us, 400us]");
     row("guaranteed precision", fmt_ext_us(outcome.precision()));
@@ -59,5 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nThe corrected clocks of all four processors agree to within");
     println!("the guaranteed precision in EVERY execution consistent with");
     println!("what the processors observed — and no algorithm can do better.");
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, recorder.snapshot().to_jsonl())?;
+        println!("\ntrace written to {path}");
+        println!("render it with: clocksync trace summarize --in {path}");
+    }
     Ok(())
 }
