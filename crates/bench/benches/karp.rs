@@ -1,46 +1,30 @@
-//! Criterion bench: Karp's maximum cycle mean on complete graphs — the
-//! `O(n·m) = O(n³)` core of the SHIFTS step (E7).
+//! Criterion bench: maximum cycle mean on complete graphs — the core of
+//! the SHIFTS step (E7) — racing all three `A_max` kernels.
+//!
+//! The exact rational Karp recurrence is `O(n³)` rational operations, so
+//! it stops at n = 96; the scaled-`i64` Karp and Howard's policy iteration
+//! continue to n = 256, pinning the speedups `BENCH_karp.json` records.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use clocksync_graph::{karp_max_cycle_mean, SquareMatrix};
-use clocksync_time::{Ext, Ratio};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A dense complete-graph matrix with pseudo-random nonnegative weights
-/// shaped like a real shift closure (diagonal zero).
-fn closure_like(n: usize, seed: u64) -> SquareMatrix<Ext<Ratio>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = SquareMatrix::from_fn(n, |i, j| {
-        if i == j {
-            Ext::Finite(Ratio::ZERO)
-        } else {
-            Ext::Finite(Ratio::from_int(0))
-        }
-    });
-    // Symmetric base plus asymmetric noise keeps cycle sums nonnegative.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let base: i128 = rng.gen_range(1_000..1_000_000);
-            let skew: i128 = rng.gen_range(0..base);
-            m[(i, j)] = Ext::Finite(Ratio::from_int(base + skew));
-            m[(j, i)] = Ext::Finite(Ratio::from_int(base - skew));
-        }
-    }
-    m
-}
+use clocksync_bench::karp_bench::closure_like;
+use clocksync_graph::{fast_max_cycle_mean, howard_solve, karp_max_cycle_mean};
 
 fn bench_karp(c: &mut Criterion) {
     let mut group = c.benchmark_group("max_cycle_mean");
-    for n in [8usize, 16, 32, 64, 96] {
+    for n in [8usize, 16, 32, 64, 96, 128, 256] {
         let m = closure_like(n, 7);
-        group.bench_with_input(BenchmarkId::new("karp", n), &m, |b, m| {
-            b.iter(|| karp_max_cycle_mean(black_box(m)))
+        if n <= 96 {
+            group.bench_with_input(BenchmarkId::new("karp", n), &m, |b, m| {
+                b.iter(|| karp_max_cycle_mean(black_box(m)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("karp-scaled", n), &m, |b, m| {
+            b.iter(|| fast_max_cycle_mean(black_box(m)))
         });
         group.bench_with_input(BenchmarkId::new("howard", n), &m, |b, m| {
-            b.iter(|| clocksync_graph::howard_max_cycle_mean(black_box(m)))
+            b.iter(|| howard_solve(black_box(m), None))
         });
     }
     group.finish();

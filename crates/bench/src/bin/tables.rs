@@ -7,10 +7,17 @@
 //!   tables --bench-closure \[path\] # measure the closure fast path and
 //!                                 # write BENCH_closure.json (default
 //!                                 # path: BENCH_closure.json)
+//!   tables --bench-karp \[path\]    # measure the SHIFTS A_max kernels and
+//!                                 # write BENCH_karp.json (default path:
+//!                                 # BENCH_karp.json)
+//!   tables --check-bench-karp PATH \[min_speedup\]
+//!                                 # validate a BENCH_karp.json document
+//!                                 # (schema + fast-kernel speedup floor
+//!                                 # at n=256; default floor 10)
 
 use std::process::ExitCode;
 
-use clocksync_bench::{closure_bench, registry};
+use clocksync_bench::{closure_bench, karp_bench, registry};
 use rayon::prelude::*;
 
 fn main() -> ExitCode {
@@ -69,8 +76,57 @@ fn main() -> ExitCode {
                 }
             }
         }
+        [flag, rest @ ..] if flag == "--bench-karp" && rest.len() <= 1 => {
+            let path = rest
+                .first()
+                .map(String::as_str)
+                .unwrap_or("BENCH_karp.json");
+            eprintln!("measuring SHIFTS A_max kernels (the exact rational Karp runs at n=256; expect a few minutes)");
+            let doc = karp_bench::bench_karp_json();
+            print!("{doc}");
+            match std::fs::write(path, &doc) {
+                Ok(()) => {
+                    eprintln!("wrote {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        [flag, path, rest @ ..] if flag == "--check-bench-karp" && rest.len() <= 1 => {
+            let floor: f64 = match rest.first().map(|s| s.parse()) {
+                None => 10.0,
+                Some(Ok(f)) => f,
+                Some(Err(_)) => {
+                    eprintln!("min_speedup must be a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let doc = match std::fs::read_to_string(path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match karp_bench::check_bench_karp_json(&doc, floor) {
+                Ok(()) => {
+                    eprintln!("{path} ok (fast-kernel speedup floor {floor}x)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: tables [--list | --exp <id> | --bench-closure [path]]");
+            eprintln!(
+                "usage: tables [--list | --exp <id> | --bench-closure [path] | \
+                 --bench-karp [path] | --check-bench-karp <path> [min_speedup]]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -13,6 +13,7 @@
 pub mod closure_bench;
 pub mod experiments;
 pub mod float_ablation;
+pub mod karp_bench;
 mod table;
 
 pub use table::Table;

@@ -88,5 +88,7 @@ pub use estimates::{
 };
 pub use network::{Network, NetworkBuilder};
 pub use online::OnlineSynchronizer;
-pub use shifts::{shifts, synchronizable_components, ShiftsResult};
+pub use shifts::{
+    shifts, shifts_with_kernel, synchronizable_components, ShiftsKernel, ShiftsResult,
+};
 pub use synchronizer::{ComponentReport, SyncOutcome, Synchronizer};

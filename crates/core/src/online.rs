@@ -20,13 +20,35 @@
 //! an estimate ever loosen (no built-in assumption does this, but the cache
 //! does not assume it), the cache is invalidated and the next
 //! [`OnlineSynchronizer::outcome`] call rebuilds from scratch.
+//!
+//! The `A_max` stage is cached the same way: alongside the closure the
+//! synchronizer keeps each component's certified critical cycle and
+//! converged Howard policy. Because a `relax_edge` tightening only ever
+//! *decreases* closure entries, every cycle mean can only drop — so when
+//! the cached critical cycle's mean is unchanged it is still the maximum
+//! and `A_max` is reused after an `O(n)` revalidation; when it dropped,
+//! Howard restarts from the cached policy instead of from scratch. Either
+//! way the result is bit-identical to a cold computation (the equivalence
+//! tests check this), only faster.
 
 use clocksync_graph::Closure;
 use clocksync_model::{LinkObservations, MsgSample, ProcessorId, ViewSet};
 use clocksync_time::{ClockTime, ExtRatio, Nanos};
 
 use crate::degradation::classify_degradations;
+use crate::shifts::{shifts_howard_warm, synchronizable_components, ShiftsState};
 use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
+
+/// Cached SHIFTS state of the last [`OnlineSynchronizer::outcome`] call:
+/// the component partition it was computed under and one warm-startable
+/// [`ShiftsState`] per component (aligned with `components`). Valid only
+/// while the closure evolves by pure tightenings; invalidated together
+/// with the closure cache otherwise.
+#[derive(Debug, Clone)]
+struct ShiftsCache {
+    components: Vec<Vec<ProcessorId>>,
+    states: Vec<ShiftsState>,
+}
 
 /// An incrementally-fed synchronizer with a cached closure.
 ///
@@ -64,6 +86,11 @@ pub struct OnlineSynchronizer {
     /// loosened or a relaxation surfaced an inconsistency; the next
     /// [`OnlineSynchronizer::outcome`] rebuilds it.
     cached: Option<Closure<ExtRatio>>,
+    /// Per-component `A_max` certificates and Howard policies from the
+    /// last [`OnlineSynchronizer::outcome`]. Invariant: `Some` only if
+    /// since it was written the closure changed solely by `relax_edge`
+    /// tightenings (every path that drops `cached` drops this too).
+    shifts_cache: Option<ShiftsCache>,
 }
 
 impl OnlineSynchronizer {
@@ -77,6 +104,7 @@ impl OnlineSynchronizer {
             observations,
             local,
             cached: None,
+            shifts_cache: None,
         }
     }
 
@@ -159,6 +187,7 @@ impl OnlineSynchronizer {
         }
         self.local = estimated_local_shifts(&self.network, &self.observations);
         self.cached = None;
+        self.shifts_cache = None;
         Ok(())
     }
 
@@ -193,13 +222,16 @@ impl OnlineSynchronizer {
                         // the inconsistency is permanent; outcome() will
                         // recompute and report the canonical witness.
                         self.cached = None;
+                        self.shifts_cache = None;
                     }
                 }
             } else {
                 // An estimate loosened (no built-in assumption does this,
                 // but stay exact if one ever does): the cached closure may
-                // rest on the retracted bound.
+                // rest on the retracted bound, and the cached critical
+                // cycles on the old closure.
                 self.cached = None;
+                self.shifts_cache = None;
             }
         }
     }
@@ -240,9 +272,16 @@ impl OnlineSynchronizer {
     ///
     /// The GLOBAL ESTIMATES closure comes from the incremental cache (kept
     /// current by the `observe_*` methods; recomputed via
-    /// [`clocksync_graph::fast_closure`] only after an invalidation);
-    /// deriving `A_max` and the correction vector from it still costs the
-    /// full [`SyncOutcome::from_global_estimates`] on every call.
+    /// [`clocksync_graph::fast_closure`] only after an invalidation), and
+    /// `A_max` is maintained incrementally: each component first
+    /// revalidates the critical cycle cached by the previous call — still
+    /// certifying under pure tightenings means `A_max` is unchanged — and
+    /// only on a miss runs Howard, warm-started from the cached policy.
+    /// Only the final shortest-path pass (the cheap SHIFTS step) is always
+    /// recomputed. The result is bit-identical to the batch
+    /// [`SyncOutcome::from_global_estimates`] on the same closure, except
+    /// that the reported critical cycle may be a different (equally
+    /// certifying) witness.
     ///
     /// # Errors
     ///
@@ -250,9 +289,28 @@ impl OnlineSynchronizer {
     /// observations contradict the declared assumptions.
     pub fn outcome(&mut self) -> Result<SyncOutcome, SyncError> {
         self.ensure_cache()?;
-        let cache = self.cached.as_ref().expect("cache was just ensured");
-        let mut outcome = SyncOutcome::from_global_estimates(cache.dist().clone());
-        outcome.set_constraint_chains(cache.next().clone());
+        let (dist, next) = {
+            let cache = self.cached.as_ref().expect("cache was just ensured");
+            (cache.dist().clone(), cache.next().clone())
+        };
+        let components = synchronizable_components(&dist);
+        // The warm states only describe the current closure if the
+        // partition did not shift under it (a new finite pair merges
+        // components and remaps sub-matrix indices wholesale).
+        let warm = self
+            .shifts_cache
+            .take()
+            .filter(|c| c.components == components);
+        let mut states = Vec::with_capacity(components.len());
+        let mut outcome =
+            SyncOutcome::from_components_with(dist, components.clone(), |idx, sub| {
+                let prev = warm.as_ref().map(|c| &c.states[idx]);
+                let (result, state) = shifts_howard_warm(sub, 0, prev);
+                states.push(state);
+                result
+            });
+        self.shifts_cache = Some(ShiftsCache { components, states });
+        outcome.set_constraint_chains(next);
         outcome.set_degradations(classify_degradations(
             &self.network,
             &self.observations,
@@ -423,6 +481,85 @@ mod tests {
             online.outcome(),
             Err(SyncError::InconsistentObservations { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_a_max_matches_batch_at_every_step() {
+        // A three-node chain fed message by message: each outcome() call
+        // after the first takes the warm path (cached critical cycle or
+        // warm-started Howard) and must still agree with a cold batch
+        // computation on the same closure, step by step.
+        let r = ProcessorId(2);
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .link(
+                Q,
+                r,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        let stream = [
+            (P, Q, 600),
+            (Q, P, 500),
+            (Q, r, 700),
+            (r, Q, 650),
+            (P, Q, 520), // tightens the critical P–Q cycle: A_max drops
+            (Q, P, 480),
+            (Q, r, 900), // slow echo still tightens the opposite slack
+            (P, Q, 519), // tiny tightening off the new critical cycle
+        ];
+        let mut last = Ext::PosInf;
+        for (src, dst, d) in stream {
+            online.observe_estimated_delay(src, dst, Nanos::new(d));
+            let incremental = online.outcome().unwrap();
+            let cold =
+                SyncOutcome::from_global_estimates(incremental.global_shift_estimates().clone());
+            assert_eq!(incremental.precision(), cold.precision());
+            assert_eq!(incremental.corrections(), cold.corrections());
+            for (a, b) in incremental.components().iter().zip(cold.components()) {
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.precision, b.precision);
+            }
+            assert!(incremental.precision() <= last);
+            last = incremental.precision();
+        }
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn warm_cache_is_dropped_when_components_merge() {
+        // P–Q synchronize first; r joins later, merging the partition from
+        // {{P,Q},{r}} to one component. The stale two-component cache must
+        // not be consulted for the merged sub-matrix.
+        let r = ProcessorId(2);
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .link(
+                Q,
+                r,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        online.observe_estimated_delay(P, Q, Nanos::new(600));
+        online.observe_estimated_delay(Q, P, Nanos::new(500));
+        let split = online.outcome().unwrap();
+        assert_eq!(split.components().len(), 2);
+        online.observe_estimated_delay(Q, r, Nanos::new(700));
+        let merged = online.outcome().unwrap();
+        assert_eq!(merged.components().len(), 1);
+        let cold = SyncOutcome::from_global_estimates(merged.global_shift_estimates().clone());
+        assert_eq!(merged.precision(), cold.precision());
+        assert_eq!(merged.corrections(), cold.corrections());
     }
 
     #[test]

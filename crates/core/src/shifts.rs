@@ -1,7 +1,18 @@
 //! The SHIFTS function (paper §4.4): optimal corrections from global shift
 //! estimates.
+//!
+//! The stage splits into two steps: `A_max` (a maximum cycle mean) and a
+//! single-source shortest-path pass. For `A_max` three interchangeable
+//! kernels exist — see [`ShiftsKernel`]. All of them are exact and agree on
+//! every input; [`shifts`] runs Howard's policy iteration, the fastest in
+//! practice, and keeps Karp (the paper's algorithm) as the differential
+//! oracle the test suite races it against. DESIGN.md §4c spells out the
+//! scaling bound, the fallback rule, and the warm-start invariant.
 
-use clocksync_graph::{bellman_ford, karp_max_cycle_mean, DiGraph, SquareMatrix};
+use clocksync_graph::{
+    bellman_ford, fast_max_cycle_mean, howard_solve, karp_max_cycle_mean, CycleMean, DiGraph,
+    SquareMatrix,
+};
 use clocksync_model::ProcessorId;
 use clocksync_time::{Ext, ExtRatio, Ratio};
 
@@ -18,12 +29,55 @@ pub struct ShiftsResult {
     pub critical_cycle: Vec<usize>,
 }
 
+/// Which maximum-cycle-mean engine computes `A_max` inside [`shifts`].
+///
+/// Every kernel is exact: `A_max` and the corrections are bit-identical
+/// across all three on every input (a property the equivalence suite
+/// checks); only the witness cycle may differ, and each kernel's witness
+/// certifies the same precision. They differ solely in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShiftsKernel {
+    /// Howard's policy iteration — the default practical kernel, fastest
+    /// on closure-shaped (dense, metric) instances and warm-startable.
+    #[default]
+    Howard,
+    /// Karp through the scaled-`i64` kernel
+    /// ([`clocksync_graph::fast_max_cycle_mean`]), falling back to the
+    /// exact rational Karp when scaling would overflow.
+    KarpScaled,
+    /// The exact-rational Karp recurrence — the paper's algorithm, kept as
+    /// the differential oracle for the fast kernels.
+    KarpExact,
+}
+
+impl ShiftsKernel {
+    /// Stable short name, recorded on the `sync.shifts` observability span.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftsKernel::Howard => "howard",
+            ShiftsKernel::KarpScaled => "karp-scaled-i64",
+            ShiftsKernel::KarpExact => "karp-rational",
+        }
+    }
+}
+
+/// Cached SHIFTS state of one component, in component-local indices: the
+/// certified `A_max` with its witness cycle, and the converged Howard
+/// policy for warm-starting the next resynchronization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShiftsState {
+    pub(crate) a_max: Ratio,
+    pub(crate) cycle: Vec<usize>,
+    pub(crate) policy: Vec<usize>,
+}
+
 /// Runs the SHIFTS function on a *finite* closure of global shift
 /// estimates (all entries of `closure` must be finite):
 ///
-/// 1. `A_max = max_θ m̃s(θ)/|θ|` over cyclic sequences — Karp's algorithm
-///    on the complete graph of estimates (by Lemma 4.5 this equals the
-///    true `A_max` over actual maximal shifts);
+/// 1. `A_max = max_θ m̃s(θ)/|θ|` over cyclic sequences — a maximum cycle
+///    mean on the complete graph of estimates (by Lemma 4.5 this equals
+///    the true `A_max` over actual maximal shifts), computed by the
+///    default [`ShiftsKernel::Howard`];
 /// 2. corrections are shortest-path distances from `root` under
 ///    `w(p,q) = A_max − m̃s(p,q)` (no negative cycles by construction).
 ///
@@ -36,22 +90,123 @@ pub struct ShiftsResult {
 /// negative cycle under the derived weights (impossible for a closure that
 /// passed [`crate::global_estimates`]).
 pub fn shifts(closure: &SquareMatrix<ExtRatio>, root: usize) -> ShiftsResult {
+    shifts_with_kernel(closure, root, ShiftsKernel::default())
+}
+
+/// [`shifts`] with an explicit `A_max` kernel choice — the hook the
+/// equivalence tests and benches use to race the engines against each
+/// other. Contract and panics as [`shifts`].
+pub fn shifts_with_kernel(
+    closure: &SquareMatrix<ExtRatio>,
+    root: usize,
+    kernel: ShiftsKernel,
+) -> ShiftsResult {
     let n = closure.n();
     assert!(root < n, "root out of range");
     if n == 1 {
-        return ShiftsResult {
-            corrections: vec![Ratio::ZERO],
-            precision: Ratio::ZERO,
-            critical_cycle: vec![0],
-        };
+        return trivial_result();
     }
+    // All entries are finite and the diagonal is 0, so a cycle always
+    // exists and A_max ≥ 0.
+    let cm: CycleMean = match kernel {
+        ShiftsKernel::Howard => {
+            howard_solve(closure, None)
+                .expect("closure always contains cycles")
+                .cycle_mean
+        }
+        ShiftsKernel::KarpScaled => {
+            fast_max_cycle_mean(closure).expect("closure always contains cycles")
+        }
+        ShiftsKernel::KarpExact => {
+            karp_max_cycle_mean(closure).expect("closure always contains cycles")
+        }
+    };
+    ShiftsResult {
+        corrections: corrections_under(closure, root, cm.mean),
+        precision: cm.mean,
+        critical_cycle: cm.cycle,
+    }
+}
 
-    // Step 1: A_max. All entries are finite and the diagonal is 0, so a
-    // cycle always exists and A_max ≥ 0.
-    let cm = karp_max_cycle_mean(closure).expect("closure always contains cycles");
-    let a_max = cm.mean;
+/// The Howard-kernel SHIFTS with incremental `A_max`, for the online
+/// synchronizer: returns the result plus the [`ShiftsState`] to warm-start
+/// the next call.
+///
+/// When `warm` is given, the caller asserts that since that state was
+/// computed the closure evolved **only by entrywise tightenings under the
+/// same component partition** (the online synchronizer's `relax_edge`
+/// regime). Then every cycle mean is ≤ its cached value, so if the cached
+/// critical cycle's mean is unchanged it is still the maximum — `A_max`,
+/// witness, and policy are reused without running any cycle-mean kernel at
+/// all (`O(n)` revalidation). Otherwise Howard restarts from the cached
+/// policy, which is still a valid policy (finite entries stay finite) and
+/// usually one improvement step from optimal.
+///
+/// # Panics
+///
+/// As [`shifts`].
+pub(crate) fn shifts_howard_warm(
+    closure: &SquareMatrix<ExtRatio>,
+    root: usize,
+    warm: Option<&ShiftsState>,
+) -> (ShiftsResult, ShiftsState) {
+    let n = closure.n();
+    assert!(root < n, "root out of range");
+    if n == 1 {
+        let state = ShiftsState {
+            a_max: Ratio::ZERO,
+            cycle: vec![0],
+            policy: vec![0],
+        };
+        return (trivial_result(), state);
+    }
+    let revalidated = warm.filter(|s| {
+        s.policy.len() == n
+            && !s.cycle.is_empty()
+            && s.cycle.iter().all(|&v| v < n)
+            && cycle_mean(closure, &s.cycle) == s.a_max
+    });
+    let state = match revalidated {
+        Some(s) => s.clone(),
+        None => {
+            let sol = howard_solve(closure, warm.map(|s| s.policy.as_slice()))
+                .expect("closure always contains cycles");
+            ShiftsState {
+                a_max: sol.cycle_mean.mean,
+                cycle: sol.cycle_mean.cycle,
+                policy: sol.policy,
+            }
+        }
+    };
+    let result = ShiftsResult {
+        corrections: corrections_under(closure, root, state.a_max),
+        precision: state.a_max,
+        critical_cycle: state.cycle.clone(),
+    };
+    (result, state)
+}
 
-    // Step 2: distances from `root` under w(p,q) = A_max − m̃s(p,q).
+fn trivial_result() -> ShiftsResult {
+    ShiftsResult {
+        corrections: vec![Ratio::ZERO],
+        precision: Ratio::ZERO,
+        critical_cycle: vec![0],
+    }
+}
+
+/// The mean weight of a cyclic node sequence over the closure.
+fn cycle_mean(closure: &SquareMatrix<ExtRatio>, cycle: &[usize]) -> Ratio {
+    let mut total = Ratio::ZERO;
+    for t in 0..cycle.len() {
+        let (from, to) = (cycle[t], cycle[(t + 1) % cycle.len()]);
+        total += closure[(from, to)].expect_finite("shifts requires a finite closure");
+    }
+    total * Ratio::new(1, cycle.len() as i128)
+}
+
+/// Step 2 of SHIFTS: distances from `root` under `w(p,q) = A_max − m̃s(p,q)`.
+fn corrections_under(closure: &SquareMatrix<ExtRatio>, root: usize, a_max: Ratio) -> Vec<Ratio> {
+    let n = closure.n();
     let mut g = DiGraph::new(n);
     for (i, j, &w) in closure.iter_off_diagonal() {
         let w = w.expect_finite("shifts requires a finite closure");
@@ -59,16 +214,9 @@ pub fn shifts(closure: &SquareMatrix<ExtRatio>, root: usize) -> ShiftsResult {
     }
     let dist = bellman_ford(&g, root)
         .expect("A_max-shifted closure has no negative cycles by Theorem 4.4");
-    let corrections = dist
-        .into_iter()
+    dist.into_iter()
         .map(|d| d.expect_finite("complete graph distances are finite"))
-        .collect();
-
-    ShiftsResult {
-        corrections,
-        precision: a_max,
-        critical_cycle: cm.cycle,
-    }
+        .collect()
 }
 
 /// Groups processors into *synchronizable components*: `p` and `q` belong
@@ -128,6 +276,73 @@ mod tests {
     }
 
     #[test]
+    fn all_kernels_agree_on_precision_and_corrections() {
+        let mut tri = SquareMatrix::filled(3, <ExtRatio as Weight>::zero());
+        tri[(0, 1)] = fin(10);
+        tri[(1, 2)] = fin(10);
+        tri[(2, 0)] = fin(10);
+        tri[(1, 0)] = fin(1);
+        tri[(2, 1)] = fin(1);
+        tri[(0, 2)] = fin(11);
+        let closures = [two_node(6, 2), two_node(0, 0), two_node(100, 1), tri];
+        for c in &closures {
+            let reference = shifts_with_kernel(c, 0, ShiftsKernel::KarpExact);
+            for kernel in [ShiftsKernel::Howard, ShiftsKernel::KarpScaled] {
+                let r = shifts_with_kernel(c, 0, kernel);
+                assert_eq!(r.precision, reference.precision, "{kernel:?} on {c:?}");
+                assert_eq!(r.corrections, reference.corrections, "{kernel:?} on {c:?}");
+                // Every kernel's witness certifies the same precision.
+                assert_eq!(cycle_mean(c, &r.critical_cycle), r.precision);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(ShiftsKernel::default().name(), "howard");
+        assert_eq!(ShiftsKernel::KarpScaled.name(), "karp-scaled-i64");
+        assert_eq!(ShiftsKernel::KarpExact.name(), "karp-rational");
+    }
+
+    #[test]
+    fn warm_state_revalidates_after_harmless_tightening() {
+        // First call: cold. Tighten an entry that does NOT touch the
+        // critical cycle: the cached cycle revalidates and A_max is reused.
+        let mut c = two_node(6, 2);
+        let (first, state) = shifts_howard_warm(&c, 0, None);
+        c[(0, 1)] = fin(6); // no-op tightening
+        let (second, state2) = shifts_howard_warm(&c, 0, Some(&state));
+        assert_eq!(first, second);
+        assert_eq!(state, state2);
+    }
+
+    #[test]
+    fn warm_state_recomputes_when_the_critical_cycle_drops() {
+        let mut c = two_node(6, 2);
+        let (_, state) = shifts_howard_warm(&c, 0, None);
+        // Tighten an edge on the critical cycle: A_max falls from 4 to 3.
+        c[(0, 1)] = fin(4);
+        let (warm, new_state) = shifts_howard_warm(&c, 0, Some(&state));
+        let cold = shifts(&c, 0);
+        assert_eq!(warm.precision, Ratio::from_int(3));
+        assert_eq!(warm.precision, cold.precision);
+        assert_eq!(warm.corrections, cold.corrections);
+        assert_eq!(new_state.a_max, warm.precision);
+    }
+
+    #[test]
+    fn warm_state_with_mismatched_size_is_ignored() {
+        let c = two_node(6, 2);
+        let stale = ShiftsState {
+            a_max: Ratio::from_int(99),
+            cycle: vec![0, 1, 2],
+            policy: vec![0],
+        };
+        let (r, _) = shifts_howard_warm(&c, 0, Some(&stale));
+        assert_eq!(r, shifts(&c, 0));
+    }
+
+    #[test]
     fn guarantee_inequality_holds_for_all_pairs() {
         // For every p, q: m̃s(p,q) − x_p + x_q ≤ A_max (proof of Thm 4.6).
         let closures = [two_node(6, 2), two_node(0, 0), two_node(100, 1)];
@@ -163,6 +378,9 @@ mod tests {
         let r = shifts(&m, 0);
         assert_eq!(r.precision, Ratio::ZERO);
         assert_eq!(r.corrections, vec![Ratio::ZERO]);
+        let (rw, state) = shifts_howard_warm(&m, 0, None);
+        assert_eq!(rw, r);
+        assert_eq!(state.policy, vec![0]);
     }
 
     #[test]

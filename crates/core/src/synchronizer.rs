@@ -10,7 +10,7 @@ use clocksync_obs::Recorder;
 use crate::analysis::{rho_bar, worst_pair};
 use crate::degradation::{classify_degradations, LinkDegradation};
 use crate::estimates::global_estimates_traced;
-use crate::shifts::{shifts, synchronizable_components};
+use crate::shifts::{shifts, synchronizable_components, ShiftsKernel, ShiftsResult};
 use crate::{estimated_local_shifts, Network, SyncError};
 
 /// The optimal clock synchronization algorithm of the paper, specialized
@@ -115,6 +115,7 @@ impl Synchronizer {
         let mut outcome = {
             let mut span = self.recorder.span("sync.shifts");
             span.field("n", views.len());
+            span.field("kernel", ShiftsKernel::default().name());
             let mut outcome = SyncOutcome::from_global_estimates(closure);
             span.field("components", outcome.components().len());
             outcome.set_constraint_chains(chains);
@@ -160,15 +161,27 @@ impl SyncOutcome {
     /// other route than complete views — e.g. the distributed protocol's
     /// leader, which receives per-link estimates in messages.
     pub fn from_global_estimates(closure: SquareMatrix<ExtRatio>) -> SyncOutcome {
-        let n = closure.n();
         let components = synchronizable_components(&closure);
+        SyncOutcome::from_components_with(closure, components, |_, sub| shifts(sub, 0))
+    }
+
+    /// The component loop shared by [`SyncOutcome::from_global_estimates`]
+    /// and the online synchronizer's incremental path: `run_shifts` is
+    /// called once per component (in order, with the component index and
+    /// its sub-closure) so the caller can substitute a warm-started SHIFTS.
+    pub(crate) fn from_components_with(
+        closure: SquareMatrix<ExtRatio>,
+        components: Vec<Vec<ProcessorId>>,
+        mut run_shifts: impl FnMut(usize, &SquareMatrix<ExtRatio>) -> ShiftsResult,
+    ) -> SyncOutcome {
+        let n = closure.n();
         let mut corrections = vec![Ratio::ZERO; n];
         let mut reports = Vec::with_capacity(components.len());
-        for members in components {
+        for (idx, members) in components.into_iter().enumerate() {
             let k = members.len();
             let sub =
                 SquareMatrix::from_fn(k, |a, b| closure[(members[a].index(), members[b].index())]);
-            let result = shifts(&sub, 0);
+            let result = run_shifts(idx, &sub);
             for (local_idx, p) in members.iter().enumerate() {
                 corrections[p.index()] = result.corrections[local_idx];
             }

@@ -5,17 +5,32 @@
 //! (policy iteration over successor choices) has a weaker worst-case story
 //! but is famously fast in practice — Dasdan's experimental studies place
 //! it first on most instance families. The workspace keeps both: Karp as
-//! the default (predictable, matches the paper), Howard as the
-//! high-performance alternative, each property-tested against the other
+//! the exact differential oracle that matches the paper, Howard as the
+//! default practical SHIFTS kernel, each property-tested against the other
 //! and against brute force.
 //!
 //! All arithmetic is exact [`Ratio`] arithmetic, which also guarantees
 //! termination: each iteration strictly improves the policy's value
-//! lexicographically `(λ, h)` and there are finitely many policies.
+//! lexicographically `(λ, h)` and there are finitely many policies. That
+//! argument does not depend on the starting policy, which is what makes
+//! [`howard_solve`]'s warm start sound: resuming from the converged policy
+//! of a slightly perturbed matrix is just policy iteration with a
+//! different (usually near-optimal) initial point.
 
 use clocksync_time::{Ext, Ratio};
 
-use crate::SquareMatrix;
+use crate::{CycleMean, SquareMatrix};
+
+/// The converged output of Howard's policy iteration: the answer plus the
+/// final policy, reusable as a warm start on a perturbed matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HowardSolution {
+    /// The maximum cycle mean and a witness cycle achieving it.
+    pub cycle_mean: CycleMean,
+    /// The converged successor policy: `policy[v]` is the chosen successor
+    /// of `v`, or `usize::MAX` for nodes that cannot reach any cycle.
+    pub policy: Vec<usize>,
+}
 
 /// Computes the maximum cycle mean of a dense weighted digraph by policy
 /// iteration.
@@ -41,6 +56,27 @@ use crate::SquareMatrix;
 /// assert_eq!(howard_max_cycle_mean(&m), Some(Ratio::from_int(2)));
 /// ```
 pub fn howard_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<Ratio> {
+    howard_solve(m, None).map(|s| s.cycle_mean.mean)
+}
+
+/// Runs Howard's policy iteration, returning the maximum cycle mean with a
+/// witness cycle and the converged policy.
+///
+/// `warm` optionally seeds the iteration with a previous solution's policy
+/// (e.g. from the same system before a single estimate tightened). Stale
+/// entries — out-of-range successors, missing edges, dead nodes — are
+/// repaired to the heaviest live successor, so any slice is safe to pass;
+/// the result is always the exact maximum regardless of the seed, only the
+/// number of iterations changes. Conventions otherwise match
+/// [`howard_max_cycle_mean`].
+///
+/// # Panics
+///
+/// Panics if any entry is `Ext::PosInf`.
+pub fn howard_solve(
+    m: &SquareMatrix<Ext<Ratio>>,
+    warm: Option<&[usize]>,
+) -> Option<HowardSolution> {
     let n = m.n();
     for (i, j, &w) in m.iter() {
         assert!(
@@ -49,34 +85,23 @@ pub fn howard_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<Ratio> {
         );
     }
 
-    // Restrict to "live" nodes: nodes that can reach a cycle. Iteratively
-    // strip nodes with no outgoing edge into the live set.
-    let mut live = vec![true; n];
-    loop {
-        let mut changed = false;
-        for v in 0..n {
-            if !live[v] {
-                continue;
-            }
-            let has_out = (0..n).any(|u| live[u] && m[(v, u)] != Ext::NegInf);
-            if !has_out {
-                live[v] = false;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let live = live_nodes(m);
     let nodes: Vec<usize> = (0..n).filter(|&v| live[v]).collect();
     if nodes.is_empty() {
         return None;
     }
 
-    // Initial policy: any live successor (take the heaviest as a warm
-    // start).
+    // Initial policy: the warm-start successor when still usable, otherwise
+    // the heaviest live successor.
     let mut policy: Vec<usize> = vec![usize::MAX; n];
     for &v in &nodes {
+        if let Some(seed) = warm {
+            let u = seed.get(v).copied().unwrap_or(usize::MAX);
+            if u < n && live[u] && m[(v, u)] != Ext::NegInf {
+                policy[v] = u;
+                continue;
+            }
+        }
         let mut best: Option<(Ratio, usize)> = None;
         for u in 0..n {
             if !live[u] {
@@ -144,7 +169,59 @@ pub fn howard_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<Ratio> {
         }
     }
 
-    nodes.iter().map(|&v| lambda[v]).max()
+    // Witness: λ* is attained on the cycle the converged policy reaches
+    // from any argmax node (λ is constant along a policy path), so follow
+    // the policy from the first argmax node until a vertex repeats.
+    let &v_star = nodes
+        .iter()
+        .max_by_key(|&&v| lambda[v])
+        .expect("nodes is non-empty");
+    let mut pos = vec![usize::MAX; n];
+    let mut path = Vec::new();
+    let mut v = v_star;
+    while pos[v] == usize::MAX {
+        pos[v] = path.len();
+        path.push(v);
+        v = policy[v];
+    }
+    let cycle = path[pos[v]..].to_vec();
+
+    Some(HowardSolution {
+        cycle_mean: CycleMean {
+            mean: lambda[v_star],
+            cycle,
+        },
+        policy,
+    })
+}
+
+/// Restricts to "live" nodes — nodes that can reach a cycle — by
+/// iteratively stripping nodes whose out-edges all lead out of the live
+/// set. Out-degree counters plus a worklist make this `O(n²)` total (each
+/// stripped node scans its in-column once) where the old full-rescan loop
+/// was `O(n³)` worst case on long dead chains.
+fn live_nodes(m: &SquareMatrix<Ext<Ratio>>) -> Vec<bool> {
+    let n = m.n();
+    let mut outdeg: Vec<usize> = (0..n)
+        .map(|v| (0..n).filter(|&u| m[(v, u)] != Ext::NegInf).count())
+        .collect();
+    let mut live = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).filter(|&v| outdeg[v] == 0).collect();
+    for &v in &worklist {
+        live[v] = false;
+    }
+    while let Some(v) = worklist.pop() {
+        for u in 0..n {
+            if live[u] && m[(u, v)] != Ext::NegInf {
+                outdeg[u] -= 1;
+                if outdeg[u] == 0 {
+                    live[u] = false;
+                    worklist.push(u);
+                }
+            }
+        }
+    }
+    live
 }
 
 /// Policy evaluation: each node's policy path leads to exactly one cycle
@@ -225,6 +302,40 @@ mod tests {
         m
     }
 
+    fn cycle_mean_of(m: &SquareMatrix<Ext<Ratio>>, cycle: &[usize]) -> Ratio {
+        let mut total = Ratio::ZERO;
+        for t in 0..cycle.len() {
+            let from = cycle[t];
+            let to = cycle[(t + 1) % cycle.len()];
+            total += m[(from, to)].finite().unwrap();
+        }
+        total * Ratio::new(1, cycle.len() as i128)
+    }
+
+    /// The stripping loop this module replaced, kept as the behavioral
+    /// oracle for [`live_nodes`].
+    fn live_nodes_rescan(m: &SquareMatrix<Ext<Ratio>>) -> Vec<bool> {
+        let n = m.n();
+        let mut live = vec![true; n];
+        loop {
+            let mut changed = false;
+            for v in 0..n {
+                if !live[v] {
+                    continue;
+                }
+                let has_out = (0..n).any(|u| live[u] && m[(v, u)] != Ext::NegInf);
+                if !has_out {
+                    live[v] = false;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        live
+    }
+
     #[test]
     fn agrees_with_karp_on_basic_cases() {
         let cases = [
@@ -242,6 +353,94 @@ mod tests {
                 karp_max_cycle_mean(&m).map(|r| r.mean),
                 "disagreement on {m:?}"
             );
+        }
+    }
+
+    #[test]
+    fn witness_cycle_achieves_the_mean() {
+        let cases = [
+            matrix(2, &[(0, 1, 3), (1, 0, 1)]),
+            matrix(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 4)]),
+            matrix(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (1, 0, 5)]),
+            matrix(4, &[(0, 1, 2), (1, 0, 2), (2, 3, 4), (3, 2, 6)]),
+            matrix(2, &[(0, 0, 7), (0, 1, 100)]),
+            matrix(5, &[(0, 1, 9), (2, 3, 1), (3, 4, 1), (4, 2, 4)]),
+        ];
+        for m in cases {
+            let s = howard_solve(&m, None).unwrap();
+            assert!(!s.cycle_mean.is_empty());
+            assert_eq!(
+                cycle_mean_of(&m, &s.cycle_mean.cycle),
+                s.cycle_mean.mean,
+                "witness does not certify on {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_returns_the_same_answer() {
+        let m = matrix(4, &[(0, 1, 2), (1, 0, 2), (2, 3, 4), (3, 2, 6)]);
+        let cold = howard_solve(&m, None).unwrap();
+        // Its own converged policy, a garbage policy, and a short slice all
+        // converge to the same mean.
+        for seed in [
+            cold.policy.clone(),
+            vec![usize::MAX; 4],
+            vec![3, 2, 1, 0],
+            vec![0],
+        ] {
+            let warm = howard_solve(&m, Some(&seed)).unwrap();
+            assert_eq!(warm.cycle_mean.mean, cold.cycle_mean.mean);
+            assert_eq!(
+                cycle_mean_of(&m, &warm.cycle_mean.cycle),
+                warm.cycle_mean.mean
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_after_tightening_stays_exact() {
+        // Converge, tighten one edge so the optimum moves to the other
+        // cycle, and re-solve from the stale policy.
+        let mut m = matrix(4, &[(0, 1, 2), (1, 0, 2), (2, 3, 4), (3, 2, 6)]);
+        let first = howard_solve(&m, None).unwrap();
+        assert_eq!(first.cycle_mean.mean, Ratio::from_int(5));
+        m[(3, 2)] = Ext::Finite(Ratio::from_int(0));
+        let second = howard_solve(&m, Some(&first.policy)).unwrap();
+        assert_eq!(second.cycle_mean.mean, Ratio::from_int(2));
+        assert_eq!(
+            cycle_mean_of(&m, &second.cycle_mean.cycle),
+            second.cycle_mean.mean
+        );
+    }
+
+    #[test]
+    fn live_node_stripping_matches_old_rescan_loop() {
+        // Deterministic LCG over random digraphs, including edge densities
+        // low enough to produce long dead chains.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 2, 5, 9, 16] {
+            for density in [0u64, 1, 2, 5, 9] {
+                let mut m = SquareMatrix::filled(n, Ext::<Ratio>::NegInf);
+                for i in 0..n {
+                    for j in 0..n {
+                        if next() % 10 < density {
+                            m[(i, j)] = Ext::Finite(Ratio::from_int((next() % 21) as i128 - 10));
+                        }
+                    }
+                }
+                assert_eq!(
+                    live_nodes(&m),
+                    live_nodes_rescan(&m),
+                    "live set mismatch at n={n} density={density}"
+                );
+            }
         }
     }
 

@@ -159,40 +159,74 @@ pub fn karp_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<CycleMean> {
     })
 }
 
-/// Scans every repeated-vertex segment of `walk` and returns the segment
-/// (as a cycle) whose mean equals `lambda`.
+/// Returns a repeated-vertex segment of `walk` (as a cycle) whose mean
+/// equals `lambda`.
 fn extract_best_cycle(walk: &[usize], m: &SquareMatrix<Ext<Ratio>>, lambda: Ratio) -> Vec<usize> {
-    let mut best_cycle: Option<(Ratio, Vec<usize>)> = None;
-    for i in 0..walk.len() {
-        for j in (i + 1)..walk.len() {
-            if walk[i] != walk[j] {
-                continue;
+    extract_cycle_prefix_scan(
+        walk,
+        Ratio::ZERO,
+        |a, b| m[(a, b)].finite().expect("walk follows existing edges"),
+        |sum, len| sum == lambda * Ratio::from_int(len as i128),
+        |s1, l1, s2, l2| {
+            // s1/l1 vs s2/l2 with positive lengths: cross-multiply.
+            (s1 * Ratio::from_int(l2 as i128)).cmp(&(s2 * Ratio::from_int(l1 as i128)))
+        },
+    )
+}
+
+/// The witness-extraction core shared by the rational and `i64` Karp
+/// kernels.
+///
+/// Prefix sums over the walk make each candidate segment `O(1)`: when
+/// `walk[i] == walk[j]`, the segment `walk[i..j]` is a cycle — its closing
+/// edge `walk[j-1] → walk[j] = walk[i]` is itself a walk edge — with total
+/// weight `prefix[j] − prefix[i]`. Scanning end positions in order and
+/// keeping every earlier occurrence of each vertex visits `O(n²)`
+/// candidates worst case (`O(n)` when the first repeat already achieves
+/// the target mean, the common case) instead of re-summing each segment
+/// from scratch, which made the old extraction `O(n³)` `Ratio` work.
+///
+/// Returns the first segment whose `(sum, len)` satisfies `is_lambda`,
+/// falling back to the best segment under `cmp` (fraction comparison of
+/// `(sum, len)` pairs); by Karp's theorem a maximal walk carries a cycle of
+/// mean `λ*`, so the fallback also certifies when `is_lambda` tests `λ*`.
+pub(crate) fn extract_cycle_prefix_scan<S>(
+    walk: &[usize],
+    zero: S,
+    mut edge_weight: impl FnMut(usize, usize) -> S,
+    is_lambda: impl Fn(S, usize) -> bool,
+    cmp: impl Fn(S, usize, S, usize) -> std::cmp::Ordering,
+) -> Vec<usize>
+where
+    S: Copy + std::ops::Add<Output = S> + std::ops::Sub<Output = S>,
+{
+    // prefix[t] = total weight of the first t edges of the walk.
+    let mut prefix = Vec::with_capacity(walk.len());
+    prefix.push(zero);
+    for t in 1..walk.len() {
+        let w = edge_weight(walk[t - 1], walk[t]);
+        prefix.push(prefix[t - 1] + w);
+    }
+
+    let nodes = walk.iter().copied().max().map_or(0, |v| v + 1);
+    let mut occurrences: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut best_cycle: Option<(S, usize, usize)> = None;
+    for (j, &v) in walk.iter().enumerate() {
+        for &i in &occurrences[v] {
+            let (sum, len) = (prefix[j] - prefix[i], j - i);
+            if is_lambda(sum, len) {
+                return walk[i..j].to_vec();
             }
-            let seg = &walk[i..j];
-            let mut total = Ratio::ZERO;
-            for t in 0..seg.len() {
-                let from = seg[t];
-                let to = if t + 1 < seg.len() {
-                    seg[t + 1]
-                } else {
-                    seg[0]
-                };
-                total += m[(from, to)].finite().expect("walk follows existing edges");
-            }
-            let mean = total * Ratio::new(1, seg.len() as i128);
-            match &best_cycle {
-                Some((b, _)) if *b >= mean => {}
-                _ => best_cycle = Some((mean, seg.to_vec())),
-            }
-            if mean == lambda {
-                return seg.to_vec();
+            match best_cycle {
+                Some((bs, bi, bj)) if cmp(bs, bj - bi, sum, len).is_ge() => {}
+                _ => best_cycle = Some((sum, i, j)),
             }
         }
+        occurrences[v].push(j);
     }
-    // Fall back to the best cycle found; by Karp's theorem it has mean λ*.
-    best_cycle
-        .expect("an n-edge walk over n nodes must repeat a vertex")
-        .1
+    // Fall back to the best cycle found.
+    let (_, i, j) = best_cycle.expect("an n-edge walk over n nodes must repeat a vertex");
+    walk[i..j].to_vec()
 }
 
 #[cfg(test)]

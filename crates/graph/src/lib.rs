@@ -22,7 +22,10 @@
 //! (falling back to the generic one when exact scaling is impossible), and
 //! [`Closure`] caches a computed closure so single-edge tightenings can be
 //! absorbed in `O(n²)` via [`Closure::relax_edge`] instead of a full
-//! `O(n³)` recompute.
+//! `O(n³)` recompute. The `A_max` stage has the same two-tier design:
+//! [`fast_max_cycle_mean`] rescales to the `i64` Karp kernel
+//! ([`karp_max_cycle_mean_i64`]) with exact fallback, and [`howard_solve`]
+//! runs policy iteration with a witness cycle and a warm-startable policy.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ mod floyd_warshall;
 mod howard;
 mod karp;
 mod matrix;
+mod scaled_karp;
 mod weight;
 
 pub use bellman_ford::{bellman_ford, NegativeCycleError};
@@ -56,7 +60,10 @@ pub use blocked::{blocked_floyd_warshall_i64, UNREACHABLE};
 pub use closure::{fast_closure, try_scaled_closure, Closure, ClosureResult};
 pub use digraph::{DiGraph, Edge};
 pub use floyd_warshall::{floyd_warshall, floyd_warshall_with_paths, reconstruct_path};
-pub use howard::howard_max_cycle_mean;
+pub use howard::{howard_max_cycle_mean, howard_solve, HowardSolution};
 pub use karp::{karp_max_cycle_mean, CycleMean};
 pub use matrix::SquareMatrix;
+pub use scaled_karp::{
+    fast_max_cycle_mean, karp_max_cycle_mean_i64, try_scaled_karp, CycleMeanI64, NO_EDGE,
+};
 pub use weight::Weight;

@@ -1,0 +1,369 @@
+//! The scaled-`i64` fast path for Karp's maximum cycle mean.
+//!
+//! Mirrors the closure subsystem's architecture (see `closure.rs`): rescale
+//! the rational weight matrix by the least common denominator to plain
+//! `i64`, run a cache-friendly integer kernel — parallelized over
+//! destination vertices with rayon — and map the answer back. Scaling by a
+//! positive constant multiplies every walk weight by that constant, so
+//! every comparison Karp's recurrence makes is preserved *exactly*: the
+//! scaled kernel's `D_k` tables, parent pointers, argmax vertex, and
+//! witness walk are the scaled images of the exact kernel's, and dividing
+//! the resulting `λ*` by the scale recovers the exact rational answer
+//! bit-for-bit ([`Ratio`] is canonical). When scaling would overflow —
+//! oversized common denominator or magnitudes too close to the sentinel —
+//! [`fast_max_cycle_mean`] falls back to the exact
+//! [`karp_max_cycle_mean`](crate::karp_max_cycle_mean).
+
+use rayon::prelude::*;
+
+use clocksync_time::{Ext, Ratio};
+
+use crate::karp::extract_cycle_prefix_scan;
+use crate::{karp_max_cycle_mean, CycleMean, SquareMatrix};
+
+/// Sentinel for "no edge" / "no walk" in the `i64` Karp kernel. Far enough
+/// from `i64::MIN` that no intermediate the kernel forms can wrap.
+pub const NO_EDGE: i64 = i64::MIN / 4;
+
+/// Largest common denominator the scaling pass will build (same bound as
+/// the closure fast path; estimate matrices have denominators 1 or 2).
+const MAX_SCALE: i128 = 1 << 40;
+
+/// Matrices at least this large relax each round's destinations in
+/// parallel; below it the rayon fork/join overhead outweighs the row work.
+const PAR_THRESHOLD: usize = 128;
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+/// The result of the integer maximum-cycle-mean kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleMeanI64 {
+    /// Numerator of `λ*` (a difference of walk weights; not reduced).
+    pub num: i64,
+    /// Denominator of `λ*` (a cycle-length difference, `1..=n`).
+    pub den: i64,
+    /// A witness cycle achieving the mean, conventions as [`CycleMean`].
+    pub cycle: Vec<usize>,
+}
+
+/// Exactly rescales a `NegInf`-absent rational weight matrix to
+/// sentinel-encoded `i64`, returning the scaled matrix and the common
+/// denominator. `None` when the matrix cannot be represented safely: a
+/// `PosInf` entry, an oversized common denominator, or magnitudes big
+/// enough that an `(n+1)`-edge walk sum could approach the sentinel.
+fn scaled_cycle_weights(m: &SquareMatrix<Ext<Ratio>>) -> Option<(SquareMatrix<i64>, i128)> {
+    let n = m.n();
+    let mut scale: i128 = 1;
+    for (_, _, &w) in m.iter() {
+        match w {
+            Ext::Finite(r) => {
+                let den = r.denominator();
+                scale = scale.checked_mul(den / gcd(scale, den))?;
+                if scale > MAX_SCALE {
+                    return None;
+                }
+            }
+            // Defer the "resolve infinities first" contract to the exact
+            // kernel the caller falls back to.
+            Ext::PosInf => return None,
+            Ext::NegInf => {}
+        }
+    }
+    // Walks have at most n edges and the extraction sums at most n more, so
+    // keep every |weight| small enough that (n+1)-term sums stay far from
+    // the sentinel.
+    let limit = (i64::MAX / 4) / (n as i64 + 1);
+    let mut out = SquareMatrix::filled(n, NO_EDGE);
+    for (i, j, &w) in m.iter() {
+        if let Ext::Finite(r) = w {
+            let scaled = r.numerator().checked_mul(scale / r.denominator())?;
+            let v = i64::try_from(scaled).ok()?;
+            if !(-limit..=limit).contains(&v) {
+                return None;
+            }
+            out[(i, j)] = v;
+        }
+    }
+    Some((out, scale))
+}
+
+/// Compares the fractions `a1/b1` and `a2/b2` (positive denominators) by
+/// `i128` cross-multiplication — exact, and far from overflow for the
+/// kernel's walk-weight differences.
+fn cmp_frac(a1: i64, b1: i64, a2: i64, b2: i64) -> std::cmp::Ordering {
+    (a1 as i128 * b2 as i128).cmp(&(a2 as i128 * b1 as i128))
+}
+
+/// Karp's maximum cycle mean over a dense `i64` weight matrix; entries
+/// equal to [`NO_EDGE`] mark absent edges, everything else is an edge
+/// weight (callers must keep weights small enough that `n`-term sums
+/// cannot overflow — the rational front end [`try_scaled_karp`] enforces
+/// this before delegating here). Returns `None` when the graph has no
+/// cycle.
+///
+/// The recurrence mirrors [`karp_max_cycle_mean`](crate::karp_max_cycle_mean)
+/// decision-for-decision (same strict-improvement tie-breaking, same
+/// witness extraction), so on a scaled matrix the two kernels produce the
+/// *same* walk and witness cycle. Rounds relax all destination vertices
+/// independently, in parallel via rayon for `n ≥ 128`.
+pub fn karp_max_cycle_mean_i64(m: &SquareMatrix<i64>) -> Option<CycleMeanI64> {
+    let n = m.n();
+    if n == 0 {
+        return None;
+    }
+    // Transposed weights: row v holds the in-edge weights of v, making each
+    // destination's relaxation a contiguous scan.
+    let mut wt = vec![NO_EDGE; n * n];
+    let mut has_edge = false;
+    for (u, v, &w) in m.iter() {
+        if w != NO_EDGE {
+            wt[v * n + u] = w;
+            has_edge = true;
+        }
+    }
+    if !has_edge {
+        return None;
+    }
+
+    // d[k][v] = max weight of a k-edge walk ending at v (NO_EDGE = none);
+    // parent[k][v] is the predecessor realizing it.
+    let relax = |v: usize, prev: &[i64]| -> (i64, usize) {
+        let mut best = NO_EDGE;
+        let mut par = usize::MAX;
+        for (u, (&w, &du)) in wt[v * n..(v + 1) * n].iter().zip(prev).enumerate() {
+            if w == NO_EDGE || du == NO_EDGE {
+                continue;
+            }
+            let cand = du + w;
+            if par == usize::MAX || cand > best {
+                best = cand;
+                par = u;
+            }
+        }
+        (best, par)
+    };
+    let mut d: Vec<Vec<i64>> = Vec::with_capacity(n + 1);
+    let mut parent: Vec<Vec<usize>> = Vec::with_capacity(n + 1);
+    d.push(vec![0; n]);
+    parent.push(vec![usize::MAX; n]);
+    for k in 1..=n {
+        let prev = &d[k - 1];
+        let (row, par): (Vec<i64>, Vec<usize>) = if n >= PAR_THRESHOLD {
+            let pairs: Vec<(i64, usize)> = (0..n).into_par_iter().map(|v| relax(v, prev)).collect();
+            pairs.into_iter().unzip()
+        } else {
+            (0..n).map(|v| relax(v, prev)).unzip()
+        };
+        d.push(row);
+        parent.push(par);
+    }
+
+    // λ* = max_v min_k (D_n(v) − D_k(v)) / (n − k), exactly as the rational
+    // kernel computes it (fraction comparisons by cross-multiplication).
+    let mut best: Option<(i64, i64, usize)> = None;
+    for v in 0..n {
+        let dn = d[n][v];
+        if dn == NO_EDGE {
+            continue;
+        }
+        let mut v_min: Option<(i64, i64)> = None;
+        for (k, dk_row) in d.iter().enumerate().take(n) {
+            let dk = dk_row[v];
+            if dk == NO_EDGE {
+                continue;
+            }
+            let (num, den) = (dn - dk, (n - k) as i64);
+            v_min = Some(match v_min {
+                Some((cn, cd)) if cmp_frac(cn, cd, num, den).is_le() => (cn, cd),
+                _ => (num, den),
+            });
+        }
+        if let Some((vn, vd)) = v_min {
+            match best {
+                Some((bn, bd, _)) if cmp_frac(bn, bd, vn, vd).is_ge() => {}
+                _ => best = Some((vn, vd, v)),
+            }
+        }
+    }
+    let (lambda_num, lambda_den, v_star) = best?;
+
+    // Witness extraction: n parent steps back from v*, then the shared
+    // prefix-sum repeated-vertex scan.
+    let mut walk = Vec::with_capacity(n + 1);
+    let mut v = v_star;
+    for k in (0..=n).rev() {
+        walk.push(v);
+        if k > 0 {
+            v = parent[k][v];
+        }
+    }
+    walk.reverse(); // now walk[0] -> walk[1] -> ... -> walk[n] = v*
+
+    let cycle = extract_cycle_prefix_scan(
+        &walk,
+        0i128,
+        |a, b| {
+            let w = m[(a, b)];
+            debug_assert!(w != NO_EDGE, "walk follows existing edges");
+            w as i128
+        },
+        |sum, len| sum * lambda_den as i128 == lambda_num as i128 * len as i128,
+        |s1, l1, s2, l2| (s1 * l2 as i128).cmp(&(s2 * l1 as i128)),
+    );
+    Some(CycleMeanI64 {
+        num: lambda_num,
+        den: lambda_den,
+        cycle,
+    })
+}
+
+/// Runs the scaled `i64` Karp kernel if the matrix admits exact scaling.
+/// Returns `None` when it does not (the caller should use the exact
+/// rational kernel); `Some(None)` means the graph has no cycle. Exposed so
+/// the equivalence test suite can tell "fast path taken" apart from
+/// "silently fell back".
+pub fn try_scaled_karp(m: &SquareMatrix<Ext<Ratio>>) -> Option<Option<CycleMean>> {
+    let (scaled, scale) = scaled_cycle_weights(m)?;
+    Some(karp_max_cycle_mean_i64(&scaled).map(|r| CycleMean {
+        mean: Ratio::new(r.num as i128, r.den as i128 * scale),
+        cycle: r.cycle,
+    }))
+}
+
+/// The maximum cycle mean via the parallel scaled-`i64` kernel whenever the
+/// input can be exactly rescaled (the common case for estimate matrices),
+/// and via the exact rational [`karp_max_cycle_mean`](crate::karp_max_cycle_mean)
+/// otherwise. Both routes produce the identical [`CycleMean`] — mean *and*
+/// witness cycle — on every input the fast path accepts.
+///
+/// # Panics
+///
+/// Panics if any entry is `Ext::PosInf` (the contract of the exact kernel;
+/// the scaled path rejects such matrices and falls back).
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_graph::{SquareMatrix, fast_max_cycle_mean};
+/// use clocksync_time::{Ext, Ratio};
+///
+/// let mut m = SquareMatrix::filled(2, Ext::<Ratio>::NegInf);
+/// m[(0, 1)] = Ext::Finite(Ratio::new(3, 2));
+/// m[(1, 0)] = Ext::Finite(Ratio::new(1, 2));
+/// let r = fast_max_cycle_mean(&m).expect("graph has a cycle");
+/// assert_eq!(r.mean, Ratio::from_int(1));
+/// ```
+pub fn fast_max_cycle_mean(m: &SquareMatrix<Ext<Ratio>>) -> Option<CycleMean> {
+    match try_scaled_karp(m) {
+        Some(result) => result,
+        None => karp_max_cycle_mean(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio_matrix(n: usize, edges: &[(usize, usize, i128, i128)]) -> SquareMatrix<Ext<Ratio>> {
+        let mut m = SquareMatrix::filled(n, Ext::<Ratio>::NegInf);
+        for &(a, b, num, den) in edges {
+            m[(a, b)] = Ext::Finite(Ratio::new(num, den));
+        }
+        m
+    }
+
+    #[test]
+    fn scaled_path_matches_exact_karp_exactly() {
+        let cases = [
+            ratio_matrix(2, &[(0, 1, 3, 1), (1, 0, 1, 1)]),
+            ratio_matrix(3, &[(0, 1, 1, 2), (1, 2, 2, 3), (2, 0, 4, 1)]),
+            ratio_matrix(4, &[(0, 1, 2, 1), (1, 0, 2, 1), (2, 3, 4, 1), (3, 2, 6, 1)]),
+            ratio_matrix(2, &[(0, 0, 7, 2), (0, 1, 100, 1)]),
+            ratio_matrix(2, &[(0, 1, -3, 1), (1, 0, -1, 1)]),
+            ratio_matrix(5, &[(0, 1, 9, 1), (2, 3, 1, 1), (3, 4, 1, 1), (4, 2, 4, 1)]),
+        ];
+        for m in cases {
+            let fast = try_scaled_karp(&m).expect("should take the fast path");
+            assert_eq!(fast, karp_max_cycle_mean(&m), "mismatch on {m:?}");
+            assert_eq!(fast, fast_max_cycle_mean(&m));
+        }
+    }
+
+    #[test]
+    fn acyclic_and_empty_graphs() {
+        let m = ratio_matrix(3, &[(0, 1, 5, 1), (1, 2, 5, 1)]);
+        assert_eq!(try_scaled_karp(&m), Some(None));
+        assert_eq!(fast_max_cycle_mean(&m), None);
+        assert_eq!(try_scaled_karp(&ratio_matrix(0, &[])), Some(None));
+        assert_eq!(try_scaled_karp(&ratio_matrix(3, &[])), Some(None));
+    }
+
+    #[test]
+    fn scaling_rejects_posinf_and_huge_denominators() {
+        let mut m = ratio_matrix(2, &[(0, 1, 1, 1), (1, 0, 1, 1)]);
+        m[(0, 1)] = Ext::PosInf;
+        assert!(try_scaled_karp(&m).is_none());
+        let m = ratio_matrix(2, &[(0, 1, 1, 1), (1, 0, 1, MAX_SCALE * 2 + 1)]);
+        assert!(try_scaled_karp(&m).is_none());
+        // The public front end falls back to the exact kernel.
+        assert_eq!(
+            fast_max_cycle_mean(&m),
+            karp_max_cycle_mean(&m),
+            "fallback must agree with the exact kernel"
+        );
+    }
+
+    #[test]
+    fn scaling_rejects_oversized_magnitudes() {
+        let big = (i64::MAX as i128) / 2;
+        let m = ratio_matrix(2, &[(0, 1, big, 1), (1, 0, big, 1)]);
+        assert!(try_scaled_karp(&m).is_none());
+        assert_eq!(fast_max_cycle_mean(&m).unwrap().mean, Ratio::from_int(big));
+    }
+
+    #[test]
+    fn i64_kernel_direct_conventions() {
+        // 0 → 1 → 0 with weights 3, 1; plus an absent-edge row.
+        let mut m = SquareMatrix::filled(3, NO_EDGE);
+        m[(0, 1)] = 3;
+        m[(1, 0)] = 1;
+        let r = karp_max_cycle_mean_i64(&m).unwrap();
+        assert_eq!((r.num, r.den), (4, 2));
+        assert_eq!(r.cycle.len(), 2);
+        assert!(karp_max_cycle_mean_i64(&SquareMatrix::filled(2, NO_EDGE)).is_none());
+        assert!(karp_max_cycle_mean_i64(&SquareMatrix::<i64>::filled(0, NO_EDGE)).is_none());
+    }
+
+    #[test]
+    fn parallel_rounds_match_serial_decisions() {
+        // n past PAR_THRESHOLD: the rayon path must agree with the exact
+        // rational kernel bit-for-bit, witness included.
+        let n = PAR_THRESHOLD;
+        let mut m = SquareMatrix::filled(n, Ext::<Ratio>::NegInf);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            for j in 0..n {
+                if next() % 4 != 0 {
+                    let num = (next() % 41) as i128 - 20;
+                    let den = 1 + (next() % 4) as i128;
+                    m[(i, j)] = Ext::Finite(Ratio::new(num, den));
+                }
+            }
+        }
+        let fast = try_scaled_karp(&m).expect("scalable");
+        assert_eq!(fast, karp_max_cycle_mean(&m));
+    }
+}

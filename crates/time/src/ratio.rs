@@ -290,18 +290,49 @@ impl PartialOrd for Ratio {
 
 impl Ord for Ratio {
     fn cmp(&self, other: &Ratio) -> Ordering {
-        // Compare a/b vs c/d via a*d vs c*b; reduce first to avoid overflow.
+        // Compare a/b vs c/d via a·(d/g) vs c·(b/g); the gcd-reduced i128
+        // cross products almost always fit. When they do not (adversarial
+        // denominators from long exact-arithmetic chains), fall back to a
+        // full 256-bit magnitude comparison — comparison can always be
+        // answered exactly even when the products cannot be represented.
         let g = gcd(self.den, other.den);
-        let lhs = self
-            .num
-            .checked_mul(other.den / g)
-            .expect("Ratio comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den / g)
-            .expect("Ratio comparison overflow");
-        lhs.cmp(&rhs)
+        let ld = other.den / g;
+        let rd = self.den / g;
+        match (self.num.checked_mul(ld), other.num.checked_mul(rd)) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => {
+                // Denominators are strictly positive, so each product's sign
+                // is its numerator's sign; only equal-sign pairs need the
+                // wide magnitude comparison.
+                let (sa, sc) = (self.num.signum(), other.num.signum());
+                if sa != sc {
+                    return sa.cmp(&sc);
+                }
+                let lhs = wide_mul(self.num.unsigned_abs(), ld as u128);
+                let rhs = wide_mul(other.num.unsigned_abs(), rd as u128);
+                if sa >= 0 {
+                    lhs.cmp(&rhs)
+                } else {
+                    rhs.cmp(&lhs)
+                }
+            }
+        }
     }
+}
+
+/// Full 256-bit product of two unsigned 128-bit values as `(hi, lo)` limbs;
+/// the tuple order makes lexicographic `Ord` a magnitude comparison.
+fn wide_mul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1 << 64) - 1;
+    let (ah, al) = (a >> 64, a & MASK);
+    let (bh, bl) = (b >> 64, b & MASK);
+    let ll = al * bl;
+    let lh = al * bh;
+    let hl = ah * bl;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = ah * bh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
 }
 
 impl fmt::Display for Ratio {
@@ -392,6 +423,49 @@ mod tests {
     fn sum_of_iterator() {
         let s: Ratio = (1..=3).map(|k| Ratio::new(1, k)).sum();
         assert_eq!(s, Ratio::new(11, 6));
+    }
+
+    #[test]
+    fn comparison_survives_cross_multiplication_overflow() {
+        // Adversarial denominators: the gcd of 2^100 and 2^100 + 2 is only
+        // 2, so the reduced cross products are ≈ 2^199 and overflow i128.
+        // x = 1 + 1/2^100 and y = 1 + 1/(2^100 + 2); x is larger.
+        let big = 1i128 << 100;
+        let x = Ratio::new(big + 1, big);
+        let y = Ratio::new(big + 3, big + 2);
+        assert!(x > y);
+        assert!(y < x);
+        assert_eq!(x.cmp(&x), Ordering::Equal);
+        assert_eq!(y.cmp(&y), Ordering::Equal);
+        // Negative mirror images reverse the order.
+        assert!(-x < -y);
+        assert_eq!((-x).cmp(&(-y)), Ordering::Less);
+        // min/max route through cmp.
+        assert_eq!(x.max(y), x);
+        assert_eq!((-x).min(-y), -x);
+    }
+
+    #[test]
+    fn comparison_overflow_on_one_side_only() {
+        // Only the right-hand cross product overflows: 3·2^100 fits but
+        // (2^100 − 1)·(2^100 + 1) = 2^200 − 1 does not.
+        let big = 1i128 << 100;
+        let small = Ratio::new(3, big + 1);
+        let near_one = Ratio::new(big - 1, big);
+        assert!(small < near_one);
+        assert!(near_one > small);
+        // Opposite signs with unrepresentable magnitudes decide by sign.
+        assert!(-near_one < small);
+        assert!(Ratio::new(-(big + 1), big) < Ratio::new(big + 3, big + 2));
+    }
+
+    #[test]
+    fn wide_mul_matches_known_products() {
+        assert_eq!(wide_mul(0, u128::MAX), (0, 0));
+        assert_eq!(wide_mul(1, u128::MAX), (0, u128::MAX));
+        assert_eq!(wide_mul(1 << 64, 1 << 64), (1, 0));
+        assert_eq!(wide_mul(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
+        assert_eq!(wide_mul(u128::MAX, 2), (1, u128::MAX - 1));
     }
 
     #[test]

@@ -91,6 +91,27 @@ fn critical_cycle_certifies_the_precision() {
     assert_eq!(mean, comp.precision);
 }
 
+#[test]
+fn every_kernel_realizes_the_same_lower_bound() {
+    // The optimality theorems do not care which A_max engine ran: on the
+    // hand-computed two-node instance all three kernels certify exactly
+    // A_max = 40 with identical corrections.
+    use clocksync::{shifts_with_kernel, ShiftsKernel};
+    let (net, exec) = two_node();
+    let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+    let closure = outcome.global_shift_estimates();
+    for kernel in [
+        ShiftsKernel::Howard,
+        ShiftsKernel::KarpScaled,
+        ShiftsKernel::KarpExact,
+    ] {
+        let r = shifts_with_kernel(closure, 0, kernel);
+        assert_eq!(r.precision, Ratio::from_int(40), "{kernel:?}");
+        assert_eq!(Ext::Finite(r.precision), outcome.precision());
+        assert_eq!(r.corrections, outcome.corrections(), "{kernel:?}");
+    }
+}
+
 /// A path instance where the global (closure) cycle dominates any single
 /// link: the 2-cycle P↔R through the closure has mean larger than each
 /// link's own cycle, exercising the Karp-on-closure subtlety.

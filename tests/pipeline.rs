@@ -200,6 +200,67 @@ fn declared_but_silent_links_do_not_break_anything() {
 }
 
 #[test]
+fn shifts_kernels_are_interchangeable_end_to_end() {
+    // The SHIFTS stage has three A_max engines (Howard by default, scaled
+    // and exact Karp behind it); on real pipeline closures they must yield
+    // identical precisions AND identical corrections, and every kernel's
+    // critical cycle must certify the same precision.
+    use clocksync::{shifts_with_kernel, synchronizable_components, ShiftsKernel};
+    use clocksync_graph::SquareMatrix;
+    use clocksync_time::Ratio;
+
+    let topologies = [
+        Topology::Path(5),
+        Topology::Ring(6),
+        Topology::Complete(5),
+        Topology::RandomConnected {
+            n: 8,
+            extra_per_mille: 250,
+        },
+    ];
+    for topo in topologies {
+        let sim = Simulation::builder(topo.n())
+            .uniform_links(topo, us(50), us(450), 13)
+            .probes(2)
+            .build();
+        for seed in 0..3 {
+            let run = sim.run(seed);
+            let outcome = run.synchronize().expect("consistent run");
+            let closure = outcome.global_shift_estimates();
+            for members in synchronizable_components(closure) {
+                let k = members.len();
+                let sub = SquareMatrix::from_fn(k, |a, b| {
+                    closure[(members[a].index(), members[b].index())]
+                });
+                let reference = shifts_with_kernel(&sub, 0, ShiftsKernel::KarpExact);
+                for kernel in [ShiftsKernel::Howard, ShiftsKernel::KarpScaled] {
+                    let r = shifts_with_kernel(&sub, 0, kernel);
+                    assert_eq!(
+                        r.precision, reference.precision,
+                        "{topo:?} seed {seed}: {kernel:?} precision diverged"
+                    );
+                    assert_eq!(
+                        r.corrections, reference.corrections,
+                        "{topo:?} seed {seed}: {kernel:?} corrections diverged"
+                    );
+                    let cycle = &r.critical_cycle;
+                    let mut total = Ratio::ZERO;
+                    for t in 0..cycle.len() {
+                        let (from, to) = (cycle[t], cycle[(t + 1) % cycle.len()]);
+                        total += sub[(from, to)].finite().expect("finite closure");
+                    }
+                    assert_eq!(
+                        total * Ratio::new(1, cycle.len() as i128),
+                        r.precision,
+                        "{topo:?} seed {seed}: {kernel:?} witness does not certify"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn single_processor_system_is_trivially_precise() {
     let sim = Simulation::builder(1).probes(1).build();
     let run = sim.run(0);

@@ -16,6 +16,9 @@
 //!   (default 300 ms).
 //! * `CRITERION_SAMPLES` — number of sample batches (default 12).
 //! * `CRITERION_FILTER` — substring filter on benchmark ids.
+//! * `CRITERION_SMOKE` — when set, every benchmark routine runs exactly
+//!   once, unmeasured: a fast existence check. `cargo bench -- --test`
+//!   sets this automatically (matching the real crate's `--test` flag).
 
 use std::time::{Duration, Instant};
 
@@ -127,6 +130,15 @@ impl BenchmarkGroup<'_> {
                 return self;
             }
         }
+        if std::env::var_os("CRITERION_SMOKE").is_some() {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b, input);
+            println!("{full:<48} smoke ok");
+            return self;
+        }
         let target = Duration::from_millis(env_u64("CRITERION_MEASURE_MS", 300));
         let samples = env_u64("CRITERION_SAMPLES", 12).max(3) as usize;
 
@@ -217,7 +229,11 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // cargo bench passes `--bench`; ignore all CLI arguments.
+            // cargo bench passes `--bench`; of the remaining CLI arguments
+            // only `--test` (smoke mode, as in the real crate) is honored.
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("CRITERION_SMOKE", "1");
+            }
             $( $group(); )+
         }
     };
