@@ -14,10 +14,17 @@
 //!                                 # validate a BENCH_karp.json document
 //!                                 # (schema + fast-kernel speedup floor
 //!                                 # at n=256; default floor 10)
+//!   tables --bench-ingest \[path\]  # measure the sharded ingestion service
+//!                                 # and write BENCH_ingest.json (default
+//!                                 # path: BENCH_ingest.json)
+//!   tables --check-bench-ingest PATH \[min_throughput\]
+//!                                 # validate a BENCH_ingest.json document
+//!                                 # (schema, bounded retention, GC wins,
+//!                                 # throughput floor; default 50000/s)
 
 use std::process::ExitCode;
 
-use clocksync_bench::{closure_bench, karp_bench, registry};
+use clocksync_bench::{closure_bench, ingest_bench, karp_bench, registry};
 use rayon::prelude::*;
 
 fn main() -> ExitCode {
@@ -122,10 +129,60 @@ fn main() -> ExitCode {
                 }
             }
         }
+        [flag, rest @ ..] if flag == "--bench-ingest" && rest.len() <= 1 => {
+            let path = rest
+                .first()
+                .map(String::as_str)
+                .unwrap_or("BENCH_ingest.json");
+            eprintln!(
+                "measuring sharded batched ingestion (100k messages per shard count) \
+                 and the retention GC"
+            );
+            let doc = ingest_bench::bench_ingest_json();
+            print!("{doc}");
+            match std::fs::write(path, &doc) {
+                Ok(()) => {
+                    eprintln!("wrote {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        [flag, path, rest @ ..] if flag == "--check-bench-ingest" && rest.len() <= 1 => {
+            let floor: f64 = match rest.first().map(|s| s.parse()) {
+                None => 50_000.0,
+                Some(Ok(f)) => f,
+                Some(Err(_)) => {
+                    eprintln!("min_throughput must be a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let doc = match std::fs::read_to_string(path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ingest_bench::check_bench_ingest_json(&doc, floor) {
+                Ok(()) => {
+                    eprintln!("{path} ok (throughput floor {floor} msgs/sec)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
             eprintln!(
                 "usage: tables [--list | --exp <id> | --bench-closure [path] | \
-                 --bench-karp [path] | --check-bench-karp <path> [min_speedup]]"
+                 --bench-karp [path] | --check-bench-karp <path> [min_speedup] | \
+                 --bench-ingest [path] | --check-bench-ingest <path> [min_throughput]]"
             );
             ExitCode::FAILURE
         }

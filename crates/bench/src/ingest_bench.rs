@@ -1,0 +1,415 @@
+//! Wall-clock measurements of the sharded ingestion service, behind
+//! `tables --bench-ingest` and the committed `BENCH_ingest.json` artifact.
+//!
+//! Two suites:
+//!
+//! * **ingest**: sustained batched ingestion through
+//!   [`clocksync_service::run_soak`] at several shard counts — the
+//!   headline is messages per second plus the steady-state retention
+//!   numbers, which must stay under the analytic per-link cap (window
+//!   plus two extremal witnesses per directed link) no matter how many
+//!   messages flow through.
+//! * **gc**: the retention sweep itself — the incremental
+//!   [`ViewWindow`] garbage collector (tombstones, amortized in the
+//!   number of *dropped* messages) versus the old path that materialized
+//!   the full [`ViewSet`](clocksync_model::ViewSet) and filtered it with
+//!   `retain_messages` on every GC tick (a rebuild of every event, so
+//!   O(live + dropped) per tick even when nothing is dropped). Both arms
+//!   process the identical stream and drop the identical messages; the
+//!   checker asserts the incremental arm is never slower.
+//!
+//! Timings are minima over repetitions for the GC suite and single
+//! passes for the soak (its loop is already thousands of batches); the
+//! emitted JSON is hand-rolled flat numbers, like the sibling bench
+//! documents.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use clocksync_model::{MessageId, MessageObservation, ProcessorId, ViewWindow};
+use clocksync_service::{run_soak, SoakConfig, SoakReport};
+use clocksync_time::ClockTime;
+
+/// One row of the shard-count sweep.
+pub struct IngestRow {
+    /// The soak report at this shard count.
+    pub report: SoakReport,
+}
+
+/// Runs the soak at each shard count with an otherwise fixed
+/// configuration (8 domains of 4 processors, 64-message batches,
+/// 32-message windows).
+pub fn measure_ingest(shard_counts: &[usize], messages: u64) -> Vec<IngestRow> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let config = SoakConfig {
+                shards,
+                domains: 8,
+                n: 4,
+                messages,
+                batch_size: 64,
+                window: 32,
+                seed: 7,
+            };
+            IngestRow {
+                report: run_soak(&config),
+            }
+        })
+        .collect()
+}
+
+/// One row of the GC comparison.
+pub struct GcRow {
+    /// GC ticks processed (one batch of pushes per tick).
+    pub ticks: usize,
+    /// Messages pushed per tick.
+    pub batch: usize,
+    /// Per-directed-link retention window.
+    pub window: usize,
+    /// Incremental tombstone GC, total nanoseconds over the stream.
+    pub incremental_ns: u128,
+    /// Materialize-and-`retain_messages` rebuild, total nanoseconds over
+    /// the same stream with the same drops.
+    pub rebuild_ns: u128,
+    /// Live messages at the end (identical in both arms).
+    pub live_end: usize,
+    /// Messages dropped over the stream (identical in both arms).
+    pub dropped: usize,
+}
+
+impl GcRow {
+    /// Rebuild time over incremental time — the figure the checker gates
+    /// at ≥ 1.
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ns == 0 {
+            f64::INFINITY
+        } else {
+            self.rebuild_ns as f64 / self.incremental_ns as f64
+        }
+    }
+}
+
+/// A two-processor ping-pong stream with mildly varying delays, so the
+/// extremal witnesses move occasionally and most messages are dominated.
+fn synth_stream(total: usize) -> Vec<MessageObservation> {
+    (0..total)
+        .map(|i| {
+            let t = 1_000 * i as i64;
+            let (src, dst) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+            MessageObservation {
+                src: ProcessorId(src),
+                dst: ProcessorId(dst),
+                id: MessageId(i as u64),
+                send_clock: ClockTime::from_nanos(t),
+                recv_clock: ClockTime::from_nanos(t + 300 + (i as i64 * 37) % 97),
+            }
+        })
+        .collect()
+}
+
+/// Times both GC strategies over the identical stream.
+///
+/// The incremental arm pushes a batch per tick and calls
+/// [`ViewWindow::gc_dominated`]. The rebuild arm computes the same
+/// dominated set, then pays the old cost — materialize the window as a
+/// validated `ViewSet` and filter it with `retain_messages` — before
+/// applying the same drops to stay in lockstep.
+pub fn measure_gc(ticks: usize, batch: usize, window: usize) -> GcRow {
+    let stream = synth_stream(ticks * batch);
+
+    let start = Instant::now();
+    let mut w = ViewWindow::new(2);
+    let mut dropped = 0usize;
+    for chunk in stream.chunks(batch) {
+        for m in chunk {
+            w.push(*m).expect("synthetic stream is valid");
+        }
+        dropped += w.gc_dominated(window);
+    }
+    let incremental_ns = start.elapsed().as_nanos();
+    let live_end = w.live();
+
+    let start = Instant::now();
+    let mut w2 = ViewWindow::new(2);
+    let mut rebuild_dropped = 0usize;
+    for chunk in stream.chunks(batch) {
+        for m in chunk {
+            w2.push(*m).expect("synthetic stream is valid");
+        }
+        let doomed: HashSet<MessageId> = w2.dominated(window).into_iter().collect();
+        let views = w2.to_view_set().expect("windowed messages are valid");
+        let filtered = views.retain_messages(|id| !doomed.contains(&id));
+        std::hint::black_box(filtered.len());
+        for id in &doomed {
+            w2.drop_message(*id);
+        }
+        rebuild_dropped += doomed.len();
+    }
+    let rebuild_ns = start.elapsed().as_nanos();
+
+    assert_eq!(live_end, w2.live(), "GC arms diverged");
+    assert_eq!(dropped, rebuild_dropped, "GC arms diverged");
+    GcRow {
+        ticks,
+        batch,
+        window,
+        incremental_ns,
+        rebuild_ns,
+        live_end,
+        dropped,
+    }
+}
+
+/// Runs both suites and renders the `BENCH_ingest.json` document.
+pub fn bench_ingest_json() -> String {
+    let ingest = measure_ingest(&[1, 4], 100_000);
+    let gc = measure_gc(2_000, 32, 16);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sharded_ingest\",");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p clocksync-bench --bin tables -- --bench-ingest\","
+    );
+    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    out.push_str("  \"ingest\": [\n");
+    for (idx, row) in ingest.iter().enumerate() {
+        let r = &row.report;
+        let rss = match r.rss_end_bytes {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{ \"shards\": {}, \"domains\": {}, \"messages\": {}, \"elapsed_ns\": {}, \
+             \"msgs_per_sec\": {:.1}, \"retained_end\": {}, \"retained_peak\": {}, \
+             \"retained_cap\": {}, \"approx_bytes_end\": {}, \"rss_end_bytes\": {} }}{}",
+            r.config.shards,
+            r.config.domains,
+            r.messages,
+            r.elapsed_ns,
+            r.msgs_per_sec(),
+            r.retained_messages_end,
+            r.peak_retained_messages,
+            r.retained_cap,
+            r.approx_retained_bytes_end,
+            rss,
+            if idx + 1 < ingest.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gc\": [\n");
+    let _ = writeln!(
+        out,
+        "    {{ \"ticks\": {}, \"batch\": {}, \"window\": {}, \"incremental_ns\": {}, \
+         \"rebuild_ns\": {}, \"live_end\": {}, \"dropped\": {}, \"speedup\": {:.2} }}",
+        gc.ticks,
+        gc.batch,
+        gc.window,
+        gc.incremental_ns,
+        gc.rebuild_ns,
+        gc.live_end,
+        gc.dropped,
+        gc.speedup(),
+    );
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a `BENCH_ingest.json` document: schema, at least two shard
+/// counts in the ingest sweep, bounded retention (`retained_peak <=
+/// retained_cap` in every row), a sustained-throughput floor, and the
+/// incremental GC at least matching the rebuild path. Throughput and the
+/// GC speedup are recomputed from the integer timings, so hand-edited
+/// derived fields cannot mask a regression.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated expectation.
+pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), String> {
+    let json = clocksync_obs::json::parse(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bench = json
+        .field("bench", "document")
+        .and_then(|b| b.as_str("bench").map(str::to_owned))
+        .map_err(|e| e.to_string())?;
+    if bench != "sharded_ingest" {
+        return Err(format!("unexpected bench id `{bench}`"));
+    }
+    let ingest = json
+        .field("ingest", "document")
+        .and_then(|k| k.as_array("ingest").map(<[_]>::to_vec))
+        .map_err(|e| e.to_string())?;
+    let mut shard_counts = HashSet::new();
+    for row in &ingest {
+        let get = |key: &str| -> Result<i128, String> {
+            let v = row
+                .field(key, "ingest row")
+                .and_then(|v| v.as_i128(key))
+                .map_err(|e| e.to_string())?;
+            if v < 0 {
+                return Err(format!("{key} must be nonnegative"));
+            }
+            Ok(v)
+        };
+        let shards = get("shards")?;
+        shard_counts.insert(shards);
+        let messages = get("messages")?;
+        let elapsed_ns = get("elapsed_ns")?;
+        if messages == 0 || elapsed_ns == 0 {
+            return Err(format!(
+                "ingest row at shards={shards} has no work ({messages} messages, {elapsed_ns} ns)"
+            ));
+        }
+        let throughput = messages as f64 * 1e9 / elapsed_ns as f64;
+        if throughput < min_throughput {
+            return Err(format!(
+                "sustained throughput at shards={shards} is {throughput:.0} msgs/sec, \
+                 below the {min_throughput} floor"
+            ));
+        }
+        let end = get("retained_end")?;
+        let peak = get("retained_peak")?;
+        let cap = get("retained_cap")?;
+        if end > peak {
+            return Err(format!(
+                "ingest row at shards={shards}: retained_end {end} exceeds retained_peak {peak}"
+            ));
+        }
+        if peak > cap {
+            return Err(format!(
+                "retention is unbounded at shards={shards}: peak {peak} exceeds the cap {cap}"
+            ));
+        }
+    }
+    if shard_counts.len() < 2 {
+        return Err(format!(
+            "ingest sweep covers {} shard count(s); need at least 2",
+            shard_counts.len()
+        ));
+    }
+    let gc = json
+        .field("gc", "document")
+        .and_then(|k| k.as_array("gc").map(<[_]>::to_vec))
+        .map_err(|e| e.to_string())?;
+    if gc.is_empty() {
+        return Err("gc section is empty".to_string());
+    }
+    for row in &gc {
+        let get = |key: &str| -> Result<i128, String> {
+            row.field(key, "gc row")
+                .and_then(|v| v.as_i128(key))
+                .map_err(|e| e.to_string())
+        };
+        let incremental = get("incremental_ns")?;
+        let rebuild = get("rebuild_ns")?;
+        if incremental <= 0 || rebuild <= 0 {
+            return Err("gc timings must be positive".to_string());
+        }
+        if get("dropped")? <= 0 {
+            return Err("gc comparison dropped no messages; the stream is degenerate".to_string());
+        }
+        // The satellite's before/after claim: incremental GC never loses
+        // to the full rebuild on the identical stream.
+        if incremental > rebuild {
+            return Err(format!(
+                "incremental GC ({incremental} ns) is slower than the rebuild path ({rebuild} ns)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_comparison_runs_and_incremental_wins() {
+        // Small sizes: checks the harness logic and the headline claim on
+        // a stream big enough for the asymptotics to show.
+        let row = measure_gc(200, 16, 8);
+        assert_eq!(row.ticks, 200);
+        assert!(row.dropped > 0);
+        assert!(row.live_end <= 2 * (8 + 2));
+        assert!(row.incremental_ns > 0 && row.rebuild_ns > 0);
+        assert!(
+            row.incremental_ns <= row.rebuild_ns,
+            "incremental {} ns vs rebuild {} ns",
+            row.incremental_ns,
+            row.rebuild_ns
+        );
+    }
+
+    #[test]
+    fn ingest_measurement_rows_cover_requested_shard_counts() {
+        let rows = measure_ingest(&[1, 2], 2_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].report.config.shards, 1);
+        assert_eq!(rows[1].report.config.shards, 2);
+        for row in &rows {
+            assert!(row.report.messages >= 2_000);
+            assert!(row.report.peak_retained_messages <= row.report.retained_cap);
+        }
+    }
+
+    fn sample_doc(elapsed_ns: u64, peak: u64, incremental: u64, rebuild: u64) -> String {
+        format!(
+            "{{ \"bench\": \"sharded_ingest\", \"ingest\": [ \
+             {{ \"shards\": 1, \"domains\": 8, \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 500, \"retained_peak\": {peak}, \
+             \"retained_cap\": 2176, \"approx_bytes_end\": 1, \"rss_end_bytes\": null }}, \
+             {{ \"shards\": 4, \"domains\": 8, \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 500, \"retained_peak\": {peak}, \
+             \"retained_cap\": 2176, \"approx_bytes_end\": 1, \"rss_end_bytes\": 123 }} ], \
+             \"gc\": [ {{ \"ticks\": 10, \"batch\": 8, \"window\": 4, \"incremental_ns\": {incremental}, \
+             \"rebuild_ns\": {rebuild}, \"live_end\": 12, \"dropped\": 60, \"speedup\": 1.0 }} ] }}"
+        )
+    }
+
+    #[test]
+    fn checker_accepts_good_documents() {
+        assert_eq!(
+            check_bench_ingest_json(&sample_doc(1_000_000_000, 2_000, 50, 400), 50_000.0),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn checker_recomputes_throughput_and_gates_it() {
+        // 100k messages over 100 seconds = 1k msgs/sec, under the floor,
+        // no matter what msgs_per_sec claims.
+        let err = check_bench_ingest_json(&sample_doc(100_000_000_000, 2_000, 50, 400), 50_000.0)
+            .unwrap_err();
+        assert!(err.contains("below the 50000 floor"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_unbounded_retention_and_slow_gc() {
+        let err =
+            check_bench_ingest_json(&sample_doc(1_000_000_000, 9_999, 50, 400), 0.0).unwrap_err();
+        assert!(err.contains("unbounded"), "{err}");
+        let err =
+            check_bench_ingest_json(&sample_doc(1_000_000_000, 2_000, 500, 400), 0.0).unwrap_err();
+        assert!(err.contains("slower than the rebuild"), "{err}");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        assert!(check_bench_ingest_json("not json", 0.0).is_err());
+        assert!(check_bench_ingest_json("{ \"bench\": \"other\" }", 0.0).is_err());
+        // One shard count only: no sweep.
+        let one = "{ \"bench\": \"sharded_ingest\", \"ingest\": [ \
+             { \"shards\": 1, \"domains\": 8, \"messages\": 10, \"elapsed_ns\": 10, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 1, \"retained_peak\": 1, \
+             \"retained_cap\": 2, \"approx_bytes_end\": 1, \"rss_end_bytes\": null } ], \
+             \"gc\": [ { \"ticks\": 1, \"batch\": 1, \"window\": 1, \"incremental_ns\": 1, \
+             \"rebuild_ns\": 2, \"live_end\": 1, \"dropped\": 1, \"speedup\": 2.0 } ] }";
+        assert!(check_bench_ingest_json(one, 0.0)
+            .unwrap_err()
+            .contains("at least 2"));
+    }
+}

@@ -13,6 +13,7 @@
 pub mod closure_bench;
 pub mod experiments;
 pub mod float_ablation;
+pub mod ingest_bench;
 pub mod karp_bench;
 mod table;
 

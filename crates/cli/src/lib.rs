@@ -22,6 +22,7 @@ pub mod args;
 pub mod commands;
 pub mod json;
 pub mod runfile;
+pub mod serve;
 
 pub use args::Args;
 pub use runfile::RunFile;

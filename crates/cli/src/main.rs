@@ -7,6 +7,9 @@
 //!                    [--loss-ppm P] [--out FILE] [--trace FILE]
 //! clocksync sync     --in FILE [--json true] [--trace FILE]
 //! clocksync explain  --in FILE
+//! clocksync serve    --in FILE [--shards K] [--window W] [--trace FILE]
+//! clocksync soak     [--shards K] [--domains D] [--n N] [--messages M]
+//!                    [--batch-size B] [--window W] [--seed S] [--max-rss-mb R]
 //! clocksync trace summarize --in FILE
 //! ```
 
@@ -15,12 +18,16 @@ use std::process::ExitCode;
 
 use clocksync_cli::{commands, Args, RunFile};
 use clocksync_obs::{Recorder, Trace};
+use clocksync_service::{run_soak, SoakConfig};
 
 const USAGE: &str = "usage:
   clocksync simulate [--topology T] [--n N] [--model M] [--probes K] [--seed S]
                      [--loss-ppm P] [--out FILE] [--trace FILE]
   clocksync sync     --in FILE [--json true] [--trace FILE]
   clocksync explain  --in FILE
+  clocksync serve    --in FILE [--shards K] [--window W] [--trace FILE]
+  clocksync soak     [--shards K] [--domains D] [--n N] [--messages M]
+                     [--batch-size B] [--window W] [--seed S] [--max-rss-mb R]
   clocksync trace summarize --in FILE
 
 topologies: path ring star complete grid random
@@ -28,8 +35,14 @@ models:     uniform (--lo-us --hi-us)
             heavy-tail (--lo-us --scale-us --alpha)
             bias (--lo-us --hi-us --bias-us)
 
---trace FILE writes a JSONL trace (spans, counters, histograms, events);
-`trace summarize` renders one as a human-readable report.";
+serve ingests a JSONL command stream ({\"t\":\"domain\",...} registrations and
+{\"t\":\"batch\",...} observation batches) into a sharded multi-domain service
+with bounded-memory retention; soak drives sustained simulated ingestion
+and reports throughput plus steady-state retention (--max-rss-mb fails the
+run if resident memory ends above the ceiling).
+
+--trace FILE writes a JSONL trace (spans, counters, histograms, gauges,
+events); `trace summarize` renders one as a human-readable report.";
 
 /// A recorder wired to `--trace`: enabled only when the flag is present,
 /// so untraced runs keep the no-op fast path.
@@ -115,6 +128,85 @@ fn run() -> Result<(), String> {
                 };
                 for line in lines {
                     println!("{line}");
+                }
+            }
+            Ok(())
+        }
+        "serve" => {
+            let path = args.require("in")?;
+            let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let shards = args.get_usize("shards", 4)?;
+            let window = args.get_usize("window", 64)?;
+            if shards == 0 {
+                return Err("flag --shards: must be at least 1".to_string());
+            }
+            let recorder = trace_recorder(&args);
+            let lines =
+                clocksync_cli::serve::run_serve_on_str(&content, shards, window, &recorder)?;
+            write_trace(&args, &recorder)?;
+            for line in lines {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        "soak" => {
+            let config = SoakConfig {
+                shards: args.get_usize("shards", 4)?,
+                domains: args.get_usize("domains", 8)?,
+                n: args.get_usize("n", 4)?,
+                messages: args.get_u64("messages", 100_000)?,
+                batch_size: args.get_usize("batch-size", 64)?,
+                window: args.get_usize("window", 32)?,
+                seed: args.get_u64("seed", 7)?,
+            };
+            if config.shards == 0 || config.domains == 0 || config.batch_size == 0 {
+                return Err("soak needs --shards, --domains and --batch-size >= 1".to_string());
+            }
+            if config.n < 3 {
+                return Err("flag --n: soak domains need at least 3 processors".to_string());
+            }
+            let report = run_soak(&config);
+            println!(
+                "soak: {} messages in {:.2}s across {} domains / {} shards",
+                report.messages,
+                report.elapsed_ns as f64 / 1e9,
+                config.domains,
+                config.shards
+            );
+            println!(
+                "  throughput          {:.0} msgs/sec",
+                report.msgs_per_sec()
+            );
+            println!(
+                "  retained messages   {} end / {} peak (cap {})",
+                report.retained_messages_end, report.peak_retained_messages, report.retained_cap
+            );
+            println!("  retained samples    {}", report.retained_samples_end);
+            println!("  approx window bytes {}", report.approx_retained_bytes_end);
+            match report.rss_end_bytes {
+                Some(rss) => println!(
+                    "  resident set        {:.1} MiB",
+                    rss as f64 / (1 << 20) as f64
+                ),
+                None => println!("  resident set        unavailable on this platform"),
+            }
+            if report.peak_retained_messages > report.retained_cap {
+                return Err(format!(
+                    "retention exceeded the analytic cap: peak {} > cap {}",
+                    report.peak_retained_messages, report.retained_cap
+                ));
+            }
+            if let Some(max_mb) = args.get("max-rss-mb") {
+                let max_mb: u64 = max_mb
+                    .parse()
+                    .map_err(|_| format!("flag --max-rss-mb: cannot parse `{max_mb}`"))?;
+                if let Some(rss) = report.rss_end_bytes {
+                    if rss > max_mb * 1024 * 1024 {
+                        return Err(format!(
+                            "resident set {:.1} MiB exceeds --max-rss-mb {max_mb}",
+                            rss as f64 / (1 << 20) as f64
+                        ));
+                    }
                 }
             }
             Ok(())

@@ -1,0 +1,284 @@
+//! The `clocksync serve` command: drive a sharded [`SyncService`] from a
+//! JSONL command stream.
+//!
+//! Each input line is one JSON object (blank lines and `#` comments are
+//! skipped):
+//!
+//! ```text
+//! {"t":"domain","domain":"a","n":3,"links":[{"a":0,"b":1,"lo_ns":0,"hi_ns":1000}, ...]}
+//! {"t":"batch","domain":"a","obs":[[0,1,100,400],[1,0,500,900]]}
+//! ```
+//!
+//! `domain` registers a sync domain (symmetric per-link delay bounds,
+//! nanoseconds); `batch` ingests message observations as
+//! `[src,dst,send_ns,recv_ns]` quadruples. The stream is untrusted input:
+//! malformed JSON, unknown processors, inverted bounds and clock readings
+//! whose difference overflows `i64` nanoseconds are all reported as
+//! errors naming the offending line — never a panic (the overflow path is
+//! the regression from the `Nanos` arithmetic audit).
+
+use clocksync::{BatchObservation, DelayRange, LinkAssumption, Network};
+use clocksync_model::ProcessorId;
+use clocksync_obs::Recorder;
+use clocksync_service::{ObservationBatch, SyncService};
+use clocksync_time::{ClockTime, Nanos};
+
+use crate::json::{parse, Json};
+
+/// Runs the serve loop over a complete JSONL input, returning the output
+/// lines (one per registration/batch, plus a final per-domain summary).
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed JSON,
+/// unknown commands or domains, invalid delay bounds, and batches the
+/// service rejects (including clock-reading overflow).
+pub fn run_serve_on_str(
+    input: &str,
+    shards: usize,
+    window: usize,
+    recorder: &Recorder,
+) -> Result<Vec<String>, String> {
+    let mut svc = SyncService::new(shards, window).with_recorder(recorder.clone());
+    let mut out = Vec::new();
+    let mut domains: Vec<String> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let doc = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let t = doc
+            .field("t", "command")
+            .and_then(|v| v.as_str("t"))
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        match t {
+            "domain" => {
+                let rendered =
+                    register_domain(&mut svc, &doc).map_err(|e| format!("line {lineno}: {e}"))?;
+                let name = doc
+                    .field("domain", "domain command")
+                    .and_then(|v| v.as_str("domain"))
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                domains.push(name.to_string());
+                out.push(rendered);
+            }
+            "batch" => {
+                let batch = decode_batch(&doc).map_err(|e| format!("line {lineno}: {e}"))?;
+                let receipt = svc
+                    .ingest(&batch)
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                out.push(format!(
+                    "{}: applied {} (shard {}, gc {}, compacted {}, retained {})",
+                    receipt.domain,
+                    receipt.applied,
+                    receipt.shard,
+                    receipt.gc_dropped,
+                    receipt.samples_compacted,
+                    receipt.retained_messages
+                ));
+            }
+            other => return Err(format!("line {lineno}: unknown command `{other}`")),
+        }
+    }
+    for name in &domains {
+        out.push(render_outcome(&mut svc, name)?);
+    }
+    Ok(out)
+}
+
+/// Decodes and registers a `domain` command; returns its output line.
+fn register_domain(svc: &mut SyncService, doc: &Json) -> Result<String, String> {
+    let name = doc
+        .field("domain", "domain command")
+        .and_then(|v| v.as_str("domain"))
+        .map_err(|e| e.to_string())?;
+    let n = doc
+        .field("n", "domain command")
+        .and_then(|v| v.as_usize("n"))
+        .map_err(|e| e.to_string())?;
+    let links = doc
+        .field("links", "domain command")
+        .and_then(|v| v.as_array("links"))
+        .map_err(|e| e.to_string())?;
+    let mut builder = Network::builder(n);
+    for (i, link) in links.iter().enumerate() {
+        let what = format!("links[{i}]");
+        let get = |key: &str| -> Result<i64, String> {
+            link.field(key, &what)
+                .and_then(|v| v.as_i64(&format!("{what}.{key}")))
+                .map_err(|e| e.to_string())
+        };
+        let a = get("a")?;
+        let b = get("b")?;
+        let lo = get("lo_ns")?;
+        let hi = get("hi_ns")?;
+        let index = |v: i64, key: &str| -> Result<ProcessorId, String> {
+            let v = usize::try_from(v).map_err(|_| format!("{what}.{key}: negative processor"))?;
+            if v >= n {
+                return Err(format!(
+                    "{what}.{key}: processor {v} out of range (n = {n})"
+                ));
+            }
+            Ok(ProcessorId(v))
+        };
+        let a = index(a, "a")?;
+        let b = index(b, "b")?;
+        // `DelayRange::new` asserts its axioms; this is untrusted input,
+        // so validate first and report instead of panicking.
+        if lo < 0 || hi < lo {
+            return Err(format!(
+                "{what}: delay bounds need 0 <= lo_ns <= hi_ns, got [{lo}, {hi}]"
+            ));
+        }
+        builder = builder.link(
+            a,
+            b,
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(lo), Nanos::new(hi))),
+        );
+    }
+    svc.register_domain(name, builder.build())
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "registered `{name}`: {n} processors, {} links -> shard {}",
+        links.len(),
+        svc.shard_of(name)
+    ))
+}
+
+/// Decodes a `batch` command into an [`ObservationBatch`].
+fn decode_batch(doc: &Json) -> Result<ObservationBatch, String> {
+    let name = doc
+        .field("domain", "batch command")
+        .and_then(|v| v.as_str("domain"))
+        .map_err(|e| e.to_string())?;
+    let rows = doc
+        .field("obs", "batch command")
+        .and_then(|v| v.as_array("obs"))
+        .map_err(|e| e.to_string())?;
+    let mut observations = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("obs[{i}]");
+        let row = row.as_array(&what).map_err(|e| e.to_string())?;
+        if row.len() != 4 {
+            return Err(format!(
+                "{what}: expected [src, dst, send_ns, recv_ns], got {} elements",
+                row.len()
+            ));
+        }
+        let src = row[0]
+            .as_usize(&format!("{what}[0]"))
+            .map_err(|e| e.to_string())?;
+        let dst = row[1]
+            .as_usize(&format!("{what}[1]"))
+            .map_err(|e| e.to_string())?;
+        let send = row[2]
+            .as_i64(&format!("{what}[2]"))
+            .map_err(|e| e.to_string())?;
+        let recv = row[3]
+            .as_i64(&format!("{what}[3]"))
+            .map_err(|e| e.to_string())?;
+        observations.push(BatchObservation {
+            src: ProcessorId(src),
+            dst: ProcessorId(dst),
+            send_clock: ClockTime::from_nanos(send),
+            recv_clock: ClockTime::from_nanos(recv),
+        });
+    }
+    Ok(ObservationBatch::new(name, observations))
+}
+
+/// Renders one domain's final outcome line.
+fn render_outcome(svc: &mut SyncService, name: &str) -> Result<String, String> {
+    let outcome = svc.outcome(name).map_err(|e| e.to_string())?;
+    let precision = match outcome.precision().finite() {
+        Some(p) => format!("{:.1} ns", p.to_f64()),
+        None => "unbounded".to_string(),
+    };
+    let corrections: Vec<String> = outcome
+        .corrections()
+        .iter()
+        .map(|r| format!("{:.1}", r.to_f64()))
+        .collect();
+    Ok(format!(
+        "{name}: precision {precision}, corrections [{}] ns",
+        corrections.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve(input: &str) -> Result<Vec<String>, String> {
+        run_serve_on_str(input, 2, 8, &Recorder::disabled())
+    }
+
+    #[test]
+    fn registers_ingests_and_summarizes() {
+        let input = r#"
+# two-processor domain, symmetric bounds
+{"t":"domain","domain":"a","n":2,"links":[{"a":0,"b":1,"lo_ns":0,"hi_ns":1000}]}
+{"t":"batch","domain":"a","obs":[[0,1,100,400],[1,0,500,900]]}
+"#;
+        let out = serve(input).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out[0].contains("registered `a`"), "{}", out[0]);
+        assert!(out[1].contains("a: applied 2"), "{}", out[1]);
+        assert!(out[2].starts_with("a: precision"), "{}", out[2]);
+    }
+
+    #[test]
+    fn adversarial_overflow_is_an_error_not_a_panic() {
+        // The clock readings are valid i64 nanoseconds, but their
+        // difference overflows: this used to panic inside `Nanos`
+        // subtraction before the checked-arithmetic sweep.
+        let input = format!(
+            concat!(
+                "{{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,",
+                "\"links\":[{{\"a\":0,\"b\":1,\"lo_ns\":0,\"hi_ns\":1000}}]}}\n",
+                "{{\"t\":\"batch\",\"domain\":\"a\",\"obs\":[[0,1,{},{}]]}}\n"
+            ),
+            i64::MIN,
+            i64::MAX
+        );
+        let err = serve(&input).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn bad_input_is_reported_with_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            ("{\"t\":\"mystery\"}", "unknown command"),
+            ("not json", "line 1"),
+            ("{\"t\":\"batch\",\"domain\":\"ghost\",\"obs\":[]}", "not registered"),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":1,\"lo_ns\":500,\"hi_ns\":100}]}",
+                "0 <= lo_ns <= hi_ns",
+            ),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":7,\"lo_ns\":0,\"hi_ns\":100}]}",
+                "out of range",
+            ),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[]}\n{\"t\":\"batch\",\"domain\":\"a\",\"obs\":[[0,1,100]]}",
+                "expected [src, dst, send_ns, recv_ns]",
+            ),
+        ];
+        for (input, needle) in cases {
+            let err = serve(input).unwrap_err();
+            assert!(err.contains(needle), "input {input:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_domains_are_rejected() {
+        let line = "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[]}";
+        let input = format!("{line}\n{line}");
+        let err = serve(&input).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("already registered"), "{err}");
+    }
+}

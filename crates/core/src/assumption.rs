@@ -249,6 +249,23 @@ impl LinkAssumption {
         }
     }
 
+    /// Returns `true` when [`LinkAssumption::estimated_mls`] depends on
+    /// the evidence only through the per-direction extrema `d̃min`/`d̃max`
+    /// (Lemmas 6.2 and 6.5). Extrema-only links tolerate sample GC: the
+    /// extrema are maintained incrementally and never recomputed from the
+    /// retained samples, so dropping dominated samples cannot change any
+    /// `m̃ls`. [`LinkAssumption::PairedRttBias`] scans the full sample
+    /// lists for in-window pairs and must keep its history.
+    ///
+    /// Orientation-invariant: `a.extrema_only() == a.reversed().extrema_only()`.
+    pub fn extrema_only(&self) -> bool {
+        match self {
+            LinkAssumption::Bounds { .. } | LinkAssumption::RttBias { .. } => true,
+            LinkAssumption::PairedRttBias { .. } => false,
+            LinkAssumption::All(parts) => parts.iter().all(LinkAssumption::extrema_only),
+        }
+    }
+
     /// The estimated maximal local shift `m̃ls(p, q)` of the link's far
     /// endpoint `q` with respect to `p`, computed from the link's observed
     /// evidence (`evidence.forward` = `p → q` direction).

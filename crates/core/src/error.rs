@@ -26,6 +26,16 @@ pub enum SyncError {
     },
     /// The views themselves violate the execution model.
     Model(ModelError),
+    /// Clock readings of an ingested observation are so far apart that
+    /// the estimated delay is not representable in `i64` nanoseconds.
+    /// Only reachable from untrusted input (CLI/JSONL batches); views
+    /// recorded by real executions keep readings within range.
+    Overflow {
+        /// Sender of the offending observation.
+        src: ProcessorId,
+        /// Receiver of the offending observation.
+        dst: ProcessorId,
+    },
 }
 
 impl fmt::Display for SyncError {
@@ -40,6 +50,11 @@ impl fmt::Display for SyncError {
                 "observed delays contradict the declared assumptions (witness {witness})"
             ),
             SyncError::Model(e) => write!(f, "invalid views: {e}"),
+            SyncError::Overflow { src, dst } => write!(
+                f,
+                "clock readings of an observation on link {src}->{dst} overflow \
+                 the representable delay range"
+            ),
         }
     }
 }

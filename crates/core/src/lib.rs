@@ -87,7 +87,7 @@ pub use estimates::{
     estimated_local_shifts, global_estimates, global_estimates_traced, global_estimates_with_chains,
 };
 pub use network::{Network, NetworkBuilder};
-pub use online::OnlineSynchronizer;
+pub use online::{BatchObservation, OnlineSynchronizer};
 pub use shifts::{
     shifts, shifts_with_kernel, synchronizable_components, ShiftsKernel, ShiftsResult,
 };

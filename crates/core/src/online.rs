@@ -31,23 +31,30 @@
 //! way the result is bit-identical to a cold computation (the equivalence
 //! tests check this), only faster.
 
-use clocksync_graph::Closure;
-use clocksync_model::{LinkObservations, MsgSample, ProcessorId, ViewSet};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use clocksync_graph::{Closure, SquareMatrix};
+use clocksync_model::{LinkObservations, ModelError, MsgSample, ProcessorId, ViewSet};
 use clocksync_time::{ClockTime, ExtRatio, Nanos};
 
 use crate::degradation::classify_degradations;
 use crate::shifts::{shifts_howard_warm, synchronizable_components, ShiftsState};
 use crate::{estimated_local_shifts, Network, SyncError, SyncOutcome};
 
-/// Cached SHIFTS state of the last [`OnlineSynchronizer::outcome`] call:
-/// the component partition it was computed under and one warm-startable
-/// [`ShiftsState`] per component (aligned with `components`). Valid only
-/// while the closure evolves by pure tightenings; invalidated together
-/// with the closure cache otherwise.
-#[derive(Debug, Clone)]
-struct ShiftsCache {
-    components: Vec<Vec<ProcessorId>>,
-    states: Vec<ShiftsState>,
+/// One message observation of an ingestion batch: the two endpoint clock
+/// readings of a delivered message, exactly as an untrusted reporter would
+/// hand them over. Validated (endpoint range, delay representability) by
+/// [`OnlineSynchronizer::ingest_batch`] before anything is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchObservation {
+    /// The sender.
+    pub src: ProcessorId,
+    /// The receiver.
+    pub dst: ProcessorId,
+    /// The sender's clock reading at the send step.
+    pub send_clock: ClockTime,
+    /// The receiver's clock reading at the receive step.
+    pub recv_clock: ClockTime,
 }
 
 /// An incrementally-fed synchronizer with a cached closure.
@@ -82,15 +89,18 @@ pub struct OnlineSynchronizer {
     /// arrive; always equal to
     /// `estimated_local_shifts(&network, &observations)`.
     local: clocksync_graph::SquareMatrix<ExtRatio>,
-    /// The closure of `local`, when valid. `None` after an estimate
-    /// loosened or a relaxation surfaced an inconsistency; the next
+    /// The closure of `local`, when valid. Tightenings are folded in by
+    /// `relax_edge`, loosenings by a component-scoped patch; `None` after
+    /// a bulk view merge or an inconsistency, until the next
     /// [`OnlineSynchronizer::outcome`] rebuilds it.
     cached: Option<Closure<ExtRatio>>,
     /// Per-component `A_max` certificates and Howard policies from the
-    /// last [`OnlineSynchronizer::outcome`]. Invariant: `Some` only if
-    /// since it was written the closure changed solely by `relax_edge`
-    /// tightenings (every path that drops `cached` drops this too).
-    shifts_cache: Option<ShiftsCache>,
+    /// last [`OnlineSynchronizer::outcome`], keyed by the component's
+    /// sorted member list. Invariant: an entry exists only if, since it
+    /// was written, the closure entries among its members changed solely
+    /// by tightenings (loosenings evict exactly the keys that intersect
+    /// the affected component; see `invalidate_loosened`).
+    shifts_states: HashMap<Vec<ProcessorId>, ShiftsState>,
 }
 
 impl OnlineSynchronizer {
@@ -104,7 +114,7 @@ impl OnlineSynchronizer {
             observations,
             local,
             cached: None,
-            shifts_cache: None,
+            shifts_states: HashMap::new(),
         }
     }
 
@@ -116,6 +126,12 @@ impl OnlineSynchronizer {
     /// The accumulated observations.
     pub fn observations(&self) -> &LinkObservations {
         &self.observations
+    }
+
+    /// Message samples currently retained across all links (the evidence
+    /// footprint [`OnlineSynchronizer::compact_evidence`] bounds).
+    pub fn retained_samples(&self) -> usize {
+        self.observations.retained_samples()
     }
 
     /// Records one delivered message by its two endpoint clock readings.
@@ -158,6 +174,138 @@ impl OnlineSynchronizer {
         self.refresh_link(src, dst);
     }
 
+    /// Records one delivered message from *untrusted* clock readings.
+    ///
+    /// Unlike [`OnlineSynchronizer::observe_message`] this never panics:
+    /// out-of-range endpoints and clock readings whose difference is not
+    /// representable are reported as errors, and on error nothing is
+    /// recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::Model`] ([`ModelError::UnknownProcessor`]) for
+    /// an out-of-range endpoint and [`SyncError::Overflow`] when the
+    /// estimated delay `recv_clock − send_clock` overflows.
+    pub fn try_observe_message(
+        &mut self,
+        src: ProcessorId,
+        dst: ProcessorId,
+        send_clock: ClockTime,
+        recv_clock: ClockTime,
+    ) -> Result<(), SyncError> {
+        self.ingest_batch(&[BatchObservation {
+            src,
+            dst,
+            send_clock,
+            recv_clock,
+        }])
+        .map(|_| ())
+    }
+
+    /// Ingests a batch of message observations in one relaxation pass.
+    ///
+    /// Equivalent to [`OnlineSynchronizer::try_observe_message`] for each
+    /// element (the estimators depend on the evidence only through
+    /// per-link aggregates, so the outcome is bit-identical), but each
+    /// touched link is re-estimated and folded into the cached closure
+    /// *once* rather than once per message — the batch discount the
+    /// sharded ingestion service is built on. Returns the number of
+    /// observations applied.
+    ///
+    /// The batch is applied atomically: every observation is validated
+    /// up front, and on error none of them is recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::Model`] ([`ModelError::UnknownProcessor`]) for
+    /// an out-of-range endpoint and [`SyncError::Overflow`] when an
+    /// estimated delay `recv_clock − send_clock` overflows.
+    pub fn ingest_batch(&mut self, batch: &[BatchObservation]) -> Result<usize, SyncError> {
+        for obs in batch {
+            for endpoint in [obs.src, obs.dst] {
+                if endpoint.index() >= self.network.n() {
+                    return Err(SyncError::Model(ModelError::UnknownProcessor {
+                        processor: endpoint,
+                    }));
+                }
+            }
+            if obs.recv_clock.checked_sub(obs.send_clock).is_none() {
+                return Err(SyncError::Overflow {
+                    src: obs.src,
+                    dst: obs.dst,
+                });
+            }
+        }
+        let mut touched: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for obs in batch {
+            self.observations.record_sample(
+                obs.src,
+                obs.dst,
+                MsgSample {
+                    send_clock: obs.send_clock,
+                    recv_clock: obs.recv_clock,
+                },
+            );
+            let (a, b) = (obs.src.index(), obs.dst.index());
+            touched.insert((a.min(b), a.max(b)));
+        }
+        for (a, b) in touched {
+            self.refresh_link(ProcessorId(a), ProcessorId(b));
+        }
+        Ok(batch.len())
+    }
+
+    /// Drops dominated evidence: on every link whose assumption is
+    /// [extrema-only](crate::LinkAssumption::extrema_only), retains per
+    /// direction the `d̃min`/`d̃max` witness samples plus the `window` most
+    /// recent ones, and drops the rest. Returns the number of samples
+    /// dropped.
+    ///
+    /// Never changes any estimate: the per-link extrema are maintained
+    /// incrementally and never recomputed from the retained samples, and
+    /// windowed-bias links (whose estimator scans the sample lists) are
+    /// left untouched — so every `m̃ls`, the cached closure, the cached
+    /// `A_max` certificates and all future outcomes are bit-identical to
+    /// the uncompacted run. `tests/service.rs` proptests exactly that.
+    pub fn compact_evidence(&mut self, window: usize) -> usize {
+        let mut dropped = 0;
+        for (p, q, assumption) in self.network.links() {
+            if !assumption.extrema_only() {
+                continue;
+            }
+            dropped += self.observations.compact_samples(p, q, window);
+            dropped += self.observations.compact_samples(q, p, window);
+        }
+        dropped
+    }
+
+    /// Retracts every observation of the undirected link `{p, q}` — the
+    /// operator action for a replaced or re-cabled link whose historical
+    /// evidence no longer describes the hardware. Both directions'
+    /// estimates loosen back to their assumption-only values; this is the
+    /// one place estimates loosen in practice, and it exercises the
+    /// component-scoped cache invalidation. Returns the number of samples
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn forget_link(&mut self, p: ProcessorId, q: ProcessorId) -> usize {
+        let dropped = self.observations.clear_link(p, q);
+        self.refresh_link(p, q);
+        dropped
+    }
+
+    /// Drops the cached closure and every cached `A_max` certificate, so
+    /// the next [`OnlineSynchronizer::outcome`] recomputes everything from
+    /// the `m̃ls` matrix. Never changes any result — the caches are pure
+    /// accelerators — which is exactly what makes this the reference
+    /// implementation for differential tests of the scoped invalidation.
+    pub fn invalidate_caches(&mut self) {
+        self.cached = None;
+        self.shifts_states.clear();
+    }
+
     /// Merges every message of a complete view set into the stream.
     ///
     /// A bulk merge touches many links at once, so instead of folding each
@@ -187,7 +335,8 @@ impl OnlineSynchronizer {
         }
         self.local = estimated_local_shifts(&self.network, &self.observations);
         self.cached = None;
-        self.shifts_cache = None;
+        // The A_max states stay: adding observations only tightens the
+        // estimates, and the warm-start contract tolerates tightenings.
         Ok(())
     }
 
@@ -221,19 +370,95 @@ impl OnlineSynchronizer {
                         // poisoned the cache. Estimates only tighten, so
                         // the inconsistency is permanent; outcome() will
                         // recompute and report the canonical witness.
-                        self.cached = None;
-                        self.shifts_cache = None;
+                        self.invalidate_caches();
                     }
                 }
             } else {
-                // An estimate loosened (no built-in assumption does this,
-                // but stay exact if one ever does): the cached closure may
-                // rest on the retracted bound, and the cached critical
-                // cycles on the old closure.
-                self.cached = None;
-                self.shifts_cache = None;
+                // An estimate loosened (evidence was retracted via
+                // forget_link, or a custom assumption did it): only the
+                // component the edge lives in can be affected, so patch
+                // the caches there and keep the rest warm.
+                self.invalidate_loosened(u, v);
             }
         }
+    }
+
+    /// Repairs the caches after the local estimate of edge `(u, v)`
+    /// loosened, touching only the affected component.
+    ///
+    /// A loosened edge `(u, v)` can change a closure entry `(x, y)` only
+    /// if the old closure had finite `d(x, u)` and `d(v, y)`: both demand
+    /// a path of finite local edges, so `x`, `y` — and every alternative
+    /// path that could now become the shortest — lie inside the connected
+    /// component of `{u, v}` in the *undirected* finite-local-edge graph.
+    /// (Seeding the search with both endpoints reproduces the old
+    /// component even when the loosening to `+∞` just disconnected them,
+    /// and synchronizable components never straddle its boundary because
+    /// mutual finiteness implies undirected connectivity.) So: recompute
+    /// the closure of that component's sub-matrix, splice it into the
+    /// cached closure, and evict exactly the `A_max` states whose members
+    /// intersect it. Everything outside is untouched and stays warm.
+    fn invalidate_loosened(&mut self, u: usize, v: usize) {
+        let members = self.undirected_component(u, v);
+        let mut affected = vec![false; self.network.n()];
+        for &m in &members {
+            affected[m] = true;
+        }
+        self.shifts_states
+            .retain(|key, _| key.iter().all(|p| !affected[p.index()]));
+        let Some(cache) = self.cached.take() else {
+            return;
+        };
+        let k = members.len();
+        let sub_local = SquareMatrix::from_fn(k, |i, j| self.local[(members[i], members[j])]);
+        match Closure::fast(&sub_local) {
+            Ok(sub) => {
+                let (mut dist, mut next) = cache.into_parts();
+                let (sub_dist, sub_next) = sub.into_parts();
+                for i in 0..k {
+                    for j in 0..k {
+                        dist[(members[i], members[j])] = sub_dist[(i, j)];
+                        let s = sub_next[(i, j)];
+                        next[(members[i], members[j])] = if s == usize::MAX {
+                            usize::MAX
+                        } else {
+                            members[s]
+                        };
+                    }
+                }
+                self.cached = Some(Closure::from_parts(dist, next));
+            }
+            Err(_) => {
+                // A negative cycle cannot appear from a pure loosening,
+                // but stay safe if it somehow does: fall back to the full
+                // rebuild (and the canonical error report) in outcome().
+                self.invalidate_caches();
+            }
+        }
+    }
+
+    /// The sorted connected component of `{u, v}` in the undirected graph
+    /// whose edges are the pairs with a finite local estimate in either
+    /// direction.
+    fn undirected_component(&self, u: usize, v: usize) -> Vec<usize> {
+        let n = self.network.n();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        for seed in [u, v] {
+            if !seen[seed] {
+                seen[seed] = true;
+                queue.push_back(seed);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for (j, seen_j) in seen.iter_mut().enumerate() {
+                if !*seen_j && (self.local[(i, j)].is_finite() || self.local[(j, i)].is_finite()) {
+                    *seen_j = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        (0..n).filter(|&i| seen[i]).collect()
     }
 
     /// Rebuilds the cached closure if an invalidation (or nothing yet)
@@ -294,22 +519,23 @@ impl OnlineSynchronizer {
             (cache.dist().clone(), cache.next().clone())
         };
         let components = synchronizable_components(&dist);
-        // The warm states only describe the current closure if the
-        // partition did not shift under it (a new finite pair merges
-        // components and remaps sub-matrix indices wholesale).
-        let warm = self
-            .shifts_cache
-            .take()
-            .filter(|c| c.components == components);
-        let mut states = Vec::with_capacity(components.len());
+        // Warm states are keyed by member list: a component that merged or
+        // split since its state was written gets a different key (its
+        // sub-matrix indices remapped wholesale) and misses to a cold
+        // Howard run; a component whose membership is unchanged has only
+        // seen tightenings — or nothing — since, which the warm-start
+        // contract tolerates. Rebuilding the map from scratch keeps only
+        // the current partition's keys, so stale keys never accumulate.
+        let prev = std::mem::take(&mut self.shifts_states);
+        let mut fresh = HashMap::with_capacity(components.len());
+        let keys = components.clone();
         let mut outcome =
             SyncOutcome::from_components_with(dist, components.clone(), |idx, sub| {
-                let prev = warm.as_ref().map(|c| &c.states[idx]);
-                let (result, state) = shifts_howard_warm(sub, 0, prev);
-                states.push(state);
+                let (result, state) = shifts_howard_warm(sub, 0, prev.get(&keys[idx]));
+                fresh.insert(keys[idx].clone(), state);
                 result
             });
-        self.shifts_cache = Some(ShiftsCache { components, states });
+        self.shifts_states = fresh;
         outcome.set_constraint_chains(next);
         outcome.set_degradations(classify_degradations(
             &self.network,
@@ -570,5 +796,172 @@ mod tests {
             online.ingest_views(exec.views()),
             Err(SyncError::WrongProcessorCount { .. })
         ));
+    }
+
+    fn obs(src: ProcessorId, dst: ProcessorId, send: i64, recv: i64) -> BatchObservation {
+        BatchObservation {
+            src,
+            dst,
+            send_clock: ClockTime::from_nanos(send),
+            recv_clock: ClockTime::from_nanos(recv),
+        }
+    }
+
+    #[test]
+    fn batch_ingest_equals_per_message() {
+        let stream = [
+            obs(P, Q, 1_000, 1_600),
+            obs(Q, P, 1_700, 2_200),
+            obs(P, Q, 3_000, 3_520),
+            obs(Q, P, 3_600, 4_080),
+        ];
+        let mut per_message = OnlineSynchronizer::new(net());
+        let _ = per_message.outcome().unwrap();
+        for o in stream {
+            per_message.observe_message(o.src, o.dst, o.send_clock, o.recv_clock);
+        }
+        let mut batched = OnlineSynchronizer::new(net());
+        let _ = batched.outcome().unwrap();
+        assert_eq!(batched.ingest_batch(&stream).unwrap(), 4);
+        assert_eq!(per_message.outcome().unwrap(), batched.outcome().unwrap());
+        assert_eq!(batched.retained_samples(), 4);
+    }
+
+    #[test]
+    fn batch_ingest_is_atomic_on_bad_input() {
+        let mut online = OnlineSynchronizer::new(net());
+        let overflow = [
+            obs(P, Q, 1_000, 1_600),
+            obs(P, Q, i64::MIN, i64::MAX), // delay not representable
+        ];
+        assert_eq!(
+            online.ingest_batch(&overflow),
+            Err(SyncError::Overflow { src: P, dst: Q })
+        );
+        let unknown = [obs(P, ProcessorId(9), 0, 1)];
+        assert!(matches!(
+            online.ingest_batch(&unknown),
+            Err(SyncError::Model(ModelError::UnknownProcessor { .. }))
+        ));
+        // Nothing from the failed batches was recorded.
+        assert_eq!(online.retained_samples(), 0);
+        assert_eq!(online.outcome().unwrap().precision(), Ext::PosInf);
+        // try_observe_message reports the same errors without panicking.
+        assert!(online
+            .try_observe_message(
+                P,
+                Q,
+                ClockTime::from_nanos(i64::MAX),
+                ClockTime::from_nanos(i64::MIN)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn compaction_preserves_outcome_bit_for_bit() {
+        let mut online = OnlineSynchronizer::new(net());
+        for i in 0..40i64 {
+            online.observe_message(
+                P,
+                Q,
+                ClockTime::from_nanos(100 * i),
+                ClockTime::from_nanos(100 * i + 500 + i),
+            );
+            online.observe_message(
+                Q,
+                P,
+                ClockTime::from_nanos(100 * i + 50),
+                ClockTime::from_nanos(100 * i + 550 - i),
+            );
+        }
+        let before = online.outcome().unwrap();
+        let retained_before = online.retained_samples();
+        let dropped = online.compact_evidence(4);
+        assert!(dropped > 0);
+        assert_eq!(online.retained_samples(), retained_before - dropped);
+        let after = online.outcome().unwrap();
+        assert_eq!(before, after);
+        // Later observations land on identical estimates too.
+        online.observe_estimated_delay(P, Q, Nanos::new(400));
+        assert!(online.outcome().unwrap().precision() <= before.precision());
+    }
+
+    #[test]
+    fn forget_link_loosens_and_scoped_invalidation_matches_full() {
+        // Two independent pairs: P–Q and r–s. Forgetting P–Q must loosen
+        // that component back to unbounded while leaving r–s warm, and the
+        // scoped cache patch must agree with a full invalidation.
+        let (r, s) = (ProcessorId(2), ProcessorId(3));
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(1_000));
+        let net = Network::builder(4)
+            .link(P, Q, LinkAssumption::symmetric_bounds(range))
+            .link(r, s, LinkAssumption::symmetric_bounds(range))
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        online.observe_estimated_delay(P, Q, Nanos::new(600));
+        online.observe_estimated_delay(Q, P, Nanos::new(500));
+        online.observe_estimated_delay(r, s, Nanos::new(300));
+        online.observe_estimated_delay(s, r, Nanos::new(200));
+        let tight = online.outcome().unwrap();
+        let pq = |o: &SyncOutcome| {
+            o.components()
+                .iter()
+                .find(|c| c.members.contains(&P))
+                .map(|c| (c.members.clone(), c.precision))
+                .unwrap()
+        };
+        assert_eq!(pq(&tight), (vec![P, Q], Ratio::from_int(450)));
+        let dropped = online.forget_link(P, Q);
+        assert_eq!(dropped, 2);
+        let mut reference = online.clone();
+        reference.invalidate_caches();
+        let scoped = online.outcome().unwrap();
+        let full = reference.outcome().unwrap();
+        assert_eq!(scoped, full);
+        // P–Q is back to assumption-only knowledge (no observations means
+        // no finite m̃ls): the pair split into singleton components, while
+        // the untouched r–s component stays synchronized and tight.
+        assert_eq!(pq(&scoped), (vec![P], Ratio::ZERO));
+        let rs = scoped
+            .components()
+            .iter()
+            .find(|c| c.members.contains(&r))
+            .unwrap();
+        assert_eq!(rs.precision, Ratio::from_int(250));
+        // Fresh evidence re-tightens through the patched cache exactly as
+        // through a rebuilt one.
+        online.observe_estimated_delay(P, Q, Nanos::new(100));
+        reference.observe_estimated_delay(P, Q, Nanos::new(100));
+        online.observe_estimated_delay(Q, P, Nanos::new(100));
+        reference.observe_estimated_delay(Q, P, Nanos::new(100));
+        assert_eq!(online.outcome().unwrap(), reference.outcome().unwrap());
+    }
+
+    #[test]
+    fn forget_link_after_bulk_ingest_patches_without_cache() {
+        // Loosening with no cached closure (fresh synchronizer state after
+        // ingest_views dropped it) must still evict the right A_max states
+        // and produce the same outcome as the reference.
+        let exec = ExecutionBuilder::new(2)
+            .start(Q, RealTime::from_nanos(123))
+            .round_trips(
+                P,
+                Q,
+                2,
+                RealTime::from_nanos(5_000),
+                Nanos::new(997),
+                Nanos::new(400),
+                Nanos::new(350),
+            )
+            .build()
+            .unwrap();
+        let mut online = OnlineSynchronizer::new(net());
+        let _ = online.outcome().unwrap();
+        online.ingest_views(exec.views()).unwrap();
+        online.forget_link(P, Q);
+        let mut reference = online.clone();
+        reference.invalidate_caches();
+        assert_eq!(online.outcome().unwrap(), reference.outcome().unwrap());
+        assert_eq!(online.outcome().unwrap().precision(), Ext::PosInf);
     }
 }

@@ -57,6 +57,14 @@ pub enum ModelError {
         /// Actual count.
         actual: usize,
     },
+    /// A message's clock readings are so far apart that their difference
+    /// (the estimated delay) is not representable in `i64` nanoseconds.
+    /// Only reachable from untrusted input: views recorded by real
+    /// executions keep clocks within the execution's span.
+    ClockOverflow {
+        /// The offending message.
+        id: MessageId,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -91,6 +99,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::WrongProcessorCount { expected, actual } => {
                 write!(f, "expected {expected} processors, got {actual}")
+            }
+            ModelError::ClockOverflow { id } => {
+                write!(
+                    f,
+                    "clock readings of message {id} overflow the representable delay range"
+                )
             }
         }
     }

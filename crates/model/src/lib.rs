@@ -51,10 +51,12 @@ mod event;
 mod execution;
 mod observations;
 mod view;
+mod window;
 
 pub use builder::ExecutionBuilder;
 pub use error::ModelError;
 pub use event::{MessageId, ProcessorId, ViewEvent};
 pub use execution::{Execution, MessageRecord};
 pub use observations::{DirectedStats, LinkEvidence, LinkObservations, MsgSample};
-pub use view::{View, ViewSet};
+pub use view::{MessageObservation, View, ViewSet};
+pub use window::ViewWindow;

@@ -22,8 +22,20 @@ pub struct MsgSample {
 
 impl MsgSample {
     /// The estimated delay `d̃(m) = recv_clock − send_clock` (Lemma 6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the difference overflows `i64` nanoseconds. Ingestion
+    /// paths fed untrusted clock readings use
+    /// [`MsgSample::checked_estimated_delay`] instead.
     pub fn estimated_delay(&self) -> Nanos {
         self.recv_clock - self.send_clock
+    }
+
+    /// The estimated delay, or `None` when the clock readings are so far
+    /// apart that their difference is not representable.
+    pub fn checked_estimated_delay(&self) -> Option<Nanos> {
+        self.recv_clock.checked_sub(self.send_clock)
     }
 }
 
@@ -246,8 +258,81 @@ impl LinkObservations {
     }
 
     /// Total messages recorded across all links.
+    ///
+    /// Counts everything ever recorded; samples dropped by
+    /// [`LinkObservations::compact_samples`] still count (the statistics
+    /// they contributed to are retained).
     pub fn total_messages(&self) -> usize {
         self.stats.iter().map(|s| s.count).sum()
+    }
+
+    /// Samples currently held in memory across all links (at most
+    /// [`LinkObservations::total_messages`]; lower after compaction).
+    pub fn retained_samples(&self) -> usize {
+        self.samples.iter().map(Vec::len).sum()
+    }
+
+    /// Compacts the retained samples of the directed link `src → dst` down
+    /// to the extremal witnesses plus the `window` most recent samples,
+    /// returning how many were dropped.
+    ///
+    /// The directed statistics (`d̃min`, `d̃max`, count) are untouched:
+    /// they are maintained by absorption and never recomputed from the
+    /// sample list, so compaction cannot loosen any estimate that depends
+    /// on the link only through its extrema (Lemmas 6.2/6.5). Callers must
+    /// not compact links whose estimator reads the full sample list (the
+    /// windowed-bias model); the synchronizer's compaction hook checks
+    /// this via the assumption's extrema-only predicate.
+    ///
+    /// The first sample attaining the current `d̃min` and the first
+    /// attaining `d̃max` are always retained, so a view materialized from
+    /// the surviving samples still witnesses both extrema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn compact_samples(&mut self, src: ProcessorId, dst: ProcessorId, window: usize) -> usize {
+        let idx = self.index(src, dst);
+        let stats = self.stats[idx];
+        let samples = &mut self.samples[idx];
+        if samples.len() <= window.saturating_add(2) {
+            return 0;
+        }
+        let min_witness = samples
+            .iter()
+            .position(|s| Ext::Finite(s.estimated_delay()) == stats.est_min);
+        let max_witness = samples
+            .iter()
+            .position(|s| Ext::Finite(s.estimated_delay()) == stats.est_max);
+        let tail_start = samples.len() - window;
+        let before = samples.len();
+        let mut pos = 0;
+        samples.retain(|_| {
+            let keep = pos >= tail_start || Some(pos) == min_witness || Some(pos) == max_witness;
+            pos += 1;
+            keep
+        });
+        before - samples.len()
+    }
+
+    /// Discards every recorded sample *and* statistic on the link
+    /// `{p, q}`, both directions — the evidence-retraction primitive
+    /// behind the synchronizer's `forget_link`: after a link is physically
+    /// replaced, its old observations no longer describe it. Returns how
+    /// many retained samples were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn clear_link(&mut self, p: ProcessorId, q: ProcessorId) -> usize {
+        let mut dropped = 0;
+        for (a, b) in [(p, q), (q, p)] {
+            let idx = self.index(a, b);
+            self.stats[idx] = DirectedStats::EMPTY;
+            dropped += self.samples[idx].len();
+            self.samples[idx].clear();
+        }
+        dropped
     }
 
     fn index(&self, src: ProcessorId, dst: ProcessorId) -> usize {
@@ -303,5 +388,78 @@ mod tests {
     fn out_of_range_processor_panics() {
         let obs = LinkObservations::empty(1);
         let _ = obs.stats(P, Q);
+    }
+
+    #[test]
+    fn checked_estimated_delay_catches_overflow() {
+        let adversarial = MsgSample {
+            send_clock: ClockTime::from_nanos(i64::MIN),
+            recv_clock: ClockTime::from_nanos(i64::MAX),
+        };
+        assert_eq!(adversarial.checked_estimated_delay(), None);
+        let fine = MsgSample {
+            send_clock: ClockTime::from_nanos(10),
+            recv_clock: ClockTime::from_nanos(25),
+        };
+        assert_eq!(fine.checked_estimated_delay(), Some(Nanos::new(15)));
+    }
+
+    #[test]
+    fn compaction_keeps_witnesses_and_stats() {
+        let mut obs = LinkObservations::empty(2);
+        // Extrema arrive early, then a long run of dominated probes.
+        obs.record(P, Q, Nanos::new(-50)); // d̃min witness
+        obs.record(P, Q, Nanos::new(90)); // d̃max witness
+        for d in 0..20 {
+            obs.record(P, Q, Nanos::new(d));
+        }
+        let before = obs.stats(P, Q);
+        let dropped = obs.compact_samples(P, Q, 4);
+        assert_eq!(dropped, 22 - 4 - 2);
+        assert_eq!(obs.samples(P, Q).len(), 6);
+        // Stats are bit-identical and the surviving samples still witness
+        // both extrema.
+        assert_eq!(obs.stats(P, Q), before);
+        let delays: Vec<Nanos> = obs
+            .samples(P, Q)
+            .iter()
+            .map(|s| s.estimated_delay())
+            .collect();
+        assert!(delays.contains(&Nanos::new(-50)));
+        assert!(delays.contains(&Nanos::new(90)));
+        // Retained counts drop, recorded totals do not.
+        assert_eq!(obs.total_messages(), 22);
+        assert_eq!(obs.retained_samples(), 6);
+        // Small lists are left alone.
+        assert_eq!(obs.compact_samples(P, Q, 4), 0);
+    }
+
+    #[test]
+    fn compaction_is_idempotent_on_extremal_tail() {
+        let mut obs = LinkObservations::empty(2);
+        // The tail itself contains the extrema: witnesses and tail overlap.
+        for d in [5, 5, 5, 5, 5, -9, 70] {
+            obs.record(P, Q, Nanos::new(d));
+        }
+        obs.compact_samples(P, Q, 2);
+        assert_eq!(obs.samples(P, Q).len(), 2);
+        assert_eq!(obs.stats(P, Q).est_min, Ext::Finite(Nanos::new(-9)));
+        assert_eq!(obs.stats(P, Q).est_max, Ext::Finite(Nanos::new(70)));
+    }
+
+    #[test]
+    fn clear_link_resets_both_directions() {
+        let mut obs = LinkObservations::empty(3);
+        obs.record(P, Q, Nanos::new(5));
+        obs.record(Q, P, Nanos::new(7));
+        obs.record(Q, ProcessorId(2), Nanos::new(9));
+        assert_eq!(obs.clear_link(P, Q), 2);
+        assert_eq!(obs.stats(P, Q), DirectedStats::EMPTY);
+        assert_eq!(obs.stats(Q, P), DirectedStats::EMPTY);
+        // Other links are untouched.
+        assert_eq!(
+            obs.estimated_min(Q, ProcessorId(2)),
+            Ext::Finite(Nanos::new(9))
+        );
     }
 }

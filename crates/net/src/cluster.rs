@@ -462,12 +462,15 @@ impl ClusterConfig {
                     // Secret start offset, then the processor "starts".
                     thread::sleep(Duration::from_nanos(offset.as_nanos() as u64));
                     let start = Instant::now();
-                    let start_offset = Nanos::new(
-                        i64::try_from((start - epoch).as_nanos()).expect("run fits in i64 ns"),
-                    );
+                    // Saturate rather than panic on the (pathological)
+                    // multi-century wall-clock reading: these feed clock
+                    // arithmetic on service-reachable paths, and a capped
+                    // reading degrades precision instead of crashing.
+                    let start_offset =
+                        Nanos::new(i64::try_from((start - epoch).as_nanos()).unwrap_or(i64::MAX));
                     let clock_now = |start: Instant| -> ClockTime {
                         ClockTime::from_nanos(
-                            i64::try_from(start.elapsed().as_nanos()).expect("run fits in i64 ns"),
+                            i64::try_from(start.elapsed().as_nanos()).unwrap_or(i64::MAX),
                         )
                     };
                     let mut events = vec![ViewEvent::Start {
@@ -762,6 +765,11 @@ impl ClusterConfig {
                 View::from_events(ProcessorId(i), events)
             })
             .collect();
+        // Reachability audit: both expects validate structures this
+        // function just built from its own event log — unmatched sends
+        // were filtered above, clocks are monotone per thread, and the
+        // starts vector is constructed with one entry per view — so no
+        // external input (service batches included) can reach them.
         let views = ViewSet::new(views).expect("cluster produces valid views");
         let execution = Execution::new(starts, views).expect("counts match");
 

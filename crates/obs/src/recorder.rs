@@ -79,6 +79,7 @@ struct Inner {
     records: Mutex<Vec<TraceRecord>>,
     counters: Mutex<BTreeMap<String, u64>>,
     hists: Mutex<BTreeMap<String, Hist>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
 }
 
 /// A cheap, cloneable handle that pipeline stages report into.
@@ -105,6 +106,7 @@ impl Recorder {
                 records: Mutex::new(Vec::new()),
                 counters: Mutex::new(BTreeMap::new()),
                 hists: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -132,6 +134,16 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             let mut hists = inner.hists.lock().expect("obs hists poisoned");
             hists.entry(name.to_string()).or_default().observe(ns);
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins). Gauges report
+    /// levels rather than totals — shard occupancy, retained messages,
+    /// approximate resident bytes — so only the latest value is kept.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut gauges = inner.gauges.lock().expect("obs gauges poisoned");
+            gauges.insert(name.to_string(), value);
         }
     }
 
@@ -189,6 +201,12 @@ impl Recorder {
             records.push(TraceRecord::Hist {
                 name: name.clone(),
                 hist: *hist,
+            });
+        }
+        for (name, value) in inner.gauges.lock().expect("obs gauges poisoned").iter() {
+            records.push(TraceRecord::Gauge {
+                name: name.clone(),
+                value: *value,
             });
         }
         Trace { records }
@@ -257,6 +275,7 @@ mod tests {
         assert!(!r.is_enabled());
         r.incr("c", 3);
         r.observe_ns("h", 10);
+        r.gauge("g", 1.5);
         r.event("e", [("k", FieldValue::from(1i64))]);
         let mut s = r.span("s");
         s.field("f", true);
@@ -272,12 +291,15 @@ mod tests {
         r.incr("pkts", 3);
         r.observe_ns("rtt", 100);
         r.observe_ns("rtt", 300);
+        r.gauge("depth", 7.0);
+        r.gauge("depth", 3.0); // last write wins
         r.event("health", [("link", FieldValue::from("0-1"))]);
         let mut s = r.span("stage");
         s.field("kernel", "scaled-i64");
         s.finish();
         let trace = r.snapshot();
-        assert_eq!(trace.records.len(), 4);
+        assert_eq!(trace.records.len(), 5);
+        assert_eq!(trace.gauge("depth"), Some(3.0));
         assert!(trace
             .records
             .iter()

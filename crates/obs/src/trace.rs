@@ -8,6 +8,7 @@
 //! {"t":"event","name":"net.link_health","at_ns":…,"fields":{"link":"0-1","state":"NoBounds",…}}
 //! {"t":"counter","name":"sim.messages_delivered","value":57}
 //! {"t":"hist","name":"net.probe_rtt","count":12,"min_ns":…,"max_ns":…,"sum_ns":…}
+//! {"t":"gauge","name":"svc.retained_messages","value":4096.0}
 //! ```
 //!
 //! Field values are JSON integers, floats, strings or booleans. The
@@ -102,13 +103,21 @@ pub enum TraceRecord {
         /// The aggregate.
         hist: Hist,
     },
+    /// A gauge's last-written level (e.g. retained messages, approximate
+    /// resident bytes). Unlike counters, gauges can go down.
+    Gauge {
+        /// Gauge name (e.g. `svc.retained_messages`).
+        name: String,
+        /// The last value written.
+        value: f64,
+    },
 }
 
 /// A finished trace: an ordered list of records.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
-    /// Spans and events in recording order, then counters, then
-    /// histograms (both sorted by name).
+    /// Spans and events in recording order, then counters, histograms
+    /// and gauges (each group sorted by name).
     pub records: Vec<TraceRecord>,
 }
 
@@ -172,6 +181,14 @@ fn record_json(r: &TraceRecord) -> Json {
             ("min_ns", Json::Int(hist.min_ns as i128)),
             ("max_ns", Json::Int(hist.max_ns as i128)),
             ("sum_ns", Json::Int(hist.sum_ns as i128)),
+        ]),
+        TraceRecord::Gauge { name, value } => Json::object([
+            ("t", Json::Str("gauge".into())),
+            ("name", Json::Str(name.clone())),
+            // Gauges are never non-finite in practice; `Json::float`
+            // keeps the exporter total if one ever is (the strict
+            // decoder will flag the resulting null).
+            ("value", Json::float(*value)),
         ]),
     }
 }
@@ -281,6 +298,20 @@ fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
                 },
             })
         }
+        "gauge" => {
+            expect_keys(&v, &["t", "name", "value"], line_no)?;
+            let value = match get("value").map_err(|e| err(line_no, e))? {
+                Json::Float(f) => *f,
+                Json::Int(i) => *i as f64,
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("value: expected a number, got {other:?}"),
+                    ))
+                }
+            };
+            Ok(TraceRecord::Gauge { name, value })
+        }
         other => Err(err(line_no, format!("unknown record type `{other}`"))),
     }
 }
@@ -337,6 +368,14 @@ impl Trace {
         })
     }
 
+    /// The last-written value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.records.iter().find_map(|r| match r {
+            TraceRecord::Gauge { name: n, value } if n == name => Some(*value),
+            _ => None,
+        })
+    }
+
     /// Span names in recording order (repeats included).
     pub fn span_names(&self) -> Vec<&str> {
         self.records
@@ -379,6 +418,7 @@ impl Trace {
         let mut events: Vec<(&str, EventGroup)> = Vec::new();
         let mut counters = Vec::new();
         let mut hists = Vec::new();
+        let mut gauges = Vec::new();
         for r in &self.records {
             match r {
                 TraceRecord::Span { name, dur_ns, .. } => {
@@ -401,17 +441,19 @@ impl Trace {
                 },
                 TraceRecord::Counter { name, value } => counters.push((name, *value)),
                 TraceRecord::Hist { name, hist } => hists.push((name, *hist)),
+                TraceRecord::Gauge { name, value } => gauges.push((name, *value)),
             }
         }
 
         let mut out = Vec::new();
         out.push(format!(
-            "{} records: {} span(s), {} event(s), {} counter(s), {} histogram(s)",
+            "{} records: {} span(s), {} event(s), {} counter(s), {} histogram(s), {} gauge(s)",
             self.records.len(),
             spans.iter().map(|(_, c, ..)| c).sum::<u64>(),
             events.iter().map(|(_, o)| o.len()).sum::<usize>(),
             counters.len(),
             hists.len(),
+            gauges.len(),
         ));
         if !spans.is_empty() {
             out.push(String::new());
@@ -443,6 +485,13 @@ impl Trace {
                     fmt_ns(h.mean_ns()),
                     fmt_ns(h.max_ns),
                 ));
+            }
+        }
+        if !gauges.is_empty() {
+            out.push(String::new());
+            out.push("gauges:".into());
+            for (name, value) in &gauges {
+                out.push(format!("  {name:<28} {value}"));
             }
         }
         if !events.is_empty() {
@@ -529,6 +578,10 @@ mod tests {
                         sum_ns: 400,
                     },
                 },
+                TraceRecord::Gauge {
+                    name: "svc.retained_messages".into(),
+                    value: 128.5,
+                },
             ],
         }
     }
@@ -537,7 +590,7 @@ mod tests {
     fn jsonl_round_trips() {
         let t = sample();
         let text = t.to_jsonl();
-        assert_eq!(text.lines().count(), 4);
+        assert_eq!(text.lines().count(), 5);
         let back = Trace::from_jsonl(&text).unwrap();
         // Decoded fields come back key-sorted; the sample is already
         // sorted, so the records compare equal directly.
@@ -562,6 +615,14 @@ mod tests {
                 "{\"t\":\"event\",\"name\":\"e\",\"at_ns\":1,\"fields\":{\"k\":[1]}}",
                 "array field value",
             ),
+            (
+                "{\"t\":\"gauge\",\"name\":\"g\",\"value\":\"high\"}",
+                "non-numeric gauge",
+            ),
+            (
+                "{\"t\":\"gauge\",\"name\":\"g\",\"value\":1.0,\"unit\":\"msgs\"}",
+                "extra gauge key",
+            ),
             ("not json", "parse error"),
         ] {
             let text = format!(
@@ -585,6 +646,8 @@ mod tests {
             Some(&FieldValue::Str("scaled-i64".into()))
         );
         assert_eq!(t.events_named("net.link_health").count(), 1);
+        assert_eq!(t.gauge("svc.retained_messages"), Some(128.5));
+        assert_eq!(t.gauge("absent"), None);
     }
 
     #[test]
@@ -597,6 +660,8 @@ mod tests {
             "link=0-1",
             "sim.messages_dropped",
             "net.probe_rtt",
+            "gauges:",
+            "svc.retained_messages",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -1,0 +1,57 @@
+//! Domains and observation batches — the service's ingestion unit.
+
+use std::fmt;
+
+pub use clocksync::BatchObservation;
+
+/// The name of one sync domain: an independent processor group with its
+/// own network specification, evidence and outcome. Domains are what the
+/// consistent-hash map spreads across shards.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub String);
+
+impl DomainId {
+    /// The domain name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DomainId {
+    fn from(s: &str) -> DomainId {
+        DomainId(s.to_string())
+    }
+}
+
+impl From<String> for DomainId {
+    fn from(s: String) -> DomainId {
+        DomainId(s)
+    }
+}
+
+/// A batch of message observations for one domain, applied atomically in
+/// a single closure/`A_max` maintenance pass (see
+/// [`clocksync::OnlineSynchronizer::ingest_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservationBatch {
+    /// The domain the observations belong to.
+    pub domain: DomainId,
+    /// The observed messages, as untrusted endpoint clock readings.
+    pub observations: Vec<BatchObservation>,
+}
+
+impl ObservationBatch {
+    /// A batch for `domain` carrying `observations`.
+    pub fn new(domain: impl Into<DomainId>, observations: Vec<BatchObservation>) -> Self {
+        ObservationBatch {
+            domain: domain.into(),
+            observations,
+        }
+    }
+}

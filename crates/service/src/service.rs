@@ -1,0 +1,608 @@
+//! The sharded multi-domain synchronization service.
+//!
+//! A [`SyncService`] owns `K` shards; each registered domain is pinned to
+//! one shard by the consistent-hash [`ShardMap`], and every batch for a
+//! domain is applied by that shard alone — batches for different shards
+//! apply in parallel ([`SyncService::ingest_many`]) with no locking,
+//! because shards share nothing.
+//!
+//! Per batch the shard (1) validates and applies the observations to the
+//! domain's [`OnlineSynchronizer`] in one closure/`A_max` maintenance pass,
+//! (2) mirrors them into the domain's bounded [`ViewWindow`], and (3) runs
+//! the retention policy: dominated messages leave the window and dominated
+//! samples leave the evidence store, while every `d̃min`/`d̃max` witness is
+//! kept. The compaction **never loosens** any `m̃ls` — the §6 estimators
+//! depend on the views only through the per-link extrema, which are
+//! maintained incrementally and never recomputed from the retained
+//! samples — so precision, corrections and certificates are bit-identical
+//! to a full-history run (proptested in `tests/service.rs`), and memory
+//! stays bounded by the window size regardless of how many messages flow
+//! through.
+
+use std::collections::HashMap;
+
+use clocksync::{Network, OnlineSynchronizer, SyncError, SyncOutcome};
+use clocksync_model::{MessageId, MessageObservation, ModelError, ViewSet, ViewWindow};
+use clocksync_obs::Recorder;
+use clocksync_time::ClockTime;
+use rayon::prelude::*;
+
+use crate::{DomainId, ObservationBatch, ServiceError, ShardMap};
+
+/// Per-domain state owned by exactly one shard.
+#[derive(Debug)]
+struct DomainState {
+    online: OnlineSynchronizer,
+    window: ViewWindow,
+    next_msg_id: u64,
+    ingested: u64,
+}
+
+/// One shard: the domains it owns, keyed by name.
+#[derive(Debug, Default)]
+struct Shard {
+    domains: HashMap<DomainId, DomainState>,
+}
+
+/// What one batch application did (returned by [`SyncService::ingest`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The domain the batch was applied to.
+    pub domain: DomainId,
+    /// The shard that applied it.
+    pub shard: usize,
+    /// Observations applied.
+    pub applied: usize,
+    /// Messages the window's dominated-evidence GC dropped afterwards.
+    pub gc_dropped: usize,
+    /// Evidence samples the synchronizer's compaction dropped afterwards.
+    pub samples_compacted: usize,
+    /// Messages the domain's window retains after GC.
+    pub retained_messages: usize,
+}
+
+/// Point-in-time retention statistics for one domain
+/// (see [`SyncService::domain_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainStats {
+    /// The shard owning the domain.
+    pub shard: usize,
+    /// Observations ever ingested.
+    pub ingested: u64,
+    /// Messages currently retained in the view window.
+    pub retained_messages: usize,
+    /// Evidence samples currently retained by the synchronizer.
+    pub retained_samples: usize,
+    /// Approximate bytes held by the view window.
+    pub approx_window_bytes: usize,
+}
+
+/// The sharded multi-domain ingestion service.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync::{BatchObservation, DelayRange, LinkAssumption, Network};
+/// use clocksync_model::ProcessorId;
+/// use clocksync_service::{ObservationBatch, SyncService};
+/// use clocksync_time::{ClockTime, Nanos};
+///
+/// let (p, q) = (ProcessorId(0), ProcessorId(1));
+/// let net = Network::builder(2)
+///     .link(p, q, LinkAssumption::symmetric_bounds(
+///         DelayRange::new(Nanos::ZERO, Nanos::new(1_000))))
+///     .build();
+/// let mut svc = SyncService::new(4, 64);
+/// svc.register_domain("tenant-a", net)?;
+/// let receipt = svc.ingest(&ObservationBatch::new("tenant-a", vec![
+///     BatchObservation { src: p, dst: q,
+///         send_clock: ClockTime::from_nanos(1_000),
+///         recv_clock: ClockTime::from_nanos(1_400) },
+///     BatchObservation { src: q, dst: p,
+///         send_clock: ClockTime::from_nanos(1_500),
+///         recv_clock: ClockTime::from_nanos(2_100) },
+/// ]))?;
+/// assert_eq!(receipt.applied, 2);
+/// let outcome = svc.outcome("tenant-a")?;
+/// assert!(outcome.precision().is_finite());
+/// # Ok::<(), clocksync_service::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct SyncService {
+    map: ShardMap,
+    shards: Vec<Shard>,
+    /// Per-directed-link retention window (messages and samples).
+    window: usize,
+    recorder: Recorder,
+}
+
+impl SyncService {
+    /// A service with `shards` shards and a per-directed-link retention
+    /// window of `window` messages (plus the extremal witnesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, window: usize) -> SyncService {
+        let map = ShardMap::new(shards);
+        SyncService {
+            map,
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            window,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a recorder: `svc.ingest` spans per batch plus `svc.*`
+    /// gauges (shard/domain counts, retained messages and samples,
+    /// approximate retained bytes, last batch depth). Instrumentation
+    /// never changes what the service computes.
+    pub fn with_recorder(mut self, recorder: Recorder) -> SyncService {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-directed-link retention window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The number of registered domains.
+    pub fn domains(&self) -> usize {
+        self.shards.iter().map(|s| s.domains.len()).sum()
+    }
+
+    /// The shard a domain is (or would be) pinned to.
+    pub fn shard_of(&self, domain: &str) -> usize {
+        self.map.shard_of(domain)
+    }
+
+    /// Registers a domain with its network specification, pinning it to
+    /// its consistent-hash shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateDomain`] if the name is already taken.
+    pub fn register_domain(
+        &mut self,
+        domain: impl Into<DomainId>,
+        network: Network,
+    ) -> Result<(), ServiceError> {
+        let domain = domain.into();
+        let shard = self.map.shard_of(domain.as_str());
+        let n = network.n();
+        let slot = &mut self.shards[shard].domains;
+        if slot.contains_key(&domain) {
+            return Err(ServiceError::DuplicateDomain { domain });
+        }
+        slot.insert(
+            domain,
+            DomainState {
+                online: OnlineSynchronizer::new(network),
+                window: ViewWindow::new(n),
+                next_msg_id: 0,
+                ingested: 0,
+            },
+        );
+        self.update_gauges();
+        Ok(())
+    }
+
+    /// Applies one batch to its domain: one validation pass, one
+    /// closure/`A_max` maintenance pass, then the bounded-retention GC.
+    /// Atomic per batch — on error nothing is recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDomain`] for an unregistered domain;
+    /// [`ServiceError::Sync`] / [`ServiceError::Model`] when the batch
+    /// fails validation (out-of-range endpoint, delay overflow, negative
+    /// clock reading).
+    pub fn ingest(&mut self, batch: &ObservationBatch) -> Result<IngestReceipt, ServiceError> {
+        let shard = self.map.shard_of(batch.domain.as_str());
+        let window = self.window;
+        let recorder = self.recorder.clone();
+        let state = self.shards[shard]
+            .domains
+            .get_mut(&batch.domain)
+            .ok_or_else(|| ServiceError::UnknownDomain {
+                domain: batch.domain.clone(),
+            })?;
+        let receipt = apply_batch(state, batch, shard, window, &recorder)?;
+        self.update_gauges();
+        if self.recorder.is_enabled() {
+            self.recorder
+                .gauge("svc.batch_depth", batch.observations.len() as f64);
+        }
+        Ok(receipt)
+    }
+
+    /// Applies many batches, parallelized across shards: each shard's
+    /// batches apply sequentially in input order (a domain's evidence is
+    /// single-writer), different shards apply concurrently. Results are
+    /// returned in input order; batches are independent, so one failing
+    /// validation does not stop the others.
+    pub fn ingest_many(
+        &mut self,
+        batches: &[ObservationBatch],
+    ) -> Vec<Result<IngestReceipt, ServiceError>> {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, b) in batches.iter().enumerate() {
+            per_shard[self.map.shard_of(b.domain.as_str())].push(i);
+        }
+        let window = self.window;
+        let recorder = self.recorder.clone();
+        let per_shard = &per_shard;
+        let shard_results: Vec<Vec<(usize, Result<IngestReceipt, ServiceError>)>> = self
+            .shards
+            .par_iter_mut()
+            .enumerate()
+            .map(|(shard, owned)| {
+                per_shard[shard]
+                    .iter()
+                    .map(|&i| {
+                        let batch = &batches[i];
+                        let result = match owned.domains.get_mut(&batch.domain) {
+                            Some(state) => apply_batch(state, batch, shard, window, &recorder),
+                            None => Err(ServiceError::UnknownDomain {
+                                domain: batch.domain.clone(),
+                            }),
+                        };
+                        (i, result)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut results: Vec<Option<Result<IngestReceipt, ServiceError>>> =
+            (0..batches.len()).map(|_| None).collect();
+        for (i, result) in shard_results.into_iter().flatten() {
+            results[i] = Some(result);
+        }
+        self.update_gauges();
+        if self.recorder.is_enabled() {
+            if let Some(last) = batches.last() {
+                self.recorder
+                    .gauge("svc.batch_depth", last.observations.len() as f64);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every input index was dispatched to exactly one shard"))
+            .collect()
+    }
+
+    /// The current optimal outcome for one domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDomain`], or [`ServiceError::Sync`] when the
+    /// domain's evidence contradicts its declared assumptions.
+    pub fn outcome(&mut self, domain: &str) -> Result<SyncOutcome, ServiceError> {
+        self.domain_mut(domain)?
+            .online
+            .outcome()
+            .map_err(ServiceError::Sync)
+    }
+
+    /// Materializes one domain's retained messages as a validated view
+    /// set — the auditable bounded history behind its outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDomain`] for an unregistered domain.
+    pub fn domain_views(&self, domain: &str) -> Result<ViewSet, ServiceError> {
+        self.domain_ref(domain)?
+            .window
+            .to_view_set()
+            .map_err(ServiceError::Model)
+    }
+
+    /// Retention statistics for one domain, `None` if unregistered.
+    pub fn domain_stats(&self, domain: &str) -> Option<DomainStats> {
+        let shard = self.map.shard_of(domain);
+        let state = self.shards[shard].domains.get(&DomainId::from(domain))?;
+        Some(DomainStats {
+            shard,
+            ingested: state.ingested,
+            retained_messages: state.window.live(),
+            retained_samples: state.online.retained_samples(),
+            approx_window_bytes: state.window.approx_bytes(),
+        })
+    }
+
+    /// Messages retained across every domain's view window.
+    pub fn total_retained_messages(&self) -> usize {
+        self.for_each_domain(|s| s.window.live())
+    }
+
+    /// Evidence samples retained across every domain's synchronizer.
+    pub fn total_retained_samples(&self) -> usize {
+        self.for_each_domain(|s| s.online.retained_samples())
+    }
+
+    /// Approximate bytes held by every domain's view window.
+    pub fn approx_retained_bytes(&self) -> usize {
+        self.for_each_domain(|s| s.window.approx_bytes())
+    }
+
+    fn for_each_domain(&self, f: impl Fn(&DomainState) -> usize) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.domains.values())
+            .map(f)
+            .sum()
+    }
+
+    fn domain_ref(&self, domain: &str) -> Result<&DomainState, ServiceError> {
+        let shard = self.map.shard_of(domain);
+        self.shards[shard]
+            .domains
+            .get(&DomainId::from(domain))
+            .ok_or_else(|| ServiceError::UnknownDomain {
+                domain: DomainId::from(domain),
+            })
+    }
+
+    fn domain_mut(&mut self, domain: &str) -> Result<&mut DomainState, ServiceError> {
+        let shard = self.map.shard_of(domain);
+        self.shards[shard]
+            .domains
+            .get_mut(&DomainId::from(domain))
+            .ok_or_else(|| ServiceError::UnknownDomain {
+                domain: DomainId::from(domain),
+            })
+    }
+
+    fn update_gauges(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.gauge("svc.shards", self.shards() as f64);
+        self.recorder.gauge("svc.domains", self.domains() as f64);
+        self.recorder.gauge(
+            "svc.retained_messages",
+            self.total_retained_messages() as f64,
+        );
+        self.recorder
+            .gauge("svc.retained_samples", self.total_retained_samples() as f64);
+        self.recorder.gauge(
+            "svc.approx_retained_bytes",
+            self.approx_retained_bytes() as f64,
+        );
+    }
+}
+
+/// Applies one batch to one domain's state. Free function so the
+/// shard-parallel path can call it without borrowing the whole service.
+fn apply_batch(
+    state: &mut DomainState,
+    batch: &ObservationBatch,
+    shard: usize,
+    window: usize,
+    recorder: &Recorder,
+) -> Result<IngestReceipt, ServiceError> {
+    let mut span = recorder.span("svc.ingest");
+    span.field("domain", batch.domain.as_str());
+    span.field("shard", shard);
+    span.field("batch", batch.observations.len());
+    // Validate the whole batch up front, in the same order the view
+    // window checks (endpoint range, then clock overflow, then readings
+    // before the start event), so the synchronizer and the window cannot
+    // diverge: once this passes, both apply the batch in full.
+    let n = state.online.network().n();
+    for obs in &batch.observations {
+        if obs.src.index() >= n || obs.dst.index() >= n {
+            let processor = if obs.src.index() >= n {
+                obs.src
+            } else {
+                obs.dst
+            };
+            return Err(ServiceError::Model(ModelError::UnknownProcessor {
+                processor,
+            }));
+        }
+        if obs.recv_clock.checked_sub(obs.send_clock).is_none() {
+            return Err(ServiceError::Sync(SyncError::Overflow {
+                src: obs.src,
+                dst: obs.dst,
+            }));
+        }
+        if obs.send_clock < ClockTime::ZERO || obs.recv_clock < ClockTime::ZERO {
+            let processor = if obs.send_clock < ClockTime::ZERO {
+                obs.src
+            } else {
+                obs.dst
+            };
+            return Err(ServiceError::Model(ModelError::UnorderedView { processor }));
+        }
+    }
+    let applied = state
+        .online
+        .ingest_batch(&batch.observations)
+        .map_err(ServiceError::Sync)?;
+    for obs in &batch.observations {
+        let id = MessageId(state.next_msg_id);
+        state.next_msg_id += 1;
+        state
+            .window
+            .push(MessageObservation {
+                src: obs.src,
+                dst: obs.dst,
+                id,
+                send_clock: obs.send_clock,
+                recv_clock: obs.recv_clock,
+            })
+            .map_err(ServiceError::Model)?;
+    }
+    state.ingested += applied as u64;
+    let gc_dropped = state.window.gc_dominated(window);
+    let samples_compacted = state.online.compact_evidence(window);
+    span.field("gc_dropped", gc_dropped);
+    span.field("samples_compacted", samples_compacted);
+    span.finish();
+    Ok(IngestReceipt {
+        domain: batch.domain.clone(),
+        shard,
+        applied,
+        gc_dropped,
+        samples_compacted,
+        retained_messages: state.window.live(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync::{BatchObservation, DelayRange, LinkAssumption, SyncError};
+    use clocksync_model::ProcessorId;
+    use clocksync_time::Nanos;
+
+    const P: ProcessorId = ProcessorId(0);
+    const Q: ProcessorId = ProcessorId(1);
+
+    fn net() -> Network {
+        Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+            )
+            .build()
+    }
+
+    fn obs(src: ProcessorId, dst: ProcessorId, send: i64, recv: i64) -> BatchObservation {
+        BatchObservation {
+            src,
+            dst,
+            send_clock: ClockTime::from_nanos(send),
+            recv_clock: ClockTime::from_nanos(recv),
+        }
+    }
+
+    #[test]
+    fn unknown_and_duplicate_domains_are_reported() {
+        let mut svc = SyncService::new(2, 8);
+        svc.register_domain("a", net()).unwrap();
+        assert!(matches!(
+            svc.register_domain("a", net()),
+            Err(ServiceError::DuplicateDomain { .. })
+        ));
+        assert!(matches!(
+            svc.ingest(&ObservationBatch::new("ghost", vec![])),
+            Err(ServiceError::UnknownDomain { .. })
+        ));
+        assert!(svc.outcome("ghost").is_err());
+        assert!(svc.domain_stats("ghost").is_none());
+    }
+
+    #[test]
+    fn windowed_ingestion_stays_bounded_and_exact() {
+        let mut svc = SyncService::new(2, 4);
+        svc.register_domain("a", net()).unwrap();
+        // A full-history reference synchronizer fed the same stream.
+        let mut reference = OnlineSynchronizer::new(net());
+        for round in 0..50i64 {
+            let t = 1_000 * round;
+            let batch = ObservationBatch::new(
+                "a",
+                vec![
+                    obs(P, Q, t, t + 400 + round % 7),
+                    obs(Q, P, t + 500, t + 900 - round % 5),
+                ],
+            );
+            reference.ingest_batch(&batch.observations).unwrap();
+            svc.ingest(&batch).unwrap();
+        }
+        // Bounded: both directions hold at most window + 2 witnesses.
+        let stats = svc.domain_stats("a").unwrap();
+        assert_eq!(stats.ingested, 100);
+        assert!(stats.retained_messages <= 2 * (4 + 2));
+        assert!(stats.retained_samples <= 2 * (4 + 2));
+        // Exact: the windowed outcome equals the full-history outcome.
+        assert_eq!(svc.outcome("a").unwrap(), reference.outcome().unwrap());
+        // And the materialized views carry the extremal evidence.
+        let views = svc.domain_views("a").unwrap();
+        let link_obs = views.link_observations();
+        assert_eq!(
+            link_obs.estimated_min(P, Q),
+            reference.observations().estimated_min(P, Q)
+        );
+        assert_eq!(
+            link_obs.estimated_max(Q, P),
+            reference.observations().estimated_max(Q, P)
+        );
+    }
+
+    #[test]
+    fn bad_batches_leave_no_trace() {
+        let mut svc = SyncService::new(1, 8);
+        svc.register_domain("a", net()).unwrap();
+        let overflow = ObservationBatch::new("a", vec![obs(P, Q, i64::MIN, i64::MAX)]);
+        assert!(matches!(
+            svc.ingest(&overflow),
+            Err(ServiceError::Sync(SyncError::Overflow { .. }))
+        ));
+        let negative = ObservationBatch::new("a", vec![obs(P, Q, -10, 50)]);
+        assert!(matches!(
+            svc.ingest(&negative),
+            Err(ServiceError::Model(ModelError::UnorderedView { .. }))
+        ));
+        let stats = svc.domain_stats("a").unwrap();
+        assert_eq!(stats.ingested, 0);
+        assert_eq!(stats.retained_messages, 0);
+        assert_eq!(stats.retained_samples, 0);
+    }
+
+    #[test]
+    fn ingest_many_matches_sequential_ingest() {
+        let domains = ["a", "b", "c", "d", "e"];
+        let mut parallel = SyncService::new(4, 8);
+        let mut sequential = SyncService::new(4, 8);
+        for d in domains {
+            parallel.register_domain(d, net()).unwrap();
+            sequential.register_domain(d, net()).unwrap();
+        }
+        let batches: Vec<ObservationBatch> = (0..20)
+            .map(|i| {
+                let t = 1_000 * i as i64;
+                ObservationBatch::new(
+                    domains[i % domains.len()],
+                    vec![obs(P, Q, t, t + 300), obs(Q, P, t + 400, t + 800)],
+                )
+            })
+            .collect();
+        let receipts = parallel.ingest_many(&batches);
+        assert_eq!(receipts.len(), 20);
+        for (batch, receipt) in batches.iter().zip(&receipts) {
+            let expected = sequential.ingest(batch).unwrap();
+            assert_eq!(receipt.as_ref().unwrap(), &expected);
+        }
+        for d in domains {
+            assert_eq!(parallel.outcome(d).unwrap(), sequential.outcome(d).unwrap());
+        }
+    }
+
+    #[test]
+    fn gauges_and_spans_are_recorded() {
+        let recorder = Recorder::enabled();
+        let mut svc = SyncService::new(2, 8).with_recorder(recorder.clone());
+        svc.register_domain("a", net()).unwrap();
+        svc.ingest(&ObservationBatch::new(
+            "a",
+            vec![obs(P, Q, 0, 400), obs(Q, P, 500, 900)],
+        ))
+        .unwrap();
+        let trace = recorder.snapshot();
+        assert!(trace.span_names().contains(&"svc.ingest"));
+        assert_eq!(trace.gauge("svc.shards"), Some(2.0));
+        assert_eq!(trace.gauge("svc.domains"), Some(1.0));
+        assert_eq!(trace.gauge("svc.retained_messages"), Some(2.0));
+        assert_eq!(trace.gauge("svc.batch_depth"), Some(2.0));
+        assert!(trace.gauge("svc.approx_retained_bytes").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Consistent-hash shard map: domain → shard.
+//!
+//! The service owns many independent sync domains and pins each to one
+//! shard (one worker), so all batches of a domain are applied by a single
+//! owner and no cross-shard locking is needed. The map is a classic
+//! consistent-hash ring with virtual nodes: each shard contributes
+//! [`VNODES_PER_SHARD`] points on a 64-bit ring, and a domain lands on the
+//! first point clockwise of its hash. Adding or removing one shard then
+//! remaps only `~1/shards` of the domains — the property that makes
+//! resharding a live service cheap — and the placement is a pure function
+//! of `(domain, shards)`, so every replica agrees without coordination.
+
+/// Virtual nodes per shard. 64 keeps the assignment imbalance across
+/// shards within a few percent without making ring construction or
+/// binary-search lookups noticeable.
+const VNODES_PER_SHARD: usize = 64;
+
+/// Ring-placement hash: FNV-1a (64-bit) followed by a murmur3-style
+/// finalizer. Plain FNV-1a disperses the *low* bits well but barely
+/// avalanches the high bits on short, similar keys like `tenant-3` /
+/// `tenant-4`, which clusters ring positions; the finalizer spreads the
+/// entropy across the whole word.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring assigning domain names to `0..shards`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_service::ShardMap;
+///
+/// let map = ShardMap::new(4);
+/// let shard = map.shard_of("tenant-7");
+/// assert!(shard < 4);
+/// // Placement is deterministic.
+/// assert_eq!(shard, ShardMap::new(4).shard_of("tenant-7"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shards: usize,
+    /// `(ring position, shard)` sorted by position.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardMap {
+    /// A ring over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> ShardMap {
+        assert!(shards > 0, "a shard map needs at least one shard");
+        let mut ring = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let key = format!("shard-{shard}-vnode-{vnode}");
+                ring.push((ring_hash(key.as_bytes()), shard));
+            }
+        }
+        ring.sort_unstable();
+        ShardMap { shards, ring }
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `domain`: the first ring point clockwise of the
+    /// domain's hash (wrapping to the first point past zero).
+    pub fn shard_of(&self, domain: &str) -> usize {
+        let h = ring_hash(domain.as_bytes());
+        let idx = self.ring.partition_point(|&(pos, _)| pos < h);
+        let (_, shard) = self.ring[idx % self.ring.len()];
+        shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let map = ShardMap::new(4);
+        for i in 0..100 {
+            let name = format!("domain-{i}");
+            let s = map.shard_of(&name);
+            assert!(s < 4);
+            assert_eq!(s, ShardMap::new(4).shard_of(&name));
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let map = ShardMap::new(8);
+        let mut counts = vec![0usize; 8];
+        for i in 0..800 {
+            counts[map.shard_of(&format!("tenant-{i}"))] += 1;
+        }
+        // Every shard owns someone, and none owns a majority.
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        assert!(counts.iter().all(|&c| c < 400), "{counts:?}");
+    }
+
+    #[test]
+    fn resharding_moves_few_domains() {
+        let before = ShardMap::new(8);
+        let after = ShardMap::new(9);
+        let moved = (0..1000)
+            .filter(|i| {
+                let name = format!("tenant-{i}");
+                // Shard 8 is new; only domains that land on it should move
+                // (plus ring-neighbour noise), i.e. roughly 1/9 of them.
+                before.shard_of(&name) != after.shard_of(&name)
+            })
+            .count();
+        assert!(moved < 400, "resharding moved {moved}/1000 domains");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardMap::new(0);
+    }
+}

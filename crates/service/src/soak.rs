@@ -1,0 +1,280 @@
+//! Sustained-ingestion soak driver: the simulator feeds the service.
+//!
+//! [`run_soak`] builds one simulated execution per domain (ring topology,
+//! truthful uniform delay bounds — the existing `clocksync-sim` runtime),
+//! then replays its message observations through [`SyncService`] in
+//! batches, cycling the pool with a per-cycle clock shift so the stream
+//! looks like periodic resynchronization traffic of unbounded length.
+//! The interesting outputs are throughput (batched messages per second)
+//! and the *steady-state* retention numbers: with the dominated-evidence
+//! GC on, retained messages must stay under the analytic
+//! [`SoakReport::retained_cap`] no matter how many messages flow through.
+//! The CI soak smoke and `tables --bench-ingest` are both thin wrappers
+//! around this.
+
+use std::time::Instant;
+
+use clocksync::BatchObservation;
+use clocksync_sim::{Simulation, Topology};
+use clocksync_time::Nanos;
+
+use crate::{ObservationBatch, SyncService};
+
+/// Parameters of one soak run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakConfig {
+    /// Shards in the service.
+    pub shards: usize,
+    /// Independent sync domains.
+    pub domains: usize,
+    /// Processors per domain (ring topology; at least 3).
+    pub n: usize,
+    /// Total messages to ingest across all domains.
+    pub messages: u64,
+    /// Observations per batch.
+    pub batch_size: usize,
+    /// Per-directed-link retention window.
+    pub window: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            shards: 4,
+            domains: 8,
+            n: 4,
+            messages: 100_000,
+            batch_size: 64,
+            window: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// What a soak run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// The configuration that ran.
+    pub config: SoakConfig,
+    /// Messages actually ingested (first multiple of the batching layout
+    /// at or above `config.messages`).
+    pub messages: u64,
+    /// Wall-clock time of the ingestion loop, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Highest `total_retained_messages` observed after any ingest round.
+    pub peak_retained_messages: usize,
+    /// Messages retained when the run ended.
+    pub retained_messages_end: usize,
+    /// Evidence samples retained when the run ended.
+    pub retained_samples_end: usize,
+    /// Approximate bytes held by the view windows when the run ended.
+    pub approx_retained_bytes_end: usize,
+    /// Analytic retention ceiling: per directed link the window plus the
+    /// two extremal witnesses, summed over every link of every domain.
+    /// Bounded-memory means `peak_retained_messages <= retained_cap`.
+    pub retained_cap: usize,
+    /// Resident set size at the end of the run, if the platform exposes
+    /// it (`/proc/self/statm` on Linux).
+    pub rss_end_bytes: Option<u64>,
+}
+
+impl SoakReport {
+    /// Sustained ingestion rate, messages per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.messages as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// This process's resident set size in bytes, read from
+/// `/proc/self/statm` (resident pages × 4096). `None` where the proc
+/// filesystem is unavailable.
+#[cfg(target_os = "linux")]
+pub fn current_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident * 4096)
+}
+
+/// This process's resident set size in bytes (`None` off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn current_rss_bytes() -> Option<u64> {
+    None
+}
+
+/// A cyclic reader over one domain's simulated observation pool; each
+/// full cycle shifts all clock readings forward by the pool's span, so
+/// replayed messages look like the next resynchronization period.
+struct PoolCursor {
+    pool: Vec<BatchObservation>,
+    pos: usize,
+    cycle: i64,
+    span: Nanos,
+}
+
+impl PoolCursor {
+    fn new(pool: Vec<BatchObservation>) -> PoolCursor {
+        let span = pool
+            .iter()
+            .map(|m| m.send_clock.as_nanos().max(m.recv_clock.as_nanos()))
+            .max()
+            .unwrap_or(0)
+            + 1_000_000;
+        PoolCursor {
+            pool,
+            pos: 0,
+            cycle: 0,
+            span: Nanos::new(span),
+        }
+    }
+
+    fn next_batch(&mut self, size: usize) -> Vec<BatchObservation> {
+        let mut out = Vec::with_capacity(size);
+        for _ in 0..size {
+            let base = self.pool[self.pos];
+            let shift = self.span * self.cycle;
+            out.push(BatchObservation {
+                src: base.src,
+                dst: base.dst,
+                send_clock: base.send_clock + shift,
+                recv_clock: base.recv_clock + shift,
+            });
+            self.pos += 1;
+            if self.pos == self.pool.len() {
+                self.pos = 0;
+                self.cycle += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Runs one soak: simulate each domain once, then replay the observation
+/// pools through a [`SyncService`] in shard-parallel batches until
+/// `config.messages` messages have been ingested.
+///
+/// # Panics
+///
+/// Panics if `config` is degenerate (`n < 3`, zero domains, zero batch
+/// size) — soak parameters are operator input, not untrusted data.
+pub fn run_soak(config: &SoakConfig) -> SoakReport {
+    assert!(config.n >= 3, "soak domains need at least 3 processors");
+    assert!(config.domains > 0, "soak needs at least one domain");
+    assert!(config.batch_size > 0, "soak needs a positive batch size");
+    let mut svc = SyncService::new(config.shards, config.window);
+    let mut cursors = Vec::with_capacity(config.domains);
+    let mut retained_cap = 0usize;
+    for d in 0..config.domains {
+        let sim = Simulation::builder(config.n)
+            .uniform_links(
+                Topology::Ring(config.n),
+                Nanos::from_micros(50),
+                Nanos::from_micros(250),
+                config.seed ^ d as u64,
+            )
+            .probes(8)
+            .build();
+        let run = sim.run(config.seed.wrapping_add(d as u64).wrapping_mul(0x9e37));
+        retained_cap += run.network.links().count() * 2 * (config.window + 2);
+        svc.register_domain(format!("domain-{d}"), run.network.clone())
+            .expect("fresh domain names cannot collide");
+        let pool: Vec<BatchObservation> = run
+            .execution
+            .views()
+            .message_observations()
+            .into_iter()
+            .map(|m| BatchObservation {
+                src: m.src,
+                dst: m.dst,
+                send_clock: m.send_clock,
+                recv_clock: m.recv_clock,
+            })
+            .collect();
+        assert!(!pool.is_empty(), "simulated domain produced no messages");
+        cursors.push(PoolCursor::new(pool));
+    }
+
+    let mut ingested = 0u64;
+    let mut peak_retained = 0usize;
+    let started = Instant::now();
+    while ingested < config.messages {
+        let batches: Vec<ObservationBatch> = cursors
+            .iter_mut()
+            .enumerate()
+            .map(|(d, cursor)| {
+                ObservationBatch::new(format!("domain-{d}"), cursor.next_batch(config.batch_size))
+            })
+            .collect();
+        for result in svc.ingest_many(&batches) {
+            let receipt = result.expect("simulated observations always validate");
+            ingested += receipt.applied as u64;
+        }
+        peak_retained = peak_retained.max(svc.total_retained_messages());
+    }
+    let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    SoakReport {
+        config: config.clone(),
+        messages: ingested,
+        elapsed_ns,
+        peak_retained_messages: peak_retained,
+        retained_messages_end: svc.total_retained_messages(),
+        retained_samples_end: svc.total_retained_samples(),
+        approx_retained_bytes_end: svc.approx_retained_bytes(),
+        retained_cap,
+        rss_end_bytes: current_rss_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_is_bounded_and_reports_throughput() {
+        let config = SoakConfig {
+            shards: 2,
+            domains: 3,
+            n: 3,
+            messages: 2_000,
+            batch_size: 32,
+            window: 8,
+            seed: 42,
+        };
+        let report = run_soak(&config);
+        assert!(report.messages >= 2_000);
+        assert!(report.msgs_per_sec() > 0.0);
+        assert!(
+            report.peak_retained_messages <= report.retained_cap,
+            "peak {} exceeded cap {}",
+            report.peak_retained_messages,
+            report.retained_cap
+        );
+        assert!(report.retained_messages_end <= report.peak_retained_messages);
+        // Far more flowed through than is retained: memory is bounded.
+        assert!((report.retained_messages_end as u64) < report.messages / 4);
+    }
+
+    #[test]
+    fn soak_is_deterministic_in_retention() {
+        let config = SoakConfig {
+            shards: 2,
+            domains: 2,
+            n: 3,
+            messages: 500,
+            batch_size: 16,
+            window: 4,
+            seed: 9,
+        };
+        let a = run_soak(&config);
+        let b = run_soak(&config);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.retained_messages_end, b.retained_messages_end);
+        assert_eq!(a.retained_samples_end, b.retained_samples_end);
+        assert_eq!(a.retained_cap, b.retained_cap);
+    }
+}

@@ -222,6 +222,13 @@ impl Node {
             m[(a.index(), b.index())] = ab;
             m[(b.index(), a.index())] = ba;
         }
+        // Reachability audit: this expect is a real invariant, not a
+        // reachable panic. Reports are extremal estimates computed from a
+        // genuine execution, so the generating clock offsets satisfy every
+        // constraint and no negative cycle can exist (Lemma 6.2 direction
+        // of Theorem 5.2); fault injection only *removes* reports (drops,
+        // link-down, crashes), leaving +∞ entries, which cannot create
+        // inconsistency either.
         let closure =
             clocksync::global_estimates(&m).expect("honest reports cannot be inconsistent");
         let mut outcome = SyncOutcome::from_global_estimates(closure);

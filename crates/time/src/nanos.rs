@@ -117,6 +117,23 @@ impl Nanos {
         self.0.checked_sub(rhs.0).map(Nanos)
     }
 
+    /// Checked negation, returning `None` for [`Nanos::MIN`] (whose
+    /// negation is not representable).
+    pub fn checked_neg(self) -> Option<Nanos> {
+        self.0.checked_neg().map(Nanos)
+    }
+
+    /// Checked multiplication by an integer factor, returning `None` on
+    /// overflow.
+    pub fn checked_mul(self, factor: i64) -> Option<Nanos> {
+        self.0.checked_mul(factor).map(Nanos)
+    }
+
+    /// Checked absolute value, returning `None` for [`Nanos::MIN`].
+    pub fn checked_abs(self) -> Option<Nanos> {
+        self.0.checked_abs().map(Nanos)
+    }
+
     /// Returns `true` if the duration is negative.
     pub const fn is_negative(self) -> bool {
         self.0 < 0
@@ -310,6 +327,14 @@ macro_rules! time_point {
                     other
                 }
             }
+
+            /// Checked difference between two points on this axis,
+            /// returning `None` when `self - rhs` overflows. Ingestion
+            /// paths fed untrusted clock readings use this instead of the
+            /// panicking `Sub` operator.
+            pub fn checked_sub(self, rhs: $ty) -> Option<Nanos> {
+                self.0.checked_sub(rhs.0)
+            }
         }
 
         impl Add<Nanos> for $ty {
@@ -392,6 +417,12 @@ mod tests {
             Nanos::new(1).checked_add(Nanos::new(2)),
             Some(Nanos::new(3))
         );
+        assert_eq!(Nanos::MIN.checked_neg(), None);
+        assert_eq!(Nanos::new(-3).checked_neg(), Some(Nanos::new(3)));
+        assert_eq!(Nanos::MAX.checked_mul(2), None);
+        assert_eq!(Nanos::new(4).checked_mul(3), Some(Nanos::new(12)));
+        assert_eq!(Nanos::MIN.checked_abs(), None);
+        assert_eq!(Nanos::new(-5).checked_abs(), Some(Nanos::new(5)));
     }
 
     #[test]
@@ -431,5 +462,20 @@ mod tests {
     fn time_point_ordering() {
         assert!(RealTime::from_nanos(1) < RealTime::from_nanos(2));
         assert!(ClockTime::from_nanos(-1) < ClockTime::ZERO);
+    }
+
+    #[test]
+    fn time_point_checked_sub() {
+        let far = ClockTime::from_nanos(i64::MAX);
+        let deep = ClockTime::from_nanos(i64::MIN);
+        assert_eq!(far.checked_sub(deep), None);
+        assert_eq!(
+            ClockTime::from_nanos(10).checked_sub(ClockTime::from_nanos(3)),
+            Some(Nanos::new(7))
+        );
+        assert_eq!(
+            RealTime::from_nanos(1).checked_sub(RealTime::from_nanos(2)),
+            Some(Nanos::new(-1))
+        );
     }
 }
