@@ -1,0 +1,85 @@
+//! Drives load at a running `clocksync serve --listen` server.
+//!
+//! Usage:
+//!   loadgen --addr HOST:PORT [--domains D] [--n N] [--messages M]
+//!           [--batch-size B] [--connections C]
+//!
+//! Registers D ring-topology domains, streams M observations in framed
+//! JSON batches from C concurrent connections, then queries every
+//! domain's outcome. Exits nonzero if any reply was an error or any
+//! outcome failed — so a CI smoke can assert the whole wire path with
+//! one command.
+
+use std::process::ExitCode;
+
+use clocksync_bench::load::{run_load, LoadConfig};
+
+fn main() -> ExitCode {
+    let mut config = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("flag {flag} needs a value");
+            return usage();
+        };
+        let parse_usize = |what: &str, v: &str| {
+            v.parse::<usize>()
+                .map_err(|_| eprintln!("flag {what}: cannot parse `{v}`"))
+        };
+        let ok = match flag.as_str() {
+            "--addr" => {
+                config.addr = value;
+                Ok(())
+            }
+            "--domains" => parse_usize(&flag, &value).map(|v| config.domains = v),
+            "--n" => parse_usize(&flag, &value).map(|v| config.n = v),
+            "--messages" => value
+                .parse::<u64>()
+                .map_err(|_| eprintln!("flag --messages: cannot parse `{value}`"))
+                .map(|v| config.messages = v),
+            "--batch-size" => parse_usize(&flag, &value).map(|v| config.batch_size = v),
+            "--connections" => parse_usize(&flag, &value).map(|v| config.connections = v),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        };
+        if ok.is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match run_load(&config) {
+        Ok(report) => {
+            println!(
+                "loadgen: {} observations acknowledged in {:.2}s over {} connections",
+                report.applied,
+                report.elapsed_ns as f64 / 1e9,
+                config.connections
+            );
+            println!("  throughput   {:.0} msgs/sec", report.msgs_per_sec());
+            println!("  batches      {}", report.batches);
+            println!(
+                "  outcomes     {}/{} domains coherent",
+                report.outcomes_ok, config.domains
+            );
+            if report.errors > 0 || report.outcomes_ok != config.domains {
+                eprintln!("loadgen: {} error replies", report.errors);
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--domains D] [--n N] [--messages M] \
+         [--batch-size B] [--connections C]"
+    );
+    ExitCode::FAILURE
+}

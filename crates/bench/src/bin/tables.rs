@@ -17,10 +17,13 @@
 //!   tables --bench-ingest \[path\]  # measure the sharded ingestion service
 //!                                 # and write BENCH_ingest.json (default
 //!                                 # path: BENCH_ingest.json)
-//!   tables --check-bench-ingest PATH \[min_throughput\]
+//!   tables --check-bench-ingest PATH \[min_throughput \[min_scaling\]\]
 //!                                 # validate a BENCH_ingest.json document
 //!                                 # (schema, bounded retention, GC wins,
-//!                                 # throughput floor; default 50000/s)
+//!                                 # throughput floor — default 50000/s —
+//!                                 # and a threads>1 worker arm at least
+//!                                 # min_scaling x the single-thread
+//!                                 # baseline; default 2x)
 
 use std::process::ExitCode;
 
@@ -135,7 +138,8 @@ fn main() -> ExitCode {
                 .map(String::as_str)
                 .unwrap_or("BENCH_ingest.json");
             eprintln!(
-                "measuring sharded batched ingestion (100k messages per shard count) \
+                "measuring sharded batched ingestion (100k messages per arm: \
+                 single-thread baseline, multi-shard inline, worker pool) \
                  and the retention GC"
             );
             let doc = ingest_bench::bench_ingest_json();
@@ -151,12 +155,20 @@ fn main() -> ExitCode {
                 }
             }
         }
-        [flag, path, rest @ ..] if flag == "--check-bench-ingest" && rest.len() <= 1 => {
+        [flag, path, rest @ ..] if flag == "--check-bench-ingest" && rest.len() <= 2 => {
             let floor: f64 = match rest.first().map(|s| s.parse()) {
                 None => 50_000.0,
                 Some(Ok(f)) => f,
                 Some(Err(_)) => {
                     eprintln!("min_throughput must be a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let scaling: f64 = match rest.get(1).map(|s| s.parse()) {
+                None => 2.0,
+                Some(Ok(f)) => f,
+                Some(Err(_)) => {
+                    eprintln!("min_scaling must be a number");
                     return ExitCode::FAILURE;
                 }
             };
@@ -167,9 +179,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match ingest_bench::check_bench_ingest_json(&doc, floor) {
+            match ingest_bench::check_bench_ingest_json(&doc, floor, scaling) {
                 Ok(()) => {
-                    eprintln!("{path} ok (throughput floor {floor} msgs/sec)");
+                    eprintln!(
+                        "{path} ok (throughput floor {floor} msgs/sec, \
+                         worker-arm scaling floor {scaling}x)"
+                    );
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -182,7 +197,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: tables [--list | --exp <id> | --bench-closure [path] | \
                  --bench-karp [path] | --check-bench-karp <path> [min_speedup] | \
-                 --bench-ingest [path] | --check-bench-ingest <path> [min_throughput]]"
+                 --bench-ingest [path] | \
+                 --check-bench-ingest <path> [min_throughput [min_scaling]]]"
             );
             ExitCode::FAILURE
         }

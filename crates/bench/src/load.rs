@@ -1,0 +1,347 @@
+//! A load driver for the `clocksync serve --listen` wire front-end.
+//!
+//! Connects over TCP, registers ring-topology domains, then streams
+//! observation batches from several concurrent producer connections —
+//! the client side of the framed-JSON ingestion protocol (length
+//! prefix: [`clocksync_net::wire`]). Every batch waits for its reply
+//! frame before the next is sent, so a producer connection is also a
+//! backpressure unit: the server can never owe a connection more than
+//! one acknowledgement.
+//!
+//! The generated traffic is self-consistent by construction (delays
+//! inside the declared bounds), so a run ends by querying each domain's
+//! outcome and checking the synchronization succeeded — a load test that
+//! also asserts the answers stay coherent under concurrency.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use clocksync_net::wire::{read_frame, write_frame};
+use clocksync_obs::json::{parse, Json};
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Number of sync domains to register.
+    pub domains: usize,
+    /// Processors per domain (ring topology; at least 3).
+    pub n: usize,
+    /// Total observations to send across all domains.
+    pub messages: u64,
+    /// Observations per batch frame.
+    pub batch_size: usize,
+    /// Concurrent producer connections.
+    pub connections: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:9191".to_string(),
+            domains: 4,
+            n: 4,
+            messages: 100_000,
+            batch_size: 64,
+            connections: 2,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Observations acknowledged as applied by the server.
+    pub applied: u64,
+    /// Batch frames sent.
+    pub batches: u64,
+    /// Reply frames with `"ok":false`.
+    pub errors: u64,
+    /// Domains whose final outcome query succeeded.
+    pub outcomes_ok: usize,
+    /// Wall-clock send-to-last-acknowledgement time.
+    pub elapsed_ns: u64,
+}
+
+impl LoadReport {
+    /// Acknowledged observations per second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.applied as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// One framed request/reply exchange on an established connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cloning stream: {e}"))?,
+        );
+        Ok(Conn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn request(&mut self, body: &str) -> Result<Json, String> {
+        write_frame(&mut self.writer, body.as_bytes()).map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let reply = read_frame(&mut self.reader)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| "server closed the connection".to_string())?;
+        let text = std::str::from_utf8(&reply).map_err(|_| "reply is not utf-8".to_string())?;
+        parse(text).map_err(|e| e.to_string())
+    }
+}
+
+fn domain_name(d: usize) -> String {
+    format!("load-{d}")
+}
+
+/// The registration command for domain `d`: a ring of `n` processors
+/// with symmetric delay bounds [0, 1ms].
+fn domain_command(d: usize, n: usize) -> String {
+    let links: Vec<String> = (0..n)
+        .map(|j| {
+            format!(
+                r#"{{"a":{j},"b":{},"lo_ns":0,"hi_ns":1000000}}"#,
+                (j + 1) % n
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"t":"domain","domain":"{}","n":{n},"links":[{}]}}"#,
+        domain_name(d),
+        links.join(",")
+    )
+}
+
+/// The `k`-th batch for domain `d`: observations along ring links, with
+/// delays inside the declared bounds, so the stream never contradicts
+/// the assumptions.
+fn batch_command(d: usize, k: u64, n: usize, len: usize) -> String {
+    let rows: Vec<String> = (0..len as u64)
+        .map(|i| {
+            let seq = k * len as u64 + i;
+            let j = (seq as usize) % n;
+            let (src, dst) = if seq.is_multiple_of(2) {
+                (j, (j + 1) % n)
+            } else {
+                ((j + 1) % n, j)
+            };
+            let send = seq as i64 * 1_000;
+            let delay = 200_000 + (seq as i64 % 600_000);
+            format!("[{src},{dst},{send},{}]", send + delay)
+        })
+        .collect();
+    format!(
+        r#"{{"t":"batch","domain":"{}","obs":[{}]}}"#,
+        domain_name(d),
+        rows.join(",")
+    )
+}
+
+/// Runs the load: registers the domains on one setup exchange, fans the
+/// batches out over `connections` producer threads (domains are
+/// partitioned round-robin, so each domain's stream stays ordered within
+/// one connection), then queries every outcome.
+///
+/// # Errors
+///
+/// On connection failures or protocol violations; `"ok":false` replies
+/// are *counted* (the server answering an error is the protocol working),
+/// not fatal.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, String> {
+    if config.domains == 0 || config.batch_size == 0 || config.connections == 0 {
+        return Err("load needs domains, batch_size and connections >= 1".to_string());
+    }
+    if config.n < 3 {
+        return Err("load domains need at least 3 processors".to_string());
+    }
+    let mut setup = Conn::open(&config.addr)?;
+    for d in 0..config.domains {
+        let reply = setup.request(&domain_command(d, config.n))?;
+        if !is_ok(&reply) {
+            return Err(format!("registration rejected: {reply:?}"));
+        }
+    }
+
+    let batches_per_domain =
+        (config.messages / config.domains as u64).div_ceil(config.batch_size as u64);
+    let start = Instant::now();
+    let results: Vec<Result<(u64, u64, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|c| {
+                let config = &*config;
+                scope.spawn(move || {
+                    let mut conn = Conn::open(&config.addr)?;
+                    let (mut applied, mut batches, mut errors) = (0u64, 0u64, 0u64);
+                    // Connection c owns domains c, c+connections, ...
+                    for d in (c..config.domains).step_by(config.connections) {
+                        for k in 0..batches_per_domain {
+                            let reply =
+                                conn.request(&batch_command(d, k, config.n, config.batch_size))?;
+                            batches += 1;
+                            if is_ok(&reply) {
+                                applied += reply
+                                    .field("applied", "reply")
+                                    .and_then(|v| v.as_i64("applied"))
+                                    .map_err(|e| e.to_string())?
+                                    as u64;
+                            } else {
+                                errors += 1;
+                            }
+                        }
+                    }
+                    Ok((applied, batches, errors))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load producer panicked"))
+            .collect()
+    });
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+    let (mut applied, mut batches, mut errors) = (0u64, 0u64, 0u64);
+    for r in results {
+        let (a, b, e) = r?;
+        applied += a;
+        batches += b;
+        errors += e;
+    }
+    let mut outcomes_ok = 0;
+    for d in 0..config.domains {
+        let reply = setup.request(&format!(
+            r#"{{"t":"outcome","domain":"{}"}}"#,
+            domain_name(d)
+        ))?;
+        if is_ok(&reply) {
+            outcomes_ok += 1;
+        }
+    }
+    Ok(LoadReport {
+        applied,
+        batches,
+        errors,
+        outcomes_ok,
+        elapsed_ns,
+    })
+}
+
+fn is_ok(reply: &Json) -> bool {
+    matches!(reply.field("ok", "reply"), Ok(Json::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksync_obs::Recorder;
+    use clocksync_service::ServiceConfig;
+    use std::net::TcpListener;
+
+    /// End-to-end: an in-process `serve --listen` acceptor on an
+    /// ephemeral port, driven by this load client. Every observation is
+    /// acknowledged, every outcome is coherent.
+    #[test]
+    fn load_driver_round_trips_against_the_listen_front_end() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // 1 setup/outcome connection + 2 producers.
+        let server = std::thread::spawn(move || {
+            clocksync_cli::listen::serve_listener(
+                listener,
+                ServiceConfig {
+                    shards: 2,
+                    window: 16,
+                    ..ServiceConfig::default()
+                },
+                &Recorder::disabled(),
+                Some(3),
+            )
+            .unwrap()
+        });
+        let config = LoadConfig {
+            addr: addr.to_string(),
+            domains: 4,
+            n: 3,
+            messages: 2_000,
+            batch_size: 32,
+            connections: 2,
+        };
+        let report = run_load(&config).unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.outcomes_ok, 4);
+        // ceil-division padding means at least `messages` observations.
+        assert!(report.applied >= 2_000, "applied {}", report.applied);
+        assert!(report.msgs_per_sec() > 0.0);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.connections, 3);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn generated_commands_are_well_formed() {
+        let cmd = domain_command(1, 4);
+        let doc = parse(&cmd).unwrap();
+        assert_eq!(doc.field("t", "t").unwrap().as_str("t"), Ok("domain"));
+        assert_eq!(
+            doc.field("links", "links")
+                .unwrap()
+                .as_array("links")
+                .unwrap()
+                .len(),
+            4
+        );
+        let cmd = batch_command(1, 3, 4, 16);
+        let doc = parse(&cmd).unwrap();
+        let rows = doc.field("obs", "obs").unwrap().as_array("obs").unwrap();
+        assert_eq!(rows.len(), 16);
+        for row in rows {
+            let row = row.as_array("row").unwrap();
+            assert_eq!(row.len(), 4);
+            let send = row[2].as_i64("send").unwrap();
+            let recv = row[3].as_i64("recv").unwrap();
+            let delay = recv - send;
+            // Stays inside the declared [0, 1ms] bounds.
+            assert!((0..=1_000_000).contains(&delay), "delay {delay}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for bad in [
+            LoadConfig {
+                domains: 0,
+                ..LoadConfig::default()
+            },
+            LoadConfig {
+                batch_size: 0,
+                ..LoadConfig::default()
+            },
+            LoadConfig {
+                connections: 0,
+                ..LoadConfig::default()
+            },
+            LoadConfig {
+                n: 2,
+                ..LoadConfig::default()
+            },
+        ] {
+            assert!(run_load(&bad).is_err());
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod json;
+pub mod listen;
 pub mod runfile;
 pub mod serve;
 

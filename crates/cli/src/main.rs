@@ -8,8 +8,11 @@
 //! clocksync sync     --in FILE [--json true] [--trace FILE]
 //! clocksync explain  --in FILE
 //! clocksync serve    --in FILE [--shards K] [--window W] [--trace FILE]
-//! clocksync soak     [--shards K] [--domains D] [--n N] [--messages M]
-//!                    [--batch-size B] [--window W] [--seed S] [--max-rss-mb R]
+//! clocksync serve    --listen ADDR [--shards K] [--window W] [--queue-depth Q]
+//!                    [--max-conns N] [--trace FILE]
+//! clocksync soak     [--shards K] [--threads T] [--queue-depth Q] [--domains D]
+//!                    [--n N] [--messages M] [--batch-size B] [--window W]
+//!                    [--seed S] [--max-rss-mb R] [--trace FILE]
 //! clocksync trace summarize --in FILE
 //! ```
 
@@ -18,7 +21,7 @@ use std::process::ExitCode;
 
 use clocksync_cli::{commands, Args, RunFile};
 use clocksync_obs::{Recorder, Trace};
-use clocksync_service::{run_soak, SoakConfig};
+use clocksync_service::{run_soak_with_recorder, SoakConfig};
 
 const USAGE: &str = "usage:
   clocksync simulate [--topology T] [--n N] [--model M] [--probes K] [--seed S]
@@ -26,8 +29,11 @@ const USAGE: &str = "usage:
   clocksync sync     --in FILE [--json true] [--trace FILE]
   clocksync explain  --in FILE
   clocksync serve    --in FILE [--shards K] [--window W] [--trace FILE]
-  clocksync soak     [--shards K] [--domains D] [--n N] [--messages M]
-                     [--batch-size B] [--window W] [--seed S] [--max-rss-mb R]
+  clocksync serve    --listen ADDR [--shards K] [--window W] [--queue-depth Q]
+                     [--max-conns N] [--trace FILE]
+  clocksync soak     [--shards K] [--threads T] [--queue-depth Q] [--domains D]
+                     [--n N] [--messages M] [--batch-size B] [--window W]
+                     [--seed S] [--max-rss-mb R] [--trace FILE]
   clocksync trace summarize --in FILE
 
 topologies: path ring star complete grid random
@@ -37,9 +43,13 @@ models:     uniform (--lo-us --hi-us)
 
 serve ingests a JSONL command stream ({\"t\":\"domain\",...} registrations and
 {\"t\":\"batch\",...} observation batches) into a sharded multi-domain service
-with bounded-memory retention; soak drives sustained simulated ingestion
-and reports throughput plus steady-state retention (--max-rss-mb fails the
-run if resident memory ends above the ceiling).
+with bounded-memory retention. With --listen it serves the same commands
+over TCP as length-prefixed JSON frames through a worker-per-shard
+concurrent engine (--max-conns stops after N connections; omit to serve
+forever). soak drives sustained simulated ingestion — --threads K runs the
+worker engine, one thread per shard — and reports throughput plus
+steady-state retention (--max-rss-mb fails the run if resident memory ends
+above the ceiling).
 
 --trace FILE writes a JSONL trace (spans, counters, histograms, gauges,
 events); `trace summarize` renders one as a human-readable report.";
@@ -132,6 +142,46 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" if args.get("listen").is_some() => {
+            let addr = args.require("listen")?;
+            let shards = args.get_usize("shards", 4)?;
+            let window = args.get_usize("window", 64)?;
+            let queue_depth = args.get_usize("queue-depth", 256)?;
+            if shards == 0 {
+                return Err("flag --shards: must be at least 1".to_string());
+            }
+            if queue_depth == 0 {
+                return Err("flag --queue-depth: must be at least 1".to_string());
+            }
+            let max_conns = match args.get("max-conns") {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("flag --max-conns: cannot parse `{raw}`"))?,
+                ),
+            };
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            eprintln!("listening on {local} ({shards} shards, window {window})");
+            let recorder = trace_recorder(&args);
+            let config = clocksync_service::ServiceConfig {
+                shards,
+                window,
+                queue_depth,
+                ..clocksync_service::ServiceConfig::default()
+            };
+            let stats =
+                clocksync_cli::listen::serve_listener(listener, config, &recorder, max_conns)?;
+            write_trace(&args, &recorder)?;
+            println!(
+                "served {} connections, {} frames ({} errors)",
+                stats.connections, stats.frames, stats.errors
+            );
+            Ok(())
+        }
         "serve" => {
             let path = args.require("in")?;
             let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -152,6 +202,8 @@ fn run() -> Result<(), String> {
         "soak" => {
             let config = SoakConfig {
                 shards: args.get_usize("shards", 4)?,
+                threads: args.get_usize("threads", 1)?,
+                queue_depth: args.get_usize("queue-depth", 256)?,
                 domains: args.get_usize("domains", 8)?,
                 n: args.get_usize("n", 4)?,
                 messages: args.get_u64("messages", 100_000)?,
@@ -165,13 +217,27 @@ fn run() -> Result<(), String> {
             if config.n < 3 {
                 return Err("flag --n: soak domains need at least 3 processors".to_string());
             }
-            let report = run_soak(&config);
+            if config.threads > 1 && config.threads != config.shards {
+                return Err(format!(
+                    "flag --threads: the worker engine pins one worker per shard \
+                     (got --threads {} with --shards {})",
+                    config.threads, config.shards
+                ));
+            }
+            if config.queue_depth == 0 {
+                return Err("flag --queue-depth: must be at least 1".to_string());
+            }
+            let recorder = trace_recorder(&args);
+            let report = run_soak_with_recorder(&config, recorder.clone());
+            write_trace(&args, &recorder)?;
             println!(
-                "soak: {} messages in {:.2}s across {} domains / {} shards",
+                "soak: {} messages in {:.2}s across {} domains / {} shards ({} engine, {} threads)",
                 report.messages,
                 report.elapsed_ns as f64 / 1e9,
                 config.domains,
-                config.shards
+                config.shards,
+                report.engine,
+                report.threads
             );
             println!(
                 "  throughput          {:.0} msgs/sec",

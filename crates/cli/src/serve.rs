@@ -1,5 +1,5 @@
-//! The `clocksync serve` command: drive a sharded [`SyncService`] from a
-//! JSONL command stream.
+//! The `clocksync serve` command: drive the concurrent sharded ingestion
+//! engine from a JSONL command stream.
 //!
 //! Each input line is one JSON object (blank lines and `#` comments are
 //! skipped):
@@ -16,14 +16,34 @@
 //! whose difference overflows `i64` nanoseconds are all reported as
 //! errors naming the offending line — never a panic (the overflow path is
 //! the regression from the `Nanos` arithmetic audit).
+//!
+//! File mode runs through [`ConcurrentService`] — the same worker-per-
+//! shard engine behind `serve --listen` and the soak — redeeming each
+//! batch's receipt before reading the next line, so errors keep their
+//! line-numbered abort semantics while the ingestion path itself is the
+//! production one. The command decoders (`decode_domain`,
+//! `decode_batch`) are shared with the TCP front-end in
+//! [`crate::listen`].
 
-use clocksync::{BatchObservation, DelayRange, LinkAssumption, Network};
+use clocksync::{BatchObservation, DelayRange, LinkAssumption, Network, SyncOutcome};
 use clocksync_model::ProcessorId;
 use clocksync_obs::Recorder;
-use clocksync_service::{ObservationBatch, SyncService};
+use clocksync_service::{ConcurrentService, IngestReceipt, ObservationBatch, ServiceConfig};
 use clocksync_time::{ClockTime, Nanos};
 
 use crate::json::{parse, Json};
+
+/// A decoded `domain` registration command.
+pub(crate) struct DomainSpec {
+    /// The domain name.
+    pub name: String,
+    /// Processor count.
+    pub n: usize,
+    /// Number of declared links (for the acknowledgement line).
+    pub link_count: usize,
+    /// The declared network.
+    pub network: Network,
+}
 
 /// Runs the serve loop over a complete JSONL input, returning the output
 /// lines (one per registration/batch, plus a final per-domain summary).
@@ -39,7 +59,14 @@ pub fn run_serve_on_str(
     window: usize,
     recorder: &Recorder,
 ) -> Result<Vec<String>, String> {
-    let mut svc = SyncService::new(shards, window).with_recorder(recorder.clone());
+    let svc = ConcurrentService::start_with_recorder(
+        ServiceConfig {
+            shards,
+            window,
+            ..ServiceConfig::default()
+        },
+        recorder.clone(),
+    );
     let mut out = Vec::new();
     let mut domains: Vec<String> = Vec::new();
     for (idx, line) in input.lines().enumerate() {
@@ -55,41 +82,41 @@ pub fn run_serve_on_str(
             .map_err(|e| format!("line {lineno}: {e}"))?;
         match t {
             "domain" => {
-                let rendered =
-                    register_domain(&mut svc, &doc).map_err(|e| format!("line {lineno}: {e}"))?;
-                let name = doc
-                    .field("domain", "domain command")
-                    .and_then(|v| v.as_str("domain"))
+                let spec = decode_domain(&doc).map_err(|e| format!("line {lineno}: {e}"))?;
+                svc.register_domain(spec.name.as_str(), spec.network)
                     .map_err(|e| format!("line {lineno}: {e}"))?;
-                domains.push(name.to_string());
-                out.push(rendered);
+                out.push(format!(
+                    "registered `{}`: {} processors, {} links -> shard {}",
+                    spec.name,
+                    spec.n,
+                    spec.link_count,
+                    svc.shard_of(&spec.name)
+                ));
+                domains.push(spec.name);
             }
             "batch" => {
                 let batch = decode_batch(&doc).map_err(|e| format!("line {lineno}: {e}"))?;
+                // Redeem immediately: file mode is a replayable artifact,
+                // so the first bad line aborts before the next is read.
                 let receipt = svc
-                    .ingest(&batch)
+                    .ingest(batch)
+                    .and_then(|pending| pending.wait())
                     .map_err(|e| format!("line {lineno}: {e}"))?;
-                out.push(format!(
-                    "{}: applied {} (shard {}, gc {}, compacted {}, retained {})",
-                    receipt.domain,
-                    receipt.applied,
-                    receipt.shard,
-                    receipt.gc_dropped,
-                    receipt.samples_compacted,
-                    receipt.retained_messages
-                ));
+                out.push(receipt_line(&receipt));
             }
             other => return Err(format!("line {lineno}: unknown command `{other}`")),
         }
     }
     for name in &domains {
-        out.push(render_outcome(&mut svc, name)?);
+        let outcome = svc.outcome(name).map_err(|e| e.to_string())?;
+        out.push(outcome_line(name, &outcome));
     }
+    svc.shutdown();
     Ok(out)
 }
 
-/// Decodes and registers a `domain` command; returns its output line.
-fn register_domain(svc: &mut SyncService, doc: &Json) -> Result<String, String> {
+/// Decodes a `domain` command into its name and declared network.
+pub(crate) fn decode_domain(doc: &Json) -> Result<DomainSpec, String> {
     let name = doc
         .field("domain", "domain command")
         .and_then(|v| v.as_str("domain"))
@@ -138,17 +165,16 @@ fn register_domain(svc: &mut SyncService, doc: &Json) -> Result<String, String> 
             LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(lo), Nanos::new(hi))),
         );
     }
-    svc.register_domain(name, builder.build())
-        .map_err(|e| e.to_string())?;
-    Ok(format!(
-        "registered `{name}`: {n} processors, {} links -> shard {}",
-        links.len(),
-        svc.shard_of(name)
-    ))
+    Ok(DomainSpec {
+        name: name.to_string(),
+        n,
+        link_count: links.len(),
+        network: builder.build(),
+    })
 }
 
 /// Decodes a `batch` command into an [`ObservationBatch`].
-fn decode_batch(doc: &Json) -> Result<ObservationBatch, String> {
+pub(crate) fn decode_batch(doc: &Json) -> Result<ObservationBatch, String> {
     let name = doc
         .field("domain", "batch command")
         .and_then(|v| v.as_str("domain"))
@@ -189,9 +215,21 @@ fn decode_batch(doc: &Json) -> Result<ObservationBatch, String> {
     Ok(ObservationBatch::new(name, observations))
 }
 
+/// Renders one ingest receipt as the serve acknowledgement line.
+pub(crate) fn receipt_line(receipt: &IngestReceipt) -> String {
+    format!(
+        "{}: applied {} (shard {}, gc {}, compacted {}, retained {})",
+        receipt.domain,
+        receipt.applied,
+        receipt.shard,
+        receipt.gc_dropped,
+        receipt.samples_compacted,
+        receipt.retained_messages
+    )
+}
+
 /// Renders one domain's final outcome line.
-fn render_outcome(svc: &mut SyncService, name: &str) -> Result<String, String> {
-    let outcome = svc.outcome(name).map_err(|e| e.to_string())?;
+pub(crate) fn outcome_line(name: &str, outcome: &SyncOutcome) -> String {
     let precision = match outcome.precision().finite() {
         Some(p) => format!("{:.1} ns", p.to_f64()),
         None => "unbounded".to_string(),
@@ -201,10 +239,10 @@ fn render_outcome(svc: &mut SyncService, name: &str) -> Result<String, String> {
         .iter()
         .map(|r| format!("{:.1}", r.to_f64()))
         .collect();
-    Ok(format!(
+    format!(
         "{name}: precision {precision}, corrections [{}] ns",
         corrections.join(", ")
-    ))
+    )
 }
 
 #[cfg(test)]
@@ -280,5 +318,52 @@ mod tests {
         let err = serve(&input).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
         assert!(err.contains("already registered"), "{err}");
+    }
+
+    #[test]
+    fn file_mode_agrees_with_the_synchronous_service() {
+        // The concurrent engine behind file mode must not change a single
+        // output byte relative to direct synchronous ingestion.
+        let input = r#"
+{"t":"domain","domain":"a","n":3,"links":[{"a":0,"b":1,"lo_ns":0,"hi_ns":1000},{"a":1,"b":2,"lo_ns":100,"hi_ns":600}]}
+{"t":"domain","domain":"b","n":2,"links":[{"a":0,"b":1,"lo_ns":50,"hi_ns":800}]}
+{"t":"batch","domain":"a","obs":[[0,1,100,400],[1,0,500,900],[1,2,0,350]]}
+{"t":"batch","domain":"b","obs":[[0,1,10,500],[1,0,600,1100]]}
+{"t":"batch","domain":"a","obs":[[2,1,1000,1400]]}
+"#;
+        let concurrent = serve(input).unwrap();
+
+        let mut svc = clocksync_service::SyncService::new(2, 8);
+        let mut expected = Vec::new();
+        let mut names = Vec::new();
+        for line in input.lines().map(str::trim) {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let doc = parse(line).unwrap();
+            match doc.field("t", "t").unwrap().as_str("t").unwrap() {
+                "domain" => {
+                    let spec = decode_domain(&doc).unwrap();
+                    svc.register_domain(spec.name.as_str(), spec.network)
+                        .unwrap();
+                    expected.push(format!(
+                        "registered `{}`: {} processors, {} links -> shard {}",
+                        spec.name,
+                        spec.n,
+                        spec.link_count,
+                        svc.shard_of(&spec.name)
+                    ));
+                    names.push(spec.name);
+                }
+                _ => {
+                    let receipt = svc.ingest(&decode_batch(&doc).unwrap()).unwrap();
+                    expected.push(receipt_line(&receipt));
+                }
+            }
+        }
+        for name in &names {
+            expected.push(outcome_line(name, &svc.outcome(name).unwrap()));
+        }
+        assert_eq!(concurrent, expected);
     }
 }

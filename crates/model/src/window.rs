@@ -228,10 +228,17 @@ impl ViewWindow {
                 .map(|&(pos, _, d)| (d, pos))
                 .max()
                 .map(|(_, pos)| pos);
-            let tail_start = entries[entries.len() - per_link_window].0;
+            // Window 0 keeps no recency tail at all — only the extremal
+            // witnesses survive (`get` is `None` exactly when
+            // `per_link_window == 0`, since `entries.len()` is in bounds
+            // of nothing).
+            let tail_start = entries
+                .get(entries.len() - per_link_window)
+                .map(|&(pos, _, _)| pos);
             for &(pos, id, _) in entries {
-                let keep =
-                    pos >= tail_start || Some(pos) == min_witness || Some(pos) == max_witness;
+                let keep = tail_start.is_some_and(|start| pos >= start)
+                    || Some(pos) == min_witness
+                    || Some(pos) == max_witness;
                 if !keep {
                     doomed.push(id);
                 }
@@ -386,6 +393,28 @@ mod tests {
         assert_eq!(obs.estimated_max(P, Q), Ext::Finite(Nanos::new(90)));
         // A second tick with nothing new is a no-op.
         assert_eq!(w.gc_dominated(2), 0);
+    }
+
+    #[test]
+    fn window_zero_keeps_only_the_witnesses() {
+        // Regression: `dominated(0)` used to index one past the end of
+        // the per-link entry list (any GC tick with a zero retention
+        // window panicked). Window 0 is the tightest legal policy:
+        // nothing survives but the extremal witnesses.
+        let mut w = ViewWindow::new(2);
+        w.push(msg(0, P, Q, 0, 5)).unwrap();
+        assert_eq!(w.gc_dominated(0), 0, "a lone witness is never dropped");
+        w.push(msg(1, P, Q, 10, 100)).unwrap();
+        for i in 2..8 {
+            w.push(msg(i, P, Q, 100 * i as i64, 100 * i as i64 + 50))
+                .unwrap();
+        }
+        // ids 0 and 1 are the min/max witnesses; everything else goes.
+        assert_eq!(w.gc_dominated(0), 6);
+        assert_eq!(w.live(), 2);
+        let obs = w.to_view_set().unwrap().link_observations();
+        assert_eq!(obs.estimated_min(P, Q), Ext::Finite(Nanos::new(5)));
+        assert_eq!(obs.estimated_max(P, Q), Ext::Finite(Nanos::new(90)));
     }
 
     #[test]

@@ -46,5 +46,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod wire;
 
 pub use cluster::{ClusterConfig, LinkConfig, LinkHealth, LinkState, NetRun};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME_LEN};

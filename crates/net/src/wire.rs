@@ -1,0 +1,212 @@
+//! Length-prefixed framing for the ingestion wire protocol.
+//!
+//! A frame is a 4-byte big-endian length followed by that many payload
+//! bytes (the payload is a JSON command or reply, but this layer is
+//! payload-agnostic). The prefix makes message boundaries explicit over a
+//! byte stream, so a reader never has to scan for delimiters and a
+//! partially written command can never be misparsed as a complete one.
+//!
+//! Frames are untrusted input: a length above [`MAX_FRAME_LEN`] is
+//! rejected *before* any allocation (a 4-byte header must not be able to
+//! command a multi-gigabyte buffer), and a stream that ends mid-frame is
+//! a [`WireError::Truncated`] rather than a silent half-message. End of
+//! stream *between* frames is the clean shutdown signal and surfaces as
+//! `Ok(None)`.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a single frame's payload, in bytes (16 MiB).
+///
+/// Large enough for any realistic observation batch (a 16 MiB JSON batch
+/// is hundreds of thousands of observations), small enough that a hostile
+/// length prefix cannot exhaust memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// What can go wrong reading or writing a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer announced a frame larger than [`MAX_FRAME_LEN`].
+    Oversize {
+        /// The announced payload length.
+        len: u64,
+    },
+    /// The stream ended in the middle of a frame (header or payload).
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Oversize { len } => write!(
+                f,
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"
+            ),
+            WireError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] if `payload` exceeds [`MAX_FRAME_LEN`] (the
+/// writer enforces the same limit the reader does, so a well-behaved
+/// sender can never produce a frame its peer must reject), otherwise any
+/// transport error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversize {
+            len: payload.len() as u64,
+        });
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on clean end-of-stream (EOF before any header
+/// byte).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the stream ends after the header started
+/// but before the payload completed, [`WireError::Oversize`] for a
+/// hostile length prefix, [`WireError::Io`] for transport failures.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        Fill::Empty => return Ok(None),
+        Fill::Partial => return Err(WireError::Truncated),
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        Fill::Full => Ok(Some(payload)),
+        // A frame with an announced length must deliver every byte; EOF
+        // here (even at offset 0 of a non-empty payload) is truncation.
+        Fill::Empty if len > 0 => Err(WireError::Truncated),
+        Fill::Empty => Ok(Some(payload)),
+        Fill::Partial => Err(WireError::Truncated),
+    }
+}
+
+enum Fill {
+    /// EOF before the first byte.
+    Empty,
+    /// EOF after some but not all bytes.
+    Partial,
+    /// Buffer completely filled.
+    Full,
+}
+
+/// Like `read_exact`, but distinguishes "EOF at a frame boundary" from
+/// "EOF mid-buffer" instead of folding both into `UnexpectedEof`.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Fill, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::Empty
+                } else {
+                    Fill::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        for payload in [&b""[..], b"x", b"{\"t\":\"batch\"}", &[0xffu8; 1000]] {
+            write_frame(&mut buf, payload).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"x");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"{\"t\":\"batch\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xffu8; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Reading again after EOF is still a clean EOF, not an error.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        // 0xFFFF_FFFF announced bytes; if the reader allocated first this
+        // test would try to reserve 4 GiB.
+        let mut r = Cursor::new(vec![0xff, 0xff, 0xff, 0xff]);
+        match read_frame(&mut r) {
+            Err(WireError::Oversize { len }) => assert_eq!(len, u32::MAX as u64),
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        // The writer refuses to produce such a frame in the first place.
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &big),
+            Err(WireError::Oversize { .. })
+        ));
+        // The boundary itself is fine.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &big[..MAX_FRAME_LEN]).unwrap();
+        assert_eq!(buf.len(), 4 + MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_errors() {
+        // Partial header.
+        let mut r = Cursor::new(vec![0, 0]);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+        // Full header, missing payload.
+        let mut r = Cursor::new(vec![0, 0, 0, 5, b'a', b'b']);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+        // Full header, zero payload delivered.
+        let mut r = Cursor::new(vec![0, 0, 0, 5]);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let io_err = WireError::from(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        assert!(io_err.to_string().contains("pipe"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(WireError::Truncated.to_string().contains("mid-frame"));
+        assert!(WireError::Oversize { len: 99 }.to_string().contains("99"));
+    }
+}

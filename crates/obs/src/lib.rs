@@ -30,4 +30,4 @@ pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use recorder::{FieldValue, Recorder, Span};
-pub use trace::{Hist, Trace, TraceError, TraceRecord};
+pub use trace::{Hist, Trace, TraceError, TraceRecord, HIST_BUCKETS};

@@ -200,7 +200,7 @@ impl Recorder {
         for (name, hist) in inner.hists.lock().expect("obs hists poisoned").iter() {
             records.push(TraceRecord::Hist {
                 name: name.clone(),
-                hist: *hist,
+                hist: Box::new(*hist),
             });
         }
         for (name, value) in inner.gauges.lock().expect("obs gauges poisoned").iter() {

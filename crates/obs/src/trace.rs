@@ -34,8 +34,15 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-/// Aggregate duration statistics for one histogram (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Number of log₂ buckets a [`Hist`] keeps. Bucket 0 counts zero-valued
+/// observations; bucket `i ≥ 1` counts observations with `i` significant
+/// bits (`2^(i-1) ..= 2^i − 1` nanoseconds); the last bucket absorbs
+/// everything wider (≥ 2⁴⁶ ns ≈ 20 hours — unreachable for spans).
+pub const HIST_BUCKETS: usize = 48;
+
+/// Aggregate duration statistics for one histogram (nanoseconds):
+/// count/min/mean/max plus fixed log₂ buckets for quantile estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hist {
     /// Number of observations.
     pub count: u64,
@@ -45,6 +52,29 @@ pub struct Hist {
     pub max_ns: u64,
     /// Sum of all observations, in nanoseconds.
     pub sum_ns: u64,
+    /// Log₂ bucket counts (see [`HIST_BUCKETS`] for the bucket bounds).
+    /// Always sums to `count`; the JSONL encoding trims trailing zero
+    /// buckets and the strict decoder re-pads and cross-checks the sum.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            min_ns: 0,
+            max_ns: 0,
+            sum_ns: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// The bucket an observation of `ns` nanoseconds falls into: its number
+/// of significant bits, capped at the last bucket.
+fn bucket_of(ns: u64) -> usize {
+    let bits = (u64::BITS - ns.leading_zeros()) as usize;
+    bits.min(HIST_BUCKETS - 1)
 }
 
 impl Hist {
@@ -58,11 +88,42 @@ impl Hist {
         }
         self.count += 1;
         self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.buckets[bucket_of(ns)] += 1;
     }
 
     /// Mean observation in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the log₂ buckets:
+    /// the upper bound of the bucket holding the rank-⌈q·count⌉
+    /// observation, clamped into `[min_ns, max_ns]` — so the estimate is
+    /// exact at the extremes and at worst one power of two high in
+    /// between. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The rank-1 and rank-count order statistics are the tracked
+        // extremes — return them exactly.
+        if rank == 1 {
+            return self.min_ns;
+        }
+        if rank == self.count {
+            return self.max_ns;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
     }
 }
 
@@ -100,8 +161,9 @@ pub enum TraceRecord {
     Hist {
         /// Histogram name (e.g. `net.probe_rtt`).
         name: String,
-        /// The aggregate.
-        hist: Hist,
+        /// The aggregate (boxed: the bucket array would otherwise
+        /// dominate the size of every record in a trace).
+        hist: Box<Hist>,
     },
     /// A gauge's last-written level (e.g. retained messages, approximate
     /// resident bytes). Unlike counters, gauges can go down.
@@ -174,14 +236,28 @@ fn record_json(r: &TraceRecord) -> Json {
             ("name", Json::Str(name.clone())),
             ("value", Json::Int(*value as i128)),
         ]),
-        TraceRecord::Hist { name, hist } => Json::object([
-            ("t", Json::Str("hist".into())),
-            ("name", Json::Str(name.clone())),
-            ("count", Json::Int(hist.count as i128)),
-            ("min_ns", Json::Int(hist.min_ns as i128)),
-            ("max_ns", Json::Int(hist.max_ns as i128)),
-            ("sum_ns", Json::Int(hist.sum_ns as i128)),
-        ]),
+        TraceRecord::Hist { name, hist } => {
+            // Trailing zero buckets carry no information; trim them so
+            // typical lines stay short (the decoder re-pads).
+            let used = hist
+                .buckets
+                .iter()
+                .rposition(|&c| c != 0)
+                .map_or(0, |i| i + 1);
+            let buckets = hist.buckets[..used]
+                .iter()
+                .map(|&c| Json::Int(c as i128))
+                .collect();
+            Json::object([
+                ("t", Json::Str("hist".into())),
+                ("name", Json::Str(name.clone())),
+                ("count", Json::Int(hist.count as i128)),
+                ("min_ns", Json::Int(hist.min_ns as i128)),
+                ("max_ns", Json::Int(hist.max_ns as i128)),
+                ("sum_ns", Json::Int(hist.sum_ns as i128)),
+                ("buckets", Json::Array(buckets)),
+            ])
+        }
         TraceRecord::Gauge { name, value } => Json::object([
             ("t", Json::Str("gauge".into())),
             ("name", Json::Str(name.clone())),
@@ -280,7 +356,9 @@ fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
         "hist" => {
             expect_keys(
                 &v,
-                &["t", "name", "count", "min_ns", "max_ns", "sum_ns"],
+                &[
+                    "t", "name", "count", "min_ns", "max_ns", "sum_ns", "buckets",
+                ],
                 line_no,
             )?;
             let field = |key: &str| {
@@ -288,14 +366,42 @@ fn parse_record(line: &str, line_no: usize) -> Result<TraceRecord, TraceError> {
                     .and_then(|x| x.as_u64(key))
                     .map_err(|e| err(line_no, e))
             };
+            let raw = get("buckets")
+                .and_then(|x| x.as_array("buckets").map(<[_]>::to_vec))
+                .map_err(|e| err(line_no, e))?;
+            if raw.len() > HIST_BUCKETS {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "buckets: {} entries exceed the {HIST_BUCKETS} layout",
+                        raw.len()
+                    ),
+                ));
+            }
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (i, v) in raw.iter().enumerate() {
+                buckets[i] = v.as_u64("buckets entry").map_err(|e| err(line_no, e))?;
+            }
+            let hist = Hist {
+                count: field("count")?,
+                min_ns: field("min_ns")?,
+                max_ns: field("max_ns")?,
+                sum_ns: field("sum_ns")?,
+                buckets,
+            };
+            let bucketed: u64 = hist.buckets.iter().sum();
+            if bucketed != hist.count {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "buckets sum to {bucketed} but count is {} — inconsistent histogram",
+                        hist.count
+                    ),
+                ));
+            }
             Ok(TraceRecord::Hist {
                 name,
-                hist: Hist {
-                    count: field("count")?,
-                    min_ns: field("min_ns")?,
-                    max_ns: field("max_ns")?,
-                    sum_ns: field("sum_ns")?,
-                },
+                hist: Box::new(hist),
             })
         }
         "gauge" => {
@@ -363,7 +469,7 @@ impl Trace {
     /// The aggregate of a histogram, if recorded.
     pub fn hist(&self, name: &str) -> Option<Hist> {
         self.records.iter().find_map(|r| match r {
-            TraceRecord::Hist { name: n, hist } if n == name => Some(*hist),
+            TraceRecord::Hist { name: n, hist } if n == name => Some(**hist),
             _ => None,
         })
     }
@@ -440,7 +546,7 @@ impl Trace {
                     None => events.push((name, vec![(*at_ns, fields.as_slice())])),
                 },
                 TraceRecord::Counter { name, value } => counters.push((name, *value)),
-                TraceRecord::Hist { name, hist } => hists.push((name, *hist)),
+                TraceRecord::Hist { name, hist } => hists.push((name, **hist)),
                 TraceRecord::Gauge { name, value } => gauges.push((name, *value)),
             }
         }
@@ -479,10 +585,14 @@ impl Trace {
             out.push("histograms:".into());
             for (name, h) in &hists {
                 out.push(format!(
-                    "  {name:<28} {:>4}x  min {:>9}  mean {:>9}  max {:>9}",
+                    "  {name:<28} {:>4}x  min {:>9}  mean {:>9}  p50 {:>9}  p95 {:>9}  \
+                     p99 {:>9}  max {:>9}",
                     h.count,
                     fmt_ns(h.min_ns),
                     fmt_ns(h.mean_ns()),
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.95)),
+                    fmt_ns(h.quantile(0.99)),
                     fmt_ns(h.max_ns),
                 ));
             }
@@ -571,11 +681,11 @@ mod tests {
                 },
                 TraceRecord::Hist {
                     name: "net.probe_rtt".into(),
-                    hist: Hist {
-                        count: 2,
-                        min_ns: 100,
-                        max_ns: 300,
-                        sum_ns: 400,
+                    hist: {
+                        let mut h = Hist::default();
+                        h.observe(100);
+                        h.observe(300);
+                        Box::new(h)
                     },
                 },
                 TraceRecord::Gauge {
@@ -665,6 +775,74 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn hist_buckets_estimate_quantiles() {
+        let mut h = Hist::default();
+        assert_eq!(h.quantile(0.5), 0);
+        // 90 fast observations (~1µs) and 10 slow ones (~1ms).
+        for _ in 0..90 {
+            h.observe(1_000);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        // p50 lands in the 1µs bucket: upper bound 2¹⁰−1 = 1023ns (1000
+        // has 10 significant bits).
+        assert_eq!(h.quantile(0.50), 1_023);
+        // p95 and p99 land in the 1ms bucket, clamped to max_ns.
+        assert_eq!(h.quantile(0.95), 1_000_000);
+        assert_eq!(h.quantile(0.99), 1_000_000);
+        // The extremes are exact thanks to the min/max clamp.
+        assert_eq!(h.quantile(0.0), 1_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn hist_buckets_round_trip_trimmed() {
+        let mut h = Hist::default();
+        h.observe(0);
+        h.observe(5);
+        h.observe(700);
+        let t = Trace {
+            records: vec![TraceRecord::Hist {
+                name: "x".into(),
+                hist: Box::new(h),
+            }],
+        };
+        let text = t.to_jsonl();
+        // Trailing zero buckets are trimmed: the last populated bucket is
+        // bucket 10 (700 has 10 significant bits), so 11 entries.
+        assert!(
+            text.contains("\"buckets\":[1,0,0,1,0,0,0,0,0,0,1]"),
+            "{text}"
+        );
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn inconsistent_hist_buckets_are_rejected() {
+        // Buckets sum to 1 but count claims 2.
+        let bad = "{\"t\":\"hist\",\"name\":\"x\",\"count\":2,\"min_ns\":1,\
+                   \"max_ns\":1,\"sum_ns\":2,\"buckets\":[0,1]}";
+        let e = Trace::from_jsonl(bad).unwrap_err();
+        assert!(e.to_string().contains("inconsistent histogram"), "{e}");
+        // More buckets than the layout has.
+        let wide = format!(
+            "{{\"t\":\"hist\",\"name\":\"x\",\"count\":1,\"min_ns\":1,\
+             \"max_ns\":1,\"sum_ns\":1,\"buckets\":[{}1]}}",
+            "0,".repeat(HIST_BUCKETS)
+        );
+        let e = Trace::from_jsonl(&wide).unwrap_err();
+        assert!(e.to_string().contains("exceed"), "{e}");
+        // Missing buckets entirely: the schema is strict.
+        let missing =
+            "{\"t\":\"hist\",\"name\":\"x\",\"count\":0,\"min_ns\":0,\"max_ns\":0,\"sum_ns\":0}";
+        assert!(Trace::from_jsonl(missing).is_err());
     }
 
     #[test]

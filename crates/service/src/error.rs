@@ -27,6 +27,23 @@ pub enum ServiceError {
     /// The view layer rejected the batch (clock readings before the start
     /// event, invalid materialized views).
     Model(ModelError),
+    /// A non-blocking enqueue found the shard's ingestion queue full
+    /// ([`crate::ConcurrentService::try_ingest`]). The batch was **not**
+    /// enqueued; the caller decides whether to retry, shed, or fall back
+    /// to the blocking path.
+    Backpressure {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// The queue's bounded depth (batches).
+        depth: usize,
+    },
+    /// The shard's worker is gone (the service was shut down, or the
+    /// worker died), so the batch cannot be applied and no receipt will
+    /// ever arrive.
+    Stopped {
+        /// The shard whose worker is gone.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -40,6 +57,13 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Sync(e) => write!(f, "batch rejected: {e}"),
             ServiceError::Model(e) => write!(f, "batch rejected: {e}"),
+            ServiceError::Backpressure { shard, depth } => write!(
+                f,
+                "backpressure: shard {shard}'s ingestion queue is full ({depth} batches)"
+            ),
+            ServiceError::Stopped { shard } => {
+                write!(f, "shard {shard}'s worker is stopped")
+            }
         }
     }
 }

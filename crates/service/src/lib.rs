@@ -23,13 +23,15 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod concurrent;
 mod error;
 mod service;
 mod shard;
 mod soak;
 
 pub use batch::{BatchObservation, DomainId, ObservationBatch};
+pub use concurrent::{ConcurrentService, PendingReceipt, PoolStats, ServiceConfig, WorkerStats};
 pub use error::ServiceError;
 pub use service::{DomainStats, IngestReceipt, SyncService};
 pub use shard::ShardMap;
-pub use soak::{current_rss_bytes, run_soak, SoakConfig, SoakReport};
+pub use soak::{current_rss_bytes, run_soak, run_soak_with_recorder, SoakConfig, SoakReport};

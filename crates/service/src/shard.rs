@@ -9,6 +9,12 @@
 //! remaps only `~1/shards` of the domains — the property that makes
 //! resharding a live service cheap — and the placement is a pure function
 //! of `(domain, shards)`, so every replica agrees without coordination.
+//!
+//! The ring is consulted once per domain: [`ShardMap::assign`] caches the
+//! placement at registration time, and [`ShardMap::route`] is a plain
+//! table lookup afterwards — the per-batch hot path never re-hashes the
+//! ring (it still agrees with the ring for unregistered names, so error
+//! routing stays deterministic).
 
 /// Virtual nodes per shard. 64 keeps the assignment imbalance across
 /// shards within a few percent without making ring construction or
@@ -51,6 +57,9 @@ pub struct ShardMap {
     shards: usize,
     /// `(ring position, shard)` sorted by position.
     ring: Vec<(u64, usize)>,
+    /// Placements cached at registration time ([`ShardMap::assign`]);
+    /// [`ShardMap::route`] reads this instead of walking the ring.
+    assigned: std::collections::HashMap<String, usize>,
 }
 
 impl ShardMap {
@@ -69,7 +78,11 @@ impl ShardMap {
             }
         }
         ring.sort_unstable();
-        ShardMap { shards, ring }
+        ShardMap {
+            shards,
+            ring,
+            assigned: std::collections::HashMap::new(),
+        }
     }
 
     /// The number of shards.
@@ -79,11 +92,46 @@ impl ShardMap {
 
     /// The shard owning `domain`: the first ring point clockwise of the
     /// domain's hash (wrapping to the first point past zero).
+    ///
+    /// This walks the ring (FNV-1a over the name plus a binary search);
+    /// batch routing should go through [`ShardMap::route`], which reads
+    /// the placement cached by [`ShardMap::assign`] instead.
     pub fn shard_of(&self, domain: &str) -> usize {
         let h = ring_hash(domain.as_bytes());
         let idx = self.ring.partition_point(|&(pos, _)| pos < h);
         let (_, shard) = self.ring[idx % self.ring.len()];
         shard
+    }
+
+    /// Resolves `domain` on the ring once and caches the placement, so
+    /// every subsequent [`ShardMap::route`] for it is a table lookup.
+    /// Called at `register_domain` time; idempotent (the ring is a pure
+    /// function of the name, so re-assigning cannot move a domain).
+    pub fn assign(&mut self, domain: &str) -> usize {
+        match self.assigned.get(domain) {
+            Some(&shard) => shard,
+            None => {
+                let shard = self.shard_of(domain);
+                self.assigned.insert(domain.to_string(), shard);
+                shard
+            }
+        }
+    }
+
+    /// The shard a batch for `domain` goes to: the placement cached by
+    /// [`ShardMap::assign`] when the domain was registered, falling back
+    /// to the ring for unregistered names (whose owner then reports
+    /// `UnknownDomain` — the fallback keeps error routing deterministic).
+    pub fn route(&self, domain: &str) -> usize {
+        match self.assigned.get(domain) {
+            Some(&shard) => shard,
+            None => self.shard_of(domain),
+        }
+    }
+
+    /// The number of cached placements.
+    pub fn assigned_len(&self) -> usize {
+        self.assigned.len()
     }
 }
 
@@ -133,5 +181,24 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         let _ = ShardMap::new(0);
+    }
+
+    #[test]
+    fn route_agrees_with_ring_and_caches_assignments() {
+        let mut map = ShardMap::new(4);
+        assert_eq!(map.assigned_len(), 0);
+        for i in 0..50 {
+            let name = format!("tenant-{i}");
+            // Unregistered names fall back to the ring.
+            assert_eq!(map.route(&name), map.shard_of(&name));
+            let assigned = map.assign(&name);
+            assert_eq!(assigned, map.shard_of(&name));
+            // Registered names hit the cache, same answer.
+            assert_eq!(map.route(&name), assigned);
+        }
+        assert_eq!(map.assigned_len(), 50);
+        // Re-assigning is idempotent.
+        assert_eq!(map.assign("tenant-7"), map.shard_of("tenant-7"));
+        assert_eq!(map.assigned_len(), 50);
     }
 }

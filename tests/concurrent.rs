@@ -1,0 +1,318 @@
+//! Cross-crate integration tests of the concurrent worker-per-shard
+//! ingestion engine: under arbitrary interleavings, queue depths and
+//! group-commit sizes, every domain observes exactly the receipts,
+//! errors and outcomes that sequential ingestion of its own batch stream
+//! would produce — concurrency changes throughput, never answers. Plus
+//! the drain-on-shutdown contract: no enqueued batch is dropped and no
+//! receipt is lost, even when shutdown races the producers.
+
+use clocksync::{BatchObservation, DelayRange, LinkAssumption, Network, Network as Net};
+use clocksync_model::ProcessorId;
+use clocksync_service::{
+    ConcurrentService, ObservationBatch, PendingReceipt, ServiceConfig, SyncService,
+};
+use clocksync_time::{ClockTime, Nanos};
+use proptest::prelude::*;
+
+fn obs(src: usize, dst: usize, send: i64, recv: i64) -> BatchObservation {
+    BatchObservation {
+        src: ProcessorId(src),
+        dst: ProcessorId(dst),
+        send_clock: ClockTime::from_nanos(send),
+        recv_clock: ClockTime::from_nanos(recv),
+    }
+}
+
+/// A random bounds-only network plus a pre-chunked observation stream,
+/// optionally poisoned with one overflow batch (clock readings whose
+/// difference exceeds `i64` nanoseconds) so typed-error batches are part
+/// of every equivalence statement, not a separate case.
+#[derive(Debug, Clone)]
+struct StreamInput {
+    n: usize,
+    links: Vec<(usize, usize, i64, i64)>,
+    batches: Vec<Vec<BatchObservation>>,
+}
+
+impl StreamInput {
+    fn network(&self) -> Network {
+        let mut b = Net::builder(self.n);
+        for &(p, q, lo, width) in &self.links {
+            b = b.link(
+                ProcessorId(p),
+                ProcessorId(q),
+                LinkAssumption::symmetric_bounds(DelayRange::new(
+                    Nanos::new(lo),
+                    Nanos::new(lo + width),
+                )),
+            );
+        }
+        b.build()
+    }
+}
+
+fn stream_input() -> impl Strategy<Value = StreamInput> {
+    (2usize..5).prop_flat_map(|n| {
+        let links = proptest::collection::vec((0..n, 0..n, 0i64..500_000, 1i64..1_000_000), 1..5);
+        let messages =
+            proptest::collection::vec((0..n, 0..n, 0i64..10_000_000, 0i64..2_000_000), 1..40);
+        // Vendored proptest has no `option` strategy: the upper half of
+        // the range means "no poison batch".
+        let poison = 0usize..80;
+        (links, messages, 1usize..6, poison).prop_map(move |(links, messages, batch, poison)| {
+            let poison = (poison < 40).then_some(poison);
+            let mut seen = std::collections::HashSet::new();
+            let links: Vec<_> = links
+                .into_iter()
+                .filter(|&(a, b, _, _)| a != b && seen.insert((a.min(b), a.max(b))))
+                .collect();
+            let mut batches: Vec<Vec<_>> = messages
+                .iter()
+                .filter(|&&(src, dst, _, _)| src != dst)
+                .map(|&(src, dst, send, delay)| obs(src, dst, send, send + delay))
+                .collect::<Vec<_>>()
+                .chunks(batch)
+                .map(<[_]>::to_vec)
+                .collect();
+            if let Some(at) = poison {
+                if !batches.is_empty() {
+                    let at = at % batches.len();
+                    batches[at].push(obs(0, 1, i64::MIN, i64::MAX));
+                }
+            }
+            StreamInput { n, links, batches }
+        })
+    })
+}
+
+/// The sequential reference: one domain's batch stream through a
+/// synchronous single-owner service, as `(applied | error-string)` per
+/// batch.
+fn sequential_receipts(
+    input: &StreamInput,
+    shards: usize,
+    window: usize,
+    name: &str,
+) -> (Vec<Result<usize, String>>, SyncService) {
+    let mut svc = SyncService::new(shards, window);
+    svc.register_domain(name, input.network()).unwrap();
+    let receipts = input
+        .batches
+        .iter()
+        .map(|batch| {
+            svc.ingest(&ObservationBatch::new(name, batch.clone()))
+                .map(|r| r.applied)
+                .map_err(|e| e.to_string())
+        })
+        .collect();
+    (receipts, svc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The tentpole invariant of the concurrent engine: for every domain,
+    /// the receipt sequence (applied counts *and* typed errors, in enqueue
+    /// order), the final outcome, and the retention statistics are
+    /// bit-identical to sequential ingestion of that domain's stream —
+    /// across shard counts, queue depths (including depth 1, where every
+    /// enqueue backpressures), and group-commit sizes (including 1, which
+    /// disables merging, and sizes that force the merged-apply fallback
+    /// when a poisoned batch lands mid-group).
+    #[test]
+    fn concurrent_ingestion_is_observationally_sequential(
+        input in stream_input(),
+        shards in 1usize..4,
+        window in 0usize..5,
+        domains in 1usize..4,
+        queue_depth in 1usize..8,
+        max_coalesce in 1usize..64,
+    ) {
+        prop_assume!(!input.links.is_empty());
+        prop_assume!(!input.batches.is_empty());
+        let names: Vec<String> = (0..domains).map(|d| format!("d{d}")).collect();
+
+        let svc = ConcurrentService::start(ServiceConfig {
+            shards,
+            window,
+            queue_depth,
+            max_coalesce,
+        });
+        for name in &names {
+            svc.register_domain(name.as_str(), input.network()).unwrap();
+        }
+        // One producer thread per domain, enqueueing that domain's
+        // stream in order; receipts are redeemed after the producer is
+        // done so batches genuinely pile up in the queues and coalesce.
+        let got: Vec<Vec<Result<usize, String>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = names
+                .iter()
+                .map(|name| {
+                    let input = &input;
+                    let svc = &svc;
+                    scope.spawn(move || {
+                        let pending: Vec<PendingReceipt> = input
+                            .batches
+                            .iter()
+                            .map(|batch| {
+                                svc.ingest(ObservationBatch::new(
+                                    name.as_str(),
+                                    batch.clone(),
+                                ))
+                                .expect("enqueue failed")
+                            })
+                            .collect();
+                        pending
+                            .into_iter()
+                            .map(|p| p.wait().map(|r| r.applied).map_err(|e| e.to_string()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (name, got) in names.iter().zip(&got) {
+            let (expected, mut reference) =
+                sequential_receipts(&input, shards, window, name);
+            prop_assert_eq!(got, &expected, "receipts diverged for {}", name);
+            let concurrent_outcome = svc.outcome(name).map_err(|e| e.to_string());
+            let sequential_outcome = reference.outcome(name).map_err(|e| e.to_string());
+            prop_assert_eq!(concurrent_outcome, sequential_outcome,
+                "outcome diverged for {}", name);
+            let stats = svc.domain_stats(name).unwrap();
+            let ref_stats = reference.domain_stats(name).unwrap();
+            prop_assert_eq!(stats.ingested, ref_stats.ingested);
+            // Group commit runs one GC per coalesced run instead of one
+            // per batch, so the exact retained counts may differ from the
+            // per-batch reference in either direction (the GC's
+            // keep-the-recency-tail rule is not confluent). What is
+            // invariant is the analytic retention cap: window + 2
+            // witnesses per observed directed pair for the message
+            // window, with sample compaction additionally limited to
+            // declared links (evidence on undeclared pairs is retained in
+            // full), for both engines.
+            let declared: std::collections::HashSet<(usize, usize)> = input
+                .links
+                .iter()
+                .flat_map(|&(p, q, _, _)| [(p, q), (q, p)])
+                .collect();
+            let mut applied_per_pair: std::collections::HashMap<(usize, usize), usize> =
+                std::collections::HashMap::new();
+            for (batch, r) in input.batches.iter().zip(&expected) {
+                if r.is_ok() {
+                    for o in batch {
+                        *applied_per_pair
+                            .entry((o.src.index(), o.dst.index()))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+            let msg_cap: usize = applied_per_pair
+                .values()
+                .map(|&c| c.min(window + 2))
+                .sum();
+            let sample_cap: usize = applied_per_pair
+                .iter()
+                .map(|(pair, &c)| {
+                    if declared.contains(pair) {
+                        c.min(window + 2)
+                    } else {
+                        c
+                    }
+                })
+                .sum();
+            for (engine, s) in [("concurrent", &stats), ("sequential", &ref_stats)] {
+                prop_assert!(s.retained_messages <= msg_cap,
+                    "{} retained {} messages over cap {}", engine, s.retained_messages, msg_cap);
+                prop_assert!(s.retained_samples <= sample_cap,
+                    "{} retained {} samples over cap {}", engine, s.retained_samples, sample_cap);
+            }
+        }
+        svc.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drain-on-shutdown: producers enqueue without redeeming receipts
+    /// and shutdown races in immediately afterwards. Every receipt must
+    /// still arrive (no batch dropped, none applied twice), and the
+    /// worker statistics must account for exactly the applied batches.
+    #[test]
+    fn shutdown_drains_every_enqueued_batch(
+        input in stream_input(),
+        shards in 1usize..4,
+        queue_depth in 1usize..4,
+    ) {
+        prop_assume!(!input.links.is_empty());
+        prop_assume!(!input.batches.is_empty());
+        let svc = ConcurrentService::start(ServiceConfig {
+            shards,
+            window: 4,
+            queue_depth,
+            max_coalesce: 8,
+        });
+        svc.register_domain("d", input.network()).unwrap();
+        let pending: Vec<PendingReceipt> = input
+            .batches
+            .iter()
+            .map(|b| svc.ingest(ObservationBatch::new("d", b.clone())).unwrap())
+            .collect();
+        // Shut down with receipts still unredeemed: the contract is that
+        // the workers drain the queues before exiting.
+        let stats = svc.shutdown();
+
+        let (expected, _) = sequential_receipts(&input, shards, 4, "d");
+        let got: Vec<Result<usize, String>> = pending
+            .into_iter()
+            .map(|p| p.wait().map(|r| r.applied).map_err(|e| e.to_string()))
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        let applied: u64 = expected
+            .iter()
+            .map(|r| *r.as_ref().unwrap_or(&0) as u64)
+            .sum();
+        let failed: u64 = expected.iter().filter(|r| r.is_err()).count() as u64;
+        prop_assert_eq!(stats.messages(), applied);
+        prop_assert_eq!(stats.errors(), failed);
+        prop_assert_eq!(
+            stats.batches(),
+            expected.len() as u64,
+            "every batch processed exactly once (errored ones included)"
+        );
+    }
+}
+
+/// The deterministic regression for the drain contract: a full queue at
+/// shutdown time (queue depth 1, slow consumer) still yields every
+/// receipt.
+#[test]
+fn shutdown_with_full_queues_loses_nothing() {
+    let net = Net::builder(2)
+        .link(
+            ProcessorId(0),
+            ProcessorId(1),
+            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(1_000))),
+        )
+        .build();
+    let svc = ConcurrentService::start(ServiceConfig {
+        shards: 2,
+        window: 2,
+        queue_depth: 1,
+        max_coalesce: 1,
+    });
+    svc.register_domain("d", net).unwrap();
+    let pending: Vec<PendingReceipt> = (0..200)
+        .map(|i| {
+            let batch = ObservationBatch::new("d", vec![obs(0, 1, i * 1_000, i * 1_000 + 400)]);
+            svc.ingest(batch).unwrap()
+        })
+        .collect();
+    let stats = svc.shutdown();
+    assert_eq!(stats.messages(), 200);
+    for p in pending {
+        assert_eq!(p.wait().unwrap().applied, 1);
+    }
+}

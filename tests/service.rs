@@ -217,6 +217,8 @@ fn windowed_service_matches_full_history_across_window_sizes() {
 fn soak_smoke_bounded_memory() {
     let config = SoakConfig {
         shards: 4,
+        threads: 1,
+        queue_depth: 256,
         domains: 8,
         n: 4,
         messages: 100_000,
