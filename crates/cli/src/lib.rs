@@ -24,6 +24,7 @@ pub mod json;
 pub mod listen;
 pub mod runfile;
 pub mod serve;
+pub mod vopr;
 
 pub use args::Args;
 pub use runfile::RunFile;

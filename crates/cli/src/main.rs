@@ -14,6 +14,10 @@
 //!                    [--n N] [--messages M] [--batch-size B] [--window W]
 //!                    [--seed S] [--max-rss-mb R] [--trace FILE]
 //! clocksync trace summarize --in FILE
+//! clocksync vopr run    [--seed S] [--count K] [--shrink-budget B]
+//!                       [--journal FILE] [--repro FILE]
+//! clocksync vopr replay --file FILE [--journal FILE]
+//! clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
 //! ```
 
 use std::fs;
@@ -35,6 +39,10 @@ const USAGE: &str = "usage:
                      [--n N] [--messages M] [--batch-size B] [--window W]
                      [--seed S] [--max-rss-mb R] [--trace FILE]
   clocksync trace summarize --in FILE
+  clocksync vopr run    [--seed S] [--count K] [--shrink-budget B]
+                        [--journal FILE] [--repro FILE]
+  clocksync vopr replay --file FILE [--journal FILE]
+  clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
 
 topologies: path ring star complete grid random
 models:     uniform (--lo-us --hi-us)
@@ -52,7 +60,15 @@ steady-state retention (--max-rss-mb fails the run if resident memory ends
 above the ceiling).
 
 --trace FILE writes a JSONL trace (spans, counters, histograms, gauges,
-events); `trace summarize` renders one as a human-readable report.";
+events); `trace summarize` renders one as a human-readable report.
+
+vopr is the deterministic scenario fuzzer: `run` executes --count seeded
+scenarios against the full-history, windowed and concurrent engines with
+invariant oracles after every step, shrinks the first failure to a minimal
+reproducer (written to --repro) and prints its replay command; `replay`
+re-runs a saved scenario file; `corpus` replays tests/corpus/ plus fresh
+seeds and exits nonzero on any failure. --journal FILE writes the
+byte-deterministic run journal (same seed => identical bytes).";
 
 /// A recorder wired to `--trace`: enabled only when the flag is present,
 /// so untraced runs keep the no-op fast path.
@@ -80,6 +96,11 @@ fn run() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.len() >= 2 && raw[0] == "trace" && raw[1] == "summarize" {
         raw.splice(0..2, ["trace-summarize".to_string()]);
+    }
+    if raw.len() >= 2 && raw[0] == "vopr" && ["run", "replay", "corpus"].contains(&raw[1].as_str())
+    {
+        let folded = format!("vopr-{}", raw[1]);
+        raw.splice(0..2, [folded]);
     }
     let args = Args::parse(raw).map_err(|e| format!("{e}\n{USAGE}"))?;
     match args.command() {
@@ -276,6 +297,72 @@ fn run() -> Result<(), String> {
                 }
             }
             Ok(())
+        }
+        "vopr-run" => {
+            let seed = args.get_u64("seed", 1)?;
+            let count = args.get_usize("count", 50)?;
+            let budget = args.get_usize("shrink-budget", 500)?;
+            if count == 0 {
+                return Err("flag --count: must be at least 1".to_string());
+            }
+            let session = clocksync_cli::vopr::fuzz(seed, count, budget);
+            for line in &session.lines {
+                println!("{line}");
+            }
+            if let Some(path) = args.get("journal") {
+                fs::write(path, &session.journal_jsonl)
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("journal written to {path}");
+            }
+            match session.reproducer {
+                None => Ok(()),
+                Some(scenario) => {
+                    let path = args.get("repro").unwrap_or("vopr-repro.json");
+                    fs::write(path, scenario.to_json_pretty())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    Err(format!(
+                        "oracle failure; minimal reproducer written to {path}\nreplay with:\n  {}",
+                        clocksync_vopr::Scenario::replay_command(path)
+                    ))
+                }
+            }
+        }
+        "vopr-replay" => {
+            let path = args.require("file")?;
+            let content = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let scenario = clocksync_vopr::Scenario::from_json_str(&content)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let (lines, journal, failed) = clocksync_cli::vopr::replay(&scenario);
+            for line in lines {
+                println!("{line}");
+            }
+            if let Some(journal_path) = args.get("journal") {
+                fs::write(journal_path, &journal)
+                    .map_err(|e| format!("writing {journal_path}: {e}"))?;
+                eprintln!("journal written to {journal_path}");
+            }
+            if failed {
+                Err(format!("scenario {path} fails its oracles"))
+            } else {
+                Ok(())
+            }
+        }
+        "vopr-corpus" => {
+            let dir = args.get("dir").unwrap_or("tests/corpus");
+            let budget = args.get_usize("budget", 25)?;
+            let seed = args.get_u64("seed", 10_000)?;
+            let report = clocksync_cli::vopr::corpus(std::path::Path::new(dir), budget, seed)?;
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.failures > 0 {
+                Err(format!(
+                    "{} of {} corpus runs failed their oracles",
+                    report.failures, report.ran
+                ))
+            } else {
+                Ok(())
+            }
         }
         "trace-summarize" => {
             let path = args.require("in")?;

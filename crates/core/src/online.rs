@@ -128,6 +128,18 @@ impl OnlineSynchronizer {
         &self.observations
     }
 
+    /// The current `m̃ls` matrix of estimated maximal *local* shifts —
+    /// entry `(p, q)` is the Lemma 6.2/6.5 single-link bound on how far
+    /// `q` can lag `p`, before the GLOBAL ESTIMATES closure composes
+    /// bounds along paths. Maintained incrementally as observations
+    /// arrive; invariantly equal to
+    /// `estimated_local_shifts(network, observations)`. Exposed so
+    /// invariant oracles (the scenario fuzzer's estimate-soundness check)
+    /// can audit the pre-closure estimates directly.
+    pub fn local_estimates(&self) -> &clocksync_graph::SquareMatrix<ExtRatio> {
+        &self.local
+    }
+
     /// Message samples currently retained across all links (the evidence
     /// footprint [`OnlineSynchronizer::compact_evidence`] bounds).
     pub fn retained_samples(&self) -> usize {

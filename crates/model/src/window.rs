@@ -192,6 +192,25 @@ impl ViewWindow {
         self.slots.iter().filter_map(Option::as_ref)
     }
 
+    /// Drops every retained message of the undirected link `{p, q}` (both
+    /// directions), returning how many were dropped. The window-side
+    /// counterpart of evidence retraction: after a link is forgotten, its
+    /// messages must leave the auditable history too, or
+    /// [`ViewWindow::to_view_set`] would resurrect the retracted evidence.
+    /// Amortized `O(dropped)` like [`ViewWindow::drop_message`].
+    pub fn drop_link(&mut self, p: ProcessorId, q: ProcessorId) -> usize {
+        let doomed: Vec<MessageId> = self
+            .live_messages()
+            .filter(|m| (m.src == p && m.dst == q) || (m.src == q && m.dst == p))
+            .map(|m| m.id)
+            .collect();
+        let count = doomed.len();
+        for id in doomed {
+            self.drop_message(id);
+        }
+        count
+    }
+
     /// The ids the dominated-evidence policy would drop at window size
     /// `per_link_window`: on each directed link, every message that is
     /// neither the first `d̃min` witness, nor the first `d̃max` witness,
@@ -232,9 +251,15 @@ impl ViewWindow {
             // witnesses survive (`get` is `None` exactly when
             // `per_link_window == 0`, since `entries.len()` is in bounds
             // of nothing).
+            #[cfg(not(feature = "bug-window0"))]
             let tail_start = entries
                 .get(entries.len() - per_link_window)
                 .map(|&(pos, _, _)| pos);
+            // The pre-fix indexing, resurrected for fuzzer validation:
+            // at `per_link_window == 0` this reads one past the end of
+            // `entries` and panics on any GC tick with live evidence.
+            #[cfg(feature = "bug-window0")]
+            let tail_start = Some(entries[entries.len() - per_link_window].0);
             for &(pos, id, _) in entries {
                 let keep = tail_start.is_some_and(|start| pos >= start)
                     || Some(pos) == min_witness
@@ -396,6 +421,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        feature = "bug-window0",
+        ignore = "bug-window0 deliberately re-introduces the window=0 panic"
+    )]
     fn window_zero_keeps_only_the_witnesses() {
         // Regression: `dominated(0)` used to index one past the end of
         // the per-link entry list (any GC tick with a zero retention
@@ -432,6 +461,20 @@ mod tests {
         let dropped = w.gc_dominated(2);
         assert!(dropped > 0);
         assert!(w.contains(MessageId(6)) && w.contains(MessageId(7)));
+    }
+
+    #[test]
+    fn drop_link_clears_both_directions_only() {
+        let r = ProcessorId(2);
+        let mut w = ViewWindow::new(3);
+        w.push(msg(0, P, Q, 0, 10)).unwrap();
+        w.push(msg(1, Q, P, 20, 35)).unwrap();
+        w.push(msg(2, P, r, 40, 52)).unwrap();
+        assert_eq!(w.drop_link(Q, P), 2);
+        assert_eq!(w.live(), 1);
+        assert!(w.contains(MessageId(2)));
+        // A second drop on the now-empty link is a no-op.
+        assert_eq!(w.drop_link(P, Q), 0);
     }
 
     #[test]

@@ -12,6 +12,38 @@
 //! a [`WireError::Truncated`] rather than a silent half-message. End of
 //! stream *between* frames is the clean shutdown signal and surfaces as
 //! `Ok(None)`.
+//!
+//! # Examples
+//!
+//! Encode two frames into a buffer, then decode them back; the reader
+//! sees each payload intact and a clean `None` at end of stream:
+//!
+//! ```
+//! use clocksync_net::wire::{read_frame, write_frame};
+//!
+//! let mut buf = Vec::new();
+//! write_frame(&mut buf, br#"{"t":"batch"}"#)?;
+//! write_frame(&mut buf, b"")?; // empty payloads are legal frames
+//!
+//! let mut stream = std::io::Cursor::new(buf);
+//! assert_eq!(read_frame(&mut stream)?.as_deref(), Some(&br#"{"t":"batch"}"#[..]));
+//! assert_eq!(read_frame(&mut stream)?.as_deref(), Some(&b""[..]));
+//! assert_eq!(read_frame(&mut stream)?, None); // clean end of stream
+//! # Ok::<(), clocksync_net::wire::WireError>(())
+//! ```
+//!
+//! A stream that dies mid-frame is an error, not a short read:
+//!
+//! ```
+//! use clocksync_net::wire::{read_frame, write_frame, WireError};
+//!
+//! let mut buf = Vec::new();
+//! write_frame(&mut buf, b"hello")?;
+//! buf.truncate(buf.len() - 2); // lose the last two payload bytes
+//! let mut stream = std::io::Cursor::new(buf);
+//! assert!(matches!(read_frame(&mut stream), Err(WireError::Truncated)));
+//! # Ok::<(), WireError>(())
+//! ```
 
 use std::io::{self, Read, Write};
 

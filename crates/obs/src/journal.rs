@@ -1,0 +1,129 @@
+//! A deterministic, timestamp-free JSONL journal.
+//!
+//! The [`Recorder`](crate::Recorder)/[`Trace`](crate::Trace) pipeline
+//! exists to measure — its spans carry wall-clock durations, so two
+//! identical runs produce different bytes. A [`Journal`] is the opposite
+//! contract: it records only values the caller computed, in the order the
+//! caller appended them, and prints them with the deterministic
+//! [`Json`] encoder (sorted object keys, exact integer/rational
+//! rendering). Two runs that perform the same computation therefore emit
+//! **byte-identical** journals — the property replay tooling (the
+//! `clocksync-vopr` scenario fuzzer's `--journal` output) asserts in its
+//! determinism regression test.
+//!
+//! The journal is append-only and schema-agnostic: each record is one
+//! [`Json`] value, one line of JSONL. Consumers parse lines back with
+//! [`Json`]'s own parser via [`Journal::from_jsonl`].
+
+use crate::json::{self, Json, JsonError};
+
+/// An append-only sequence of deterministic JSONL records.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_obs::{Journal, Json};
+///
+/// let mut j = Journal::new();
+/// j.record(Json::object([("step", Json::Int(0)), ("event", Json::Str("probe".into()))]));
+/// j.record(Json::object([("step", Json::Int(1)), ("event", Json::Str("crash".into()))]));
+/// let text = j.to_jsonl();
+/// assert_eq!(text.lines().count(), 2);
+/// let back = Journal::from_jsonl(&text)?;
+/// assert_eq!(back.records(), j.records());
+/// # Ok::<(), clocksync_obs::JsonError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    records: Vec<Json>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, record: Json) {
+        self.records.push(record);
+    }
+
+    /// The records, in append order.
+    pub fn records(&self) -> &[Json] {
+        &self.records
+    }
+
+    /// The number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders the journal as JSONL: one compact record per line, sorted
+    /// object keys, trailing newline after the last record (empty string
+    /// for an empty journal). Deterministic: equal journals render to
+    /// equal bytes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&json::to_string(record));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL string produced by [`Journal::to_jsonl`] (or any
+    /// one-JSON-value-per-line text; blank lines are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`JsonError`] of the first malformed line,
+    /// prefixed with its 1-based line number.
+    pub fn from_jsonl(input: &str) -> Result<Journal, JsonError> {
+        let mut records = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(line)
+                .map_err(|e| JsonError::new(format!("line {}: {e}", lineno + 1)))?;
+            records.push(value);
+        }
+        Ok(Journal { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_is_deterministic() {
+        let mut a = Journal::new();
+        let mut b = Journal::new();
+        for j in [&mut a, &mut b] {
+            j.record(Json::object([
+                ("zeta", Json::Int(-3)),
+                ("alpha", Json::Str("x".into())),
+            ]));
+            j.record(Json::Array(vec![Json::Bool(true), Json::Null]));
+        }
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.to_jsonl().lines().count(), 2);
+        let parsed = Journal::from_jsonl(&a.to_jsonl()).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(Journal::new().to_jsonl(), "");
+        assert!(Journal::from_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line() {
+        let err = Journal::from_jsonl("{\"ok\":1}\nnot json\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`trace`] — the finished-trace schema ([`Trace`], [`TraceRecord`]),
 //!   its JSONL codec and a summarizer;
 //! * [`json`] — the schema-agnostic JSON value type/parser/printer the
-//!   trace codec (and the CLI's run-file codec) are built on.
+//!   trace codec (and the CLI's run-file codec) are built on;
+//! * [`journal`] — a deterministic, timestamp-free JSONL journal for
+//!   byte-reproducible run records (the scenario fuzzer's replay format),
+//!   deliberately separate from the wall-clock-bearing trace.
 //!
 //! The span/counter taxonomy emitted by the runtimes is documented in
 //! DESIGN.md §6.
@@ -24,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod json;
 pub mod recorder;
 pub mod trace;
 
+pub use journal::Journal;
 pub use json::{Json, JsonError};
 pub use recorder::{FieldValue, Recorder, Span};
 pub use trace::{Hist, Trace, TraceError, TraceRecord, HIST_BUCKETS};

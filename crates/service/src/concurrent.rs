@@ -180,6 +180,12 @@ enum Job {
         domain: DomainId,
         reply: mpsc::Sender<Result<SyncOutcome, ServiceError>>,
     },
+    Forget {
+        domain: DomainId,
+        p: clocksync_model::ProcessorId,
+        q: clocksync_model::ProcessorId,
+        reply: mpsc::Sender<Result<crate::ForgetReceipt, ServiceError>>,
+    },
     DomainStats {
         domain: DomainId,
         reply: mpsc::Sender<Option<DomainStats>>,
@@ -464,6 +470,36 @@ impl ConcurrentService {
         rx.recv().map_err(|_| ServiceError::Stopped { shard })?
     }
 
+    /// Retracts every observation of the undirected link `{p, q}` in one
+    /// domain (see [`SyncService::forget_link`]). The retraction rides
+    /// the shard's FIFO queue, so it applies after every batch enqueued
+    /// before it and before every batch enqueued after — exactly the
+    /// sequential interleaving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDomain`], [`ServiceError::Model`] for an
+    /// out-of-range endpoint, or [`ServiceError::Stopped`] if the worker
+    /// is gone.
+    pub fn forget_link(
+        &self,
+        domain: &str,
+        p: clocksync_model::ProcessorId,
+        q: clocksync_model::ProcessorId,
+    ) -> Result<crate::ForgetReceipt, ServiceError> {
+        let shard = self.shard_of(domain);
+        let (tx, rx) = mpsc::channel();
+        self.senders[shard]
+            .send(Job::Forget {
+                domain: DomainId::from(domain),
+                p,
+                q,
+                reply: tx,
+            })
+            .map_err(|_| ServiceError::Stopped { shard })?;
+        rx.recv().map_err(|_| ServiceError::Stopped { shard })?
+    }
+
     /// Retention statistics for one domain (`None` if unregistered or the
     /// service is stopped), observing every batch enqueued before the
     /// call.
@@ -619,6 +655,14 @@ impl Worker {
                 }
                 Job::Outcome { domain, reply } => {
                     let _ = reply.send(self.service.outcome(domain.as_str()));
+                }
+                Job::Forget {
+                    domain,
+                    p,
+                    q,
+                    reply,
+                } => {
+                    let _ = reply.send(self.service.forget_link(domain.as_str(), p, q));
                 }
                 Job::DomainStats { domain, reply } => {
                     let stats = self.service.domain_stats(domain.as_str()).map(|mut s| {
@@ -890,6 +934,29 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.errors(), 2);
         assert_eq!(stats.messages(), 3);
+    }
+
+    #[test]
+    fn forget_link_rides_the_queue_and_matches_sequential() {
+        let svc = ConcurrentService::start(config(2));
+        let mut reference = SyncService::new(2, 8);
+        svc.register_domain("a", net()).unwrap();
+        reference.register_domain("a", net()).unwrap();
+        let batch = ObservationBatch::new("a", vec![obs(P, Q, 0, 400), obs(Q, P, 500, 900)]);
+        reference.ingest(&batch).unwrap();
+        // Enqueue the batch and the retraction back to back without
+        // waiting: FIFO order guarantees the forget observes the batch.
+        let pending = svc.ingest(batch).unwrap();
+        let receipt = svc.forget_link("a", P, Q).unwrap();
+        pending.wait().unwrap();
+        assert_eq!(receipt, reference.forget_link("a", P, Q).unwrap());
+        assert_eq!(receipt.samples_dropped, 2);
+        assert_eq!(svc.outcome("a").unwrap(), reference.outcome("a").unwrap());
+        assert!(matches!(
+            svc.forget_link("ghost", P, Q),
+            Err(ServiceError::UnknownDomain { .. })
+        ));
+        svc.shutdown();
     }
 
     #[test]

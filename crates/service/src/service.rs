@@ -61,6 +61,16 @@ pub struct IngestReceipt {
     pub retained_messages: usize,
 }
 
+/// What one evidence retraction dropped
+/// (returned by [`SyncService::forget_link`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForgetReceipt {
+    /// Evidence samples dropped from the domain's synchronizer.
+    pub samples_dropped: usize,
+    /// Messages dropped from the domain's view window.
+    pub messages_dropped: usize,
+}
+
 /// Point-in-time retention statistics for one domain
 /// (see [`SyncService::domain_stats`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,6 +286,44 @@ impl SyncService {
             .into_iter()
             .map(|r| r.expect("every input index was dispatched to exactly one shard"))
             .collect()
+    }
+
+    /// Retracts every observation of the undirected link `{p, q}` in one
+    /// domain — the operator action for a replaced or re-cabled link —
+    /// from both the synchronizer's evidence store *and* the domain's
+    /// bounded view window, so the auditable history cannot resurrect the
+    /// retracted evidence. Both directions' estimates loosen back to
+    /// their assumption-only values (the one loosening operation of the
+    /// pipeline; it exercises the component-scoped cache invalidation).
+    /// Returns what was dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownDomain`] for an unregistered domain;
+    /// [`ServiceError::Model`] ([`ModelError::UnknownProcessor`]) when an
+    /// endpoint is out of range for the domain's network.
+    pub fn forget_link(
+        &mut self,
+        domain: &str,
+        p: clocksync_model::ProcessorId,
+        q: clocksync_model::ProcessorId,
+    ) -> Result<ForgetReceipt, ServiceError> {
+        let state = self.domain_mut(domain)?;
+        let n = state.online.network().n();
+        for endpoint in [p, q] {
+            if endpoint.index() >= n {
+                return Err(ServiceError::Model(ModelError::UnknownProcessor {
+                    processor: endpoint,
+                }));
+            }
+        }
+        let samples_dropped = state.online.forget_link(p, q);
+        let messages_dropped = state.window.drop_link(p, q);
+        self.update_gauges();
+        Ok(ForgetReceipt {
+            samples_dropped,
+            messages_dropped,
+        })
     }
 
     /// The current optimal outcome for one domain.
@@ -704,6 +752,40 @@ mod tests {
         // paths.
         assert_eq!(receipt.gc_dropped, run.len() - b.retained_messages);
         assert_eq!(chunk_dropped, run.len() - s.retained_messages);
+    }
+
+    #[test]
+    fn forget_link_drops_evidence_and_window_together() {
+        let mut svc = SyncService::new(1, 8);
+        svc.register_domain("a", net()).unwrap();
+        svc.ingest(&ObservationBatch::new(
+            "a",
+            vec![obs(P, Q, 0, 400), obs(Q, P, 500, 900)],
+        ))
+        .unwrap();
+        assert!(svc.outcome("a").unwrap().precision().is_finite());
+        let receipt = svc.forget_link("a", Q, P).unwrap();
+        assert_eq!(receipt.samples_dropped, 2);
+        assert_eq!(receipt.messages_dropped, 2);
+        // Estimates loosened back to assumption-only knowledge, and the
+        // auditable history no longer carries the retracted messages.
+        assert!(!svc.outcome("a").unwrap().precision().is_finite());
+        assert_eq!(
+            svc.domain_views("a").unwrap().message_observations().len(),
+            0
+        );
+        let stats = svc.domain_stats("a").unwrap();
+        assert_eq!(stats.retained_messages, 0);
+        assert_eq!(stats.retained_samples, 0);
+        // Typed errors for bad targets; nothing is dropped on error.
+        assert!(matches!(
+            svc.forget_link("ghost", P, Q),
+            Err(ServiceError::UnknownDomain { .. })
+        ));
+        assert!(matches!(
+            svc.forget_link("a", P, ProcessorId(9)),
+            Err(ServiceError::Model(ModelError::UnknownProcessor { .. }))
+        ));
     }
 
     #[test]

@@ -169,6 +169,36 @@ impl FaultPlan {
         self.links.get(&key)
     }
 
+    /// Every declared link's fault behaviour, ascending by canonical key
+    /// `(low, high)` — a deterministic iteration order for schedulers and
+    /// serializers that must not depend on `HashMap` ordering (the
+    /// scenario fuzzer's journal is byte-reproducible because of this).
+    pub fn link_fault_entries(&self) -> Vec<((usize, usize), &LinkFaults)> {
+        let mut out: Vec<_> = self.links.iter().map(|(&k, v)| (k, v)).collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Overlays `other` onto this plan: per link, `other`'s probabilities
+    /// replace this plan's where `other` declares them (a declared zero
+    /// replaces too — that is how a scenario turns a fault *off*), down
+    /// windows accumulate, and `other`'s crash times replace this plan's
+    /// for the processors it crashes. The event-sourced composition the
+    /// scenario fuzzer folds `SetFaults`/`LinkDown`/`Crash` events with.
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        for (key, theirs) in other.links {
+            let ours = self.links.entry(key).or_default();
+            ours.drop_prob = theirs.drop_prob;
+            ours.dup_prob = theirs.dup_prob;
+            ours.reorder_prob = theirs.reorder_prob;
+            ours.down.extend(theirs.down);
+        }
+        for (p, at) in other.crashes {
+            self.crashes.insert(p, at);
+        }
+        self
+    }
+
     /// The crash-stop time of processor `p`, if scheduled.
     pub fn crash_time(&self, p: ProcessorId) -> Option<RealTime> {
         self.crashes.get(&p.index()).copied()
@@ -268,6 +298,50 @@ mod tests {
         assert!(lf.is_down_at(RealTime::from_nanos(100)));
         assert!(lf.is_down_at(RealTime::from_nanos(199)));
         assert!(!lf.is_down_at(RealTime::from_nanos(200)));
+    }
+
+    #[test]
+    fn merge_replaces_probs_and_accumulates_windows() {
+        let base = FaultPlan::new()
+            .drop_messages(P, Q, 0.5)
+            .duplicate_messages(P, Q, 0.25)
+            .link_down(P, Q, RealTime::from_nanos(10), RealTime::from_nanos(20))
+            .crash(P, RealTime::from_nanos(100));
+        let overlay = FaultPlan::new()
+            .drop_messages(P, Q, 0.0) // declared zero turns the fault off
+            .link_down(P, Q, RealTime::from_nanos(30), RealTime::from_nanos(40))
+            .crash(P, RealTime::from_nanos(50));
+        let merged = base.merge(overlay);
+        let lf = merged.link_faults((0, 1)).unwrap();
+        assert_eq!(lf.drop_prob, 0.0);
+        assert_eq!(lf.dup_prob, 0.0, "overlay declared the link, replacing");
+        assert_eq!(
+            lf.down,
+            vec![
+                (RealTime::from_nanos(10), RealTime::from_nanos(20)),
+                (RealTime::from_nanos(30), RealTime::from_nanos(40)),
+            ]
+        );
+        assert_eq!(merged.crash_time(P), Some(RealTime::from_nanos(50)));
+        // Links the overlay does not mention are untouched.
+        let untouched = FaultPlan::new()
+            .drop_messages(P, Q, 0.5)
+            .merge(FaultPlan::new().crash(Q, RealTime::ZERO));
+        assert_eq!(untouched.link_faults((0, 1)).unwrap().drop_prob, 0.5);
+    }
+
+    #[test]
+    fn link_fault_entries_are_sorted() {
+        let plan = FaultPlan::new()
+            .drop_messages(ProcessorId(3), ProcessorId(2), 0.1)
+            .drop_messages(Q, P, 0.2)
+            .drop_messages(ProcessorId(1), ProcessorId(2), 0.3);
+        let keys: Vec<(usize, usize)> = plan
+            .link_fault_entries()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys, vec![(0, 1), (1, 2), (2, 3)]);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! The fuzzer's deterministic random source.
+//!
+//! Everything the fuzzer randomizes — scenario shapes, delay draws, fault
+//! decisions — flows through [`VoprRng`], a SplitMix64 stream. SplitMix64
+//! is chosen for the same reason TigerBeetle's VOPR uses a fixed simple
+//! PRNG: the stream is defined by the algorithm alone (no platform, no
+//! library version), so a seed printed in a failure report replays the
+//! identical run forever.
+//!
+//! Two usage patterns matter for shrinkability:
+//!
+//! * **Sequential** draws ([`VoprRng::new`] + `next_*`) are fine inside
+//!   the generator, where the whole event list is produced at once.
+//! * **Keyed** draws ([`VoprRng::keyed`]) derive an independent stream
+//!   from the scenario seed plus the *content* of the thing being
+//!   decided (e.g. a probe's `(src, dst, at, delay)`). The runner uses
+//!   keyed streams for fault decisions so that deleting an unrelated
+//!   event during shrinking does not reshuffle every later coin flip —
+//!   the classic trap that makes naive delta-debugging diverge.
+
+/// A deterministic SplitMix64 stream.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_vopr::VoprRng;
+///
+/// let mut a = VoprRng::new(42);
+/// let mut b = VoprRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.below(10) < 10);
+/// let x = a.range_i64(-5, 5);
+/// assert!((-5..=5).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoprRng {
+    state: u64,
+}
+
+impl VoprRng {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> VoprRng {
+        VoprRng { state: seed }
+    }
+
+    /// A stream derived from `seed` and a content key: each part is folded
+    /// through the SplitMix64 finalizer, so streams for different keys are
+    /// statistically independent and deleting one keyed decision never
+    /// perturbs another.
+    pub fn keyed(seed: u64, parts: &[u64]) -> VoprRng {
+        let mut rng = VoprRng::new(seed);
+        for &part in parts {
+            let folded = rng.next_u64() ^ mix(part);
+            rng = VoprRng::new(folded);
+        }
+        rng
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// A draw uniform in `0..bound`.
+    ///
+    /// The tiny modulo bias is irrelevant here: the fuzzer needs
+    /// reproducibility, not statistical perfection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) has no value to draw");
+        self.next_u64() % bound
+    }
+
+    /// A draw uniform in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let draw = self.next_u64() as u128 % span;
+        (lo as i128 + draw as i128) as i64
+    }
+
+    /// A biased coin: `true` with probability `ppm` parts per million
+    /// (values above one million always return `true`).
+    pub fn chance_ppm(&mut self, ppm: u32) -> bool {
+        self.below(1_000_000) < u64::from(ppm)
+    }
+}
+
+/// The SplitMix64 finalizer (Stafford's mix13 variant).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = VoprRng::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = VoprRng::new(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = VoprRng::new(8).next_u64();
+        assert_ne!(a[0], c, "different seeds should diverge immediately");
+    }
+
+    #[test]
+    fn keyed_streams_depend_on_every_part() {
+        let base = VoprRng::keyed(42, &[1, 2, 3]).next_u64();
+        assert_eq!(base, VoprRng::keyed(42, &[1, 2, 3]).next_u64());
+        assert_ne!(base, VoprRng::keyed(42, &[1, 2, 4]).next_u64());
+        assert_ne!(base, VoprRng::keyed(43, &[1, 2, 3]).next_u64());
+    }
+
+    #[test]
+    fn range_hits_both_endpoints() {
+        let mut r = VoprRng::new(1);
+        let draws: Vec<i64> = (0..200).map(|_| r.range_i64(-1, 1)).collect();
+        assert!(draws.contains(&-1) && draws.contains(&0) && draws.contains(&1));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = VoprRng::new(5);
+        assert!(!(0..100).any(|_| r.chance_ppm(0)));
+        assert!((0..100).all(|_| r.chance_ppm(1_000_000)));
+    }
+}

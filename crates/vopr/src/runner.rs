@@ -1,0 +1,1067 @@
+//! The scenario runner: three lockstep targets, oracles after every step.
+//!
+//! A scenario executes simultaneously against:
+//!
+//! 1. the **full-history** [`OnlineSynchronizer`] — the reference;
+//! 2. the **windowed sequential** [`SyncService`] — bounded retention;
+//! 3. the **windowed concurrent** [`ConcurrentService`] — worker-per-shard.
+//!
+//! After *every* event the oracle catalogue runs (see `DESIGN.md` §9):
+//!
+//! * **no-panic** — every target call is wrapped in `catch_unwind`;
+//! * **windowed-equals-full** — the windowed outcome must be bit-identical
+//!   to the full-history outcome (this *is* the fuzzed form of the
+//!   compaction-never-loosens theorem, Lemma 6.2's extrema-sufficiency);
+//! * **concurrent-equals-sequential** — same for the concurrent engine,
+//!   plus receipt-for-receipt equality on every ingest and retraction;
+//! * **rho-equals-amax** — `ρ̄(x̄) = A_max` with equality at the computed
+//!   corrections (Theorem 5.2's optimality identity);
+//! * **estimate-soundness** — the true base offsets lie inside every
+//!   `m̃ls` interval, local and closed (Lemma 6.5's correctness half),
+//!   with zero tolerance;
+//! * **corrected-agreement** — corrected true clocks of processors in one
+//!   component agree within that component's precision;
+//! * **monotone-tightening** — closure entries never increase while
+//!   evidence only accumulates (reset at explicit link retraction, the
+//!   one operation allowed to loosen);
+//! * **compaction-never-loosens** — an explicit [`Event::Compact`] must
+//!   leave the reference closure bit-identical.
+//!
+//! Everything journaled is computed (no wall-clock), so two runs of the
+//! same scenario emit byte-identical [`Journal`]s — the property the
+//! determinism regression pins.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use clocksync::{
+    BatchObservation, DelayRange, LinkAssumption, Network, OnlineSynchronizer, SyncOutcome,
+};
+use clocksync_graph::SquareMatrix;
+use clocksync_model::ProcessorId;
+use clocksync_obs::{Journal, Json};
+use clocksync_service::{ConcurrentService, ObservationBatch, ServiceConfig, SyncService};
+use clocksync_sim::FaultPlan;
+use clocksync_time::{ClockTime, Ext, Nanos, Ratio, RealTime};
+
+use crate::rng::VoprRng;
+use crate::scenario::{Event, Scenario};
+use crate::world::WorldClocks;
+
+type ExtRatio = Ext<Ratio>;
+
+/// The single sync domain every scenario runs under.
+pub const DOMAIN: &str = "vopr";
+
+/// Caps the runner clamps scenario values into, so arithmetic stays in
+/// range and a hostile (or badly shrunk) scenario cannot overflow the
+/// harness itself. Scenarios from [`crate::generate`] are always within.
+const MAX_N: usize = 16;
+const MAX_SHARDS: usize = 16;
+const MAX_WINDOW: usize = 4096;
+const MAX_MARGIN: i64 = 1 << 20;
+const MAX_ABS_OFFSET: i64 = 1 << 40;
+const MAX_TIME: i64 = 1 << 50;
+const MAX_DELAY: i64 = 1 << 40;
+
+/// Salt separating the runner's per-probe fault streams from the
+/// generator's stream.
+const FAULT_SALT: u64 = 0x50524F42455F5254;
+
+/// An oracle violation: which oracle, at which step, with a
+/// deterministic human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Index of the event that tripped the oracle.
+    pub step: usize,
+    /// The oracle's name (see the module docs for the catalogue).
+    pub oracle: String,
+    /// What was expected vs observed.
+    pub detail: String,
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The first oracle violation, if any (the run stops there).
+    pub failure: Option<Failure>,
+    /// Events executed (= index of the failing event + 1 on failure).
+    pub steps: usize,
+    /// Probes ingested by all targets.
+    pub probes_applied: usize,
+    /// Probes lost to faults (drop, down window, crash).
+    pub probes_dropped: usize,
+    /// Probes skipped as inapplicable (inactive link, bad endpoints,
+    /// unrepresentable readings).
+    pub probes_skipped: usize,
+    /// The deterministic run journal.
+    pub journal: Journal,
+}
+
+impl RunReport {
+    /// `true` when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Runs `f` with the global panic hook silenced, restoring it after.
+///
+/// The runner treats panics as data (`catch_unwind` + the no-panic
+/// oracle); without this, a shrink session re-running a panicking
+/// scenario hundreds of times floods stderr with backtraces.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(saved);
+    match result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn ratio_str(r: Ratio) -> String {
+    if r.is_integer() {
+        format!("{}", r.numerator())
+    } else {
+        format!("{}/{}", r.numerator(), r.denominator())
+    }
+}
+
+fn ext_str(v: ExtRatio) -> String {
+    match v {
+        Ext::NegInf => "-inf".to_string(),
+        Ext::PosInf => "+inf".to_string(),
+        Ext::Finite(r) => ratio_str(r),
+    }
+}
+
+/// The normalized undirected link table of a scenario: canonical key to
+/// effective true bounds `(lo, hi)` with `lo ≥ 2 × margin` (so the
+/// widened declared bounds stay non-negative) and `hi ≥ lo`. Bounds of
+/// repeated `AddLink`s for one pair are unioned.
+fn effective_links(s: &Scenario, margin: i64) -> BTreeMap<(usize, usize), (i64, i64)> {
+    let mut links = BTreeMap::new();
+    for event in &s.events {
+        if let Event::AddLink { a, b, lo, hi } = *event {
+            if a == b || a >= s.n || b >= s.n {
+                continue;
+            }
+            let lo = lo.clamp(0, MAX_DELAY).max(2 * margin);
+            let hi = hi.clamp(0, MAX_DELAY).max(lo);
+            let entry = links.entry((a.min(b), a.max(b))).or_insert((lo, hi));
+            entry.0 = entry.0.min(lo);
+            entry.1 = entry.1.max(hi);
+        }
+    }
+    links
+}
+
+struct Runner<'a> {
+    scenario: &'a Scenario,
+    window: usize,
+    links: BTreeMap<(usize, usize), (i64, i64)>,
+    active: BTreeSet<(usize, usize)>,
+    online: OnlineSynchronizer,
+    seq: SyncService,
+    conc: Option<ConcurrentService>,
+    world: WorldClocks,
+    plan: FaultPlan,
+    prev_closure: Option<SquareMatrix<ExtRatio>>,
+    journal: Journal,
+    probes_applied: usize,
+    probes_dropped: usize,
+    probes_skipped: usize,
+}
+
+/// Executes a scenario against all three targets with the full oracle
+/// catalogue. Never panics: target panics become `no-panic` failures.
+pub fn run_scenario(s: &Scenario) -> RunReport {
+    let mut journal = Journal::new();
+    journal.record(Json::object([
+        ("type", Json::Str("scenario".into())),
+        ("seed", Json::Int(i128::from(s.seed))),
+        ("n", Json::Int(s.n as i128)),
+        ("shards", Json::Int(s.shards as i128)),
+        ("window", Json::Int(s.window as i128)),
+        ("margin", Json::Int(i128::from(s.margin))),
+        ("events", Json::Int(s.events.len() as i128)),
+    ]));
+    // Structurally invalid scenarios run as empty (and pass): a shrink
+    // step must never "succeed" by making the input unrunnable.
+    if s.n == 0 || s.n > MAX_N || s.shards == 0 || s.shards > MAX_SHARDS || s.offsets.len() != s.n {
+        journal.record(Json::object([
+            ("type", Json::Str("note".into())),
+            ("note", Json::Str("scenario-rejected".into())),
+        ]));
+        return RunReport {
+            failure: None,
+            steps: 0,
+            probes_applied: 0,
+            probes_dropped: 0,
+            probes_skipped: 0,
+            journal,
+        };
+    }
+
+    let margin = s.margin.clamp(0, MAX_MARGIN);
+    let window = s.window.min(MAX_WINDOW);
+    let links = effective_links(s, margin);
+    let mut builder = Network::builder(s.n);
+    for (&(a, b), &(lo, hi)) in &links {
+        // Widen the declared bounds by the perturbation budget on each
+        // side: every perturbed reading stays explainable by the base
+        // offsets, which is what the zero-slack soundness oracle needs.
+        builder = builder.link(
+            ProcessorId(a),
+            ProcessorId(b),
+            LinkAssumption::symmetric_bounds(DelayRange::new(
+                Nanos::new(lo - 2 * margin),
+                Nanos::new(hi + 2 * margin),
+            )),
+        );
+    }
+    let network = builder.build();
+
+    let mut offsets = s.offsets.clone();
+    for o in &mut offsets {
+        *o = (*o).clamp(-MAX_ABS_OFFSET, MAX_ABS_OFFSET);
+    }
+
+    let mut seq = SyncService::new(s.shards, window);
+    seq.register_domain(DOMAIN, network.clone())
+        .expect("fresh sequential service accepts the domain");
+    let conc = ConcurrentService::start(ServiceConfig {
+        shards: s.shards,
+        window,
+        queue_depth: 64,
+        // One batch per application: receipts must match the sequential
+        // engine field-for-field, so group-commit coalescing is off.
+        max_coalesce: 1,
+    });
+    conc.register_domain(DOMAIN, network.clone())
+        .expect("fresh concurrent service accepts the domain");
+
+    let runner = Runner {
+        scenario: s,
+        window,
+        links,
+        active: BTreeSet::new(),
+        online: OnlineSynchronizer::new(network),
+        seq,
+        conc: Some(conc),
+        world: WorldClocks::new(&offsets, margin),
+        plan: FaultPlan::new(),
+        prev_closure: None,
+        journal,
+        probes_applied: 0,
+        probes_dropped: 0,
+        probes_skipped: 0,
+    };
+    runner.run()
+}
+
+impl Runner<'_> {
+    fn run(mut self) -> RunReport {
+        let mut failure = None;
+        let mut steps = 0;
+        for (step, event) in self.scenario.events.iter().enumerate() {
+            steps = step + 1;
+            let result = self.step(step, event);
+            let result = result.and_then(|()| self.sweep(step, matches!(event, Event::Checkpoint)));
+            if let Err((oracle, detail)) = result {
+                self.journal.record(Json::object([
+                    ("type", Json::Str("failure".into())),
+                    ("step", Json::Int(step as i128)),
+                    ("oracle", Json::Str(oracle.clone())),
+                    ("detail", Json::Str(detail.clone())),
+                ]));
+                failure = Some(Failure {
+                    step,
+                    oracle,
+                    detail,
+                });
+                break;
+            }
+        }
+        if failure.is_none() {
+            if let Some(conc) = self.conc.take() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(move || {
+                    conc.shutdown();
+                })) {
+                    let detail = format!("shutdown panicked: {}", panic_message(payload));
+                    let step = steps.saturating_sub(1);
+                    self.journal.record(Json::object([
+                        ("type", Json::Str("failure".into())),
+                        ("step", Json::Int(step as i128)),
+                        ("oracle", Json::Str("no-panic".into())),
+                        ("detail", Json::Str(detail.clone())),
+                    ]));
+                    failure = Some(Failure {
+                        step,
+                        oracle: "no-panic".into(),
+                        detail,
+                    });
+                }
+            }
+        }
+        // On failure the concurrent service is dropped without joining:
+        // its workers exit as the job senders drop, and joining a worker
+        // that panicked would just re-panic the harness.
+        self.journal.record(Json::object([
+            ("type", Json::Str("result".into())),
+            (
+                "status",
+                Json::Str(if failure.is_none() { "pass" } else { "fail" }.into()),
+            ),
+            ("steps", Json::Int(steps as i128)),
+            ("probes_applied", Json::Int(self.probes_applied as i128)),
+            ("probes_dropped", Json::Int(self.probes_dropped as i128)),
+            ("probes_skipped", Json::Int(self.probes_skipped as i128)),
+        ]));
+        RunReport {
+            failure,
+            steps,
+            probes_applied: self.probes_applied,
+            probes_dropped: self.probes_dropped,
+            probes_skipped: self.probes_skipped,
+            journal: self.journal,
+        }
+    }
+
+    fn note(&mut self, step: usize, kind: &str, action: &str, reason: &str) {
+        let mut fields = vec![
+            ("type", Json::Str("event".into())),
+            ("step", Json::Int(step as i128)),
+            ("kind", Json::Str(kind.into())),
+            ("action", Json::Str(action.into())),
+        ];
+        if !reason.is_empty() {
+            fields.push(("reason", Json::Str(reason.into())));
+        }
+        self.journal.record(Json::object(fields));
+    }
+
+    fn step(&mut self, step: usize, event: &Event) -> Result<(), (String, String)> {
+        let kind = event.kind();
+        match *event {
+            Event::AddLink { a, b, .. } => {
+                let valid = a != b && a < self.scenario.n && b < self.scenario.n;
+                let key = (a.min(b), a.max(b));
+                if !valid || !self.links.contains_key(&key) {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                } else if self.active.insert(key) {
+                    self.note(step, kind, "applied", "");
+                } else {
+                    self.note(step, kind, "skipped", "already-active");
+                }
+                Ok(())
+            }
+            Event::RemoveLink { a, b } => self.remove_link(step, kind, a, b),
+            Event::Probe {
+                src,
+                dst,
+                at,
+                delay,
+            } => self.probe(step, kind, src, dst, at, delay),
+            Event::SetFaults {
+                a,
+                b,
+                drop_ppm,
+                dup_ppm,
+                reorder_ppm,
+            } => {
+                if a == b || a >= self.scenario.n || b >= self.scenario.n {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                    return Ok(());
+                }
+                let to_prob = |ppm: u32| f64::from(ppm.min(1_000_000)) / 1e6;
+                let overlay = FaultPlan::new()
+                    .drop_messages(ProcessorId(a), ProcessorId(b), to_prob(drop_ppm))
+                    .duplicate_messages(ProcessorId(a), ProcessorId(b), to_prob(dup_ppm))
+                    .reorder_messages(ProcessorId(a), ProcessorId(b), to_prob(reorder_ppm));
+                self.plan = std::mem::take(&mut self.plan).merge(overlay);
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+            Event::LinkDown { a, b, from, until } => {
+                if a == b || a >= self.scenario.n || b >= self.scenario.n {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                    return Ok(());
+                }
+                let (from, until) = (
+                    from.clamp(0, MAX_TIME).min(until.clamp(0, MAX_TIME)),
+                    until.clamp(0, MAX_TIME).max(from.clamp(0, MAX_TIME)),
+                );
+                self.plan = std::mem::take(&mut self.plan).link_down(
+                    ProcessorId(a),
+                    ProcessorId(b),
+                    RealTime::from_nanos(from),
+                    RealTime::from_nanos(until),
+                );
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+            Event::Crash { p, at } => {
+                if p >= self.scenario.n {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                    return Ok(());
+                }
+                self.plan = std::mem::take(&mut self.plan)
+                    .crash(ProcessorId(p), RealTime::from_nanos(at.clamp(0, MAX_TIME)));
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+            Event::Jump { p, at, back } => {
+                if p >= self.scenario.n {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                    return Ok(());
+                }
+                self.world
+                    .jump_back(p, at.clamp(0, MAX_TIME), back.clamp(0, MAX_MARGIN));
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+            Event::Drift { p, at, ppm } => {
+                if p >= self.scenario.n {
+                    self.note(step, kind, "skipped", "invalid-endpoints");
+                    return Ok(());
+                }
+                self.world
+                    .set_rate(p, at.clamp(0, MAX_TIME), ppm.clamp(-100_000, 100_000));
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+            Event::Compact => self.compact(step, kind),
+            Event::Checkpoint => {
+                self.note(step, kind, "applied", "");
+                Ok(())
+            }
+        }
+    }
+
+    fn remove_link(
+        &mut self,
+        step: usize,
+        kind: &str,
+        a: usize,
+        b: usize,
+    ) -> Result<(), (String, String)> {
+        let valid = a != b && a < self.scenario.n && b < self.scenario.n;
+        let key = (a.min(b), a.max(b));
+        if !valid || !self.active.remove(&key) {
+            self.note(step, kind, "skipped", "inactive-link");
+            return Ok(());
+        }
+        let (p, q) = (ProcessorId(key.0), ProcessorId(key.1));
+        let dropped = catch_unwind(AssertUnwindSafe(|| {
+            let online_dropped = self.online.forget_link(p, q);
+            let seq_receipt = self.seq.forget_link(DOMAIN, p, q);
+            (online_dropped, seq_receipt)
+        }));
+        let (online_dropped, seq_receipt) = match dropped {
+            Ok(v) => v,
+            Err(payload) => {
+                return Err((
+                    "no-panic".into(),
+                    format!("forget_link panicked: {}", panic_message(payload)),
+                ))
+            }
+        };
+        let conc_receipt = self
+            .conc
+            .as_ref()
+            .expect("concurrent service lives until the run ends")
+            .forget_link(DOMAIN, p, q);
+        if seq_receipt != conc_receipt {
+            return Err((
+                "concurrent-equals-sequential".into(),
+                format!(
+                    "forget_link receipts diverged: sequential {seq_receipt:?}, concurrent {conc_receipt:?}"
+                ),
+            ));
+        }
+        // Retraction is the one operation allowed to loosen estimates:
+        // restart the monotone-tightening baseline.
+        self.prev_closure = None;
+        self.journal.record(Json::object([
+            ("type", Json::Str("event".into())),
+            ("step", Json::Int(step as i128)),
+            ("kind", Json::Str(kind.into())),
+            ("action", Json::Str("applied".into())),
+            ("online_samples_dropped", Json::Int(online_dropped as i128)),
+            (
+                "window_messages_dropped",
+                Json::Int(seq_receipt.map_or(-1, |r| r.messages_dropped as i128)),
+            ),
+        ]));
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &mut self,
+        step: usize,
+        kind: &str,
+        src: usize,
+        dst: usize,
+        at: i64,
+        delay: i64,
+    ) -> Result<(), (String, String)> {
+        let n = self.scenario.n;
+        if src == dst || src >= n || dst >= n {
+            self.probes_skipped += 1;
+            self.note(step, kind, "skipped", "invalid-endpoints");
+            return Ok(());
+        }
+        let key = (src.min(dst), src.max(dst));
+        if !self.active.contains(&key) {
+            self.probes_skipped += 1;
+            self.note(step, kind, "skipped", "inactive-link");
+            return Ok(());
+        }
+        let (lo, hi) = self.links[&key];
+        let at = at.clamp(0, MAX_TIME);
+        let delay = delay.clamp(lo, hi);
+
+        // Fault decisions come from a stream keyed by the probe's own
+        // content, so deleting unrelated events during shrinking never
+        // reshuffles this probe's coin flips.
+        let mut frng = VoprRng::keyed(
+            self.scenario.seed,
+            &[
+                FAULT_SALT,
+                key.0 as u64,
+                key.1 as u64,
+                at as u64,
+                delay as u64,
+            ],
+        );
+        let faults = self.plan.link_faults(key).cloned().unwrap_or_default();
+        let to_ppm = |prob: f64| (prob * 1e6).round() as u32;
+
+        if let Some(t) = self.plan.crash_time(ProcessorId(src)) {
+            if t.offset().as_nanos() <= at {
+                self.probes_dropped += 1;
+                self.note(step, kind, "dropped", "sender-crashed");
+                return Ok(());
+            }
+        }
+        if faults.is_down_at(RealTime::from_nanos(at)) {
+            self.probes_dropped += 1;
+            self.note(step, kind, "dropped", "link-down");
+            return Ok(());
+        }
+        if frng.chance_ppm(to_ppm(faults.drop_prob)) {
+            self.probes_dropped += 1;
+            self.note(step, kind, "dropped", "fault-drop");
+            return Ok(());
+        }
+        let delay = if frng.chance_ppm(to_ppm(faults.reorder_prob)) {
+            // Reordered past later traffic: resample towards the tail of
+            // the same bounds (max of two draws), as the sim engine does.
+            delay.max(frng.range_i64(lo, hi))
+        } else {
+            delay
+        };
+        if let Some(t) = self.plan.crash_time(ProcessorId(dst)) {
+            if t.offset().as_nanos() <= at + delay {
+                self.probes_dropped += 1;
+                self.note(step, kind, "dropped", "receiver-crashed");
+                return Ok(());
+            }
+        }
+
+        let send = self.world.reading(src, at);
+        let recv = self.world.reading(dst, at + delay);
+        let (send, recv) = match (send, recv) {
+            (Some(s), Some(r)) => (s, r),
+            _ => {
+                // A reading before the clock's epoch: the service layer
+                // rejects negative clock values while the reference
+                // accepts them, so skip deterministically rather than
+                // desynchronize the lockstep.
+                self.probes_skipped += 1;
+                self.note(step, kind, "skipped", "unrepresentable-reading");
+                return Ok(());
+            }
+        };
+        let mut observations = vec![BatchObservation {
+            src: ProcessorId(src),
+            dst: ProcessorId(dst),
+            send_clock: ClockTime::from_nanos(send),
+            recv_clock: ClockTime::from_nanos(recv),
+        }];
+        if frng.chance_ppm(to_ppm(faults.dup_prob)) {
+            let dup_delay = frng.range_i64(lo, hi);
+            if let Some(dup_recv) = self.world.reading(dst, at + dup_delay) {
+                observations.push(BatchObservation {
+                    src: ProcessorId(src),
+                    dst: ProcessorId(dst),
+                    send_clock: ClockTime::from_nanos(send),
+                    recv_clock: ClockTime::from_nanos(dup_recv),
+                });
+            }
+        }
+
+        let batch = ObservationBatch::new(DOMAIN, observations.clone());
+        let online_result =
+            catch_unwind(AssertUnwindSafe(|| self.online.ingest_batch(&observations)));
+        let online_result = match online_result {
+            Ok(r) => r,
+            Err(payload) => {
+                return Err((
+                    "no-panic".into(),
+                    format!("reference ingest panicked: {}", panic_message(payload)),
+                ))
+            }
+        };
+        let seq_result = catch_unwind(AssertUnwindSafe(|| self.seq.ingest(&batch)));
+        let seq_result = match seq_result {
+            Ok(r) => r,
+            Err(payload) => {
+                // The sequential engine panicked where the reference did
+                // not (or the batch never reached the reference's
+                // validation): either way the harness must survive, and
+                // the concurrent engine must NOT see this batch — its
+                // worker would die on the same panic and poison every
+                // later comparison.
+                return Err((
+                    "no-panic".into(),
+                    format!("service ingest panicked: {}", panic_message(payload)),
+                ));
+            }
+        };
+        if online_result.is_err() != seq_result.is_err() {
+            return Err((
+                "windowed-equals-full".into(),
+                format!(
+                    "ingest acceptance diverged: reference {:?}, sequential {:?}",
+                    online_result
+                        .as_ref()
+                        .map(|_| "ok")
+                        .map_err(|e| e.to_string()),
+                    seq_result.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+                ),
+            ));
+        }
+        if seq_result.is_err() {
+            self.probes_skipped += 1;
+            self.note(step, kind, "rejected", "validation");
+            return Ok(());
+        }
+        let conc_result = self
+            .conc
+            .as_ref()
+            .expect("concurrent service lives until the run ends")
+            .ingest(batch)
+            .and_then(|pending| pending.wait());
+        if conc_result != seq_result {
+            return Err((
+                "concurrent-equals-sequential".into(),
+                format!(
+                    "ingest receipts diverged: sequential {seq_result:?}, concurrent {conc_result:?}"
+                ),
+            ));
+        }
+        self.probes_applied += 1;
+        self.journal.record(Json::object([
+            ("type", Json::Str("event".into())),
+            ("step", Json::Int(step as i128)),
+            ("kind", Json::Str(kind.into())),
+            ("action", Json::Str("applied".into())),
+            ("observations", Json::Int(observations.len() as i128)),
+            ("send_clock", Json::Int(i128::from(send))),
+            ("recv_clock", Json::Int(i128::from(recv))),
+        ]));
+        Ok(())
+    }
+
+    fn compact(&mut self, step: usize, kind: &str) -> Result<(), (String, String)> {
+        let window = self.window;
+        let before =
+            match catch_unwind(AssertUnwindSafe(|| self.online.global_estimates().cloned())) {
+                Ok(Ok(m)) => Some(m),
+                Ok(Err(_)) => None,
+                Err(payload) => {
+                    return Err((
+                        "no-panic".into(),
+                        format!("closure computation panicked: {}", panic_message(payload)),
+                    ))
+                }
+            };
+        let dropped = match catch_unwind(AssertUnwindSafe(|| self.online.compact_evidence(window)))
+        {
+            Ok(d) => d,
+            Err(payload) => {
+                return Err((
+                    "no-panic".into(),
+                    format!("compact_evidence panicked: {}", panic_message(payload)),
+                ))
+            }
+        };
+        if let Some(before) = before {
+            let after = self.online.global_estimates().cloned();
+            match after {
+                Ok(after) if after == before => {}
+                Ok(after) => {
+                    let diff = before
+                        .iter()
+                        .find(|&(i, j, b)| *after.get(i, j) != *b)
+                        .map(|(i, j, b)| {
+                            format!(
+                                "m[{i},{j}] changed from {} to {}",
+                                ext_str(*b),
+                                ext_str(*after.get(i, j))
+                            )
+                        })
+                        .unwrap_or_else(|| "matrices differ".to_string());
+                    return Err(("compaction-never-loosens".into(), diff));
+                }
+                Err(e) => {
+                    return Err((
+                        "compaction-never-loosens".into(),
+                        format!("closure became uncomputable after compaction: {e}"),
+                    ))
+                }
+            }
+        }
+        self.journal.record(Json::object([
+            ("type", Json::Str("event".into())),
+            ("step", Json::Int(step as i128)),
+            ("kind", Json::Str(kind.into())),
+            ("action", Json::Str("applied".into())),
+            ("samples_dropped", Json::Int(dropped as i128)),
+        ]));
+        Ok(())
+    }
+
+    /// The full oracle catalogue; `checkpoint` additionally journals the
+    /// outcome summary.
+    fn sweep(&mut self, step: usize, checkpoint: bool) -> Result<(), (String, String)> {
+        let online_out = match catch_unwind(AssertUnwindSafe(|| self.online.outcome())) {
+            Ok(r) => r,
+            Err(payload) => {
+                return Err((
+                    "no-panic".into(),
+                    format!("reference outcome panicked: {}", panic_message(payload)),
+                ))
+            }
+        };
+        let seq_out = match catch_unwind(AssertUnwindSafe(|| self.seq.outcome(DOMAIN))) {
+            Ok(r) => r,
+            Err(payload) => {
+                return Err((
+                    "no-panic".into(),
+                    format!("service outcome panicked: {}", panic_message(payload)),
+                ))
+            }
+        };
+        let conc_out = self
+            .conc
+            .as_ref()
+            .expect("concurrent service lives until the run ends")
+            .outcome(DOMAIN);
+
+        let outcome = match (&online_out, &seq_out) {
+            (Ok(on), Ok(sq)) => {
+                if on != sq {
+                    return Err((
+                        "windowed-equals-full".into(),
+                        format!(
+                            "outcomes diverged: reference precision {}, windowed precision {}",
+                            ext_str(on.precision()),
+                            ext_str(sq.precision()),
+                        ),
+                    ));
+                }
+                on.clone()
+            }
+            (Err(on), Err(sq)) => {
+                // Both targets reject the evidence the same way (e.g.
+                // contradictory observations): consistent, nothing more
+                // to check this sweep.
+                if on.to_string() != sq.to_string() {
+                    return Err((
+                        "windowed-equals-full".into(),
+                        format!("errors diverged: reference `{on}`, windowed `{sq}`"),
+                    ));
+                }
+                self.journal.record(Json::object([
+                    ("type", Json::Str("outcome".into())),
+                    ("step", Json::Int(step as i128)),
+                    ("error", Json::Str(on.to_string())),
+                ]));
+                return Ok(());
+            }
+            (on, sq) => {
+                return Err((
+                    "windowed-equals-full".into(),
+                    format!(
+                        "one target errored: reference ok={}, windowed ok={}",
+                        on.is_ok(),
+                        sq.is_ok()
+                    ),
+                ));
+            }
+        };
+        match &conc_out {
+            Ok(c) if *c == outcome => {}
+            Ok(c) => {
+                return Err((
+                    "concurrent-equals-sequential".into(),
+                    format!(
+                        "outcomes diverged: sequential precision {}, concurrent precision {}",
+                        ext_str(outcome.precision()),
+                        ext_str(c.precision()),
+                    ),
+                ));
+            }
+            Err(e) => {
+                return Err((
+                    "concurrent-equals-sequential".into(),
+                    format!("concurrent outcome errored: {e}"),
+                ));
+            }
+        }
+
+        self.check_identity(&outcome)?;
+        self.check_soundness(&outcome)?;
+        self.check_agreement(&outcome)?;
+        self.check_monotone(&outcome)?;
+
+        if checkpoint {
+            self.journal.record(Json::object([
+                ("type", Json::Str("outcome".into())),
+                ("step", Json::Int(step as i128)),
+                ("precision", Json::Str(ext_str(outcome.precision()))),
+                ("components", Json::Int(outcome.components().len() as i128)),
+                (
+                    "retained_samples",
+                    Json::Int(self.online.retained_samples() as i128),
+                ),
+            ]));
+        }
+        Ok(())
+    }
+
+    fn check_identity(&self, outcome: &SyncOutcome) -> Result<(), (String, String)> {
+        let rho = outcome.rho_bar(outcome.corrections());
+        if rho != outcome.precision() {
+            return Err((
+                "rho-equals-amax".into(),
+                format!(
+                    "rho_bar(corrections) = {} but precision (A_max) = {}",
+                    ext_str(rho),
+                    ext_str(outcome.precision()),
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_soundness(&mut self, outcome: &SyncOutcome) -> Result<(), (String, String)> {
+        let offsets: Vec<i64> = self.world.offsets().to_vec();
+        let check = |matrix: &SquareMatrix<ExtRatio>, what: &str| {
+            for (p, q, &bound) in matrix.iter_off_diagonal() {
+                let true_shift = Ext::Finite(Ratio::from_int(
+                    i128::from(offsets[q]) - i128::from(offsets[p]),
+                ));
+                if true_shift > bound {
+                    return Err((
+                        "estimate-soundness".to_string(),
+                        format!(
+                            "{what} m[{p},{q}] = {} excludes the true shift {} (offsets {} and {})",
+                            ext_str(bound),
+                            ext_str(true_shift),
+                            offsets[p],
+                            offsets[q],
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        check(self.online.local_estimates(), "local estimate")?;
+        check(outcome.global_shift_estimates(), "closed estimate")
+    }
+
+    fn check_agreement(&self, outcome: &SyncOutcome) -> Result<(), (String, String)> {
+        let x = outcome.corrections();
+        for component in outcome.components() {
+            for (i, &p) in component.members.iter().enumerate() {
+                for &q in &component.members[i + 1..] {
+                    let corrected_p =
+                        Ratio::from_int(i128::from(self.world.offset(p.index()))) + x[p.index()];
+                    let corrected_q =
+                        Ratio::from_int(i128::from(self.world.offset(q.index()))) + x[q.index()];
+                    let gap = (corrected_p - corrected_q).abs();
+                    if gap > component.precision {
+                        return Err((
+                            "corrected-agreement".into(),
+                            format!(
+                                "corrected clocks of {p} and {q} disagree by {} > component precision {}",
+                                ratio_str(gap),
+                                ratio_str(component.precision),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_monotone(&mut self, outcome: &SyncOutcome) -> Result<(), (String, String)> {
+        let cur = outcome.global_shift_estimates();
+        if let Some(prev) = &self.prev_closure {
+            for (i, j, &c) in cur.iter() {
+                let p = *prev.get(i, j);
+                if c > p {
+                    return Err((
+                        "monotone-tightening".into(),
+                        format!(
+                            "m[{i},{j}] loosened from {} to {} without a retraction",
+                            ext_str(p),
+                            ext_str(c),
+                        ),
+                    ));
+                }
+            }
+        }
+        self.prev_closure = Some(cur.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node(window: usize) -> Scenario {
+        Scenario {
+            seed: 1,
+            n: 2,
+            shards: 1,
+            window,
+            margin: 0,
+            offsets: vec![0, 250],
+            events: vec![
+                Event::AddLink {
+                    a: 0,
+                    b: 1,
+                    lo: 100,
+                    hi: 400,
+                },
+                Event::Probe {
+                    src: 0,
+                    dst: 1,
+                    at: 1_000,
+                    delay: 100,
+                },
+                Event::Probe {
+                    src: 1,
+                    dst: 0,
+                    at: 2_000,
+                    delay: 400,
+                },
+                Event::Compact,
+                Event::Checkpoint,
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_two_node_scenario_passes() {
+        let report = run_scenario(&two_node(8));
+        assert!(report.passed(), "failure: {:?}", report.failure);
+        assert_eq!(report.probes_applied, 2);
+        assert_eq!(report.steps, 5);
+        assert!(!report.journal.is_empty());
+    }
+
+    #[test]
+    fn window_zero_passes_on_the_fixed_build() {
+        // Under `--features bug-window0` this very shape panics inside the
+        // window GC; the fixed build must sail through.
+        #[cfg(not(feature = "bug-window0"))]
+        {
+            let report = run_scenario(&two_node(0));
+            assert!(report.passed(), "failure: {:?}", report.failure);
+        }
+        #[cfg(feature = "bug-window0")]
+        {
+            let report = run_scenario(&two_node(0));
+            let failure = report.failure.expect("bug-window0 must trip the fuzzer");
+            assert_eq!(failure.oracle, "no-panic");
+        }
+    }
+
+    #[test]
+    fn journals_are_byte_identical_across_runs() {
+        let s = crate::generate(0xC0FFEE);
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(a.journal.to_jsonl(), b.journal.to_jsonl());
+        assert_eq!(a.passed(), b.passed());
+    }
+
+    #[test]
+    fn soundness_orientation_is_pinned() {
+        // One message p -> q with delay exactly at the lower bound and a
+        // huge true offset: if the soundness check's orientation were
+        // flipped, this run would fail (the interval is tight on one
+        // side). Guards against silently weakening the oracle.
+        let s = Scenario {
+            seed: 2,
+            n: 2,
+            shards: 1,
+            window: 4,
+            margin: 0,
+            offsets: vec![0, 40_000],
+            events: vec![
+                Event::AddLink {
+                    a: 0,
+                    b: 1,
+                    lo: 100,
+                    hi: 100,
+                },
+                Event::Probe {
+                    src: 0,
+                    dst: 1,
+                    at: 1_000,
+                    delay: 100,
+                },
+                Event::Probe {
+                    src: 1,
+                    dst: 0,
+                    at: 2_000,
+                    delay: 100,
+                },
+                Event::Checkpoint,
+            ],
+        };
+        let report = run_scenario(&s);
+        assert!(report.passed(), "failure: {:?}", report.failure);
+    }
+
+    #[test]
+    fn invalid_scenarios_run_as_empty_and_pass() {
+        let mut s = two_node(4);
+        s.offsets.pop();
+        let report = run_scenario(&s);
+        assert!(report.passed());
+        assert_eq!(report.steps, 0);
+    }
+}

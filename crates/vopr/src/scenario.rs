@@ -1,0 +1,523 @@
+//! The scenario DSL: a serializable, replayable fuzz input.
+//!
+//! A [`Scenario`] is a *value* — a system shape plus an ordered event
+//! list — with no hidden state: every random decision the runner makes is
+//! derived from `seed` and the event contents, so a scenario JSON file is
+//! a complete reproducer. All fields are integers (nanoseconds, parts per
+//! million) because the journal and the codec must be byte-deterministic
+//! across platforms; no float ever enters the DSL.
+//!
+//! The JSON codec uses the workspace's own deterministic
+//! [`clocksync_obs::json`] value type (sorted keys, exact integers), so
+//! `Scenario -> JSON -> Scenario -> JSON` is byte-stable — which is what
+//! lets the corpus under `tests/corpus/` be diffed meaningfully.
+
+use clocksync_obs::json::{self, Json, JsonError};
+
+/// Codec version stamped into every serialized scenario.
+pub const SCENARIO_VERSION: i64 = 1;
+
+/// One step of a scenario. Times (`at`, `from`, `until`) are real-time
+/// nanoseconds; delays and clock quantities are nanoseconds; probabilities
+/// are parts per million; drift rates are ppm of elapsed real time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Declare (or re-activate) the undirected link `{a, b}` with true
+    /// per-message delay bounds `[lo, hi]` nanoseconds.
+    AddLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// True lower delay bound (ns).
+        lo: i64,
+        /// True upper delay bound (ns).
+        hi: i64,
+    },
+    /// Deactivate link `{a, b}` and retract all of its evidence from
+    /// every target (the operator's "re-cabled link" action).
+    RemoveLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// Send one message from `src` to `dst` at real time `at` with
+    /// requested delay `delay` ns (clamped into the link's true bounds;
+    /// fault decisions may drop, duplicate, or re-delay it).
+    Probe {
+        /// Sender.
+        src: usize,
+        /// Receiver.
+        dst: usize,
+        /// Send real time (ns).
+        at: i64,
+        /// Requested delay (ns).
+        delay: i64,
+    },
+    /// Replace link `{a, b}`'s fault probabilities (a declared zero turns
+    /// the fault off).
+    SetFaults {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Message drop probability, parts per million.
+        drop_ppm: u32,
+        /// Message duplication probability, parts per million.
+        dup_ppm: u32,
+        /// Message reorder (tail re-delay) probability, parts per million.
+        reorder_ppm: u32,
+    },
+    /// Take link `{a, b}` down for the half-open window `[from, until)`.
+    LinkDown {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Window start (ns, inclusive).
+        from: i64,
+        /// Window end (ns, exclusive).
+        until: i64,
+    },
+    /// Crash-stop processor `p` at real time `at`.
+    Crash {
+        /// The crashing processor.
+        p: usize,
+        /// Crash real time (ns).
+        at: i64,
+    },
+    /// Jump processor `p`'s clock backwards by `back` ns at real time
+    /// `at` (clamped to the scenario's perturbation margin).
+    Jump {
+        /// The jumping processor.
+        p: usize,
+        /// Jump real time (ns).
+        at: i64,
+        /// Backward jump magnitude (ns, non-negative).
+        back: i64,
+    },
+    /// Set processor `p`'s clock drift rate to `ppm` parts per million of
+    /// real time from `at` onwards (perturbation stays clamped to the
+    /// margin).
+    Drift {
+        /// The drifting processor.
+        p: usize,
+        /// Effective-from real time (ns).
+        at: i64,
+        /// Drift rate, ppm (may be negative).
+        ppm: i64,
+    },
+    /// Compact the full-history reference synchronizer down to the
+    /// scenario's window and assert its closure is bit-identical.
+    Compact,
+    /// An explicit oracle sweep marker (the runner sweeps after every
+    /// event anyway; `Checkpoint` additionally journals the outcome).
+    Checkpoint,
+}
+
+impl Event {
+    /// The event's JSON tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::AddLink { .. } => "add-link",
+            Event::RemoveLink { .. } => "remove-link",
+            Event::Probe { .. } => "probe",
+            Event::SetFaults { .. } => "set-faults",
+            Event::LinkDown { .. } => "link-down",
+            Event::Crash { .. } => "crash",
+            Event::Jump { .. } => "jump",
+            Event::Drift { .. } => "drift",
+            Event::Compact => "compact",
+            Event::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// The largest processor index the event references, if any.
+    pub fn max_processor(&self) -> Option<usize> {
+        match *self {
+            Event::AddLink { a, b, .. }
+            | Event::RemoveLink { a, b }
+            | Event::SetFaults { a, b, .. }
+            | Event::LinkDown { a, b, .. } => Some(a.max(b)),
+            Event::Probe { src, dst, .. } => Some(src.max(dst)),
+            Event::Crash { p, .. } | Event::Jump { p, .. } | Event::Drift { p, .. } => Some(p),
+            Event::Compact | Event::Checkpoint => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let kind = ("e", Json::Str(self.kind().to_string()));
+        match *self {
+            Event::AddLink { a, b, lo, hi } => Json::object([
+                kind,
+                ("a", int(a as i64)),
+                ("b", int(b as i64)),
+                ("lo", int(lo)),
+                ("hi", int(hi)),
+            ]),
+            Event::RemoveLink { a, b } => {
+                Json::object([kind, ("a", int(a as i64)), ("b", int(b as i64))])
+            }
+            Event::Probe {
+                src,
+                dst,
+                at,
+                delay,
+            } => Json::object([
+                kind,
+                ("src", int(src as i64)),
+                ("dst", int(dst as i64)),
+                ("at", int(at)),
+                ("delay", int(delay)),
+            ]),
+            Event::SetFaults {
+                a,
+                b,
+                drop_ppm,
+                dup_ppm,
+                reorder_ppm,
+            } => Json::object([
+                kind,
+                ("a", int(a as i64)),
+                ("b", int(b as i64)),
+                ("drop_ppm", int(i64::from(drop_ppm))),
+                ("dup_ppm", int(i64::from(dup_ppm))),
+                ("reorder_ppm", int(i64::from(reorder_ppm))),
+            ]),
+            Event::LinkDown { a, b, from, until } => Json::object([
+                kind,
+                ("a", int(a as i64)),
+                ("b", int(b as i64)),
+                ("from", int(from)),
+                ("until", int(until)),
+            ]),
+            Event::Crash { p, at } => Json::object([kind, ("p", int(p as i64)), ("at", int(at))]),
+            Event::Jump { p, at, back } => Json::object([
+                kind,
+                ("p", int(p as i64)),
+                ("at", int(at)),
+                ("back", int(back)),
+            ]),
+            Event::Drift { p, at, ppm } => Json::object([
+                kind,
+                ("p", int(p as i64)),
+                ("at", int(at)),
+                ("ppm", int(ppm)),
+            ]),
+            Event::Compact | Event::Checkpoint => Json::object([kind]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Event, JsonError> {
+        let kind = v.field("e", "event")?.as_str("event kind")?;
+        let us = |key: &str| -> Result<usize, JsonError> { v.field(key, "event")?.as_usize(key) };
+        let i = |key: &str| -> Result<i64, JsonError> { v.field(key, "event")?.as_i64(key) };
+        let ppm = |key: &str| -> Result<u32, JsonError> {
+            let raw = v.field(key, "event")?.as_u64(key)?;
+            u32::try_from(raw).map_err(|_| JsonError::new(format!("{key} out of u32 range")))
+        };
+        Ok(match kind {
+            "add-link" => Event::AddLink {
+                a: us("a")?,
+                b: us("b")?,
+                lo: i("lo")?,
+                hi: i("hi")?,
+            },
+            "remove-link" => Event::RemoveLink {
+                a: us("a")?,
+                b: us("b")?,
+            },
+            "probe" => Event::Probe {
+                src: us("src")?,
+                dst: us("dst")?,
+                at: i("at")?,
+                delay: i("delay")?,
+            },
+            "set-faults" => Event::SetFaults {
+                a: us("a")?,
+                b: us("b")?,
+                drop_ppm: ppm("drop_ppm")?,
+                dup_ppm: ppm("dup_ppm")?,
+                reorder_ppm: ppm("reorder_ppm")?,
+            },
+            "link-down" => Event::LinkDown {
+                a: us("a")?,
+                b: us("b")?,
+                from: i("from")?,
+                until: i("until")?,
+            },
+            "crash" => Event::Crash {
+                p: us("p")?,
+                at: i("at")?,
+            },
+            "jump" => Event::Jump {
+                p: us("p")?,
+                at: i("at")?,
+                back: i("back")?,
+            },
+            "drift" => Event::Drift {
+                p: us("p")?,
+                at: i("at")?,
+                ppm: i("ppm")?,
+            },
+            "compact" => Event::Compact,
+            "checkpoint" => Event::Checkpoint,
+            other => return Err(JsonError::new(format!("unknown event kind `{other}`"))),
+        })
+    }
+}
+
+fn int(v: i64) -> Json {
+    Json::Int(i128::from(v))
+}
+
+/// A complete fuzz input: system shape plus ordered events.
+///
+/// # Examples
+///
+/// ```
+/// use clocksync_vopr::{Event, Scenario};
+///
+/// let s = Scenario {
+///     seed: 7,
+///     n: 2,
+///     shards: 1,
+///     window: 4,
+///     margin: 0,
+///     offsets: vec![0, 250],
+///     events: vec![
+///         Event::AddLink { a: 0, b: 1, lo: 100, hi: 400 },
+///         Event::Probe { src: 0, dst: 1, at: 1_000, delay: 100 },
+///         Event::Probe { src: 1, dst: 0, at: 2_000, delay: 400 },
+///         Event::Checkpoint,
+///     ],
+/// };
+/// let text = s.to_json_pretty();
+/// let back = Scenario::from_json_str(&text)?;
+/// assert_eq!(back, s);
+/// # Ok::<(), clocksync_obs::JsonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The seed all in-run random decisions derive from (the generator
+    /// seed for generated scenarios; any value for hand-built ones).
+    pub seed: u64,
+    /// Processor count.
+    pub n: usize,
+    /// Shard count for both service targets.
+    pub shards: usize,
+    /// Per-directed-link retention window for the service targets (and
+    /// for explicit [`Event::Compact`] steps on the reference).
+    pub window: usize,
+    /// Per-processor clock perturbation budget in ns: backward jumps and
+    /// accumulated drift are clamped to `±margin`, and declared link
+    /// bounds are widened by `2 × margin` so perturbed executions stay
+    /// admissible.
+    pub margin: i64,
+    /// True per-processor base clock offsets (ns); `offsets.len() == n`.
+    pub offsets: Vec<i64>,
+    /// The ordered event list.
+    pub events: Vec<Event>,
+}
+
+impl Scenario {
+    /// Serializes to the deterministic compact JSON encoding.
+    pub fn to_json(&self) -> String {
+        json::to_string(&self.to_json_value())
+    }
+
+    /// Serializes to the deterministic pretty JSON encoding (the corpus
+    /// file format).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = json::to_string_pretty(&self.to_json_value());
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The scenario as a JSON value (e.g. for embedding in a journal).
+    pub fn to_json_value(&self) -> Json {
+        Json::object([
+            ("version", Json::Int(i128::from(SCENARIO_VERSION))),
+            ("seed", Json::Int(i128::from(self.seed))),
+            ("n", int(self.n as i64)),
+            ("shards", int(self.shards as i64)),
+            ("window", int(self.window as i64)),
+            ("margin", int(self.margin)),
+            (
+                "offsets",
+                Json::Array(self.offsets.iter().map(|&o| int(o)).collect()),
+            ),
+            (
+                "events",
+                Json::Array(self.events.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a scenario from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the malformed field for syntax
+    /// errors, unknown event kinds, an unsupported `version`, or an
+    /// `offsets` list whose length differs from `n`.
+    pub fn from_json_str(text: &str) -> Result<Scenario, JsonError> {
+        Scenario::from_json_value(&json::parse(text)?)
+    }
+
+    /// Parses a scenario from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::from_json_str`].
+    pub fn from_json_value(v: &Json) -> Result<Scenario, JsonError> {
+        let version = v.field("version", "scenario")?.as_i64("version")?;
+        if version != SCENARIO_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported scenario version {version} (this build reads {SCENARIO_VERSION})"
+            )));
+        }
+        let seed = v.field("seed", "scenario")?.as_u64("seed")?;
+        let n = v.field("n", "scenario")?.as_usize("n")?;
+        let shards = v.field("shards", "scenario")?.as_usize("shards")?;
+        let window = v.field("window", "scenario")?.as_usize("window")?;
+        let margin = v.field("margin", "scenario")?.as_i64("margin")?;
+        let offsets: Vec<i64> = v
+            .field("offsets", "scenario")?
+            .as_array("offsets")?
+            .iter()
+            .map(|o| o.as_i64("offset"))
+            .collect::<Result<_, _>>()?;
+        if offsets.len() != n {
+            return Err(JsonError::new(format!(
+                "offsets has {} entries but n = {n}",
+                offsets.len()
+            )));
+        }
+        let events: Vec<Event> = v
+            .field("events", "scenario")?
+            .as_array("events")?
+            .iter()
+            .map(Event::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Scenario {
+            seed,
+            n,
+            shards,
+            window,
+            margin,
+            offsets,
+            events,
+        })
+    }
+
+    /// The self-contained CLI command that replays a scenario saved at
+    /// `path` — printed in failure reports so a reproducer is one
+    /// copy-paste away.
+    pub fn replay_command(path: &str) -> String {
+        format!("cargo run --release -p clocksync-cli --bin clocksync -- vopr replay --file {path}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 99,
+            n: 3,
+            shards: 2,
+            window: 0,
+            margin: 50,
+            offsets: vec![0, -120, 4_000],
+            events: vec![
+                Event::AddLink {
+                    a: 0,
+                    b: 1,
+                    lo: 100,
+                    hi: 500,
+                },
+                Event::SetFaults {
+                    a: 0,
+                    b: 1,
+                    drop_ppm: 250_000,
+                    dup_ppm: 0,
+                    reorder_ppm: 125_000,
+                },
+                Event::LinkDown {
+                    a: 0,
+                    b: 1,
+                    from: 10,
+                    until: 20,
+                },
+                Event::Probe {
+                    src: 1,
+                    dst: 0,
+                    at: 1_000,
+                    delay: 250,
+                },
+                Event::Crash { p: 2, at: 5_000 },
+                Event::Jump {
+                    p: 1,
+                    at: 2_000,
+                    back: 25,
+                },
+                Event::Drift {
+                    p: 0,
+                    at: 0,
+                    ppm: -40,
+                },
+                Event::RemoveLink { a: 0, b: 1 },
+                Event::Compact,
+                Event::Checkpoint,
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let s = sample();
+        let text = s.to_json_pretty();
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json_pretty(), text, "codec must be byte-stable");
+        let compact = Scenario::from_json_str(&s.to_json()).unwrap();
+        assert_eq!(compact, s);
+    }
+
+    #[test]
+    fn codec_rejects_bad_inputs() {
+        assert!(Scenario::from_json_str("{").is_err());
+        let mut wrong_version = sample().to_json();
+        wrong_version = wrong_version.replace("\"version\":1", "\"version\":2");
+        let err = Scenario::from_json_str(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let bad_event = r#"{"version":1,"seed":1,"n":1,"shards":1,"window":1,"margin":0,
+                            "offsets":[0],"events":[{"e":"warp"}]}"#;
+        let err = Scenario::from_json_str(bad_event).unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        let bad_offsets = r#"{"version":1,"seed":1,"n":2,"shards":1,"window":1,"margin":0,
+                              "offsets":[0],"events":[]}"#;
+        assert!(Scenario::from_json_str(bad_offsets).is_err());
+    }
+
+    #[test]
+    fn max_processor_spans_all_event_shapes() {
+        assert_eq!(
+            Event::Probe {
+                src: 4,
+                dst: 2,
+                at: 0,
+                delay: 0
+            }
+            .max_processor(),
+            Some(4)
+        );
+        assert_eq!(Event::Compact.max_processor(), None);
+        assert_eq!(Event::Crash { p: 7, at: 0 }.max_processor(), Some(7));
+    }
+}

@@ -1,0 +1,219 @@
+//! Scenario shrinking: from a failing run to a minimal reproducer.
+//!
+//! The shrinker is delta debugging (ddmin) over the event list, followed
+//! by parameter simplification, under a fixed predicate-invocation
+//! budget:
+//!
+//! 1. **Event ddmin** — try deleting chunks of events, halving the chunk
+//!    size whenever no deletion at the current granularity keeps the
+//!    scenario failing, down to single events. Deleting events is always
+//!    *sound* here because the runner skips inapplicable events (probes
+//!    on never-added links, etc.) instead of erroring, and fault
+//!    decisions are keyed by probe content rather than stream position —
+//!    removing an event never reshuffles the others' behaviour.
+//! 2. **Parameter shrink** — try `shards → 1`, `margin → 0`, all offsets
+//!    `→ 0`, and `n → (max referenced processor) + 1`, keeping each
+//!    simplification only if the scenario still fails.
+//!
+//! The retention `window` is deliberately **not** shrunk: it selects
+//! which GC path runs, so changing it would "minimize" one bug into a
+//! different one.
+//!
+//! The shrunk scenario's failure may differ in detail from the original's
+//! (any still-failing smaller input is accepted, the classic ddmin
+//! contract); what is guaranteed is that it *fails*, and that re-running
+//! it is deterministic.
+
+use crate::runner::run_scenario;
+use crate::scenario::{Event, Scenario};
+
+/// What a shrink session did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate invocations spent (each is one full scenario run when
+    /// shrinking against the real runner).
+    pub runs: usize,
+    /// Events before shrinking.
+    pub from_events: usize,
+    /// Events after shrinking.
+    pub to_events: usize,
+}
+
+/// Shrinks `scenario` against the real runner: the predicate is "the run
+/// fails some oracle". Spends at most `budget` runs.
+///
+/// Returns the input unchanged (with `runs == 1`) if it does not fail in
+/// the first place.
+pub fn shrink(scenario: Scenario, budget: usize) -> (Scenario, ShrinkStats) {
+    shrink_with(scenario, budget, |s| !run_scenario(s).passed())
+}
+
+/// Shrinks `scenario` with a caller-supplied failure predicate — the
+/// testable core of [`shrink`]. `pred` must be deterministic; it is
+/// called at most `budget` times.
+pub fn shrink_with(
+    scenario: Scenario,
+    budget: usize,
+    mut pred: impl FnMut(&Scenario) -> bool,
+) -> (Scenario, ShrinkStats) {
+    let from_events = scenario.events.len();
+    let mut runs = 0usize;
+    let mut check = |s: &Scenario, runs: &mut usize| {
+        *runs += 1;
+        pred(s)
+    };
+
+    if budget == 0 || !check(&scenario, &mut runs) {
+        let to_events = scenario.events.len();
+        return (
+            scenario,
+            ShrinkStats {
+                runs,
+                from_events,
+                to_events,
+            },
+        );
+    }
+    let mut best = scenario;
+
+    // Phase 1: ddmin over the event list.
+    let mut chunk = (best.events.len() / 2).max(1);
+    loop {
+        let mut progress = false;
+        let mut i = 0;
+        while i < best.events.len() && runs < budget {
+            let mut candidate = best.clone();
+            let end = (i + chunk).min(candidate.events.len());
+            candidate.events.drain(i..end);
+            if check(&candidate, &mut runs) {
+                best = candidate;
+                progress = true;
+                // The events after the deleted chunk shifted onto `i`;
+                // retry the same position.
+            } else {
+                i += chunk;
+            }
+        }
+        if runs >= budget {
+            break;
+        }
+        if !progress && chunk == 1 {
+            break;
+        }
+        if !progress {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Phase 2: parameter simplification (each kept only if still failing).
+    let mut try_param = |best: &mut Scenario, runs: &mut usize, f: &dyn Fn(&mut Scenario)| {
+        if *runs >= budget {
+            return;
+        }
+        let mut candidate = best.clone();
+        f(&mut candidate);
+        if candidate != *best && check(&candidate, runs) {
+            *best = candidate;
+        }
+    };
+    try_param(&mut best, &mut runs, &|s| s.shards = 1);
+    try_param(&mut best, &mut runs, &|s| s.margin = 0);
+    try_param(&mut best, &mut runs, &|s| {
+        s.offsets = vec![0; s.offsets.len()];
+    });
+    let referenced = best
+        .events
+        .iter()
+        .filter_map(Event::max_processor)
+        .max()
+        .map_or(1, |m| m + 1);
+    if referenced < best.n {
+        try_param(&mut best, &mut runs, &|s| {
+            let keep = s
+                .events
+                .iter()
+                .filter_map(Event::max_processor)
+                .max()
+                .map_or(1, |m| m + 1);
+            s.n = keep;
+            s.offsets.truncate(keep);
+        });
+    }
+
+    let to_events = best.events.len();
+    (
+        best,
+        ShrinkStats {
+            runs,
+            from_events,
+            to_events,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn haystack() -> Scenario {
+        let mut events = Vec::new();
+        for i in 0..40 {
+            events.push(Event::Probe {
+                src: 0,
+                dst: 1,
+                at: 1_000 + i,
+                delay: 100,
+            });
+        }
+        // The two "needles" a minimal reproducer must keep.
+        events.insert(13, Event::Crash { p: 2, at: 5 });
+        events.insert(29, Event::Compact);
+        Scenario {
+            seed: 3,
+            n: 4,
+            shards: 3,
+            window: 2,
+            margin: 100,
+            offsets: vec![0, 10, 20, 30],
+            events,
+        }
+    }
+
+    #[test]
+    fn ddmin_converges_to_the_needles() {
+        let needs = |s: &Scenario| {
+            s.events.iter().any(|e| matches!(e, Event::Crash { .. }))
+                && s.events.iter().any(|e| matches!(e, Event::Compact))
+        };
+        let (shrunk, stats) = shrink_with(haystack(), 500, needs);
+        assert_eq!(shrunk.events.len(), 2, "events: {:?}", shrunk.events);
+        assert!(needs(&shrunk));
+        assert_eq!(stats.from_events, 42);
+        assert_eq!(stats.to_events, 2);
+        assert!(stats.runs <= 500);
+        // Parameter shrink: nothing above the crash's processor survives.
+        assert_eq!(shrunk.shards, 1);
+        assert_eq!(shrunk.margin, 0);
+        assert_eq!(shrunk.n, 3);
+        assert_eq!(shrunk.offsets, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn passing_scenarios_come_back_unchanged() {
+        let s = haystack();
+        let (same, stats) = shrink_with(s.clone(), 100, |_| false);
+        assert_eq!(same, s);
+        assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn budget_bounds_predicate_calls() {
+        let mut calls = 0;
+        let (_, stats) = shrink_with(haystack(), 7, |_| {
+            calls += 1;
+            true
+        });
+        assert!(stats.runs <= 8, "runs = {}", stats.runs);
+        assert_eq!(calls, stats.runs);
+    }
+}

@@ -1,0 +1,148 @@
+//! Ground truth: the simulated processors' real clocks.
+//!
+//! Each processor's clock reading at real time `t` is
+//! `t + base_offset + perturbation(t)`. The base offset is the constant
+//! the paper's drift-free model synchronizes away; the perturbation is
+//! the fuzzer's adversarial extra — backward jumps plus linear drift —
+//! and is **clamped to `±margin`**. The runner widens every declared
+//! delay bound by `2 × margin`, so the perturbed readings are always
+//! explainable by the *base* offsets under the declared assumptions:
+//!
+//! `reading_q(recv) − reading_p(send) − (off_q − off_p)
+//!   = delay + pert_q − pert_p ∈ [lo − 2·margin, hi + 2·margin]`.
+//!
+//! That containment is what lets the estimate-soundness oracle assert the
+//! base offsets sit inside every `m̃ls` interval with **zero slack** — a
+//! perturbation bug or an estimator bug trips it immediately instead of
+//! hiding inside a tolerance.
+
+/// Per-processor true clocks with bounded adversarial perturbation.
+#[derive(Debug, Clone)]
+pub struct WorldClocks {
+    margin: i64,
+    offsets: Vec<i64>,
+    pert: Vec<i64>,
+    rate_ppm: Vec<i64>,
+    last: Vec<i64>,
+}
+
+impl WorldClocks {
+    /// Clocks with the given base offsets and perturbation budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn new(offsets: &[i64], margin: i64) -> WorldClocks {
+        assert!(margin >= 0, "margin must be non-negative, got {margin}");
+        WorldClocks {
+            margin,
+            offsets: offsets.to_vec(),
+            pert: vec![0; offsets.len()],
+            rate_ppm: vec![0; offsets.len()],
+            last: vec![0; offsets.len()],
+        }
+    }
+
+    /// The base offset of processor `p`.
+    pub fn offset(&self, p: usize) -> i64 {
+        self.offsets[p]
+    }
+
+    /// All base offsets.
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// The current (clamped) perturbation of processor `p`.
+    pub fn perturbation(&self, p: usize) -> i64 {
+        self.pert[p]
+    }
+
+    /// Integrates `p`'s drift up to real time `t` (monotone: an earlier
+    /// `t` than already seen is a no-op, so out-of-order queries stay
+    /// deterministic).
+    fn advance(&mut self, p: usize, t: i64) {
+        if t <= self.last[p] {
+            return;
+        }
+        let dt = i128::from(t) - i128::from(self.last[p]);
+        let drifted = i128::from(self.rate_ppm[p]) * dt / 1_000_000;
+        let next = i128::from(self.pert[p]) + drifted;
+        self.pert[p] = clamp_i128(next, self.margin);
+        self.last[p] = t;
+    }
+
+    /// Jumps `p`'s clock backwards by `back` ns at real time `at`.
+    pub fn jump_back(&mut self, p: usize, at: i64, back: i64) {
+        self.advance(p, at);
+        let next = i128::from(self.pert[p]) - i128::from(back.max(0));
+        self.pert[p] = clamp_i128(next, self.margin);
+    }
+
+    /// Sets `p`'s drift rate to `ppm` from real time `at` onwards.
+    pub fn set_rate(&mut self, p: usize, at: i64, ppm: i64) {
+        self.advance(p, at);
+        self.rate_ppm[p] = ppm;
+    }
+
+    /// `p`'s clock reading at real time `t`, or `None` when the reading
+    /// would be negative or overflow (the runner skips such probes
+    /// deterministically — the service layer rejects pre-start readings).
+    pub fn reading(&mut self, p: usize, t: i64) -> Option<i64> {
+        self.advance(p, t);
+        let r = t.checked_add(self.offsets[p])?.checked_add(self.pert[p])?;
+        (r >= 0).then_some(r)
+    }
+}
+
+fn clamp_i128(v: i128, margin: i64) -> i64 {
+    let m = i128::from(margin);
+    v.clamp(-m, m) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_compose_offset_jump_and_drift() {
+        let mut w = WorldClocks::new(&[0, 1_000], 100);
+        assert_eq!(w.reading(0, 50), Some(50));
+        assert_eq!(w.reading(1, 50), Some(1_050));
+        w.jump_back(1, 60, 30);
+        assert_eq!(w.reading(1, 70), Some(1_040));
+        // Drift of +1000 ppm: 1 ns per microsecond of real time.
+        w.set_rate(0, 70, 1_000);
+        assert_eq!(w.reading(0, 10_070), Some(10_080));
+    }
+
+    #[test]
+    fn perturbation_clamps_to_margin() {
+        let mut w = WorldClocks::new(&[0], 40);
+        w.jump_back(0, 10, 1_000_000);
+        assert_eq!(w.perturbation(0), -40);
+        w.set_rate(0, 10, 1_000_000);
+        let _ = w.reading(0, 1_000_000);
+        assert_eq!(w.perturbation(0), 40);
+    }
+
+    #[test]
+    fn negative_readings_are_refused() {
+        let mut w = WorldClocks::new(&[-500], 0);
+        assert_eq!(w.reading(0, 100), None);
+        assert_eq!(w.reading(0, 500), Some(0));
+    }
+
+    #[test]
+    fn advance_is_monotone_in_time() {
+        let mut w = WorldClocks::new(&[0], 100);
+        w.set_rate(0, 0, 1_000);
+        let late = w.reading(0, 50_000).unwrap();
+        // Querying an earlier time afterwards must not rewind the drift
+        // integration (determinism under out-of-order probes).
+        let early = w.reading(0, 10_000).unwrap();
+        assert_eq!(late, 50_050);
+        assert_eq!(early, 10_050);
+        assert_eq!(w.reading(0, 50_000), Some(50_050));
+    }
+}

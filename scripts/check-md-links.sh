@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that every relative link in the repo's own markdown files points
+# at a file or directory that exists. External links (http/https/mailto)
+# and pure #fragment links are skipped; a `path#fragment` link is checked
+# for the path part only. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+fail=0
+# The repo's own docs: exclude vendored/generated trees.
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+    # Inline links [text](target). Markdown escapes none of the characters
+    # we care about; targets with spaces are not used in this repo.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$md: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check FAILED"
+    exit 1
+fi
+echo "markdown link check OK"

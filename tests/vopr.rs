@@ -1,0 +1,142 @@
+//! Tier-1 regression tests for the deterministic scenario fuzzer.
+//!
+//! The vopr crate has its own unit tests; these are the cross-crate
+//! guarantees the rest of the repo leans on:
+//!
+//! * the determinism contract — one seed, one byte-identical journal and
+//!   one outcome, across process lifetimes (the corpus and every replay
+//!   command depend on this);
+//! * the shrinker's fixed points — passing input comes back unchanged,
+//!   failing input converges under a bounded budget;
+//! * the committed corpus — every reproducer and pinned seed runs clean
+//!   on the fixed build (the buggy-build direction lives in
+//!   `crates/vopr/tests/bug_window0.rs` behind the `bug-window0`
+//!   feature).
+
+use std::path::Path;
+
+use clocksync_vopr::{generate, run_scenario, shrink, with_quiet_panics, Event, Scenario};
+
+/// Same seed, twice: byte-identical journal, identical outcome summary.
+#[test]
+fn determinism_same_seed_same_trace_and_outcome() {
+    for seed in [1u64, 42, 11, 777, 4096] {
+        let scenario = generate(seed);
+        let a = with_quiet_panics(|| run_scenario(&scenario));
+        let b = with_quiet_panics(|| run_scenario(&scenario));
+        assert_eq!(
+            a.journal.to_jsonl(),
+            b.journal.to_jsonl(),
+            "seed {seed}: journals diverged"
+        );
+        assert_eq!(a.failure, b.failure, "seed {seed}: outcomes diverged");
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(
+            (a.probes_applied, a.probes_dropped, a.probes_skipped),
+            (b.probes_applied, b.probes_dropped, b.probes_skipped),
+            "seed {seed}: probe accounting diverged"
+        );
+    }
+}
+
+/// The scenario JSON is part of the determinism contract: a round trip
+/// through the corpus format must replay to the same journal.
+#[test]
+fn determinism_survives_the_json_round_trip() {
+    let scenario = generate(42);
+    let direct = with_quiet_panics(|| run_scenario(&scenario));
+    let back = Scenario::from_json_str(&scenario.to_json_pretty()).unwrap();
+    assert_eq!(back, scenario);
+    let replayed = with_quiet_panics(|| run_scenario(&back));
+    assert_eq!(direct.journal.to_jsonl(), replayed.journal.to_jsonl());
+}
+
+/// A passing scenario is a fixed point of the shrinker.
+#[test]
+fn shrinker_leaves_passing_scenarios_alone() {
+    let scenario = generate(7);
+    assert!(with_quiet_panics(|| run_scenario(&scenario)).passed());
+    let (shrunk, stats) = with_quiet_panics(|| shrink(scenario.clone(), 100));
+    assert_eq!(shrunk, scenario);
+    assert_eq!(stats.runs, 1, "one confirming run, no exploration");
+}
+
+/// ddmin against a synthetic predicate: of a long event stream, only two
+/// probes matter; the shrinker must isolate exactly those under budget.
+#[test]
+fn shrinker_isolates_the_relevant_events() {
+    let mut events = vec![Event::AddLink {
+        a: 0,
+        b: 1,
+        lo: 100,
+        hi: 200,
+    }];
+    for i in 0..30 {
+        events.push(Event::Probe {
+            src: 0,
+            dst: 1,
+            at: 1_000 + 100 * i,
+            delay: 150,
+        });
+    }
+    let scenario = Scenario {
+        seed: 1,
+        n: 2,
+        shards: 1,
+        window: 8,
+        margin: 0,
+        offsets: vec![0, 0],
+        events,
+    };
+    // "Fails" iff the probes at t=1500 and t=2500 are both still present.
+    let needs = |s: &Scenario, at: i64| {
+        s.events
+            .iter()
+            .any(|e| matches!(e, Event::Probe { at: t, .. } if *t == at))
+    };
+    let (shrunk, stats) =
+        clocksync_vopr::shrink_with(scenario, 1_000, |s| needs(s, 1_500) && needs(s, 2_500));
+    let probes = shrunk
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Probe { .. }))
+        .count();
+    assert_eq!(probes, 2, "kept exactly the two needles: {shrunk:?}");
+    assert!(stats.runs <= 1_000);
+    assert!(stats.to_events < stats.from_events);
+}
+
+/// Every committed reproducer must run clean on the fixed build — that
+/// is what "fixed" means. Pinned seeds likewise.
+#[test]
+fn corpus_passes_on_the_fixed_build() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "the corpus ships at least one reproducer"
+    );
+    for file in files {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let scenario =
+            Scenario::from_json_str(&text).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let report = with_quiet_panics(|| run_scenario(&scenario));
+        assert!(report.passed(), "{}: {:?}", file.display(), report.failure);
+    }
+
+    let seeds = std::fs::read_to_string(dir.join("seeds.txt")).expect("seeds.txt exists");
+    for line in seeds.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let seed: u64 = line.parse().expect("seeds.txt holds decimal u64 seeds");
+        let report = with_quiet_panics(|| run_scenario(&generate(seed)));
+        assert!(report.passed(), "pinned seed {seed}: {:?}", report.failure);
+    }
+}
