@@ -7,6 +7,11 @@
 //!   tables --bench-closure \[path\] # measure the closure fast path and
 //!                                 # write BENCH_closure.json (default
 //!                                 # path: BENCH_closure.json)
+//!   tables --check-bench-closure PATH \[min_speedup\]
+//!                                 # validate a BENCH_closure.json document
+//!                                 # (schema + sparse-backend speedup floor
+//!                                 # at n>=4096, density<=1%; default
+//!                                 # floor 10)
 //!   tables --bench-karp \[path\]    # measure the SHIFTS A_max kernels and
 //!                                 # write BENCH_karp.json (default path:
 //!                                 # BENCH_karp.json)
@@ -82,6 +87,33 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("failed to write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        [flag, path, rest @ ..] if flag == "--check-bench-closure" && rest.len() <= 1 => {
+            let floor: f64 = match rest.first().map(|s| s.parse()) {
+                None => 10.0,
+                Some(Ok(f)) => f,
+                Some(Err(_)) => {
+                    eprintln!("min_speedup must be a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let doc = match std::fs::read_to_string(path) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match closure_bench::check_bench_closure_json(&doc, floor) {
+                Ok(()) => {
+                    eprintln!("{path} ok (sparse-backend speedup floor {floor}x)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
                     ExitCode::FAILURE
                 }
             }
@@ -196,6 +228,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: tables [--list | --exp <id> | --bench-closure [path] | \
+                 --check-bench-closure <path> [min_speedup] | \
                  --bench-karp [path] | --check-bench-karp <path> [min_speedup] | \
                  --bench-ingest [path] | \
                  --check-bench-ingest <path> [min_throughput [min_scaling]]]"

@@ -2,7 +2,7 @@
 //! `tables --bench-closure` and the committed `BENCH_closure.json`
 //! artifact.
 //!
-//! Two comparisons, matching the two optimizations:
+//! Four comparisons, matching the four optimizations:
 //!
 //! * **closure**: one-shot GLOBAL ESTIMATES — the generic rational
 //!   Floyd–Warshall versus [`clocksync_graph::fast_closure`] (scaled
@@ -15,6 +15,16 @@
 //!   the tightened link in with `relax_edge` in `O(n²)`. Both arms cover
 //!   exactly the GLOBAL ESTIMATES step — corrections derivation (Karp's
 //!   cycle mean) is identical on both strategies and excluded.
+//! * **sparse**: the large-`n` closure backends — the dense blocked
+//!   `O(n³)` kernel versus the density-dispatched sparse backend
+//!   ([`clocksync_graph::dispatch_closure_i64`]: Johnson's algorithm, or
+//!   the hierarchical per-component composition) on WAN-like
+//!   ring-plus-chords and 3-dimensional toroid topologies at
+//!   `n = 1024…4096`, where edge density is far below 1%.
+//! * **sparse_resync**: the steady-state cache at large `n` — one
+//!   strictly-tightening `relax_edge` on the dense `n²` [`Closure`] cache
+//!   versus the component-blocked [`SparseClosure`] (`Σ k_b²` memory,
+//!   `O(k²)` per tightening) on a many-component domain.
 //!
 //! Timings are minima over several repetitions — the stable estimator for
 //! a throughput-bound kernel — and the emitted JSON is hand-rolled (flat
@@ -24,7 +34,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use clocksync::{estimated_local_shifts, DelayRange, LinkAssumption, Network, OnlineSynchronizer};
-use clocksync_graph::{fast_closure, floyd_warshall_with_paths, SquareMatrix, Weight};
+use clocksync_graph::{
+    blocked_floyd_warshall_i64, dispatch_closure_i64, fast_closure, floyd_warshall_with_paths,
+    plan_closure_kernel, Closure, SparseClosure, SquareMatrix, Weight, UNREACHABLE,
+};
 use clocksync_model::ProcessorId;
 use clocksync_time::{Ext, Nanos, Ratio};
 use rand::rngs::StdRng;
@@ -92,6 +105,211 @@ fn warm_up(online: &mut OnlineSynchronizer, n: usize) {
         let j = (i + 1) % n;
         online.observe_estimated_delay(ProcessorId(i), ProcessorId(j), Nanos::from_micros(500));
         online.observe_estimated_delay(ProcessorId(j), ProcessorId(i), Nanos::from_micros(500));
+    }
+}
+
+/// A WAN-like ring-plus-chords topology directly over sentinel-encoded
+/// `i64` weights (the dense and sparse `i64` kernels' shared input form):
+/// a bidirectional ring plus `n/2` random bidirectional chords, so
+/// `m ≈ 3n` directed edges and density `≈ 3/n`.
+pub fn wan_weights_i64(n: usize, seed: u64) -> SquareMatrix<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = SquareMatrix::filled(n, UNREACHABLE);
+    for i in 0..n {
+        m[(i, i)] = 0;
+    }
+    let mut link = |a: usize, b: usize, rng: &mut StdRng| {
+        let base: i64 = rng.gen_range(1_000..500_000);
+        let skew: i64 = rng.gen_range(0..base);
+        m[(a, b)] = base + skew;
+        m[(b, a)] = base - skew;
+    };
+    for i in 0..n {
+        link(i, (i + 1) % n, &mut rng);
+    }
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            link(a.min(b), a.max(b), &mut rng);
+        }
+    }
+    m
+}
+
+/// A 3-dimensional toroid (wrap-around grid) of `dx × dy × dz` nodes over
+/// sentinel-encoded `i64` weights: each node links to its 6 axis
+/// neighbors, so `m = 6n` directed edges — the classic
+/// supercomputer-interconnect shape, density `6/n`.
+pub fn toroid_weights_i64(dx: usize, dy: usize, dz: usize, seed: u64) -> SquareMatrix<i64> {
+    let n = dx * dy * dz;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = SquareMatrix::filled(n, UNREACHABLE);
+    for i in 0..n {
+        m[(i, i)] = 0;
+    }
+    let id = |x: usize, y: usize, z: usize| (x * dy + y) * dz + z;
+    for x in 0..dx {
+        for y in 0..dy {
+            for z in 0..dz {
+                let a = id(x, y, z);
+                for b in [
+                    id((x + 1) % dx, y, z),
+                    id(x, (y + 1) % dy, z),
+                    id(x, y, (z + 1) % dz),
+                ] {
+                    if a == b {
+                        continue; // degenerate wrap on a length-1 axis
+                    }
+                    let base: i64 = rng.gen_range(1_000..500_000);
+                    let skew: i64 = rng.gen_range(0..base);
+                    m[(a, b)] = base + skew;
+                    m[(b, a)] = base - skew;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// One row of the dense-versus-sparse backend comparison.
+pub struct SparseRow {
+    /// Topology label (`wan` or `toroid-DXxDYxDZ`).
+    pub topology: String,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Stored directed edges.
+    pub edges: usize,
+    /// `edges / n²`.
+    pub density: f64,
+    /// The kernel the density dispatch selected.
+    pub kernel: String,
+    /// Dense blocked `O(n³)` kernel, nanoseconds.
+    pub dense_ns: u128,
+    /// Density-dispatched sparse backend, nanoseconds.
+    pub sparse_ns: u128,
+}
+
+/// One row of the large-`n` incremental-cache comparison.
+pub struct SparseResyncRow {
+    /// Total node count.
+    pub n: usize,
+    /// Weakly-connected components in the domain.
+    pub components: usize,
+    /// Closure entries the blocked cache retains (`Σ k_b²` vs `n²`).
+    pub retained_entries: usize,
+    /// One tightening on the dense `n²` cache, nanoseconds.
+    pub dense_relax_ns: u128,
+    /// One tightening on the component-blocked cache, nanoseconds.
+    pub blocked_relax_ns: u128,
+}
+
+/// Times the dense blocked kernel against the density-dispatched sparse
+/// backend on one topology.
+fn measure_sparse_one(topology: String, m: SquareMatrix<i64>) -> SparseRow {
+    let n = m.n();
+    let edges = m
+        .iter()
+        .filter(|&(i, j, &w)| i != j && w != UNREACHABLE)
+        .count();
+    let kernel = plan_closure_kernel(&m);
+    // The dense kernel is O(n³) — a minute of single-threaded work at
+    // n = 4096 — so repetitions taper off with size.
+    let dense_reps = (2048 / n).clamp(1, 3);
+    let dense_ns = min_ns(
+        || {
+            blocked_floyd_warshall_i64(std::hint::black_box(&m)).expect("no negative cycles");
+        },
+        dense_reps,
+    );
+    let sparse_ns = min_ns(
+        || {
+            dispatch_closure_i64(std::hint::black_box(&m)).expect("no negative cycles");
+        },
+        3,
+    );
+    SparseRow {
+        topology,
+        n,
+        edges,
+        density: edges as f64 / (n as f64 * n as f64),
+        kernel: kernel.name().to_string(),
+        dense_ns,
+        sparse_ns,
+    }
+}
+
+/// Times the sparse backends against the dense kernel on the WAN and
+/// toroid topologies at each dimension. `sizes` entries must be multiples
+/// of 256 (the toroid is laid out as `16 × 16 × n/256`).
+pub fn measure_sparse(sizes: &[usize]) -> Vec<SparseRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(measure_sparse_one("wan".into(), wan_weights_i64(n, 11)));
+        let dz = n / 256;
+        rows.push(measure_sparse_one(
+            format!("toroid-16x16x{dz}"),
+            toroid_weights_i64(16, 16, dz, 13),
+        ));
+    }
+    rows
+}
+
+/// Times one strictly-tightening `relax_edge` on a many-component domain
+/// (`components` rings of `n / components` nodes each) under both cache
+/// representations, averaged over `iters` tightenings.
+pub fn measure_sparse_resync(n: usize, components: usize, iters: usize) -> SparseResyncRow {
+    let k = n / components;
+    assert!(k >= 2, "components need at least two nodes");
+    type W = Ext<i64>;
+    // Ring edges per component, in global indices.
+    let mut edges: Vec<(usize, usize, W)> = Vec::new();
+    for c in 0..components {
+        let base = c * k;
+        for i in 0..k {
+            let (a, b) = (base + i, base + (i + 1) % k);
+            edges.push((a, b, Ext::Finite(500_000)));
+            edges.push((b, a, Ext::Finite(500_000)));
+        }
+    }
+
+    // The blocked cache absorbs the edges directly; the dense cache is
+    // spliced from the blocked one (computing a 4096-node generic closure
+    // from scratch just to set up the baseline would dwarf the bench).
+    let mut blocked: SparseClosure<W> =
+        SparseClosure::from_edges(n, &edges).expect("rings have no negative cycle");
+    let (dist, next) = blocked.to_dense();
+    let mut dense = Closure::from_parts(dist, next);
+
+    let tighten = |i: usize| -> (usize, usize, W) {
+        let c = i % components;
+        let base = c * k;
+        // Strictly decreasing weights: every relax does real work.
+        (base, base + 1, Ext::Finite(400_000 - (i as i64) * 1_000))
+    };
+    let start = Instant::now();
+    for i in 0..iters {
+        let (u, v, w) = tighten(i);
+        dense
+            .relax_edge(u, v, w)
+            .expect("tightening stays consistent");
+    }
+    let dense_relax_ns = start.elapsed().as_nanos() / iters as u128;
+    let start = Instant::now();
+    for i in 0..iters {
+        let (u, v, w) = tighten(i);
+        blocked
+            .relax_edge(u, v, w)
+            .expect("tightening stays consistent");
+    }
+    let blocked_relax_ns = start.elapsed().as_nanos() / iters as u128;
+
+    SparseResyncRow {
+        n,
+        components,
+        retained_entries: blocked.retained_entries(),
+        dense_relax_ns,
+        blocked_relax_ns,
     }
 }
 
@@ -203,10 +421,12 @@ fn speedup(slow: u128, fast: u128) -> f64 {
     }
 }
 
-/// Runs both suites and renders the `BENCH_closure.json` document.
+/// Runs all four suites and renders the `BENCH_closure.json` document.
 pub fn bench_closure_json() -> String {
     let closure = measure_closure(&[64, 128, 256, 512]);
     let resync = measure_resync(128, 32);
+    let sparse = measure_sparse(&[1024, 2048, 4096]);
+    let sparse_resync = measure_sparse_resync(4096, 64, 16);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -238,9 +458,113 @@ pub fn bench_closure_json() -> String {
         resync.incremental_ns,
         speedup(resync.full_ns, resync.incremental_ns),
     );
+    out.push_str("  ],\n");
+    out.push_str("  \"sparse\": [\n");
+    for (idx, row) in sparse.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"topology\": \"{}\", \"n\": {}, \"edges\": {}, \"density\": {:.6}, \"kernel\": \"{}\", \"dense_ns\": {}, \"sparse_ns\": {}, \"speedup\": {:.2} }}{}",
+            row.topology,
+            row.n,
+            row.edges,
+            row.density,
+            row.kernel,
+            row.dense_ns,
+            row.sparse_ns,
+            speedup(row.dense_ns, row.sparse_ns),
+            if idx + 1 < sparse.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sparse_resync\": [\n");
+    let _ = writeln!(
+        out,
+        "    {{ \"n\": {}, \"components\": {}, \"retained_entries\": {}, \"dense_relax_ns\": {}, \"blocked_relax_ns\": {}, \"speedup\": {:.2} }}",
+        sparse_resync.n,
+        sparse_resync.components,
+        sparse_resync.retained_entries,
+        sparse_resync.dense_relax_ns,
+        sparse_resync.blocked_relax_ns,
+        speedup(sparse_resync.dense_relax_ns, sparse_resync.blocked_relax_ns),
+    );
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
+}
+
+/// Validates a `BENCH_closure.json` document: schema, non-empty
+/// `closure`/`resync`/`sparse`/`sparse_resync` sections, and the
+/// acceptance floor on the sparse-backend speedup — at least one `sparse`
+/// row must have `n ≥ 4096`, edge density `≤ 1%`, and a dense-over-sparse
+/// speedup of at least `min_speedup`. Density and speedups are recomputed
+/// from the integer `edges`/`n`/timing fields, so a hand-edited
+/// `density`/`speedup` field cannot mask a regression.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated expectation.
+pub fn check_bench_closure_json(doc: &str, min_speedup: f64) -> Result<(), String> {
+    let json = clocksync_obs::json::parse(doc).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bench = json
+        .field("bench", "document")
+        .and_then(|b| b.as_str("bench").map(str::to_owned))
+        .map_err(|e| e.to_string())?;
+    if bench != "global_estimates_closure" {
+        return Err(format!("unexpected bench id `{bench}`"));
+    }
+    for section in ["closure", "resync", "sparse_resync"] {
+        let rows = json
+            .field(section, "document")
+            .and_then(|k| k.as_array(section).map(<[_]>::to_vec))
+            .map_err(|e| e.to_string())?;
+        if rows.is_empty() {
+            return Err(format!("{section} section is empty"));
+        }
+    }
+    let sparse = json
+        .field("sparse", "document")
+        .and_then(|k| k.as_array("sparse").map(<[_]>::to_vec))
+        .map_err(|e| e.to_string())?;
+    if sparse.is_empty() {
+        return Err("sparse section is empty".to_string());
+    }
+    let mut best_qualifying: Option<f64> = None;
+    for row in &sparse {
+        let n = row
+            .field("n", "sparse row")
+            .and_then(|v| v.as_u64("n"))
+            .map_err(|e| e.to_string())?;
+        let edges = row
+            .field("edges", "sparse row")
+            .and_then(|v| v.as_u64("edges"))
+            .map_err(|e| e.to_string())?;
+        let mut ns = [0u128; 2];
+        for (slot, key) in ns.iter_mut().zip(["dense_ns", "sparse_ns"]) {
+            let v = row
+                .field(key, "sparse row")
+                .and_then(|v| v.as_i128(key))
+                .map_err(|e| e.to_string())?;
+            if v <= 0 {
+                return Err(format!("{key} must be positive at n={n}"));
+            }
+            *slot = v as u128;
+        }
+        let density = edges as f64 / (n as f64 * n as f64);
+        if n >= 4096 && density <= 0.01 {
+            let s = speedup(ns[0], ns[1]);
+            if best_qualifying.is_none_or(|b| s > b) {
+                best_qualifying = Some(s);
+            }
+        }
+    }
+    let best =
+        best_qualifying.ok_or("sparse section has no row with n >= 4096 and density <= 1%")?;
+    if best < min_speedup {
+        return Err(format!(
+            "sparse-backend speedup at n>=4096, density<=1% is {best:.2}x, below the {min_speedup}x floor"
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -262,6 +586,95 @@ mod tests {
         let row = measure_resync(8, 4);
         assert_eq!(row.n, 8);
         assert!(row.incremental_ns > 0 && row.full_ns > 0);
+    }
+
+    #[test]
+    fn sparse_measurement_dispatches_off_the_dense_kernel() {
+        // Tiny but above nothing: harness logic only. A 256-node WAN ring
+        // has density ~3/256 > the real arms', but still ≤ 5%.
+        let rows = measure_sparse(&[256]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.n, 256);
+            assert!(row.edges > 0);
+            assert!(row.density <= 0.05, "topology unexpectedly dense");
+            assert_ne!(row.kernel, "scaled-i64", "dispatch fell back to dense");
+            assert!(row.dense_ns > 0 && row.sparse_ns > 0);
+        }
+    }
+
+    #[test]
+    fn sparse_topologies_agree_with_dense_kernel() {
+        for m in [wan_weights_i64(64, 5), toroid_weights_i64(4, 4, 4, 5)] {
+            let (dd, _) = blocked_floyd_warshall_i64(&m).unwrap();
+            let (sd, _) = clocksync_graph::sparse_closure_i64(&m).unwrap();
+            assert_eq!(dd, sd);
+        }
+    }
+
+    #[test]
+    fn sparse_resync_measurement_keeps_blocks_disjoint() {
+        let row = measure_sparse_resync(64, 4, 8);
+        assert_eq!(row.n, 64);
+        assert_eq!(row.components, 4);
+        // 4 blocks of 16 nodes: 4 · 16² entries, a quarter of n².
+        assert_eq!(row.retained_entries, 4 * 16 * 16);
+        assert!(row.dense_relax_ns > 0 && row.blocked_relax_ns > 0);
+    }
+
+    fn sample_doc(n: u64, edges: u64, dense: u128, sparse: u128) -> String {
+        format!(
+            "{{ \"bench\": \"global_estimates_closure\", \
+             \"closure\": [ {{ \"n\": 64, \"generic_ns\": 10, \"fast_ns\": 1 }} ], \
+             \"resync\": [ {{ \"n\": 128, \"full_ns\": 10, \"incremental_ns\": 1 }} ], \
+             \"sparse\": [ {{ \"topology\": \"wan\", \"n\": {n}, \"edges\": {edges}, \
+             \"density\": 0.0, \"kernel\": \"sparse-johnson\", \
+             \"dense_ns\": {dense}, \"sparse_ns\": {sparse}, \"speedup\": 99.0 }} ], \
+             \"sparse_resync\": [ {{ \"n\": {n}, \"components\": 64, \
+             \"retained_entries\": 4096, \"dense_relax_ns\": 10, \
+             \"blocked_relax_ns\": 1, \"speedup\": 10.0 }} ] }}"
+        )
+    }
+
+    #[test]
+    fn closure_check_accepts_fast_sparse_rows() {
+        check_bench_closure_json(&sample_doc(4096, 12288, 1_000_000, 10_000), 10.0).unwrap();
+    }
+
+    #[test]
+    fn closure_check_recomputes_speedup_from_timings() {
+        // The embedded "speedup": 99.0 field must not mask a slow run.
+        let err =
+            check_bench_closure_json(&sample_doc(4096, 12288, 50_000, 10_000), 10.0).unwrap_err();
+        assert!(err.contains("below the 10x floor"), "{err}");
+    }
+
+    #[test]
+    fn closure_check_requires_a_large_low_density_row() {
+        // n too small.
+        let err =
+            check_bench_closure_json(&sample_doc(2048, 6144, 1_000_000, 10_000), 10.0).unwrap_err();
+        assert!(err.contains("no row with n >= 4096"), "{err}");
+        // Density above 1%: 4096² × 1% ≈ 168k edges.
+        let err = check_bench_closure_json(&sample_doc(4096, 500_000, 1_000_000, 10_000), 10.0)
+            .unwrap_err();
+        assert!(err.contains("no row with n >= 4096"), "{err}");
+    }
+
+    #[test]
+    fn closure_check_rejects_malformed_documents() {
+        assert!(check_bench_closure_json("not json", 10.0).is_err());
+        let wrong_id = sample_doc(4096, 12288, 100, 1).replace("global_estimates_closure", "x");
+        assert!(check_bench_closure_json(&wrong_id, 10.0)
+            .unwrap_err()
+            .contains("unexpected bench id"));
+        let no_sparse = sample_doc(4096, 12288, 100, 1).replace("\"sparse\":", "\"sparsex\":");
+        assert!(check_bench_closure_json(&no_sparse, 10.0).is_err());
+        let bad_ns =
+            sample_doc(4096, 12288, 100, 1).replace("\"dense_ns\": 100", "\"dense_ns\": 0");
+        assert!(check_bench_closure_json(&bad_ns, 10.0)
+            .unwrap_err()
+            .contains("must be positive"));
     }
 
     #[test]

@@ -82,9 +82,13 @@ pub fn global_estimates_with_chains(
 
 /// Like [`global_estimates_with_chains`], recording a
 /// `sync.global_estimates` span whose `kernel` field names the closure
-/// kernel that actually ran (`scaled-i64` or `rational-generic`) — so a
-/// BENCH regression on this stage is attributable to a kernel change
-/// rather than guessed at.
+/// kernel that actually ran (`scaled-i64`, `sparse-johnson`,
+/// `hier-components` or `rational-generic`) — so a BENCH regression on
+/// this stage is attributable to a kernel change rather than guessed at.
+/// When exact scaling fails and the stage falls off the fast path onto
+/// the `O(n³)` generic kernel, a `sync.closure_fallback` event records
+/// the [`clocksync_graph::ScaleBailout`] reason, making the perf cliff
+/// visible instead of silent.
 ///
 /// # Errors
 ///
@@ -96,14 +100,26 @@ pub fn global_estimates_traced(
     let mut span = recorder.span("sync.global_estimates");
     span.field("n", local.n());
     // Mirrors `clocksync_graph::fast_closure`, split open so the kernel
-    // choice is observable.
-    let result = match clocksync_graph::try_scaled_closure(local) {
-        Some(result) => {
-            span.field("kernel", "scaled-i64");
+    // choice (and any scaling bailout) is observable.
+    let result = match clocksync_graph::try_scaled_closure_explained(local) {
+        Ok((kernel, result)) => {
+            span.field("kernel", kernel.name());
             result
         }
-        None => {
+        Err(reason) => {
             span.field("kernel", "rational-generic");
+            span.field("fallback_reason", reason.name());
+            recorder.event(
+                "sync.closure_fallback",
+                [
+                    (
+                        "kernel",
+                        clocksync_obs::FieldValue::from("rational-generic"),
+                    ),
+                    ("reason", clocksync_obs::FieldValue::from(reason.name())),
+                    ("n", clocksync_obs::FieldValue::from(local.n())),
+                ],
+            );
             clocksync_graph::floyd_warshall_with_paths(local)
         }
     };

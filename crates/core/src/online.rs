@@ -33,7 +33,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use clocksync_graph::{Closure, SquareMatrix};
+use clocksync_graph::{Closure, RelaxOutcome, SquareMatrix};
 use clocksync_model::{LinkObservations, ModelError, MsgSample, ProcessorId, ViewSet};
 use clocksync_time::{ClockTime, ExtRatio, Nanos};
 
@@ -376,13 +376,45 @@ impl OnlineSynchronizer {
             }
             self.local[(u, v)] = w;
             if w < old {
-                if let Some(cache) = self.cached.as_mut() {
-                    if cache.relax_edge(u, v, w).is_err() {
-                        // Inconsistent observations: the relaxation
-                        // poisoned the cache. Estimates only tighten, so
-                        // the inconsistency is permanent; outcome() will
-                        // recompute and report the canonical witness.
-                        self.invalidate_caches();
+                if self.cached.is_some() {
+                    // A real tightening below the cached path metric pays
+                    // the relaxation loop; scope it to the edge's weak
+                    // component at large n — entries outside it cannot
+                    // change (they lack a finite path to u or from v), so
+                    // steady state costs O(k²), not O(n²). The common
+                    // no-op case (w at or above the cached distance) skips
+                    // the component scan and hits relax_edge's O(1) exit.
+                    let members = {
+                        let cache = self.cached.as_ref().expect("checked above");
+                        let tightens = w < cache.dist()[(u, v)];
+                        if tightens && self.network.n() >= clocksync_graph::SPARSE_MIN_N {
+                            Some(self.undirected_component(u, v))
+                        } else {
+                            None
+                        }
+                    };
+                    let cache = self.cached.as_mut().expect("checked above");
+                    let relaxed = match &members {
+                        Some(m) => cache.relax_edge_within(u, v, w, m),
+                        None => cache.relax_edge(u, v, w),
+                    };
+                    match relaxed {
+                        Err(_) => {
+                            // Inconsistent observations: the relaxation
+                            // poisoned the cache. Estimates only tighten,
+                            // so the inconsistency is permanent; outcome()
+                            // will recompute and report the canonical
+                            // witness.
+                            self.invalidate_caches();
+                        }
+                        Ok(RelaxOutcome::StaleLoosening) => {
+                            // Reachable and harmless: w < old guarantees
+                            // the underlying edge tightened; the cached
+                            // path metric is simply already below w, so
+                            // per the RelaxOutcome contract there is
+                            // nothing to patch.
+                        }
+                        Ok(RelaxOutcome::Tightened | RelaxOutcome::Unchanged) => {}
                     }
                 }
             } else {

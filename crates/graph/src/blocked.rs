@@ -44,10 +44,11 @@ use crate::{NegativeCycleError, SquareMatrix};
 /// get anywhere near it.
 pub const UNREACHABLE: i64 = i64::MAX / 4;
 
-/// Below this dimension the kernel stays on the calling thread: an
+/// Below this dimension the kernels stay on the calling thread: an
 /// `n³` of ~2M relaxations runs in about a millisecond, which per-level
-/// fork/join overhead would only dilute.
-const PAR_THRESHOLD: usize = 192;
+/// fork/join overhead would only dilute. Shared with the sparse backends,
+/// whose per-source fan-out has the same overhead profile.
+pub(crate) const PAR_THRESHOLD: usize = 192;
 
 /// One working row: distances and successors, both contiguous.
 struct Row {

@@ -53,11 +53,16 @@ mod howard;
 mod karp;
 mod matrix;
 mod scaled_karp;
+mod sparse;
 mod weight;
 
 pub use bellman_ford::{bellman_ford, NegativeCycleError};
 pub use blocked::{blocked_floyd_warshall_i64, UNREACHABLE};
-pub use closure::{fast_closure, try_scaled_closure, Closure, ClosureResult};
+pub use closure::{
+    dispatch_closure_i64, fast_closure, plan_closure_kernel, scaled_weights, try_scaled_closure,
+    try_scaled_closure_explained, Closure, ClosureKernel, ClosureResult, RelaxOutcome,
+    ScaleBailout, SPARSE_MAX_DENSITY, SPARSE_MIN_N,
+};
 pub use digraph::{DiGraph, Edge};
 pub use floyd_warshall::{floyd_warshall, floyd_warshall_with_paths, reconstruct_path};
 pub use howard::{howard_max_cycle_mean, howard_solve, HowardSolution};
@@ -65,5 +70,9 @@ pub use karp::{karp_max_cycle_mean, CycleMean};
 pub use matrix::SquareMatrix;
 pub use scaled_karp::{
     fast_max_cycle_mean, karp_max_cycle_mean_i64, try_scaled_karp, CycleMeanI64, NO_EDGE,
+};
+pub use sparse::{
+    derive_successors_i64, hierarchical_closure_i64, hierarchical_closure_i64_with_partition,
+    sparse_closure_i64, weak_components_i64, CsrGraph, SparseClosure,
 };
 pub use weight::Weight;

@@ -25,7 +25,11 @@
 //!   evidence only accumulates (reset at explicit link retraction, the
 //!   one operation allowed to loosen);
 //! * **compaction-never-loosens** — an explicit [`Event::Compact`] must
-//!   leave the reference closure bit-identical.
+//!   leave the reference closure bit-identical;
+//! * **sparse-equals-dense** — the sparse Johnson and hierarchical
+//!   closure kernels must produce bit-identical distances (and agree on
+//!   negative-cycle detection) with the dense blocked kernel on the
+//!   scaled local-estimate matrix, every sweep.
 //!
 //! Everything journaled is computed (no wall-clock), so two runs of the
 //! same scenario emit byte-identical [`Journal`]s — the property the
@@ -803,7 +807,9 @@ impl Runner<'_> {
                     ("step", Json::Int(step as i128)),
                     ("error", Json::Str(on.to_string())),
                 ]));
-                return Ok(());
+                // Contradictory evidence is exactly where the kernels'
+                // negative-cycle detection must also stay in lockstep.
+                return self.check_sparse_kernels();
             }
             (on, sq) => {
                 return Err((
@@ -840,6 +846,7 @@ impl Runner<'_> {
         self.check_soundness(&outcome)?;
         self.check_agreement(&outcome)?;
         self.check_monotone(&outcome)?;
+        self.check_sparse_kernels()?;
 
         if checkpoint {
             self.journal.record(Json::object([
@@ -918,6 +925,54 @@ impl Runner<'_> {
                         ));
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// The sparse Johnson and hierarchical closure kernels against the
+    /// dense blocked kernel, on the scaled local-estimate matrix of this
+    /// very sweep — the fuzzed form of `tests/sparse_equivalence.rs`,
+    /// driven by evidence shapes the proptest generators never produce.
+    fn check_sparse_kernels(&self) -> Result<(), (String, String)> {
+        let local = self.online.local_estimates();
+        let Ok((scaled, _)) = clocksync_graph::scaled_weights(local) else {
+            // Unscalable estimates run on the generic rational kernel;
+            // there is no i64 backend pair to compare.
+            return Ok(());
+        };
+        let dense = clocksync_graph::blocked_floyd_warshall_i64(&scaled);
+        let sparse = clocksync_graph::sparse_closure_i64(&scaled);
+        let hier = clocksync_graph::hierarchical_closure_i64(&scaled);
+        match (&dense, &sparse, &hier) {
+            (Ok((dd, _)), Ok((sd, _)), Ok((hd, _))) => {
+                for (backend, d) in [("sparse", sd), ("hierarchical", hd)] {
+                    if d != dd {
+                        let (i, j, &got) = d
+                            .iter()
+                            .find(|&(i, j, &v)| v != *dd.get(i, j))
+                            .expect("matrices differ");
+                        return Err((
+                            "sparse-equals-dense".into(),
+                            format!(
+                                "{backend} kernel disagrees at [{i},{j}]: dense {}, {backend} {got}",
+                                *dd.get(i, j),
+                            ),
+                        ));
+                    }
+                }
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            _ => {
+                return Err((
+                    "sparse-equals-dense".into(),
+                    format!(
+                        "negative-cycle detection diverged: dense ok={}, sparse ok={}, hierarchical ok={}",
+                        dense.is_ok(),
+                        sparse.is_ok(),
+                        hier.is_ok(),
+                    ),
+                ));
             }
         }
         Ok(())

@@ -85,7 +85,13 @@ fn traced_pipeline_reports_stages_kernel_and_counters() {
     match trace.span_field("sync.global_estimates", "kernel") {
         Some(FieldValue::Str(kernel)) => {
             assert!(
-                kernel == "scaled-i64" || kernel == "rational-generic",
+                [
+                    "scaled-i64",
+                    "sparse-johnson",
+                    "hier-components",
+                    "rational-generic"
+                ]
+                .contains(&kernel.as_str()),
                 "unexpected kernel {kernel}"
             );
         }
@@ -98,6 +104,72 @@ fn traced_pipeline_reports_stages_kernel_and_counters() {
     assert_eq!(sent, delivered);
     assert!(trace.counter("sim.timers_fired").unwrap() > 0);
     assert!(trace.events_named("sim.probe_round").count() > 0);
+}
+
+#[test]
+fn scaling_bailout_is_reported_not_silent() {
+    use clocksync::global_estimates_traced;
+    use clocksync_graph::{SquareMatrix, Weight};
+    use clocksync_time::{Ext, Ratio};
+
+    // An entry too large for the scaled-i64 kernels: the stage must fall
+    // back to the generic kernel AND say so — span fields for the kernel
+    // and reason, plus a `sync.closure_fallback` event — instead of
+    // silently eating the O(n³) rational cost.
+    let huge = Ext::Finite(Ratio::from_int(1i128 << 80));
+    let m = SquareMatrix::from_fn(3, |i, j| {
+        if i == j {
+            <Ext<Ratio> as Weight>::zero()
+        } else {
+            huge
+        }
+    });
+    let recorder = Recorder::enabled();
+    global_estimates_traced(&m, &recorder).unwrap();
+    let trace = recorder.snapshot();
+
+    assert_eq!(
+        trace.span_field("sync.global_estimates", "kernel"),
+        Some(&FieldValue::Str("rational-generic".into()))
+    );
+    assert_eq!(
+        trace.span_field("sync.global_estimates", "fallback_reason"),
+        Some(&FieldValue::Str("magnitude-overflow".into()))
+    );
+    let events: Vec<_> = trace.events_named("sync.closure_fallback").collect();
+    assert_eq!(events.len(), 1, "exactly one fallback event");
+    let field = |key: &str| {
+        events[0]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    assert_eq!(
+        field("kernel"),
+        Some(FieldValue::Str("rational-generic".into()))
+    );
+    assert_eq!(
+        field("reason"),
+        Some(FieldValue::Str("magnitude-overflow".into()))
+    );
+    assert_eq!(field("n"), Some(FieldValue::Int(3)));
+
+    // A scalable matrix must NOT emit the fallback event.
+    let ok = SquareMatrix::from_fn(3, |i, j| {
+        if i == j {
+            <Ext<Ratio> as Weight>::zero()
+        } else {
+            Ext::Finite(Ratio::from_int(5))
+        }
+    });
+    let recorder = Recorder::enabled();
+    global_estimates_traced(&ok, &recorder).unwrap();
+    let trace = recorder.snapshot();
+    assert_eq!(trace.events_named("sync.closure_fallback").count(), 0);
+    assert_eq!(
+        trace.span_field("sync.global_estimates", "kernel"),
+        Some(&FieldValue::Str("scaled-i64".into()))
+    );
 }
 
 #[test]
