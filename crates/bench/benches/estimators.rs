@@ -1,0 +1,77 @@
+//! Criterion bench: the §6 link estimators on large retained sample sets.
+//!
+//! The headline arm is `PairedRttBias::estimated_mls`, whose windowed
+//! pairing scan was rewritten from the quadratic all-pairs loop to a
+//! sort + two-pointer sweep: doubling the per-direction sample count
+//! `F = 64 → 1024` must scale roughly `F log F`, not `F²` (the equivalence
+//! proptest in `crates/core/tests/marzullo.rs` pins the results as
+//! bit-identical). The Marzullo arm sizes the sweep-line fusion on the
+//! same evidence shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksync::{DelayRange, LinkAssumption};
+use clocksync_model::{LinkEvidence, MsgSample};
+use clocksync_time::{ClockTime, Nanos};
+
+/// Deterministic pseudo-random samples: sends spread over a second,
+/// estimated delays jittered around 500µs. SplitMix64 keeps the bench
+/// self-contained and reproducible.
+fn samples(count: usize, salt: u64) -> Vec<MsgSample> {
+    let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(salt | 1);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let send = (next() % 1_000_000_000) as i64;
+            let est = 500_000 + (next() % 100_000) as i64;
+            MsgSample {
+                send_clock: ClockTime::from_nanos(send),
+                recv_clock: ClockTime::from_nanos(send + est),
+            }
+        })
+        .collect()
+}
+
+fn bench_paired_bias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paired_rtt_bias_mls");
+    let assumption =
+        LinkAssumption::paired_rtt_bias(Nanos::from_micros(700), Nanos::from_micros(50));
+    for f in [64usize, 128, 256, 512, 1024] {
+        let fwd = samples(f, 1);
+        let bwd = samples(f, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| {
+                let ev = LinkEvidence::from_samples(black_box(&fwd), black_box(&bwd));
+                black_box(assumption.estimated_mls(&ev))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_marzullo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marzullo_fusion_mls");
+    let range = DelayRange::new(Nanos::from_micros(400), Nanos::from_micros(700));
+    for f in [64usize, 256, 1024] {
+        let fwd = samples(f, 3);
+        let bwd = samples(f, 4);
+        let assumption = LinkAssumption::marzullo_quorum(range, range, f / 8);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| {
+                let ev = LinkEvidence::from_samples(black_box(&fwd), black_box(&bwd));
+                black_box(assumption.estimated_mls(&ev))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paired_bias, bench_marzullo);
+criterion_main!(benches);

@@ -103,6 +103,18 @@ pub fn assumption_json(a: &LinkAssumption) -> Json {
                 ("window", Json::Int(window.as_nanos() as i128)),
             ]),
         )]),
+        LinkAssumption::MarzulloQuorum {
+            forward,
+            backward,
+            max_faulty,
+        } => Json::object([(
+            "MarzulloQuorum",
+            Json::object([
+                ("forward", delay_range_json(forward)),
+                ("backward", delay_range_json(backward)),
+                ("max_faulty", Json::Int(*max_faulty as i128)),
+            ]),
+        )]),
         LinkAssumption::All(parts) => Json::object([(
             "All",
             Json::Array(parts.iter().map(assumption_json).collect()),
@@ -256,6 +268,22 @@ pub fn parse_assumption(v: &Json) -> Result<LinkAssumption, JsonError> {
                 "PairedRttBias.window",
             )?,
         )),
+        "MarzulloQuorum" => {
+            let max_faulty = body
+                .field("max_faulty", "MarzulloQuorum")?
+                .as_usize("MarzulloQuorum.max_faulty")?;
+            Ok(LinkAssumption::marzullo_quorum(
+                parse_delay_range(
+                    body.field("forward", "MarzulloQuorum")?,
+                    "MarzulloQuorum.forward",
+                )?,
+                parse_delay_range(
+                    body.field("backward", "MarzulloQuorum")?,
+                    "MarzulloQuorum.backward",
+                )?,
+                max_faulty,
+            ))
+        }
         "All" => {
             let parts = body
                 .as_array("All")?
@@ -334,6 +362,11 @@ mod tests {
             ),
             LinkAssumption::rtt_bias(Nanos::new(7)),
             LinkAssumption::paired_rtt_bias(Nanos::new(2), Nanos::new(1000)),
+            LinkAssumption::marzullo_quorum(
+                DelayRange::new(Nanos::new(1), Nanos::new(20)),
+                DelayRange::at_least(Nanos::new(4)),
+                2,
+            ),
         ]);
         let text = to_string_pretty(&assumption_json(&a));
         let back = parse_assumption(&parse(&text).unwrap()).unwrap();
@@ -350,6 +383,9 @@ mod tests {
             r#"{"Bounds": {"forward": {"lower": -1, "upper": null}, "backward": {"lower": 0, "upper": null}}}"#,
             r#"{"Mystery": {}}"#,
             r#"{"RttBias": {"bound": 1}, "All": []}"#,
+            r#"{"MarzulloQuorum": {"forward": {"lower": 9, "upper": 2}, "backward": {"lower": 0, "upper": null}, "max_faulty": 1}}"#,
+            r#"{"MarzulloQuorum": {"forward": {"lower": 0, "upper": 5}, "backward": {"lower": 0, "upper": 5}, "max_faulty": -1}}"#,
+            r#"{"MarzulloQuorum": {"forward": {"lower": 0, "upper": 5}, "backward": {"lower": 0, "upper": 5}}}"#,
         ] {
             let v = parse(text).unwrap();
             assert!(parse_assumption(&v).is_err(), "accepted {text}");

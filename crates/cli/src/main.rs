@@ -18,6 +18,7 @@
 //!                       [--journal FILE] [--repro FILE]
 //! clocksync vopr replay --file FILE [--journal FILE]
 //! clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
+//! clocksync vopr marzullo [--seed S] [--seeds N]
 //! ```
 
 use std::fs;
@@ -43,6 +44,7 @@ const USAGE: &str = "usage:
                         [--journal FILE] [--repro FILE]
   clocksync vopr replay --file FILE [--journal FILE]
   clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
+  clocksync vopr marzullo [--seed S] [--seeds N]
 
 topologies: path ring star complete grid random
 models:     uniform (--lo-us --hi-us)
@@ -67,7 +69,8 @@ scenarios against the full-history, windowed and concurrent engines with
 invariant oracles after every step, shrinks the first failure to a minimal
 reproducer (written to --repro) and prints its replay command; `replay`
 re-runs a saved scenario file; `corpus` replays tests/corpus/ plus fresh
-seeds and exits nonzero on any failure. --journal FILE writes the
+seeds and exits nonzero on any failure; `marzullo` deep-sweeps the quorum
+fusion estimator's honest-subset oracle over --seeds seeded instances. --journal FILE writes the
 byte-deterministic run journal (same seed => identical bytes).";
 
 /// A recorder wired to `--trace`: enabled only when the flag is present,
@@ -97,7 +100,9 @@ fn run() -> Result<(), String> {
     if raw.len() >= 2 && raw[0] == "trace" && raw[1] == "summarize" {
         raw.splice(0..2, ["trace-summarize".to_string()]);
     }
-    if raw.len() >= 2 && raw[0] == "vopr" && ["run", "replay", "corpus"].contains(&raw[1].as_str())
+    if raw.len() >= 2
+        && raw[0] == "vopr"
+        && ["run", "replay", "corpus", "marzullo"].contains(&raw[1].as_str())
     {
         let folded = format!("vopr-{}", raw[1]);
         raw.splice(0..2, [folded]);
@@ -360,6 +365,22 @@ fn run() -> Result<(), String> {
                     "{} of {} corpus runs failed their oracles",
                     report.failures, report.ran
                 ))
+            } else {
+                Ok(())
+            }
+        }
+        "vopr-marzullo" => {
+            let seed = args.get_u64("seed", 0)?;
+            let seeds = args.get_usize("seeds", 2_000)?;
+            if seeds == 0 {
+                return Err("flag --seeds: must be at least 1".to_string());
+            }
+            let (lines, failed) = clocksync_cli::vopr::marzullo(seed, seeds);
+            for line in &lines {
+                println!("{line}");
+            }
+            if failed {
+                Err("marzullo fusion oracle failure".to_string())
             } else {
                 Ok(())
             }

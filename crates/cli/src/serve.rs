@@ -139,8 +139,6 @@ pub(crate) fn decode_domain(doc: &Json) -> Result<DomainSpec, String> {
         };
         let a = get("a")?;
         let b = get("b")?;
-        let lo = get("lo_ns")?;
-        let hi = get("hi_ns")?;
         let index = |v: i64, key: &str| -> Result<ProcessorId, String> {
             let v = usize::try_from(v).map_err(|_| format!("{what}.{key}: negative processor"))?;
             if v >= n {
@@ -152,18 +150,30 @@ pub(crate) fn decode_domain(doc: &Json) -> Result<DomainSpec, String> {
         };
         let a = index(a, "a")?;
         let b = index(b, "b")?;
-        // `DelayRange::new` asserts its axioms; this is untrusted input,
-        // so validate first and report instead of panicking.
-        if lo < 0 || hi < lo {
-            return Err(format!(
-                "{what}: delay bounds need 0 <= lo_ns <= hi_ns, got [{lo}, {hi}]"
-            ));
-        }
-        builder = builder.link(
-            a,
-            b,
-            LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(lo), Nanos::new(hi))),
-        );
+        // A link carries either the compact symmetric `lo_ns`/`hi_ns`
+        // form, or an `assumption` field with the full run-file schema
+        // (RttBias, MarzulloQuorum, All…). Both paths validate untrusted
+        // input *before* any panicking constructor sees it, so one bad
+        // JSONL line is an error reply, not a dead server.
+        let assumption = match link
+            .as_object(&what)
+            .map_err(|e| e.to_string())?
+            .get("assumption")
+        {
+            Some(spec) => crate::json::parse_assumption(spec)
+                .map_err(|e| format!("{what}.assumption: {e}"))?,
+            None => {
+                let lo = get("lo_ns")?;
+                let hi = get("hi_ns")?;
+                if lo < 0 || hi < lo {
+                    return Err(format!(
+                        "{what}: delay bounds need 0 <= lo_ns <= hi_ns, got [{lo}, {hi}]"
+                    ));
+                }
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::new(lo), Nanos::new(hi)))
+            }
+        };
+        builder = builder.link(a, b, assumption);
     }
     Ok(DomainSpec {
         name: name.to_string(),
@@ -309,6 +319,81 @@ mod tests {
             let err = serve(input).unwrap_err();
             assert!(err.contains(needle), "input {input:?} gave {err:?}");
         }
+    }
+
+    #[test]
+    fn adversarial_assumptions_are_line_errors_not_panics() {
+        // `{"All": []}` would hit the `assert!(!parts.is_empty())` in
+        // `LinkAssumption::all`, and inverted bounds the
+        // `assert!(lower <= upper)` in `DelayRange::new`, if either were
+        // forwarded to the constructors — one bad JSONL line must come
+        // back as a line-numbered error instead of killing the server.
+        let cases: &[(&str, &str)] = &[
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":1,\"assumption\":{\"All\":[]}}]}",
+                "empty conjunction",
+            ),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":1,\"assumption\":{\"Bounds\":{\"forward\":{\"lower\":900,\"upper\":10},\"backward\":{\"lower\":0,\"upper\":null}}}}]}",
+                "upper < lower",
+            ),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":1,\"assumption\":{\"MarzulloQuorum\":{\"forward\":{\"lower\":900,\"upper\":10},\"backward\":{\"lower\":0,\"upper\":null},\"max_faulty\":1}}}]}",
+                "upper < lower",
+            ),
+            (
+                "{\"t\":\"domain\",\"domain\":\"a\",\"n\":2,\"links\":[{\"a\":0,\"b\":1,\"assumption\":{\"RttBias\":{\"bound\":-3}}}]}",
+                "must be positive",
+            ),
+        ];
+        for (input, needle) in cases {
+            let err = serve(input).unwrap_err();
+            assert!(err.contains("line 1"), "input {input:?} gave {err:?}");
+            assert!(err.contains(needle), "input {input:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn committed_adversarial_corpus_payloads_stay_typed_errors() {
+        // The committed wire payloads in tests/corpus/serve/ are the
+        // regression corpus for the decode-layer panic: each file is one
+        // historically panicking JSONL command that must now come back
+        // as a line-numbered error. Failing to read the directory fails
+        // the test — corpus artifacts are commitments.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/serve");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        files.sort();
+        assert!(files.len() >= 2, "corpus lost its payloads: {files:?}");
+        for file in files {
+            let payload = std::fs::read_to_string(&file).unwrap();
+            let err = serve(&payload).expect_err(&format!("{} must be rejected", file.display()));
+            assert!(
+                err.contains("line 1"),
+                "{}: error lost its line number: {err:?}",
+                file.display()
+            );
+        }
+    }
+
+    #[test]
+    fn full_assumption_schema_is_wire_reachable() {
+        // A Marzullo link declared over the wire, fed one wild sample
+        // among honest ones: the service must register, ingest, and
+        // produce a finite outcome (the wild source is outvoted rather
+        // than wedging the domain in an inconsistent state).
+        let input = r#"
+{"t":"domain","domain":"m","n":2,"links":[{"a":0,"b":1,"assumption":{"MarzulloQuorum":{"forward":{"lower":0,"upper":1000},"backward":{"lower":0,"upper":1000},"max_faulty":1}}}]}
+{"t":"batch","domain":"m","obs":[[0,1,0,400],[0,1,1000,1450],[1,0,2000,2600],[0,1,3000,3000000]]}
+"#;
+        let out = serve(input).unwrap();
+        assert!(out[0].contains("registered `m`"), "{}", out[0]);
+        assert!(out[1].contains("m: applied 4"), "{}", out[1]);
+        assert!(out[2].starts_with("m: precision"), "{}", out[2]);
+        assert!(!out[2].contains("inconsistent"), "{}", out[2]);
     }
 
     #[test]

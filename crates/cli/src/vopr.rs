@@ -188,9 +188,39 @@ pub fn corpus(dir: &Path, budget: usize, base_seed: u64) -> Result<CorpusReport,
     })
 }
 
+/// Runs the estimator-level Marzullo fusion fuzzer over `seeds`
+/// consecutive seeds from `base_seed` (see
+/// [`clocksync_vopr::fuzz_marzullo`]). Returns report lines and whether
+/// any seed failed — the deep-sweep companion to the scenario runner's
+/// integrated `marzullo-honest-subset` oracle.
+pub fn marzullo(base_seed: u64, seeds: usize) -> (Vec<String>, bool) {
+    match clocksync_vopr::fuzz_marzullo(base_seed, seeds) {
+        None => (
+            vec![format!(
+                "marzullo: {seeds} seeds from {base_seed}, honest-subset oracle green"
+            )],
+            false,
+        ),
+        Some(failure) => (
+            vec![format!(
+                "marzullo: FAIL at seed {} — {}",
+                failure.seed, failure.detail
+            )],
+            true,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn marzullo_sweep_is_green_and_deterministic() {
+        let (lines, failed) = marzullo(0, 200);
+        assert!(!failed, "{lines:?}");
+        assert_eq!(marzullo(0, 200), (lines, failed));
+    }
 
     #[test]
     fn fuzz_is_deterministic_and_green_on_the_fixed_build() {

@@ -104,7 +104,7 @@ fn within_window(
         || (fwd_recv - bwd_send).abs() <= window
 }
 
-fn samples_paired(mf: &MsgSample, mb: &MsgSample, window: Nanos) -> bool {
+fn records_paired(mf: &MessageRecord, mb: &MessageRecord, window: Nanos) -> bool {
     within_window(
         mf.send_clock,
         mf.recv_clock,
@@ -114,14 +114,105 @@ fn samples_paired(mf: &MsgSample, mb: &MsgSample, window: Nanos) -> bool {
     )
 }
 
-fn records_paired(mf: &MessageRecord, mb: &MessageRecord, window: Nanos) -> bool {
-    within_window(
-        mf.send_clock,
-        mf.recv_clock,
-        mb.send_clock,
-        mb.recv_clock,
-        window,
-    )
+/// The minimum of `d̃(m_f) − d̃(m_b)` over all in-window pairs (the
+/// [`within_window`] pairing), or `None` when no pair is in-window.
+///
+/// The pairing predicate is a union of two window joins — forward-*send*
+/// vs backward-*receive* clocks, and forward-*receive* vs backward-*send*
+/// clocks — and each join is evaluated by sorting both sides on its key
+/// and sliding the `±window` interval over the backward samples with a
+/// monotonic deque tracking the maximal backward delay estimate. That
+/// makes the scan `O(F log F + B log B)` where the naive all-pairs product
+/// is `O(F·B)`; a pair matching both joins is simply seen twice, which
+/// cannot change a minimum.
+fn min_paired_gap(fwd: &[MsgSample], bwd: &[MsgSample], window: Nanos) -> Option<i128> {
+    let w = window.as_nanos() as i128;
+    let join = |fkey: fn(&MsgSample) -> i64, bkey: fn(&MsgSample) -> i64| -> Option<i128> {
+        let mut fs: Vec<(i128, i64)> = fwd
+            .iter()
+            .map(|m| (fkey(m) as i128, m.estimated_delay().as_nanos()))
+            .collect();
+        let mut bs: Vec<(i128, i64)> = bwd
+            .iter()
+            .map(|m| (bkey(m) as i128, m.estimated_delay().as_nanos()))
+            .collect();
+        fs.sort_unstable();
+        bs.sort_unstable();
+        let mut best: Option<i128> = None;
+        let (mut lo, mut hi) = (0usize, 0usize);
+        // Indices into `bs` with strictly decreasing delay estimates; the
+        // front is the window maximum.
+        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &(fk, fe) in &fs {
+            while hi < bs.len() && bs[hi].0 <= fk + w {
+                while deque.back().is_some_and(|&b| bs[b].1 <= bs[hi].1) {
+                    deque.pop_back();
+                }
+                deque.push_back(hi);
+                hi += 1;
+            }
+            while lo < hi && bs[lo].0 < fk - w {
+                if deque.front() == Some(&lo) {
+                    deque.pop_front();
+                }
+                lo += 1;
+            }
+            if let Some(&front) = deque.front() {
+                let gap = fe as i128 - bs[front].1 as i128;
+                best = Some(best.map_or(gap, |b| b.min(gap)));
+            }
+        }
+        best
+    };
+    let a = join(|m| m.send_clock.as_nanos(), |m| m.recv_clock.as_nanos());
+    let b = join(|m| m.recv_clock.as_nanos(), |m| m.send_clock.as_nanos());
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+/// The per-sample uncertainty intervals a Marzullo link contributes, in
+/// `Δ = o_q − o_p` space (the far clock's offset relative to the near
+/// one). An honest forward sample with estimated delay `d̃ = d + Δ` and
+/// true delay `d ∈ [lo_f, hi_f]` pins `Δ ∈ [d̃ − hi_f, d̃ − lo_f]`; an
+/// honest backward sample with `d̃ = d − Δ` pins
+/// `Δ ∈ [lo_b − d̃, hi_b − d̃]`. Unbounded range uppers make the matching
+/// interval edge infinite.
+fn offset_intervals(
+    forward: &DelayRange,
+    backward: &DelayRange,
+    evidence: &LinkEvidence<'_>,
+) -> Vec<(Ext<i128>, Ext<i128>)> {
+    let mut out =
+        Vec::with_capacity(evidence.forward_samples.len() + evidence.backward_samples.len());
+    let f_lo = forward.lower().as_nanos() as i128;
+    for mf in evidence.forward_samples {
+        let d = mf.estimated_delay().as_nanos() as i128;
+        let lo = match forward.upper() {
+            Ext::Finite(hi) => Ext::Finite(d - hi.as_nanos() as i128),
+            _ => Ext::NegInf,
+        };
+        out.push((lo, Ext::Finite(d - f_lo)));
+    }
+    let b_lo = backward.lower().as_nanos() as i128;
+    for mb in evidence.backward_samples {
+        let d = mb.estimated_delay().as_nanos() as i128;
+        let hi = match backward.upper() {
+            Ext::Finite(hi) => Ext::Finite(hi.as_nanos() as i128 - d),
+            _ => Ext::PosInf,
+        };
+        out.push((Ext::Finite(b_lo - d), hi));
+    }
+    out
+}
+
+fn ext_i128_to_ratio(x: Ext<i128>) -> ExtRatio {
+    match x {
+        Ext::NegInf => Ext::NegInf,
+        Ext::Finite(v) => Ext::Finite(Ratio::from_int(v)),
+        Ext::PosInf => Ext::PosInf,
+    }
 }
 
 /// A delay assumption for one bidirectional link `{p, q}`.
@@ -176,8 +267,136 @@ pub enum LinkAssumption {
         /// The pairing window, measured on a common endpoint's clock.
         window: Nanos,
     },
+    /// Fault-tolerant multi-source fusion: per-direction delay bounds as
+    /// in [`LinkAssumption::Bounds`], but up to `max_faulty` of the link's
+    /// retained samples may come from faulty sources whose delays violate
+    /// the declared ranges arbitrarily. Each retained sample contributes
+    /// an uncertainty interval for the far clock's offset; Marzullo's
+    /// sweep over the `2·k` interval endpoints ([`marzullo_fuse`]) keeps
+    /// exactly the offsets consistent with at least `k − max_faulty`
+    /// sources, and the fused interval's edges become the `m̃ls`
+    /// contributions. With `max_faulty = 0` on jointly-consistent evidence
+    /// this degenerates to the Lemma 6.2 closed form; with contradictory
+    /// evidence it degrades to "no constraint" (`+∞`) instead of the
+    /// negative-cycle error the strict `Bounds` estimator produces.
+    MarzulloQuorum {
+        /// Admissible delays `p → q` for honest sources.
+        forward: DelayRange,
+        /// Admissible delays `q → p` for honest sources.
+        backward: DelayRange,
+        /// How many of the link's samples may be faulty.
+        max_faulty: usize,
+    },
     /// Conjunction of several assumptions on the same link (Theorem 5.6).
     All(Vec<LinkAssumption>),
+}
+
+/// One endpoint's view of a Marzullo fusion, for observability: how many
+/// sources voted, what quorum was required, and how many sources the fused
+/// interval discarded as outvoted. Produced by
+/// [`LinkAssumption::fusion_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarzulloFusion {
+    /// Total sample intervals that voted (both directions).
+    pub sources: usize,
+    /// Required agreement, `sources − max_faulty` (0 when `sources` is no
+    /// larger than `max_faulty`, i.e. no quorum is possible).
+    pub quorum: usize,
+    /// Whether any offset was consistent with a full quorum.
+    pub quorum_reached: bool,
+    /// Sources whose interval is disjoint from the fused interval — the
+    /// outvoted (presumed faulty) ones. `0` when no quorum was reached.
+    pub discarded: usize,
+    /// Lower edge of the fused offset interval (`−∞` when unconstrained).
+    pub fused_lo: Ext<i128>,
+    /// Upper edge of the fused offset interval (`+∞` when unconstrained).
+    pub fused_hi: Ext<i128>,
+}
+
+/// Marzullo's endpoint sweep: the hull of all points covered by at least
+/// `quorum` of the given closed intervals, or `None` when no point reaches
+/// the quorum.
+///
+/// Endpoints are swept in sorted order with starts before ends at equal
+/// values, so closed intervals touching in a single point count as
+/// overlapping there; the tie-break is deterministic and the arithmetic is
+/// exact (`i128` endpoints, no rationals needed). Taking the *hull* of the
+/// quorum-consistent region — rather than the smallest maximal-overlap
+/// segment of the classic formulation — is what makes the result sound
+/// against every honest subset: any `quorum`-sized subset of honest sources
+/// has its intersection inside the hull, so an edge of the hull is never
+/// tighter than the tightest bound some honest quorum allows.
+///
+/// # Panics
+///
+/// Panics if `quorum` is zero (a zero quorum constrains nothing; callers
+/// map that case to "unconstrained" before the sweep) or if an interval is
+/// empty (`lo > hi`).
+pub fn marzullo_fuse(
+    intervals: &[(Ext<i128>, Ext<i128>)],
+    quorum: usize,
+) -> Option<(Ext<i128>, Ext<i128>)> {
+    assert!(quorum > 0, "marzullo quorum must be positive");
+    if intervals.len() < quorum {
+        return None;
+    }
+    // Intervals with a `−∞` lower edge are active before any event.
+    let mut count = 0usize;
+    let mut starts: Vec<i128> = Vec::with_capacity(intervals.len());
+    let mut ends: Vec<i128> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        assert!(lo <= hi, "empty interval in marzullo_fuse");
+        match lo {
+            Ext::NegInf => count += 1,
+            Ext::Finite(v) => starts.push(*v),
+            Ext::PosInf => unreachable!("lo <= hi rules out lo = +inf"),
+        }
+        match hi {
+            // Uppers at +∞ never produce an end event, so they keep the
+            // count raised past the last finite end.
+            Ext::PosInf => {}
+            Ext::Finite(v) => ends.push(*v),
+            Ext::NegInf => unreachable!("lo <= hi rules out hi = -inf"),
+        }
+    }
+    starts.sort_unstable();
+    ends.sort_unstable();
+
+    let mut lo_edge: Option<Ext<i128>> = (count >= quorum).then_some(Ext::NegInf);
+    let mut hi_edge: Option<Ext<i128>> = None;
+    let (mut si, mut ei) = (0usize, 0usize);
+    while si < starts.len() || ei < ends.len() {
+        // Starts before ends at equal values: `[a, b]` and `[b, c]` overlap
+        // at `b`.
+        let take_start = si < starts.len() && (ei >= ends.len() || starts[si] <= ends[ei]);
+        if take_start {
+            count += 1;
+            if count == quorum && lo_edge.is_none() {
+                lo_edge = Some(Ext::Finite(starts[si]));
+            }
+            si += 1;
+        } else {
+            if count == quorum {
+                // Dropping below quorum: the point we leave is the last
+                // quorum-consistent one seen so far (later events may
+                // re-reach the quorum and overwrite this).
+                hi_edge = Some(Ext::Finite(ends[ei]));
+            }
+            count = count
+                .checked_sub(1)
+                .expect("end event without matching start");
+            ei += 1;
+        }
+    }
+    let lo = lo_edge?;
+    // If the count still meets the quorum after all finite ends, at least
+    // `quorum` intervals extend to `+∞` (count = open_ended here).
+    let hi = if count >= quorum {
+        Ext::PosInf
+    } else {
+        hi_edge.expect("quorum was reached, so it was also left")
+    };
+    Some((lo, hi))
 }
 
 impl LinkAssumption {
@@ -221,6 +440,22 @@ impl LinkAssumption {
         LinkAssumption::PairedRttBias { bound, window }
     }
 
+    /// Fault-tolerant per-direction delay bounds: up to `max_faulty` of
+    /// the link's retained samples may violate them arbitrarily, and the
+    /// estimator fuses the rest with Marzullo's sweep
+    /// ([`LinkAssumption::MarzulloQuorum`]).
+    pub fn marzullo_quorum(
+        forward: DelayRange,
+        backward: DelayRange,
+        max_faulty: usize,
+    ) -> LinkAssumption {
+        LinkAssumption::MarzulloQuorum {
+            forward,
+            backward,
+            max_faulty,
+        }
+    }
+
     /// The conjunction of `parts` (each must hold).
     ///
     /// # Panics
@@ -243,6 +478,15 @@ impl LinkAssumption {
                 bound: *bound,
                 window: *window,
             },
+            LinkAssumption::MarzulloQuorum {
+                forward,
+                backward,
+                max_faulty,
+            } => LinkAssumption::MarzulloQuorum {
+                forward: *backward,
+                backward: *forward,
+                max_faulty: *max_faulty,
+            },
             LinkAssumption::All(parts) => {
                 LinkAssumption::All(parts.iter().map(|a| a.reversed()).collect())
             }
@@ -255,13 +499,16 @@ impl LinkAssumption {
     /// extrema are maintained incrementally and never recomputed from the
     /// retained samples, so dropping dominated samples cannot change any
     /// `m̃ls`. [`LinkAssumption::PairedRttBias`] scans the full sample
-    /// lists for in-window pairs and must keep its history.
+    /// lists for in-window pairs and must keep its history, and
+    /// [`LinkAssumption::MarzulloQuorum`] needs every sample's interval as
+    /// a vote — dropping a dominated sample would change the quorum
+    /// arithmetic, so both must keep their per-source witnesses.
     ///
     /// Orientation-invariant: `a.extrema_only() == a.reversed().extrema_only()`.
     pub fn extrema_only(&self) -> bool {
         match self {
             LinkAssumption::Bounds { .. } | LinkAssumption::RttBias { .. } => true,
-            LinkAssumption::PairedRttBias { .. } => false,
+            LinkAssumption::PairedRttBias { .. } | LinkAssumption::MarzulloQuorum { .. } => false,
             LinkAssumption::All(parts) => parts.iter().all(LinkAssumption::extrema_only),
         }
     }
@@ -279,10 +526,11 @@ impl LinkAssumption {
     /// `m̃ls(p,q) = min( d̃min(p,q), (b + d̃min(p,q) − d̃max(q,p)) / 2 )`
     ///
     /// the same with the pair minimum restricted to in-window pairs for
-    /// [`LinkAssumption::PairedRttBias`], and the Theorem 5.6 minimum for
-    /// [`LinkAssumption::All`]. The result is `+∞` exactly when the
-    /// observations place no constraint on how far `q` may be shifted away
-    /// from `p`.
+    /// [`LinkAssumption::PairedRttBias`], the fused-interval upper edge of
+    /// [`marzullo_fuse`] for [`LinkAssumption::MarzulloQuorum`], and the
+    /// Theorem 5.6 minimum for [`LinkAssumption::All`]. The result is `+∞`
+    /// exactly when the observations place no constraint on how far `q`
+    /// may be shifted away from `p`.
     pub fn estimated_mls(&self, evidence: &LinkEvidence<'_>) -> ExtRatio {
         match self {
             LinkAssumption::Bounds {
@@ -308,24 +556,86 @@ impl LinkAssumption {
             }
             LinkAssumption::PairedRttBias { bound, window } => {
                 let nonneg: ExtRatio = evidence.forward.est_min.into();
-                let mut tightest: ExtRatio = Ext::PosInf;
-                for mf in evidence.forward_samples {
-                    for mb in evidence.backward_samples {
-                        if samples_paired(mf, mb, *window) {
-                            let term = (Ratio::from(*bound) + Ratio::from(mf.estimated_delay())
-                                - Ratio::from(mb.estimated_delay()))
-                                * Ratio::new(1, 2);
-                            tightest = tightest.min(Ext::Finite(term));
-                        }
-                    }
-                }
+                let tightest = match min_paired_gap(
+                    evidence.forward_samples,
+                    evidence.backward_samples,
+                    *window,
+                ) {
+                    Some(gap) => Ext::Finite(Ratio::new(bound.as_nanos() as i128 + gap, 2)),
+                    None => Ext::PosInf,
+                };
                 nonneg.min(tightest)
+            }
+            LinkAssumption::MarzulloQuorum {
+                forward,
+                backward,
+                max_faulty,
+            } => {
+                let intervals = offset_intervals(forward, backward, evidence);
+                let quorum = intervals.len().saturating_sub(*max_faulty);
+                if quorum == 0 {
+                    // Fewer votes than tolerated faults: every sample may
+                    // be lying, so the evidence constrains nothing.
+                    return Ext::PosInf;
+                }
+                match marzullo_fuse(&intervals, quorum) {
+                    Some((_, hi)) => ext_i128_to_ratio(hi),
+                    None => Ext::PosInf,
+                }
             }
             LinkAssumption::All(parts) => parts
                 .iter()
                 .map(|a| a.estimated_mls(evidence))
                 .min()
                 .expect("All() is never empty"),
+        }
+    }
+
+    /// Observability hook for the Marzullo estimator: the fusion's quorum
+    /// arithmetic and fused interval on the given evidence, or `None` when
+    /// this assumption (recursively, for [`LinkAssumption::All`]) contains
+    /// no [`LinkAssumption::MarzulloQuorum`] part. The fused interval is
+    /// over `Δ = o_q − o_p`, the far clock's offset relative to the near
+    /// one; its upper edge is the Marzullo part's `m̃ls(p,q)` contribution
+    /// and its negated lower edge the `m̃ls(q,p)` one.
+    pub fn fusion_stats(&self, evidence: &LinkEvidence<'_>) -> Option<MarzulloFusion> {
+        match self {
+            LinkAssumption::MarzulloQuorum {
+                forward,
+                backward,
+                max_faulty,
+            } => {
+                let intervals = offset_intervals(forward, backward, evidence);
+                let sources = intervals.len();
+                let quorum = sources.saturating_sub(*max_faulty);
+                let fused = if quorum == 0 {
+                    None
+                } else {
+                    marzullo_fuse(&intervals, quorum)
+                };
+                let (quorum_reached, fused_lo, fused_hi) = match fused {
+                    Some((lo, hi)) => (true, lo, hi),
+                    None => (false, Ext::NegInf, Ext::PosInf),
+                };
+                let discarded = if quorum_reached {
+                    intervals
+                        .iter()
+                        .filter(|(lo, hi)| *hi < fused_lo || fused_hi < *lo)
+                        .count()
+                } else {
+                    0
+                };
+                Some(MarzulloFusion {
+                    sources,
+                    quorum,
+                    quorum_reached,
+                    discarded,
+                    fused_lo,
+                    fused_hi,
+                })
+            }
+            LinkAssumption::All(parts) => parts.iter().find_map(|a| a.fusion_stats(evidence)),
+            _ => None,
         }
     }
 
@@ -367,6 +677,23 @@ impl LinkAssumption {
                     })
                 });
                 nonneg && within_bias
+            }
+            LinkAssumption::MarzulloQuorum {
+                forward: f_range,
+                backward: b_range,
+                max_faulty,
+            } => {
+                // Admissible iff the bounds hold for all but at most
+                // `max_faulty` messages (the tolerated faulty sources).
+                let violations = forward
+                    .iter()
+                    .filter(|m| !f_range.contains(m.delay))
+                    .count()
+                    + backward
+                        .iter()
+                        .filter(|m| !b_range.contains(m.delay))
+                        .count();
+                violations <= *max_faulty
             }
             LinkAssumption::All(parts) => parts.iter().all(|a| a.admits(forward, backward)),
         }
@@ -675,6 +1002,162 @@ mod tests {
         assert!(a.admits(&[rec(5, 0, 5)], &[rec(6, 10, 16)]));
         assert!(!a.admits(&[rec(5, 0, 5)], &[rec(9, 10, 19)])); // bias violated
         assert!(!a.admits(&[rec(11, 0, 11)], &[rec(10, 10, 20)])); // bound violated
+    }
+
+    fn fi(lo: i128, hi: i128) -> (Ext<i128>, Ext<i128>) {
+        (Ext::Finite(lo), Ext::Finite(hi))
+    }
+
+    #[test]
+    fn marzullo_sweep_counts_touching_intervals_as_overlapping() {
+        // [0,10] and [10,20] share exactly the point 10; with quorum 2 the
+        // consistent region is {10} ∪ [15,20], whose hull is [10,20].
+        let fused = marzullo_fuse(&[fi(0, 10), fi(10, 20), fi(15, 30)], 2).unwrap();
+        assert_eq!(fused, fi(10, 20));
+    }
+
+    #[test]
+    fn marzullo_sweep_all_disjoint_has_no_quorum() {
+        assert_eq!(marzullo_fuse(&[fi(0, 1), fi(10, 11), fi(20, 21)], 2), None);
+        // Quorum 1 is just the hull of the union.
+        assert_eq!(marzullo_fuse(&[fi(0, 1), fi(10, 11)], 1), Some(fi(0, 11)));
+    }
+
+    #[test]
+    fn marzullo_sweep_handles_infinite_edges() {
+        // Two lowers-only intervals keep the count up forever.
+        let fused = marzullo_fuse(
+            &[
+                (Ext::Finite(0), Ext::PosInf),
+                (Ext::Finite(5), Ext::PosInf),
+                fi(10, 20),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(fused, (Ext::Finite(5), Ext::PosInf));
+        // Two uppers-only intervals are active before any start event.
+        let fused = marzullo_fuse(
+            &[
+                (Ext::NegInf, Ext::Finite(5)),
+                (Ext::NegInf, Ext::Finite(3)),
+                fi(0, 10),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(fused, (Ext::NegInf, Ext::Finite(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum must be positive")]
+    fn marzullo_zero_quorum_panics() {
+        let _ = marzullo_fuse(&[fi(0, 1)], 0);
+    }
+
+    #[test]
+    fn marzullo_with_zero_faults_degenerates_to_bounds() {
+        // On jointly-consistent evidence the f = 0 fusion is the
+        // intersection of all sample intervals, which is exactly the
+        // Lemma 6.2 closed form in both orientations.
+        let range = DelayRange::new(Nanos::new(2), Nanos::new(10));
+        let bounds = LinkAssumption::symmetric_bounds(range);
+        let fused = LinkAssumption::marzullo_quorum(range, range, 0);
+        let fwd = far_samples(&[6, 9, 8]);
+        let bwd = far_samples(&[4, 7, 5]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        assert_eq!(fused.estimated_mls(&ev), bounds.estimated_mls(&ev));
+        assert_eq!(fused.estimated_mls(&ev), fin(3));
+        assert_eq!(
+            fused.reversed().estimated_mls(&ev.reversed()),
+            bounds.reversed().estimated_mls(&ev.reversed())
+        );
+        assert_eq!(fused.reversed().estimated_mls(&ev.reversed()), fin(1));
+    }
+
+    #[test]
+    fn marzullo_outvotes_a_faulty_sample() {
+        // Symmetric bounds [0,10]; honest samples estimate the offset in
+        // [−5,5], one wild forward sample (est 1000) claims [990,1000].
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(10));
+        let fused = LinkAssumption::marzullo_quorum(range, range, 1);
+        let strict = LinkAssumption::symmetric_bounds(range);
+        let fwd = far_samples(&[5, 1000]);
+        let bwd = far_samples(&[5]);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        // Reversed orientation: the wild sample drives the strict Bounds
+        // estimate to 10 − 1000 = −990, while the quorum fusion discards
+        // it and keeps the honest −(−5) = 5.
+        assert_eq!(strict.reversed().estimated_mls(&ev.reversed()), fin(-990));
+        assert_eq!(fused.reversed().estimated_mls(&ev.reversed()), fin(5));
+        assert_eq!(fused.estimated_mls(&ev), fin(5));
+
+        let stats = fused.fusion_stats(&ev).unwrap();
+        assert_eq!(stats.sources, 3);
+        assert_eq!(stats.quorum, 2);
+        assert!(stats.quorum_reached);
+        assert_eq!(stats.discarded, 1);
+        assert_eq!(stats.fused_lo, Ext::Finite(-5));
+        assert_eq!(stats.fused_hi, Ext::Finite(5));
+        // Conjunctions surface the stats of their Marzullo part.
+        let both = LinkAssumption::all(vec![strict.clone(), fused.clone()]);
+        assert_eq!(both.fusion_stats(&ev), Some(stats));
+        assert_eq!(strict.fusion_stats(&ev), None);
+    }
+
+    #[test]
+    fn marzullo_contradictory_evidence_is_unconstrained_not_an_error() {
+        // Three mutually disjoint claims with quorum 2: no offset is
+        // consistent with any two sources, so the estimator reports +∞
+        // (where strict Bounds would later surface a negative cycle).
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(1));
+        let fused = LinkAssumption::marzullo_quorum(range, range, 1);
+        let fwd = far_samples(&[0, 100, 200]);
+        let ev = LinkEvidence::from_samples(&fwd, &[]);
+        assert_eq!(fused.estimated_mls(&ev), Ext::PosInf);
+        let stats = fused.fusion_stats(&ev).unwrap();
+        assert!(!stats.quorum_reached);
+        assert_eq!(stats.discarded, 0);
+        assert_eq!((stats.fused_lo, stats.fused_hi), (Ext::NegInf, Ext::PosInf));
+    }
+
+    #[test]
+    fn marzullo_with_too_few_samples_is_unconstrained() {
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(10));
+        let fused = LinkAssumption::marzullo_quorum(range, range, 2);
+        let empty = LinkEvidence::from_samples(&[], &[]);
+        assert_eq!(fused.estimated_mls(&empty), Ext::PosInf);
+        // Two samples, two tolerated faults: still no quorum possible.
+        let fwd = far_samples(&[5, 6]);
+        let ev = LinkEvidence::from_samples(&fwd, &[]);
+        assert_eq!(fused.estimated_mls(&ev), Ext::PosInf);
+    }
+
+    #[test]
+    fn marzullo_extrema_only_is_false_and_reversal_roundtrips() {
+        let a = LinkAssumption::marzullo_quorum(
+            DelayRange::new(Nanos::new(1), Nanos::new(5)),
+            DelayRange::at_least(Nanos::new(2)),
+            1,
+        );
+        assert!(!a.extrema_only());
+        assert!(!LinkAssumption::all(vec![LinkAssumption::no_bounds(), a.clone()]).extrema_only());
+        assert_eq!(a.reversed().reversed(), a);
+    }
+
+    #[test]
+    fn admits_marzullo_tolerates_up_to_f_violations() {
+        let a = LinkAssumption::marzullo_quorum(
+            DelayRange::new(Nanos::ZERO, Nanos::new(10)),
+            DelayRange::new(Nanos::ZERO, Nanos::new(10)),
+            1,
+        );
+        assert!(a.admits(&[rec(5, 0, 5)], &[rec(6, 10, 16)]));
+        // One out-of-range message in either direction is tolerated…
+        assert!(a.admits(&[rec(50, 0, 50)], &[rec(6, 10, 16)]));
+        assert!(a.admits(&[rec(5, 0, 5)], &[rec(60, 10, 70)]));
+        // …two are not.
+        assert!(!a.admits(&[rec(50, 0, 50)], &[rec(60, 10, 70)]));
     }
 
     #[test]

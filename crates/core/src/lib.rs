@@ -80,7 +80,7 @@ mod online;
 mod shifts;
 mod synchronizer;
 
-pub use assumption::{DelayRange, LinkAssumption};
+pub use assumption::{marzullo_fuse, DelayRange, LinkAssumption, MarzulloFusion};
 pub use degradation::{classify_degradations, DegradationReason, LinkDegradation};
 pub use error::SyncError;
 pub use estimates::{

@@ -275,8 +275,10 @@ impl OnlineSynchronizer {
     ///
     /// Never changes any estimate: the per-link extrema are maintained
     /// incrementally and never recomputed from the retained samples, and
-    /// windowed-bias links (whose estimator scans the sample lists) are
-    /// left untouched — so every `m̃ls`, the cached closure, the cached
+    /// links whose estimator scans the full sample lists — windowed-bias
+    /// pairing and Marzullo quorum fusion, where every retained sample is
+    /// a *vote* and dropping one could flip the quorum — are left
+    /// untouched — so every `m̃ls`, the cached closure, the cached
     /// `A_max` certificates and all future outcomes are bit-identical to
     /// the uncompacted run. `tests/service.rs` proptests exactly that.
     pub fn compact_evidence(&mut self, window: usize) -> usize {
@@ -928,6 +930,37 @@ mod tests {
         // Later observations land on identical estimates too.
         online.observe_estimated_delay(P, Q, Nanos::new(400));
         assert!(online.outcome().unwrap().precision() <= before.precision());
+    }
+
+    #[test]
+    fn compaction_never_touches_interval_fusing_links() {
+        // Every retained sample on a Marzullo link is a quorum vote;
+        // dropping any could flip the fused interval, so compaction must
+        // skip the link entirely (the `extrema_only` gate).
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(1_000));
+        let net = Network::builder(2)
+            .link(P, Q, LinkAssumption::marzullo_quorum(range, range, 1))
+            .build();
+        let mut online = OnlineSynchronizer::new(net);
+        for i in 0..40i64 {
+            online.observe_message(
+                P,
+                Q,
+                ClockTime::from_nanos(100 * i),
+                ClockTime::from_nanos(100 * i + 500 + i),
+            );
+            online.observe_message(
+                Q,
+                P,
+                ClockTime::from_nanos(100 * i + 50),
+                ClockTime::from_nanos(100 * i + 550 - i),
+            );
+        }
+        let before = online.outcome().unwrap();
+        let retained = online.retained_samples();
+        assert_eq!(online.compact_evidence(4), 0);
+        assert_eq!(online.retained_samples(), retained);
+        assert_eq!(online.outcome().unwrap(), before);
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl Synchronizer {
     /// Attaches an observability recorder; each [`synchronize`] call then
     /// emits per-stage spans (`sync.local_estimates`,
     /// `sync.global_estimates` with the closure-kernel choice,
-    /// `sync.shifts`, `sync.degradations` — taxonomy in DESIGN.md §6).
+    /// `sync.shifts`, `sync.degradations` — taxonomy in DESIGN.md §6) and
+    /// a `sync.marzullo_fusion` event per interval-fusing link recording
+    /// the quorum size and how many sources the fusion discarded.
     /// Recording never changes the result: the outcome is a pure function
     /// of the views, bit-for-bit (see `tests/observability.rs`).
     ///
@@ -109,6 +111,7 @@ impl Synchronizer {
             span.field("n", views.len());
             let observations = views.link_observations();
             let local = estimated_local_shifts(&self.network, &observations);
+            self.record_fusions(&observations);
             (observations, local)
         };
         let (closure, chains) = global_estimates_traced(&local, &self.recorder)?;
@@ -127,6 +130,34 @@ impl Synchronizer {
             span.field("degraded_links", outcome.degradations().len());
         }
         Ok(outcome)
+    }
+
+    /// Emits one `sync.marzullo_fusion` event per link whose assumption
+    /// fuses per-source intervals, recording the quorum arithmetic (how
+    /// many sources voted, how many the quorum required, whether it was
+    /// reached) and how many sources the fused interval discarded as
+    /// outliers — the operator-visible trace of fault masking.
+    fn record_fusions(&self, observations: &clocksync_model::LinkObservations) {
+        use clocksync_obs::FieldValue;
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for (p, q, assumption) in self.network.links() {
+            let evidence = observations.evidence(p, q);
+            if let Some(stats) = assumption.fusion_stats(&evidence) {
+                self.recorder.event(
+                    "sync.marzullo_fusion",
+                    [
+                        ("p", FieldValue::from(p.index())),
+                        ("q", FieldValue::from(q.index())),
+                        ("sources", FieldValue::from(stats.sources)),
+                        ("quorum", FieldValue::from(stats.quorum)),
+                        ("quorum_reached", FieldValue::from(stats.quorum_reached)),
+                        ("discarded", FieldValue::from(stats.discarded)),
+                    ],
+                );
+            }
+        }
     }
 }
 
@@ -667,5 +698,62 @@ mod tests {
         let outcome = Synchronizer::new(net).synchronize(&views).unwrap();
         assert_eq!(outcome.precision(), fin(0));
         assert!(outcome.corrections().is_empty());
+    }
+
+    #[test]
+    fn marzullo_links_emit_a_fusion_event_with_quorum_arithmetic() {
+        use clocksync_obs::{FieldValue, Recorder};
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(100));
+        let net = Network::builder(2)
+            .link(P, Q, LinkAssumption::marzullo_quorum(range, range, 1))
+            .build();
+        let exec = ExecutionBuilder::new(2)
+            .message(P, Q, RealTime::from_nanos(1_000), Nanos::new(40))
+            .message(P, Q, RealTime::from_nanos(2_000), Nanos::new(50))
+            .message(Q, P, RealTime::from_nanos(3_000), Nanos::new(40))
+            .build()
+            .unwrap();
+        let recorder = Recorder::enabled();
+        Synchronizer::new(net)
+            .with_recorder(recorder.clone())
+            .synchronize(exec.views())
+            .unwrap();
+        let trace = recorder.snapshot();
+        let events: Vec<_> = trace.events_named("sync.marzullo_fusion").collect();
+        assert_eq!(events.len(), 1, "one fusing link, one event");
+        let field = |key: &str| {
+            events[0]
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert!(matches!(field("sources"), FieldValue::Int(3)));
+        assert!(matches!(field("quorum"), FieldValue::Int(2)));
+        assert!(matches!(field("quorum_reached"), FieldValue::Bool(true)));
+        assert!(matches!(field("discarded"), FieldValue::Int(0)));
+    }
+
+    #[test]
+    fn non_fusing_links_emit_no_fusion_event() {
+        let recorder = clocksync_obs::Recorder::enabled();
+        let net = Network::builder(2)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(100))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(2)
+            .message(P, Q, RealTime::from_nanos(1_000), Nanos::new(40))
+            .message(Q, P, RealTime::from_nanos(2_000), Nanos::new(40))
+            .build()
+            .unwrap();
+        Synchronizer::new(net)
+            .with_recorder(recorder.clone())
+            .synchronize(exec.views())
+            .unwrap();
+        let trace = recorder.snapshot();
+        assert_eq!(trace.events_named("sync.marzullo_fusion").count(), 0);
     }
 }

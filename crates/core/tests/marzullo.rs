@@ -1,0 +1,242 @@
+//! Property tests for the Marzullo quorum fusion estimator and the
+//! two-pointer `PairedRttBias` scan.
+//!
+//! The fusion oracle is the subset formulation: a point is consistent with
+//! a quorum iff some quorum-sized subset of sample intervals contains it,
+//! so the fused interval must equal the hull over all quorum-sized subsets
+//! of their (nonempty) intersections — never looser than the loosest
+//! honest subset's bound, and never tighter than the tightest one allows.
+//! The paired-bias oracle is the original quadratic all-pairs scan.
+
+use clocksync::{DelayRange, LinkAssumption};
+use clocksync_model::{LinkEvidence, MsgSample};
+use clocksync_time::{ClockTime, Ext, ExtRatio, Nanos, Ratio};
+use proptest::prelude::*;
+
+fn sample(send: i64, est: i64) -> MsgSample {
+    MsgSample {
+        send_clock: ClockTime::from_nanos(send),
+        recv_clock: ClockTime::from_nanos(send + est),
+    }
+}
+
+/// The retired quadratic scan, kept as the equivalence oracle: every
+/// (forward, backward) pair whose clock readings at a common endpoint are
+/// within the window contributes `(b + d̃_f − d̃_b)/2`.
+fn brute_paired_mls(bound: Nanos, window: Nanos, fwd: &[MsgSample], bwd: &[MsgSample]) -> ExtRatio {
+    let ev = LinkEvidence::from_samples(fwd, bwd);
+    let nonneg: ExtRatio = ev.forward.est_min.into();
+    let mut tightest: ExtRatio = Ext::PosInf;
+    for mf in fwd {
+        for mb in bwd {
+            let paired = (mf.send_clock - mb.recv_clock).abs() <= window
+                || (mf.recv_clock - mb.send_clock).abs() <= window;
+            if paired {
+                let term = (Ratio::from(bound) + Ratio::from(mf.estimated_delay())
+                    - Ratio::from(mb.estimated_delay()))
+                    * Ratio::new(1, 2);
+                tightest = tightest.min(Ext::Finite(term));
+            }
+        }
+    }
+    nonneg.min(tightest)
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<MsgSample>> {
+    proptest::collection::vec(
+        (-1_000_000_000i64..1_000_000_000, -1_000_000i64..1_000_000),
+        0..24,
+    )
+    .prop_map(|raw| raw.into_iter().map(|(s, e)| sample(s, e)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The sorted two-pointer window join must agree exactly with the
+    /// quadratic all-pairs scan it replaced, on every orientation.
+    #[test]
+    fn paired_bias_two_pointer_matches_brute_force(
+        fwd in samples_strategy(),
+        bwd in samples_strategy(),
+        bound in 1i64..5_000_000,
+        window in 1i64..2_000_000_000,
+    ) {
+        let a = LinkAssumption::paired_rtt_bias(Nanos::new(bound), Nanos::new(window));
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        prop_assert_eq!(
+            a.estimated_mls(&ev),
+            brute_paired_mls(Nanos::new(bound), Nanos::new(window), &fwd, &bwd)
+        );
+        prop_assert_eq!(
+            a.reversed().estimated_mls(&ev.reversed()),
+            brute_paired_mls(Nanos::new(bound), Nanos::new(window), &bwd, &fwd)
+        );
+    }
+}
+
+type ExtI = Ext<i128>;
+
+/// The offset interval (`Δ = o_q − o_p` space) each sample pins, derived
+/// independently of the implementation under test.
+fn intervals_for(
+    forward: &DelayRange,
+    backward: &DelayRange,
+    fwd: &[MsgSample],
+    bwd: &[MsgSample],
+) -> Vec<(ExtI, ExtI)> {
+    let mut out = Vec::new();
+    for m in fwd {
+        let d = m.estimated_delay().as_nanos() as i128;
+        let lo = match forward.upper() {
+            Ext::Finite(hi) => Ext::Finite(d - hi.as_nanos() as i128),
+            _ => Ext::NegInf,
+        };
+        out.push((lo, Ext::Finite(d - forward.lower().as_nanos() as i128)));
+    }
+    for m in bwd {
+        let d = m.estimated_delay().as_nanos() as i128;
+        let hi = match backward.upper() {
+            Ext::Finite(hi) => Ext::Finite(hi.as_nanos() as i128 - d),
+            _ => Ext::PosInf,
+        };
+        out.push((Ext::Finite(backward.lower().as_nanos() as i128 - d), hi));
+    }
+    out
+}
+
+/// The subset oracle: hull over all quorum-sized subsets with nonempty
+/// intersection of that intersection, or `None` when no such subset
+/// exists.
+fn subset_hull(intervals: &[(ExtI, ExtI)], quorum: usize) -> Option<(ExtI, ExtI)> {
+    let k = intervals.len();
+    if quorum == 0 || quorum > k {
+        return None;
+    }
+    let mut hull: Option<(ExtI, ExtI)> = None;
+    for mask in 0u32..(1 << k) {
+        if mask.count_ones() as usize != quorum {
+            continue;
+        }
+        let mut lo: ExtI = Ext::NegInf;
+        let mut hi: ExtI = Ext::PosInf;
+        for (i, &(ilo, ihi)) in intervals.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                lo = lo.max(ilo);
+                hi = hi.min(ihi);
+            }
+        }
+        if lo <= hi {
+            hull = Some(match hull {
+                None => (lo, hi),
+                Some((hlo, hhi)) => (hlo.min(lo), hhi.max(hi)),
+            });
+        }
+    }
+    hull
+}
+
+fn ext_ratio(x: ExtI) -> ExtRatio {
+    x.map(Ratio::from_int)
+}
+
+fn range_strategy() -> impl Strategy<Value = DelayRange> {
+    (0i64..1_000, 0i64..10_000, any::<bool>()).prop_map(|(lo, width, unbounded)| {
+        if unbounded {
+            DelayRange::at_least(Nanos::new(lo))
+        } else {
+            DelayRange::new(Nanos::new(lo), Nanos::new(lo + width))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Fused-never-looser-than-any-honest-subset, in its exact form: the
+    /// fused interval equals the hull of all quorum-consistent subset
+    /// intersections, in both orientations, and `fusion_stats` reports
+    /// the same edges.
+    #[test]
+    fn fused_interval_equals_the_subset_hull(
+        forward in range_strategy(),
+        backward in range_strategy(),
+        fwd_ests in proptest::collection::vec(-1_000_000i64..1_000_000, 0..6),
+        bwd_ests in proptest::collection::vec(-1_000_000i64..1_000_000, 0..6),
+        max_faulty in 0usize..3,
+    ) {
+        let fwd: Vec<MsgSample> =
+            fwd_ests.iter().enumerate().map(|(i, &e)| sample(i as i64 * 1_000, e)).collect();
+        let bwd: Vec<MsgSample> =
+            bwd_ests.iter().enumerate().map(|(i, &e)| sample(i as i64 * 1_000, e)).collect();
+        let a = LinkAssumption::marzullo_quorum(forward, backward, max_faulty);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let intervals = intervals_for(&forward, &backward, &fwd, &bwd);
+        let quorum = intervals.len().saturating_sub(max_faulty);
+        let hull = if quorum == 0 { None } else { subset_hull(&intervals, quorum) };
+
+        let mls_pq = a.estimated_mls(&ev);
+        let mls_qp = a.reversed().estimated_mls(&ev.reversed());
+        match hull {
+            None => {
+                prop_assert_eq!(mls_pq, Ext::PosInf);
+                prop_assert_eq!(mls_qp, Ext::PosInf);
+            }
+            Some((lo, hi)) => {
+                prop_assert_eq!(mls_pq, ext_ratio(hi));
+                // Reversing the orientation negates every interval, so
+                // m̃ls(q,p) is the negated lower edge.
+                prop_assert_eq!(mls_qp, -ext_ratio(lo));
+                let stats = a.fusion_stats(&ev).unwrap();
+                prop_assert!(stats.quorum_reached);
+                prop_assert_eq!((stats.fused_lo, stats.fused_hi), (lo, hi));
+            }
+        }
+    }
+
+    /// Soundness under faults: when all but at most `max_faulty` samples
+    /// are honest (true delay inside the declared range) the true offset
+    /// always lies inside the fused interval, no matter what the faulty
+    /// samples claim.
+    #[test]
+    fn fused_interval_contains_the_true_offset(
+        offset in -1_000_000i64..1_000_000,
+        honest_fwd in proptest::collection::vec(0i64..10_000, 1..5),
+        honest_bwd in proptest::collection::vec(0i64..10_000, 1..5),
+        faulty_ests in proptest::collection::vec((-2_000_000i64..2_000_000, any::<bool>()), 0..3),
+    ) {
+        let range = DelayRange::new(Nanos::ZERO, Nanos::new(10_000));
+        // Honest samples observe d̃ = d + Δ forward, d̃ = d − Δ backward.
+        let mut fwd: Vec<MsgSample> = honest_fwd
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| sample(i as i64 * 1_000, d + offset))
+            .collect();
+        let mut bwd: Vec<MsgSample> = honest_bwd
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| sample(i as i64 * 1_000, d - offset))
+            .collect();
+        for (est, to_fwd) in &faulty_ests {
+            if *to_fwd {
+                fwd.push(sample(0, *est));
+            } else {
+                bwd.push(sample(0, *est));
+            }
+        }
+        let a = LinkAssumption::marzullo_quorum(range, range, faulty_ests.len());
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let stats = a.fusion_stats(&ev).unwrap();
+        // Every honest interval contains Δ and there are ≥ quorum of
+        // them, so the quorum is always reached and the hull covers Δ.
+        prop_assert!(stats.quorum_reached);
+        let delta = Ext::Finite(offset as i128);
+        prop_assert!(stats.fused_lo <= delta && delta <= stats.fused_hi);
+        // And m̃ls stays sound for the shift oracle: Δ ≤ m̃ls(p,q),
+        // −Δ ≤ m̃ls(q,p).
+        let pq = a.estimated_mls(&ev);
+        let qp = a.reversed().estimated_mls(&ev.reversed());
+        prop_assert!(Ext::Finite(Ratio::from_int(offset as i128)) <= pq);
+        prop_assert!(Ext::Finite(Ratio::from_int(-offset as i128)) <= qp);
+    }
+}

@@ -5,13 +5,32 @@
 //! and garbage-collects messages whose evidence is *dominated*: a message
 //! is dominated when it is neither the `d̃min` nor the `d̃max` witness of
 //! its directed link and it has fallen out of the link's recency window.
-//! Because the §6 estimators depend on the views only through the per-link
-//! estimated-delay extrema (Lemmas 6.2/6.5), dropping dominated messages
-//! never changes any `m̃ls` — the never-loosens invariant the retention
-//! policy of the service is built on. The extremal witnesses are *never*
-//! dropped, so a view set materialized from the window yields bit-identical
-//! link extrema to the full history (`tests/service.rs` checks the
-//! resulting `SyncOutcome` is bit-identical too).
+//! Because the *extrema-only* §6 estimators depend on the views only
+//! through the per-link estimated-delay extrema (Lemmas 6.2/6.5), dropping
+//! dominated messages never changes any `m̃ls` — the never-loosens
+//! invariant the retention policy of the service is built on. The extremal
+//! witnesses are *never* dropped, so a view set materialized from the
+//! window yields bit-identical link extrema to the full history
+//! (`tests/service.rs` checks the resulting `SyncOutcome` is bit-identical
+//! too).
+//!
+//! # The compaction contract
+//!
+//! Extrema-witness retention is sound **only** for estimators that are
+//! extrema-only (`LinkAssumption::extrema_only()` in `clocksync`):
+//! delay bounds, RTT bias, and no-bounds links. Estimators that read the
+//! full sample lists — windowed RTT-bias *pairing*, and Marzullo *quorum
+//! fusion*, where every retained sample is one vote and dropping a vote
+//! can flip which interval reaches the quorum — must keep every sample.
+//! For those links the evidence of record is the synchronizer's own
+//! per-link sample store, and `OnlineSynchronizer::compact_evidence`
+//! skips them via the `extrema_only` gate (its
+//! `compaction_never_touches_interval_fusing_links` test pins this down).
+//! A [`ViewWindow`] is therefore a *witness cache* for the extrema-only
+//! fragment of a domain, not a general evidence store: callers that
+//! declare sample-scanning assumptions must size the window's GC policy
+//! so those links' messages stay inside the recency window, or bypass GC
+//! for them entirely.
 //!
 //! Deletion is incremental: dropping a message tombstones its slot in
 //! `O(1)` and the slot vector is compacted only once the tombstones
@@ -418,6 +437,36 @@ mod tests {
         assert_eq!(obs.estimated_max(P, Q), Ext::Finite(Nanos::new(90)));
         // A second tick with nothing new is a no-op.
         assert_eq!(w.gc_dominated(2), 0);
+    }
+
+    #[test]
+    fn recency_window_bounds_what_fusion_callers_may_rely_on() {
+        // The compaction contract (module docs): a caller with
+        // sample-scanning assumptions may rely on exactly the last
+        // `window` messages per directed link surviving every GC tick —
+        // no fewer (they are never dropped, even when dominated), and
+        // anything older than that is fair game unless it is an extremal
+        // witness.
+        let mut w = ViewWindow::new(2);
+        for i in 0..20u64 {
+            // Strictly decreasing delays: each new message is the min
+            // witness, so older ones are dominated as soon as they leave
+            // the recency window.
+            let send = 100 * i as i64;
+            w.push(msg(i, P, Q, send, send + 100 - i as i64)).unwrap();
+        }
+        w.gc_dominated(5);
+        // The 5 most recent survive verbatim...
+        for i in 15..20u64 {
+            assert!(w.contains(MessageId(i)), "recent vote {i} dropped");
+        }
+        // ...plus the max witness (id 0; the min witness, id 19, is
+        // already inside the window). Everything else is gone: dominated
+        // history does NOT survive, which is why interval-fusing links
+        // must keep their evidence of record in the synchronizer's
+        // sample store rather than a GC'd window.
+        assert!(w.contains(MessageId(0)));
+        assert_eq!(w.live(), 6);
     }
 
     #[test]

@@ -101,12 +101,30 @@ impl LinkConfig {
 }
 
 /// What the harness concluded about one link after a run.
+///
+/// The states form the four-tier downgrade lattice
+/// `bounds → rtt-bias → marzullo-quorum → no-bounds` (plus the terminal
+/// `dropped`): each tier trusts strictly less of the link's declaration
+/// than the one before it, and every tier's replacement assumption stays
+/// truthful for the messages the harness actually delivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LinkState {
     /// Every probe round completed within its deadline; the link keeps its
     /// declared delay bounds.
     Healthy,
-    /// At least one probe round exhausted its retries but others
+    /// A small fraction of rounds failed (< 1/4). Per-direction bounds are
+    /// no longer trusted, but the round-trip *bias* implied by them is
+    /// (Lemma 6.5): the link degrades to
+    /// [`LinkAssumption::rtt_bias`] with the widest bias its declared
+    /// ranges allow.
+    RttBias,
+    /// A moderate fraction of rounds failed (< 1/2). The declared bounds
+    /// are kept only as *per-sample votes*: the link degrades to
+    /// [`LinkAssumption::marzullo_quorum`] tolerating as many faulty
+    /// samples as rounds failed, conjoined with the no-bounds floor so the
+    /// estimate is never looser than the next tier down.
+    MarzulloQuorum,
+    /// Half or more of the rounds exhausted their retries but some
     /// succeeded. The link stays in the network **downgraded to the
     /// no-bounds assumption** (Corollary 6.4): delivered messages are
     /// still real evidence, but the declared bounds are no longer
@@ -121,6 +139,8 @@ impl std::fmt::Display for LinkState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinkState::Healthy => write!(f, "healthy"),
+            LinkState::RttBias => write!(f, "rtt-bias"),
+            LinkState::MarzulloQuorum => write!(f, "marzullo-quorum"),
             LinkState::NoBounds => write!(f, "no-bounds"),
             LinkState::Dropped => write!(f, "dropped"),
         }
@@ -151,16 +171,24 @@ pub struct LinkHealth {
 }
 
 impl LinkHealth {
-    /// The degradation rule: no completed round → the link is dead; some
-    /// failed rounds → keep it but stop trusting its bounds; otherwise
-    /// healthy.
+    /// The degradation rule: no completed round → the link is dead; no
+    /// failed round → healthy; otherwise the failure *rate* picks the
+    /// lattice tier — under 1/4 of rounds failed keeps the bias promise
+    /// ([`LinkState::RttBias`]), under 1/2 keeps the bounds as quorum
+    /// votes ([`LinkState::MarzulloQuorum`]), and anything worse trusts
+    /// nothing but message correspondence ([`LinkState::NoBounds`]).
     fn classify(rounds_ok: usize, rounds_failed: usize) -> LinkState {
+        let total = rounds_ok + rounds_failed;
         if rounds_ok == 0 {
             LinkState::Dropped
-        } else if rounds_failed > 0 {
-            LinkState::NoBounds
-        } else {
+        } else if rounds_failed == 0 {
             LinkState::Healthy
+        } else if rounds_failed * 4 <= total {
+            LinkState::RttBias
+        } else if rounds_failed * 2 <= total {
+            LinkState::MarzulloQuorum
+        } else {
+            LinkState::NoBounds
         }
     }
 }
@@ -365,14 +393,51 @@ impl ClusterConfig {
     }
 
     /// The degraded network implied by per-link health: healthy links keep
-    /// their bounds, `NoBounds` links keep only message correspondence
-    /// (Corollary 6.4), dropped links disappear.
+    /// their bounds, `RttBias` links keep only the bias their declared
+    /// ranges imply (Lemma 6.5), `MarzulloQuorum` links keep the bounds as
+    /// per-sample quorum votes tolerating as many faulty samples as rounds
+    /// failed, `NoBounds` links keep only message correspondence
+    /// (Corollary 6.4), and dropped links disappear.
+    ///
+    /// Every replacement stays truthful for the delivered traffic: the
+    /// harness' fault injection loses messages but never corrupts a
+    /// delivered delay, so delays always lie inside the declared (margin-
+    /// widened) ranges, which entails both the bias bound and a zero count
+    /// of out-of-range quorum votes.
     fn degraded_network(&self, health: &[LinkHealth]) -> Network {
         let mut b = Network::builder(self.n);
         for (h, &(a, c, cfg)) in health.iter().zip(&self.links) {
             match h.state {
                 LinkState::Healthy => {
                     b = b.link(ProcessorId(a), ProcessorId(c), cfg.assumption(self.margin));
+                }
+                LinkState::RttBias => {
+                    // |d_f − d_b| ≤ max(hi_f + margin − lo_b, hi_b + margin
+                    // − lo_f) for delays inside the declared ranges; the
+                    // clamp keeps the constructor's positivity axiom when
+                    // both ranges are points.
+                    let bias = (cfg.fwd_hi + self.margin - cfg.bwd_lo)
+                        .max(cfg.bwd_hi + self.margin - cfg.fwd_lo)
+                        .max(Nanos::new(1));
+                    b = b.link(
+                        ProcessorId(a),
+                        ProcessorId(c),
+                        LinkAssumption::rtt_bias(bias),
+                    );
+                }
+                LinkState::MarzulloQuorum => {
+                    let fused = LinkAssumption::marzullo_quorum(
+                        DelayRange::new(cfg.fwd_lo, cfg.fwd_hi + self.margin),
+                        DelayRange::new(cfg.bwd_lo, cfg.bwd_hi + self.margin),
+                        h.rounds_failed,
+                    );
+                    // The no-bounds conjunct floors the estimate at the
+                    // next tier down, so more evidence never hurts.
+                    b = b.link(
+                        ProcessorId(a),
+                        ProcessorId(c),
+                        LinkAssumption::all(vec![fused, LinkAssumption::no_bounds()]),
+                    );
                 }
                 LinkState::NoBounds => {
                     b = b.link(ProcessorId(a), ProcessorId(c), LinkAssumption::no_bounds());
@@ -824,8 +889,9 @@ impl ClusterConfig {
 pub struct NetRun {
     /// The network the synchronizer is told about, **after** degradation:
     /// links whose probe rounds all failed are gone, links with partial
-    /// failures carry only the no-bounds assumption. The intended network
-    /// is [`ClusterConfig::network`].
+    /// failures carry the weakened assumption their failure rate earns on
+    /// the `bounds → rtt-bias → marzullo-quorum → no-bounds` lattice (see
+    /// [`LinkState`]). The intended network is [`ClusterConfig::network`].
     pub network: Network,
     /// Measured execution (views + true thread start times).
     pub execution: Execution,
@@ -1045,8 +1111,64 @@ mod tests {
     fn degradation_classification_rules() {
         assert_eq!(LinkHealth::classify(0, 0), LinkState::Dropped);
         assert_eq!(LinkHealth::classify(0, 3), LinkState::Dropped);
-        assert_eq!(LinkHealth::classify(2, 1), LinkState::NoBounds);
         assert_eq!(LinkHealth::classify(4, 0), LinkState::Healthy);
+        // Failure rate picks the tier: ≤ 1/4 → rtt-bias, ≤ 1/2 →
+        // marzullo-quorum, worse → no-bounds.
+        assert_eq!(LinkHealth::classify(3, 1), LinkState::RttBias);
+        assert_eq!(LinkHealth::classify(12, 4), LinkState::RttBias);
+        assert_eq!(LinkHealth::classify(2, 1), LinkState::MarzulloQuorum);
+        assert_eq!(LinkHealth::classify(2, 2), LinkState::MarzulloQuorum);
+        assert_eq!(LinkHealth::classify(1, 2), LinkState::NoBounds);
+        assert_eq!(LinkHealth::classify(1, 30), LinkState::NoBounds);
+    }
+
+    #[test]
+    fn every_degraded_tier_is_admissible_and_monotone() {
+        // Build one run, then reinterpret its single link under every
+        // lattice tier: each tier's replacement assumption must admit the
+        // true execution (truthfulness), and the estimates must respect
+        // the lattice's partial order — full bounds are the tightest,
+        // no-bounds the loosest, and both intermediate tiers sit between
+        // them (the two middles are mutually incomparable: which is
+        // tighter depends on the failure count and the evidence).
+        let config = ClusterConfig::new(2)
+            .link(
+                0,
+                1,
+                LinkConfig::uniform(Nanos::from_micros(100), Nanos::from_millis(1)),
+            )
+            .probes(4);
+        let run = config.run(17);
+        let mut health = run.health.clone();
+        let observations = run.execution.views().link_observations();
+        let mls_at = |health: &[LinkHealth]| {
+            let net = config.degraded_network(health);
+            assert!(
+                net.admits(&run.execution),
+                "{} must stay truthful",
+                health[0].state
+            );
+            clocksync::estimated_local_shifts(&net, &observations)[(0, 1)]
+        };
+        health[0].state = LinkState::Healthy;
+        let healthy = mls_at(&health);
+        health[0].state = LinkState::RttBias;
+        let rtt_bias = mls_at(&health);
+        health[0].state = LinkState::MarzulloQuorum;
+        health[0].rounds_failed = 1;
+        let marzullo = mls_at(&health);
+        health[0].state = LinkState::NoBounds;
+        let no_bounds = mls_at(&health);
+        assert!(healthy <= rtt_bias && rtt_bias <= no_bounds);
+        assert!(healthy <= marzullo && marzullo <= no_bounds);
+        // And the Marzullo tier must actually carry a fusion.
+        health[0].state = LinkState::MarzulloQuorum;
+        let net = config.degraded_network(&health);
+        let (_, _, a) = net.links().next().unwrap();
+        let ev = observations.evidence(ProcessorId(0), ProcessorId(1));
+        let stats = a.fusion_stats(&ev).expect("marzullo tier has a fusion");
+        assert!(stats.quorum_reached);
+        assert_eq!(stats.discarded, 0, "honest traffic is never discarded");
     }
 
     #[test]

@@ -81,6 +81,20 @@ pub fn widen_assumption(a: &LinkAssumption, margin: Nanos) -> LinkAssumption {
         LinkAssumption::PairedRttBias { bound, window } => {
             LinkAssumption::paired_rtt_bias(*bound + margin * 2, *window + margin)
         }
+        LinkAssumption::MarzulloQuorum {
+            forward,
+            backward,
+            max_faulty,
+        } => {
+            let widen = |r: &DelayRange| {
+                let lower = (r.lower() - margin).max(Nanos::ZERO);
+                match r.upper() {
+                    Ext::Finite(ub) => DelayRange::new(lower, ub + margin),
+                    _ => DelayRange::at_least(lower),
+                }
+            };
+            LinkAssumption::marzullo_quorum(widen(forward), widen(backward), *max_faulty)
+        }
         LinkAssumption::All(parts) => {
             LinkAssumption::all(parts.iter().map(|p| widen_assumption(p, margin)).collect())
         }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod gen;
+mod marzullo;
 mod rng;
 pub mod runner;
 mod scenario;
@@ -44,6 +45,7 @@ mod shrink;
 mod world;
 
 pub use gen::generate;
+pub use marzullo::{fuzz_marzullo, MarzulloFailure};
 pub use rng::VoprRng;
 pub use runner::{run_scenario, with_quiet_panics, Failure, RunReport, DOMAIN};
 pub use scenario::{Event, Scenario, SCENARIO_VERSION};

@@ -29,7 +29,15 @@
 //! * **sparse-equals-dense** — the sparse Johnson and hierarchical
 //!   closure kernels must produce bit-identical distances (and agree on
 //!   negative-cycle detection) with the dense blocked kernel on the
-//!   scaled local-estimate matrix, every sweep.
+//!   scaled local-estimate matrix, every sweep;
+//! * **marzullo-honest-subset** — refusing the accumulated evidence
+//!   through quorum fusion (at `f ∈ {0, 1, 2}` assumed faults, even
+//!   though every delivered sample is honest w.r.t. the widened bounds)
+//!   must (a) reach its quorum and keep the true base offset difference
+//!   inside the fused interval, (b) degenerate bit-exactly to the
+//!   Lemma 6.2 bounds estimator at `f = 0`, and (c) never be looser than
+//!   the hull of what the honest quorum-sized sample subsets allow
+//!   (checked by exhaustive subset enumeration on small links).
 //!
 //! Everything journaled is computed (no wall-clock), so two runs of the
 //! same scenario emit byte-identical [`Journal`]s — the property the
@@ -42,7 +50,7 @@ use clocksync::{
     BatchObservation, DelayRange, LinkAssumption, Network, OnlineSynchronizer, SyncOutcome,
 };
 use clocksync_graph::SquareMatrix;
-use clocksync_model::ProcessorId;
+use clocksync_model::{LinkEvidence, MsgSample, ProcessorId};
 use clocksync_obs::{Journal, Json};
 use clocksync_service::{ConcurrentService, ObservationBatch, ServiceConfig, SyncService};
 use clocksync_sim::FaultPlan;
@@ -170,6 +178,48 @@ fn effective_links(s: &Scenario, margin: i64) -> BTreeMap<(usize, usize), (i64, 
         }
     }
     links
+}
+
+/// The hull of the plain (`f = 0`, i.e. intersection) fusions of every
+/// `keep`-sized subset of a link's samples — the strongest interval a
+/// fault-aware fuser may claim when any `keep` of the sources could be
+/// the honest ones. `None` when no subset is internally consistent.
+pub(crate) fn honest_subset_hull(
+    range: DelayRange,
+    fwd: &[MsgSample],
+    bwd: &[MsgSample],
+    keep: usize,
+) -> Option<(Ext<i128>, Ext<i128>)> {
+    let k = fwd.len() + bwd.len();
+    debug_assert!(k <= 16, "subset enumeration is exponential in k");
+    let strict = LinkAssumption::marzullo_quorum(range, range, 0);
+    let mut hull: Option<(Ext<i128>, Ext<i128>)> = None;
+    for mask in 0u32..(1u32 << k) {
+        if mask.count_ones() as usize != keep {
+            continue;
+        }
+        let sub_fwd: Vec<MsgSample> = fwd
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let sub_bwd: Vec<MsgSample> = bwd
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i + fwd.len())) != 0)
+            .map(|(_, s)| *s)
+            .collect();
+        let ev = LinkEvidence::from_samples(&sub_fwd, &sub_bwd);
+        let stats = strict.fusion_stats(&ev)?;
+        if stats.quorum_reached {
+            hull = Some(match hull {
+                None => (stats.fused_lo, stats.fused_hi),
+                Some((lo, hi)) => (lo.min(stats.fused_lo), hi.max(stats.fused_hi)),
+            });
+        }
+    }
+    hull
 }
 
 struct Runner<'a> {
@@ -847,6 +897,7 @@ impl Runner<'_> {
         self.check_agreement(&outcome)?;
         self.check_monotone(&outcome)?;
         self.check_sparse_kernels()?;
+        self.check_marzullo()?;
 
         if checkpoint {
             self.journal.record(Json::object([
@@ -973,6 +1024,102 @@ impl Runner<'_> {
                         hier.is_ok(),
                     ),
                 ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-reads every link's accumulated evidence through Marzullo quorum
+    /// fusion over the same widened declared range the network was built
+    /// with. Every delivered sample is honest with respect to that range
+    /// (the perturbation budget is absorbed into the widening), so for any
+    /// assumed fault count `f` with at least one honest vote left:
+    ///
+    /// * the quorum must be reached and the fused interval must contain
+    ///   the true base offset difference (soundness under fault overlays);
+    /// * at `f = 0` the fused `m̃ls` must equal the Lemma 6.2 bounds
+    ///   estimator bit-for-bit in both orientations (degeneracy);
+    /// * the fused interval must equal — in particular never be looser
+    ///   than — the hull of the intersections of all quorum-sized sample
+    ///   subsets, each of which is an honest subset here (checked by
+    ///   exhaustive enumeration when the link holds ≤ 10 samples).
+    fn check_marzullo(&self) -> Result<(), (String, String)> {
+        const ORACLE: &str = "marzullo-honest-subset";
+        let margin = self.scenario.margin.clamp(0, MAX_MARGIN);
+        for (&(a, b), &(lo, hi)) in &self.links {
+            let (p, q) = (ProcessorId(a), ProcessorId(b));
+            let evidence = self.online.observations().evidence(p, q);
+            let fwd = evidence.forward_samples;
+            let bwd = evidence.backward_samples;
+            let k = fwd.len() + bwd.len();
+            if k == 0 {
+                continue;
+            }
+            let widened = DelayRange::new(Nanos::new(lo - 2 * margin), Nanos::new(hi + 2 * margin));
+            let delta = i128::from(self.world.offset(b)) - i128::from(self.world.offset(a));
+            let bounds = LinkAssumption::symmetric_bounds(widened);
+            for f in 0..=2usize.min(k - 1) {
+                let fused = LinkAssumption::marzullo_quorum(widened, widened, f);
+                let Some(stats) = fused.fusion_stats(&evidence) else {
+                    return Err((ORACLE.into(), format!("link {a}-{b}: no fusion stats")));
+                };
+                if !stats.quorum_reached {
+                    return Err((
+                        ORACLE.into(),
+                        format!(
+                            "link {a}-{b}, f={f}: all {k} samples honest but the \
+                             quorum of {} was not reached",
+                            stats.quorum
+                        ),
+                    ));
+                }
+                if stats.fused_lo > Ext::Finite(delta) || Ext::Finite(delta) > stats.fused_hi {
+                    return Err((
+                        ORACLE.into(),
+                        format!(
+                            "link {a}-{b}, f={f}: fused interval [{:?}, {:?}] excludes \
+                             the true offset difference {delta}",
+                            stats.fused_lo, stats.fused_hi
+                        ),
+                    ));
+                }
+                if f == 0 {
+                    let (fm, bm) = (
+                        fused.estimated_mls(&evidence),
+                        bounds.estimated_mls(&evidence),
+                    );
+                    let rev = evidence.reversed();
+                    let (fr, br) = (
+                        fused.reversed().estimated_mls(&rev),
+                        bounds.reversed().estimated_mls(&rev),
+                    );
+                    if fm != bm || fr != br {
+                        return Err((
+                            ORACLE.into(),
+                            format!(
+                                "link {a}-{b}: f=0 fusion diverged from the bounds \
+                                 estimator: {} vs {} forward, {} vs {} reverse",
+                                ext_str(fm),
+                                ext_str(bm),
+                                ext_str(fr),
+                                ext_str(br),
+                            ),
+                        ));
+                    }
+                }
+                if f > 0 && k <= 10 {
+                    let hull = honest_subset_hull(widened, fwd, bwd, k - f);
+                    if hull != Some((stats.fused_lo, stats.fused_hi)) {
+                        return Err((
+                            ORACLE.into(),
+                            format!(
+                                "link {a}-{b}, f={f}: fused interval [{:?}, {:?}] differs \
+                                 from the honest-subset hull {hull:?}",
+                                stats.fused_lo, stats.fused_hi
+                            ),
+                        ));
+                    }
+                }
             }
         }
         Ok(())

@@ -1,11 +1,25 @@
 #!/usr/bin/env bash
 # Checks that every relative link in the repo's own markdown files points
-# at a file or directory that exists. External links (http/https/mailto)
-# and pure #fragment links are skipped; a `path#fragment` link is checked
-# for the path part only. Run from anywhere inside the repo.
+# at a file or directory that exists, and that every #fragment — pure
+# (`#section`) or qualified (`path.md#section`) — resolves to a real
+# heading anchor, computed GitHub-style (lowercase, punctuation dropped,
+# spaces to hyphens, `-N` suffixes for duplicates). External links
+# (http/https/mailto) are skipped. Run from anywhere inside the repo.
 set -euo pipefail
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+# GitHub-style anchors of every ATX heading in $1, one per line.
+anchors_of() {
+    grep -E '^#{1,6} ' "$1" | sed -E 's/^#{1,6}[[:space:]]+//' |
+        tr '[:upper:]' '[:lower:]' |
+        sed -E 's/[^a-z0-9 _-]//g; s/[[:space:]]+/-/g' |
+        awk '{ n = seen[$0]++; if (n) print $0 "-" n; else print $0 }'
+}
+
+has_anchor() {
+    anchors_of "$1" | grep -qxF "$2"
+}
 
 fail=0
 # The repo's own docs: exclude vendored/generated trees.
@@ -15,13 +29,30 @@ while IFS= read -r md; do
     # we care about; targets with spaces are not used in this repo.
     while IFS= read -r target; do
         case "$target" in
-        http://* | https://* | mailto:* | '#'*) continue ;;
+        http://* | https://* | mailto:*) continue ;;
         esac
         path=${target%%#*}
-        [ -z "$path" ] && continue
-        if [ ! -e "$dir/$path" ]; then
-            echo "$md: broken link -> $target"
-            fail=1
+        fragment=''
+        case "$target" in
+        *'#'*) fragment=${target#*#} ;;
+        esac
+        file=$md
+        if [ -n "$path" ]; then
+            if [ ! -e "$dir/$path" ]; then
+                echo "$md: broken link -> $target"
+                fail=1
+                continue
+            fi
+            file="$dir/$path"
+        fi
+        if [ -n "$fragment" ]; then
+            if [ ! -f "$file" ]; then
+                echo "$md: fragment on a non-file -> $target"
+                fail=1
+            elif ! has_anchor "$file" "$fragment"; then
+                echo "$md: broken anchor -> $target"
+                fail=1
+            fi
         fi
     done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
 done < <(git ls-files '*.md')
