@@ -31,6 +31,7 @@ pub fn run() -> Table {
             "drift(ppm)",
             "widening margin(us)",
             "cert(us)",
+            "cert@+60s(us)",
             "spread@sync(us)",
             "spread@+1s(us)",
             "spread@+60s(us)",
@@ -39,7 +40,8 @@ pub fn run() -> Table {
     for ppm in [0i64, 1, 10, 100] {
         // Median-ish over three seeds: report the middle seed's numbers
         // for determinism (the trend, not the noise, is the point).
-        let run = run_with_drift(&sim(), ppm, 1);
+        let run = run_with_drift(&sim(), ppm, 1).expect("truthful ring scenario synchronizes");
+        let cert = run.certificate();
         let t0 = run.sync_time();
         let spread = |r: &clocksync_sim::DriftRun, dt: i64| -> Ratio {
             r.logical_spread_at(t0 + Nanos::from_secs(dt))
@@ -48,6 +50,7 @@ pub fn run() -> Table {
             ppm.to_string(),
             format!("{:.2}", run.margin.as_micros_f64()),
             ext_us(run.outcome.precision()),
+            ext_us(cert.precision_at(t0 + Nanos::from_secs(60))),
             us(spread(&run, 0)),
             us(spread(&run, 1)),
             us(spread(&run, 60)),
@@ -68,14 +71,18 @@ mod tests {
         for r in &t.rows {
             let ppm: f64 = parse(&r[0]);
             if ppm == 0.0 {
-                // No drift: spread is frozen at the sync-time value.
-                assert!((parse(&r[3]) - parse(&r[5])).abs() < 1e-6, "{t}");
+                // No drift: spread is frozen at the sync-time value and
+                // the decayed certificate equals the sync-time one.
+                assert!((parse(&r[4]) - parse(&r[6])).abs() < 1e-6, "{t}");
+                assert!((parse(&r[2]) - parse(&r[3])).abs() < 1e-6, "{t}");
             } else {
-                // Drift: spread grows with elapsed time.
-                assert!(parse(&r[5]) >= parse(&r[4]), "{t}");
+                // Drift: spread grows with elapsed time, and the decaying
+                // certificate widens to keep covering it.
+                assert!(parse(&r[6]) >= parse(&r[5]), "{t}");
+                assert!(parse(&r[3]) > parse(&r[2]), "{t}");
             }
         }
         // 100 ppm for 60s is tens of ms; the last row must show it.
-        assert!(parse(&t.rows.last().unwrap()[5]) > 1_000.0, "{t}");
+        assert!(parse(&t.rows.last().unwrap()[6]) > 1_000.0, "{t}");
     }
 }

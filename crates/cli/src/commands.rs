@@ -196,6 +196,22 @@ pub fn render_sync(report: &SyncReport) -> Vec<String> {
     for (i, &x) in report.outcome.corrections().iter().enumerate() {
         out.push(format!("correction p{i}: {}", fmt_us(x)));
     }
+    for s in report.outcome.local_skews() {
+        out.push(format!(
+            "local skew p{}-p{}: {}",
+            s.a.index(),
+            s.b.index(),
+            fmt_ext(s.skew)
+        ));
+    }
+    if let Some(w) = report.outcome.worst_edge() {
+        out.push(format!(
+            "worst edge: p{}-p{} at {}",
+            w.a.index(),
+            w.b.index(),
+            fmt_ext(w.skew)
+        ));
+    }
     if let Some(err) = report.true_error {
         out.push(format!("true discrepancy (ground truth): {}", fmt_us(err)));
         let ok = Ext::Finite(err) <= report.outcome.precision();
@@ -341,6 +357,11 @@ mod tests {
         let lines = render_sync(&report);
         assert!(lines[0].starts_with("precision:"));
         assert!(lines.iter().any(|l| l.contains("guarantee honored: true")));
+        // A 3-path has two declared edges; each gets a local-skew line
+        // and the worst one is called out.
+        assert!(lines.iter().any(|l| l.starts_with("local skew p0-p1:")));
+        assert!(lines.iter().any(|l| l.starts_with("local skew p1-p2:")));
+        assert!(lines.iter().any(|l| l.starts_with("worst edge: ")));
         let explained = render_explain(&report, &run);
         assert!(explained.iter().any(|l| l.starts_with("component 0")));
         assert!(explained.iter().any(|l| l.contains("pair p0 vs p2")));

@@ -19,6 +19,7 @@
 //! clocksync vopr replay --file FILE [--journal FILE]
 //! clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
 //! clocksync vopr marzullo [--seed S] [--seeds N]
+//! clocksync vopr drift [--seed S] [--seeds N]
 //! ```
 
 use std::fs;
@@ -45,6 +46,7 @@ const USAGE: &str = "usage:
   clocksync vopr replay --file FILE [--journal FILE]
   clocksync vopr corpus [--dir DIR] [--budget N] [--seed S]
   clocksync vopr marzullo [--seed S] [--seeds N]
+  clocksync vopr drift [--seed S] [--seeds N]
 
 topologies: path ring star complete grid random
 models:     uniform (--lo-us --hi-us)
@@ -70,7 +72,10 @@ invariant oracles after every step, shrinks the first failure to a minimal
 reproducer (written to --repro) and prints its replay command; `replay`
 re-runs a saved scenario file; `corpus` replays tests/corpus/ plus fresh
 seeds and exits nonzero on any failure; `marzullo` deep-sweeps the quorum
-fusion estimator's honest-subset oracle over --seeds seeded instances. --journal FILE writes the
+fusion estimator's honest-subset oracle over --seeds seeded instances;
+`drift` deep-sweeps the bounded-drift workloads (no panics, bit-exact
+zero-drift degeneracy, decayed-certificate soundness under continuous
+resync with churn) over --seeds seeded instances. --journal FILE writes the
 byte-deterministic run journal (same seed => identical bytes).";
 
 /// A recorder wired to `--trace`: enabled only when the flag is present,
@@ -102,7 +107,7 @@ fn run() -> Result<(), String> {
     }
     if raw.len() >= 2
         && raw[0] == "vopr"
-        && ["run", "replay", "corpus", "marzullo"].contains(&raw[1].as_str())
+        && ["run", "replay", "corpus", "marzullo", "drift"].contains(&raw[1].as_str())
     {
         let folded = format!("vopr-{}", raw[1]);
         raw.splice(0..2, [folded]);
@@ -144,6 +149,17 @@ fn run() -> Result<(), String> {
                     .map(|r| Json::Float(r.to_f64()))
                     .collect();
                 let opt_f64 = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+                let skew_json = |s: &clocksync::LocalSkew| {
+                    Json::object([
+                        ("a", Json::Int(s.a.index() as i128)),
+                        ("b", Json::Int(s.b.index() as i128)),
+                        (
+                            "skew_ns",
+                            opt_f64(s.skew.finite().map(|r| r.to_f64())),
+                        ),
+                    ])
+                };
+                let local_skews = report.outcome.local_skews();
                 let body = Json::object([
                     (
                         "precision_ns",
@@ -153,6 +169,17 @@ fn run() -> Result<(), String> {
                     (
                         "true_error_ns",
                         opt_f64(report.true_error.map(|r| r.to_f64())),
+                    ),
+                    (
+                        "local_skew",
+                        Json::Array(local_skews.iter().map(skew_json).collect()),
+                    ),
+                    (
+                        "worst_edge",
+                        report
+                            .outcome
+                            .worst_edge()
+                            .map_or(Json::Null, |s| skew_json(&s)),
                     ),
                 ]);
                 println!("{}", clocksync_cli::json::to_string_pretty(&body));
@@ -381,6 +408,22 @@ fn run() -> Result<(), String> {
             }
             if failed {
                 Err("marzullo fusion oracle failure".to_string())
+            } else {
+                Ok(())
+            }
+        }
+        "vopr-drift" => {
+            let seed = args.get_u64("seed", 0)?;
+            let seeds = args.get_usize("seeds", 2_000)?;
+            if seeds == 0 {
+                return Err("flag --seeds: must be at least 1".to_string());
+            }
+            let (lines, failed) = clocksync_cli::vopr::drift(seed, seeds);
+            for line in &lines {
+                println!("{line}");
+            }
+            if failed {
+                Err("drift soundness oracle failure".to_string())
             } else {
                 Ok(())
             }

@@ -211,9 +211,39 @@ pub fn marzullo(base_seed: u64, seeds: usize) -> (Vec<String>, bool) {
     }
 }
 
+/// Runs the bounded-drift workload fuzzer over `seeds` consecutive seeds
+/// from `base_seed` (see [`clocksync_vopr::fuzz_drift`]): no panics,
+/// bit-exact zero-drift degeneracy, and decayed-certificate soundness
+/// for one-shot and continuous-resync runs. Returns report lines and
+/// whether any seed failed.
+pub fn drift(base_seed: u64, seeds: usize) -> (Vec<String>, bool) {
+    match clocksync_vopr::fuzz_drift(base_seed, seeds) {
+        None => (
+            vec![format!(
+                "drift: {seeds} seeds from {base_seed}, soundness and degeneracy oracles green"
+            )],
+            false,
+        ),
+        Some(failure) => (
+            vec![format!(
+                "drift: FAIL at seed {} — {}",
+                failure.seed, failure.detail
+            )],
+            true,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn drift_sweep_is_green_and_deterministic() {
+        let (lines, failed) = drift(0, 200);
+        assert!(!failed, "{lines:?}");
+        assert_eq!(drift(0, 200), (lines, failed));
+    }
 
     #[test]
     fn marzullo_sweep_is_green_and_deterministic() {

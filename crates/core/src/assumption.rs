@@ -15,9 +15,15 @@ use serde::{Deserialize, Serialize};
 
 /// An interval of admissible delays for one direction of a link.
 ///
-/// `0 ≤ lower ≤ upper ≤ +∞` (paper §6.1). `upper = +∞` models a link with
-/// no upper bound; `lower = 0, upper = +∞` is a fully asynchronous
-/// direction.
+/// `lower ≤ upper ≤ +∞` (paper §6.1). `upper = +∞` models a link with no
+/// upper bound; `lower = 0, upper = +∞` is a fully asynchronous
+/// direction. *True* delays are nonnegative (the paper's standing
+/// assumption), but a declared range may carry a **negative lower
+/// bound**: a drift-widened declaration must admit *estimated* delays up
+/// to the reading-error margin below the true minimum, and clamping the
+/// declared lower bound at zero would silently tighten the §6 estimate
+/// `d̃min − lower` past what drifted evidence supports. A negative lower
+/// bound only ever loosens estimates, so it is always sound to declare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DelayRange {
     lower: Nanos,
@@ -25,29 +31,25 @@ pub struct DelayRange {
 }
 
 impl DelayRange {
-    /// Creates a bounded range `[lower, upper]`.
+    /// Creates a bounded range `[lower, upper]`. A negative `lower` is a
+    /// virtual declaration (see the type docs): vacuous about true
+    /// delays, but honest about how low a drifted *estimated* delay may
+    /// appear.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ lower ≤ upper`.
+    /// Panics unless `lower ≤ upper`.
     pub fn new(lower: Nanos, upper: Nanos) -> DelayRange {
-        assert!(
-            Nanos::ZERO <= lower && lower <= upper,
-            "delay range requires 0 <= lower <= upper"
-        );
+        assert!(lower <= upper, "delay range requires lower <= upper");
         DelayRange {
             lower,
             upper: Ext::Finite(upper),
         }
     }
 
-    /// A range with a lower bound only: `[lower, +∞)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lower` is negative.
+    /// A range with a lower bound only: `[lower, +∞)`. As with
+    /// [`DelayRange::new`], `lower` may be negative.
     pub fn at_least(lower: Nanos) -> DelayRange {
-        assert!(Nanos::ZERO <= lower, "delay lower bound must be >= 0");
         DelayRange {
             lower,
             upper: Ext::PosInf,
@@ -756,15 +758,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "0 <= lower <= upper")]
+    #[should_panic(expected = "lower <= upper")]
     fn inverted_range_panics() {
         let _ = DelayRange::new(Nanos::new(10), Nanos::new(5));
     }
 
     #[test]
-    #[should_panic(expected = ">= 0")]
-    fn negative_lower_bound_panics() {
-        let _ = DelayRange::at_least(Nanos::new(-1));
+    fn a_negative_lower_bound_only_loosens_the_estimate() {
+        // Drift-widened declarations push the lower bound below zero; the
+        // §6 slack `d̃min − lower` must grow accordingly, never clamp.
+        let fwd = far_samples(&[6]);
+        let ev = LinkEvidence::from_samples(&fwd, &[]);
+        let tight =
+            LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(2)));
+        let virt =
+            LinkAssumption::symmetric_bounds(DelayRange::at_least(Nanos::new(-3)));
+        assert_eq!(tight.estimated_mls(&ev), fin(4));
+        assert_eq!(virt.estimated_mls(&ev), fin(9));
+        assert!(DelayRange::at_least(Nanos::new(-3)).contains(Nanos::ZERO));
     }
 
     #[test]

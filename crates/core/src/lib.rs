@@ -73,6 +73,7 @@
 pub mod analysis;
 mod assumption;
 mod degradation;
+mod drift;
 mod error;
 mod estimates;
 mod network;
@@ -82,6 +83,7 @@ mod synchronizer;
 
 pub use assumption::{marzullo_fuse, DelayRange, LinkAssumption, MarzulloFusion};
 pub use degradation::{classify_degradations, DegradationReason, LinkDegradation};
+pub use drift::DriftingOutcome;
 pub use error::SyncError;
 pub use estimates::{
     estimated_local_shifts, global_estimates, global_estimates_traced, global_estimates_with_chains,
@@ -91,4 +93,4 @@ pub use online::{BatchObservation, OnlineSynchronizer};
 pub use shifts::{
     shifts, shifts_with_kernel, synchronizable_components, ShiftsKernel, ShiftsResult,
 };
-pub use synchronizer::{ComponentReport, SyncOutcome, Synchronizer};
+pub use synchronizer::{ComponentReport, LocalSkew, SyncOutcome, Synchronizer};

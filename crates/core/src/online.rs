@@ -588,6 +588,7 @@ impl OnlineSynchronizer {
             &self.observations,
             &self.local,
         ));
+        outcome.set_edges(self.network.links().map(|(p, q, _)| (p, q)).collect());
         Ok(outcome)
     }
 }

@@ -65,9 +65,11 @@ impl Synchronizer {
     /// Attaches an observability recorder; each [`synchronize`] call then
     /// emits per-stage spans (`sync.local_estimates`,
     /// `sync.global_estimates` with the closure-kernel choice,
-    /// `sync.shifts`, `sync.degradations` — taxonomy in DESIGN.md §6) and
+    /// `sync.shifts`, `sync.degradations` — taxonomy in DESIGN.md §6),
     /// a `sync.marzullo_fusion` event per interval-fusing link recording
-    /// the quorum size and how many sources the fusion discarded.
+    /// the quorum size and how many sources the fusion discarded, and a
+    /// `sync.local_skew` event per declared edge with the edge's local
+    /// skew bound.
     /// Recording never changes the result: the outcome is a pure function
     /// of the views, bit-for-bit (see `tests/observability.rs`).
     ///
@@ -129,6 +131,8 @@ impl Synchronizer {
             outcome.set_degradations(classify_degradations(&self.network, &observations, &local));
             span.field("degraded_links", outcome.degradations().len());
         }
+        outcome.set_edges(self.network.links().map(|(p, q, _)| (p, q)).collect());
+        self.record_local_skews(&outcome);
         Ok(outcome)
     }
 
@@ -137,6 +141,28 @@ impl Synchronizer {
     /// many sources voted, how many the quorum required, whether it was
     /// reached) and how many sources the fused interval discarded as
     /// outliers — the operator-visible trace of fault masking.
+    /// Emits one `sync.local_skew` event per declared edge with the
+    /// edge's local skew (the gradient-style per-neighbor guarantee;
+    /// see [`SyncOutcome::local_skew`]): fields `p`, `q`, `finite`, and
+    /// `skew_ns` (omitted for unbounded edges).
+    fn record_local_skews(&self, outcome: &SyncOutcome) {
+        use clocksync_obs::FieldValue;
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for skew in outcome.local_skews() {
+            let mut fields = vec![
+                ("p", FieldValue::from(skew.a.index())),
+                ("q", FieldValue::from(skew.b.index())),
+                ("finite", FieldValue::from(skew.skew.is_finite())),
+            ];
+            if let Ext::Finite(v) = skew.skew {
+                fields.push(("skew_ns", FieldValue::from(v.to_f64())));
+            }
+            self.recorder.event("sync.local_skew", fields);
+        }
+    }
+
     fn record_fusions(&self, observations: &clocksync_model::LinkObservations) {
         use clocksync_obs::FieldValue;
         if !self.recorder.is_enabled() {
@@ -174,6 +200,18 @@ pub struct ComponentReport {
     pub critical_cycle: Vec<ProcessorId>,
 }
 
+/// One declared edge's local skew: the tight worst-case corrected-clock
+/// difference between its two (adjacent) endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSkew {
+    /// Lower endpoint.
+    pub a: ProcessorId,
+    /// Higher endpoint.
+    pub b: ProcessorId,
+    /// The edge's skew bound ([`SyncOutcome::local_skew`]).
+    pub skew: ExtRatio,
+}
+
 /// The result of a synchronization: corrections, guaranteed precision, and
 /// the analysis data needed to audit optimality.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,6 +221,7 @@ pub struct SyncOutcome {
     components: Vec<ComponentReport>,
     chains: Option<SquareMatrix<usize>>,
     degradations: Vec<LinkDegradation>,
+    edges: Vec<(ProcessorId, ProcessorId)>,
 }
 
 impl SyncOutcome {
@@ -232,6 +271,7 @@ impl SyncOutcome {
             components: reports,
             chains: None,
             degradations: Vec::new(),
+            edges: Vec::new(),
         }
     }
 
@@ -381,6 +421,63 @@ impl SyncOutcome {
         one.max(other)
     }
 
+    /// Attaches the declared network edges so per-edge local skews can
+    /// be reported ([`SyncOutcome::local_skews`]). Attached by
+    /// [`Synchronizer::synchronize`] and the online synchronizer's
+    /// outcome; callers assembling outcomes from bare closures (e.g. the
+    /// distributed leader) may attach their own edge list.
+    pub fn set_edges(&mut self, edges: Vec<(ProcessorId, ProcessorId)>) {
+        self.edges = edges;
+    }
+
+    /// The declared network edges attached to this outcome (empty when
+    /// no caller attached them — *unreported*, not edgeless).
+    pub fn edges(&self) -> &[(ProcessorId, ProcessorId)] {
+        &self.edges
+    }
+
+    /// The **local skew** of the pair `(p, q)`: the tight worst-case
+    /// corrected-clock difference between the two processors, in either
+    /// order — the quantity gradient clock synchronization bounds per
+    /// *edge* rather than globally (Kuhn–Lenzen–Locher–Oshman; Lenzen's
+    /// practically-constant local skew). Numerically identical to
+    /// [`SyncOutcome::pair_bound`]; reported per declared edge by
+    /// [`SyncOutcome::local_skews`] next to the global
+    /// [`precision`](SyncOutcome::precision), because a sparse network
+    /// routinely guarantees neighbors far tighter agreement than the
+    /// global bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is out of range.
+    pub fn local_skew(&self, p: ProcessorId, q: ProcessorId) -> ExtRatio {
+        self.pair_bound(p, q)
+    }
+
+    /// Per-declared-edge local skews, in edge order (empty when no edge
+    /// list was [attached](SyncOutcome::set_edges)).
+    pub fn local_skews(&self) -> Vec<LocalSkew> {
+        self.edges
+            .iter()
+            .map(|&(a, b)| LocalSkew {
+                a,
+                b,
+                skew: self.local_skew(a, b),
+            })
+            .collect()
+    }
+
+    /// The declared edge with the largest local skew — the worst
+    /// neighbor-to-neighbor guarantee, the summary number gradient-style
+    /// monitoring alarms on. `None` when no edge list was attached.
+    pub fn worst_edge(&self) -> Option<LocalSkew> {
+        self.local_skews().into_iter().max_by(|x, y| {
+            x.skew
+                .partial_cmp(&y.skew)
+                .expect("ExtRatio is totally ordered")
+        })
+    }
+
     /// Evaluates `ρ̄(x̄)` — the worst discrepancy over indistinguishable
     /// admissible executions — for an *arbitrary* correction vector. By
     /// optimality, `rho_bar(x̄) ≥ precision()` for every `x̄`, with
@@ -417,6 +514,9 @@ impl std::fmt::Display for SyncOutcome {
         }
         if !self.degradations.is_empty() {
             write!(f, " | {} degraded links", self.degradations.len())?;
+        }
+        if let Some(worst) = self.worst_edge() {
+            write!(f, " | worst edge {}-{}: {}", worst.a, worst.b, worst.skew)?;
         }
         Ok(())
     }
@@ -618,6 +718,103 @@ mod tests {
         assert!(outcome.pair_bound(P, Q) < outcome.pair_bound(Q, R));
         let (bp, bq) = outcome.bottleneck_pair().unwrap();
         assert!(outcome.pair_bound(bp, bq) >= outcome.pair_bound(P, Q));
+    }
+
+    #[test]
+    fn local_skews_report_every_declared_edge_and_the_worst_one() {
+        // Path P—Q—R with a tight and a loose link: the per-edge skews
+        // differ, the worst edge is the loose one, and non-adjacent
+        // pairs are not reported (though local_skew still answers).
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .link(
+                Q,
+                R,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(50))),
+            )
+            .build();
+        let exec = ExecutionBuilder::new(3)
+            .round_trips(
+                P,
+                Q,
+                1,
+                RealTime::from_nanos(0),
+                Nanos::ZERO,
+                Nanos::new(5),
+                Nanos::new(5),
+            )
+            .round_trips(
+                Q,
+                R,
+                1,
+                RealTime::from_nanos(1_000),
+                Nanos::ZERO,
+                Nanos::new(25),
+                Nanos::new(25),
+            )
+            .build()
+            .unwrap();
+        let outcome = Synchronizer::new(net).synchronize(exec.views()).unwrap();
+        assert_eq!(outcome.edges(), &[(P, Q), (Q, R)]);
+        let skews = outcome.local_skews();
+        assert_eq!(skews.len(), 2);
+        assert_eq!(skews[0].skew, outcome.pair_bound(P, Q));
+        assert_eq!(skews[1].skew, outcome.pair_bound(Q, R));
+        assert!(skews[0].skew < skews[1].skew);
+        let worst = outcome.worst_edge().unwrap();
+        assert_eq!((worst.a, worst.b), (Q, R));
+        assert_eq!(worst.skew, outcome.pair_bound(Q, R));
+        // local_skew is pair_bound under another (gradient) name.
+        assert_eq!(outcome.local_skew(P, R), outcome.pair_bound(P, R));
+        assert!(outcome.to_string().contains("worst edge"));
+    }
+
+    #[test]
+    fn every_declared_edge_emits_a_local_skew_event() {
+        use clocksync_obs::{FieldValue, Recorder};
+        let net = Network::builder(3)
+            .link(
+                P,
+                Q,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .link(
+                Q,
+                R,
+                LinkAssumption::symmetric_bounds(DelayRange::new(Nanos::ZERO, Nanos::new(10))),
+            )
+            .build();
+        // Q–R stays silent: its skew is unbounded, so its event carries
+        // `finite: false` and no `skew_ns` field.
+        let exec = ExecutionBuilder::new(3)
+            .message(P, Q, RealTime::from_nanos(100), Nanos::new(5))
+            .message(Q, P, RealTime::from_nanos(200), Nanos::new(5))
+            .build()
+            .unwrap();
+        let recorder = Recorder::enabled();
+        Synchronizer::new(net)
+            .with_recorder(recorder.clone())
+            .synchronize(exec.views())
+            .unwrap();
+        let trace = recorder.snapshot();
+        let events: Vec<_> = trace.events_named("sync.local_skew").collect();
+        assert_eq!(events.len(), 2, "one event per declared edge");
+        let finite_flags: Vec<bool> = events
+            .iter()
+            .map(|fields| {
+                matches!(
+                    fields.iter().find(|(k, _)| k == "finite").unwrap(),
+                    (_, FieldValue::Bool(true))
+                )
+            })
+            .collect();
+        assert_eq!(finite_flags, vec![true, false]);
+        assert!(events[0].iter().any(|(k, _)| k == "skew_ns"));
+        assert!(!events[1].iter().any(|(k, _)| k == "skew_ns"));
     }
 
     #[test]

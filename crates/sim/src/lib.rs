@@ -51,7 +51,10 @@ mod topology;
 
 pub use delay::{DelayDistribution, LinkModel, ResolvedLink};
 pub use distributed::{DistMsg, DistRun, DistributedSync, FaultyDistRun};
-pub use drift::{run_with_drift, widen_assumption, DriftRun};
+pub use drift::{
+    run_continuous_resync, run_with_drift, widen_assumption, ContinuousDriftRun, DriftError,
+    DriftRun, ResyncConfig,
+};
 pub use engine::{Engine, IdleProcess, Process, ProcessCtx};
 pub use faults::{FaultLog, FaultPlan, LinkFaults};
 pub use protocol::ProbeProcess;

@@ -1,0 +1,173 @@
+//! Property tests for drift widening: [`widen_assumption`] must never
+//! *tighten* a local shift estimate — a tightened estimate would let a
+//! drifted run claim a better certificate than an undrifted one, which is
+//! exactly the unsoundness the widening margin exists to prevent.
+//!
+//! The properties run over all five assumption families (including
+//! conjunctions with nested conjunctions inside) on random message
+//! evidence, in both link orientations, and check that widening commutes
+//! with the Theorem 5.6 minimum over a conjunction's parts.
+//!
+//! One carve-out, found by this very test: when evidence *contradicts* a
+//! declared [`MarzulloQuorum`] (no offset is consistent with a quorum of
+//! samples), the estimator degrades to "no constraint" (`+∞`) — and
+//! widening the ranges can make previously-disjoint sample intervals
+//! overlap, restoring a quorum and a *finite* (sound) estimate. That is
+//! the assumption's documented graceful-degradation behavior, not a
+//! widening bug: on evidence the original assumption actually admits,
+//! widening is monotone everywhere.
+//!
+//! [`MarzulloQuorum`]: LinkAssumption::MarzulloQuorum
+
+use clocksync::{DelayRange, LinkAssumption};
+use clocksync_model::{LinkEvidence, MsgSample};
+use clocksync_sim::widen_assumption;
+use clocksync_time::{ClockTime, Nanos};
+use proptest::prelude::*;
+
+fn delay_range() -> impl Strategy<Value = DelayRange> {
+    prop_oneof![
+        (0i64..2_000, 0i64..2_000)
+            .prop_map(|(lo, width)| DelayRange::new(Nanos::new(lo), Nanos::new(lo + width))),
+        (0i64..2_000).prop_map(|lo| DelayRange::at_least(Nanos::new(lo))),
+        Just(DelayRange::unbounded()),
+    ]
+}
+
+fn leaf() -> impl Strategy<Value = LinkAssumption> {
+    prop_oneof![
+        (delay_range(), delay_range()).prop_map(|(f, b)| LinkAssumption::bounds(f, b)),
+        (1i64..3_000).prop_map(|b| LinkAssumption::rtt_bias(Nanos::new(b))),
+        (1i64..3_000, 1i64..8_000)
+            .prop_map(|(b, w)| LinkAssumption::paired_rtt_bias(Nanos::new(b), Nanos::new(w))),
+        (delay_range(), delay_range(), 0usize..3)
+            .prop_map(|(f, b, k)| LinkAssumption::marzullo_quorum(f, b, k)),
+    ]
+}
+
+/// Any family, including conjunctions whose parts are conjunctions.
+fn assumption() -> impl Strategy<Value = LinkAssumption> {
+    prop_oneof![
+        4 => leaf(),
+        2 => proptest::collection::vec(leaf(), 1..4).prop_map(LinkAssumption::all),
+        1 => (
+            proptest::collection::vec(leaf(), 1..3),
+            proptest::collection::vec(leaf(), 1..3)
+        )
+            .prop_map(|(outer, inner)| {
+                let mut parts = outer;
+                parts.push(LinkAssumption::all(inner));
+                LinkAssumption::all(parts)
+            }),
+    ]
+}
+
+/// Messages with arbitrary send times and nonnegative estimated delays
+/// (drifted readings can produce any pattern the axes allow).
+fn samples() -> impl Strategy<Value = Vec<MsgSample>> {
+    proptest::collection::vec((0i64..100_000, 0i64..4_000), 0..8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(send, delay)| MsgSample {
+                send_clock: ClockTime::ZERO + Nanos::new(send),
+                recv_clock: ClockTime::ZERO + Nanos::new(send + delay),
+            })
+            .collect()
+    })
+}
+
+/// Whether `ev` contradicts a Marzullo part of `a`: some quorum
+/// declaration has samples but no offset consistent with a quorum of
+/// them. In that (vacuous) regime the estimate is the degraded `+∞` and
+/// widening may legitimately restore a finite constraint.
+fn quorum_collapsed(a: &LinkAssumption, ev: &LinkEvidence<'_>) -> bool {
+    match a {
+        LinkAssumption::MarzulloQuorum { .. } => a
+            .fusion_stats(ev)
+            .is_some_and(|s| s.sources > 0 && !s.quorum_reached),
+        LinkAssumption::All(parts) => parts.iter().any(|p| quorum_collapsed(p, ev)),
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Widening by any nonnegative margin never tightens the local shift
+    /// estimate, in either direction of the link, for any family — on
+    /// every instance the original assumption admits (see the module doc
+    /// for the contradicted-quorum carve-out).
+    #[test]
+    fn widening_never_tightens_any_estimate(
+        a in assumption(),
+        fwd in samples(),
+        bwd in samples(),
+        margin in 0i64..1_500,
+    ) {
+        let widened = widen_assumption(&a, Nanos::new(margin));
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        prop_assume!(!quorum_collapsed(&a, &ev));
+        prop_assert!(
+            widened.estimated_mls(&ev) >= a.estimated_mls(&ev),
+            "forward estimate tightened: {a:?} margin {margin}"
+        );
+        // The reverse direction, exactly as the pipeline evaluates it:
+        // reversed assumption against reversed evidence. Its fusion
+        // region is the mirror image of the forward one, so the same
+        // collapse guard applies.
+        let (ar, evr) = (a.reversed(), ev.reversed());
+        prop_assert!(
+            widen_assumption(&ar, Nanos::new(margin)).estimated_mls(&evr)
+                >= ar.estimated_mls(&evr),
+            "backward estimate tightened: {a:?} margin {margin}"
+        );
+    }
+
+    /// The carve-out is exactly the contradicted-quorum regime, and it is
+    /// harmless there: a collapsed quorum claims nothing (`+∞` in both
+    /// orientations), so any finite answer the widened assumption later
+    /// produces only *adds* a sound constraint where none existed.
+    #[test]
+    fn a_collapsed_quorum_claims_nothing(
+        f in delay_range(),
+        b in delay_range(),
+        k in 0usize..3,
+        fwd in samples(),
+        bwd in samples(),
+    ) {
+        let a = LinkAssumption::marzullo_quorum(f, b, k);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        prop_assume!(quorum_collapsed(&a, &ev));
+        prop_assert_eq!(a.estimated_mls(&ev), clocksync_time::Ext::PosInf);
+        prop_assert_eq!(
+            a.reversed().estimated_mls(&ev.reversed()),
+            clocksync_time::Ext::PosInf
+        );
+    }
+
+    /// Widening a margin of zero is the identity on every family.
+    #[test]
+    fn zero_margin_widening_is_the_identity(a in assumption()) {
+        prop_assert_eq!(widen_assumption(&a, Nanos::ZERO), a);
+    }
+
+    /// Widening distributes over conjunctions: the widened conjunction's
+    /// estimate is the Theorem 5.6 minimum of the widened parts — so the
+    /// decomposition theorem and the drift margin compose in either order.
+    #[test]
+    fn widening_composes_with_the_conjunction_minimum(
+        parts in proptest::collection::vec(leaf(), 1..5),
+        fwd in samples(),
+        bwd in samples(),
+        margin in 0i64..1_500,
+    ) {
+        let m = Nanos::new(margin);
+        let ev = LinkEvidence::from_samples(&fwd, &bwd);
+        let whole = widen_assumption(&LinkAssumption::all(parts.clone()), m);
+        let piecewise = parts
+            .iter()
+            .map(|p| widen_assumption(p, m).estimated_mls(&ev))
+            .min()
+            .unwrap();
+        prop_assert_eq!(whole.estimated_mls(&ev), piecewise);
+    }
+}

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drift;
 mod ext;
 mod nanos;
 mod ratio;
 
+pub use drift::{DriftBound, DriftingEstimate};
 pub use ext::Ext;
 pub use nanos::{ClockTime, Nanos, RealTime};
 pub use ratio::Ratio;

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drift;
 mod gen;
 mod marzullo;
 mod rng;
@@ -44,6 +45,7 @@ mod scenario;
 mod shrink;
 mod world;
 
+pub use drift::{fuzz_drift, DriftFailure};
 pub use gen::generate;
 pub use marzullo::{fuzz_marzullo, MarzulloFailure};
 pub use rng::VoprRng;

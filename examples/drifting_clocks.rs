@@ -27,7 +27,7 @@ fn main() {
         .build();
 
     let ppm = 20; // a mediocre crystal oscillator
-    let run = run_with_drift(&sim, ppm, 2026);
+    let run = run_with_drift(&sim, ppm, 2026).expect("truthful ring scenario synchronizes");
 
     section(&format!("5-node ring, clocks drifting up to ±{ppm} ppm"));
     row("secret drift rates (ppm)", format!("{:?}", run.drift_ppm));
